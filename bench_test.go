@@ -1,0 +1,283 @@
+package repro
+
+// The benchmark harness: one benchmark per table and figure of the paper,
+// regenerating the experiment each time it runs, plus end-to-end benches
+// of the two algorithm-system combinations and the ablation studies.
+//
+//	go test -bench=. -benchmem            # full harness
+//	go test -bench=Table4 -benchtime=1x   # one table, one regeneration
+//
+// The paper-ladder suite is shared across benchmarks (sync.Once): the
+// expensive measurement sweeps run once per process; each benchmark then
+// regenerates its table/figure from the measured chains, which is the
+// quantity being timed.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/algs"
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+	suiteErr  error
+)
+
+// paperSuite returns the shared full-ladder suite (2..32 nodes), warming
+// the measured GE and MM chains on first use.
+func paperSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		cfg, err := experiments.Default()
+		if err != nil {
+			suiteErr = err
+			return
+		}
+		suite, err = experiments.NewSuite(cfg)
+		if err != nil {
+			suiteErr = err
+			return
+		}
+		// Warm the memoized chains so individual table benches time the
+		// regeneration, not the shared sweep.
+		if _, err := suite.GEChainMeasured(); err != nil {
+			suiteErr = err
+			return
+		}
+		if _, err := suite.MMChainMeasured(); err != nil {
+			suiteErr = err
+		}
+	})
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suite
+}
+
+func benchTable(b *testing.B, gen func() error) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := gen(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One benchmark per paper table/figure --------------------------------
+
+func BenchmarkTable1MarkedSpeed(b *testing.B) {
+	s := paperSuite(b)
+	benchTable(b, func() error { _, err := s.Table1(); return err })
+}
+
+func BenchmarkTable2GETwoNodes(b *testing.B) {
+	s := paperSuite(b)
+	benchTable(b, func() error { _, err := s.Table2(); return err })
+}
+
+func BenchmarkFig1EfficiencyCurve(b *testing.B) {
+	s := paperSuite(b)
+	benchTable(b, func() error { _, _, err := s.Fig1(); return err })
+}
+
+func BenchmarkTable3RequiredRank(b *testing.B) {
+	s := paperSuite(b)
+	benchTable(b, func() error { _, err := s.Table3(); return err })
+}
+
+func BenchmarkTable4GEScalability(b *testing.B) {
+	s := paperSuite(b)
+	benchTable(b, func() error { _, err := s.Table4(); return err })
+}
+
+func BenchmarkFig2MMEfficiency(b *testing.B) {
+	s := paperSuite(b)
+	benchTable(b, func() error { _, err := s.Fig2(); return err })
+}
+
+func BenchmarkTable5MMScalability(b *testing.B) {
+	s := paperSuite(b)
+	benchTable(b, func() error { _, err := s.Table5(); return err })
+}
+
+func BenchmarkCompareGEMM(b *testing.B) {
+	s := paperSuite(b)
+	benchTable(b, func() error { _, err := s.CompareGEMM(); return err })
+}
+
+func BenchmarkTable6PredictedRank(b *testing.B) {
+	s := paperSuite(b)
+	benchTable(b, func() error { _, _, err := s.Table6(); return err })
+}
+
+func BenchmarkTable7PredictedScalability(b *testing.B) {
+	s := paperSuite(b)
+	benchTable(b, func() error { _, err := s.Table7(); return err })
+}
+
+// --- Validation and ablation benches (DESIGN.md §5) ----------------------
+
+func BenchmarkHomogeneousSpecialCase(b *testing.B) {
+	s := paperSuite(b)
+	benchTable(b, func() error { _, err := s.HomogeneousCheck(); return err })
+}
+
+func BenchmarkAblateDistribution(b *testing.B) {
+	s := paperSuite(b)
+	benchTable(b, func() error { _, err := s.AblateDistribution(); return err })
+}
+
+func BenchmarkAblateContention(b *testing.B) {
+	s := paperSuite(b)
+	benchTable(b, func() error { _, err := s.AblateContention(); return err })
+}
+
+func BenchmarkAblateTiling(b *testing.B) {
+	s := paperSuite(b)
+	benchTable(b, func() error { _, err := s.AblateTiling(); return err })
+}
+
+func BenchmarkAblateNetworks(b *testing.B) {
+	s := paperSuite(b)
+	benchTable(b, func() error { _, err := s.AblateNetworks(); return err })
+}
+
+func BenchmarkThreeWayComparison(b *testing.B) {
+	s := paperSuite(b)
+	benchTable(b, func() error { _, err := s.ThreeWay(); return err })
+}
+
+func BenchmarkMemoryBounded(b *testing.B) {
+	s := paperSuite(b)
+	benchTable(b, func() error { _, err := s.MemBound(); return err })
+}
+
+func BenchmarkTraceDecomposition(b *testing.B) {
+	s := paperSuite(b)
+	benchTable(b, func() error { _, err := s.TraceDecomposition(); return err })
+}
+
+// --- End-to-end algorithm benches (one virtual-time run per iteration) ---
+
+func benchModel(b *testing.B) simnet.CostModel {
+	b.Helper()
+	m, err := simnet.NewParamModel("bench", simnet.Sunwulf100())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkGESymbolicC8N1000(b *testing.B) {
+	cl, err := cluster.GEConfig(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := benchModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := algs.RunGE(cl, m, mpi.Options{}, 1000, algs.GEOptions{Symbolic: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGERealC4N200(b *testing.B) {
+	cl, err := cluster.GEConfig(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := benchModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := algs.RunGE(cl, m, mpi.Options{}, 200, algs.GEOptions{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMMSymbolicC8N500(b *testing.B) {
+	cl, err := cluster.MMConfig(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := benchModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := algs.RunMM(cl, m, mpi.Options{}, 500, algs.MMOptions{Symbolic: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMMRealC4N128(b *testing.B) {
+	cl, err := cluster.MMConfig(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := benchModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := algs.RunMM(cl, m, mpi.Options{}, 128, algs.MMOptions{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJacobiSymbolicC8N500(b *testing.B) {
+	cl, err := cluster.MMConfig(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := benchModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := algs.RunJacobi(cl, m, mpi.Options{}, 500, algs.JacobiOptions{
+			Iters: 100, CheckEvery: 10, Symbolic: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJacobiRealC4N96(b *testing.B) {
+	cl, err := cluster.MMConfig(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := benchModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := algs.RunJacobi(cl, m, mpi.Options{}, 96, algs.JacobiOptions{
+			Iters: 40, CheckEvery: 10, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineDESvsLive pins the relative cost of the two engines on
+// the same workload.
+func BenchmarkEngineLiveGEN400(b *testing.B) { benchEngine(b, mpi.EngineLive) }
+func BenchmarkEngineDESGEN400(b *testing.B)  { benchEngine(b, mpi.EngineDES) }
+
+func benchEngine(b *testing.B, engine mpi.Engine) {
+	b.Helper()
+	cl, err := cluster.GEConfig(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := benchModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := algs.RunGE(cl, m, mpi.Options{Engine: engine}, 400, algs.GEOptions{Symbolic: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Command hetsim regenerates the paper's tables and figures on the
+// simulated Sunwulf substrate.
+//
+// Usage:
+//
+//	hetsim -list
+//	hetsim -exp table4
+//	hetsim -exp all -quick
+//	hetsim -exp fig2 -csv
+//	hetsim -exp table3 -engine des -contended
+//
+// Experiment ids match the paper's evaluation section: table1..table7,
+// fig1, fig2, compare, plus the validation/ablation experiments homog,
+// ablate-dist, ablate-contention, ablate-tiling.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/mpi"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hetsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hetsim", flag.ContinueOnError)
+	var (
+		exp       = fs.String("exp", "", "experiment id to run (see -list), or 'all'")
+		list      = fs.Bool("list", false, "list available experiments")
+		quick     = fs.Bool("quick", false, "reduced ladder (2,4,8 nodes) and sweeps")
+		csv       = fs.Bool("csv", false, "emit CSV instead of rendered tables")
+		md        = fs.Bool("md", false, "emit a markdown report (with -exp all: the full reproduction report)")
+		engine    = fs.String("engine", "live", "execution engine: live or des")
+		contended = fs.Bool("contended", false, "shared-Ethernet contention (des engine only)")
+		geTarget  = fs.Float64("ge-target", 0.3, "speed-efficiency set-point for GE read-offs")
+		mmTarget  = fs.Float64("mm-target", 0.2, "speed-efficiency set-point for MM read-offs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		reg := experiments.Registry()
+		fmt.Fprintln(out, "available experiments:")
+		for _, id := range experiments.IDs() {
+			fmt.Fprintf(out, "  %-18s %s\n", id, reg[id].About)
+		}
+		fmt.Fprintln(out, "  all                run everything above")
+		return nil
+	}
+	if *exp == "" {
+		return fmt.Errorf("missing -exp (or -list); try: hetsim -exp table4")
+	}
+
+	cfg, err := experiments.Default()
+	if err != nil {
+		return err
+	}
+	if *quick {
+		cfg, err = experiments.Quick()
+		if err != nil {
+			return err
+		}
+	}
+	switch strings.ToLower(*engine) {
+	case "live":
+		cfg.Engine = mpi.EngineLive
+	case "des":
+		cfg.Engine = mpi.EngineDES
+	default:
+		return fmt.Errorf("unknown engine %q (live or des)", *engine)
+	}
+	cfg.Contended = *contended
+	cfg.GETarget = *geTarget
+	cfg.MMTarget = *mmTarget
+
+	suite, err := experiments.NewSuite(cfg)
+	if err != nil {
+		return err
+	}
+	if *md {
+		var ids []string
+		if *exp != "all" {
+			ids = []string{*exp}
+		}
+		return experiments.WriteMarkdownReport(suite, out, ids, time.Now())
+	}
+	results, err := experiments.RunByID(suite, *exp)
+	if err != nil {
+		return err
+	}
+	for i, r := range results {
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		if *csv {
+			fmt.Fprint(out, r.CSV())
+		} else {
+			fmt.Fprint(out, r.String())
+		}
+	}
+	return nil
+}

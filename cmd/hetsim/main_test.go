@@ -1,0 +1,87 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, id := range experiments.IDs() {
+		if !strings.Contains(got, id) {
+			t.Errorf("-list missing %q", id)
+		}
+	}
+	if !strings.Contains(got, "all") {
+		t.Error("-list missing 'all'")
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "table1", "-quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Marked speed") {
+		t.Errorf("table1 output wrong:\n%s", out.String())
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "table1", "-quick", "-csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, ",") || strings.Contains(got, "----") {
+		t.Errorf("CSV output wrong:\n%s", got)
+	}
+}
+
+func TestRunDESEngine(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "ablate-tiling", "-quick", "-engine", "des"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "tiling") {
+		t.Error("des engine run produced no tiling output")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing -exp accepted")
+	}
+	if err := run([]string{"-exp", "nope"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-exp", "table1", "-engine", "warp"}, &out); err == nil {
+		t.Error("unknown engine accepted")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-exp", "table1", "-ge-target", "7"}, &out); err == nil {
+		t.Error("bad target accepted")
+	}
+}
+
+func TestRunMarkdownReport(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "table1", "-quick", "-md"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, frag := range []string{"# Reproduction report", "## table1", "```text"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("markdown report missing %q", frag)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Command markedspeed measures marked speed (paper Definition 1).
+//
+// By default it benchmarks the simulated Sunwulf node classes with the
+// NPB-style suite and prints Table 1. With -host it additionally
+// wall-clocks the suite on the machine running the command, grounding the
+// simulation's notion of a flop:
+//
+//	markedspeed
+//	markedspeed -host -size 300 -duration 200ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+	"repro/internal/nasbench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "markedspeed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("markedspeed", flag.ContinueOnError)
+	var (
+		host     = fs.Bool("host", false, "also wall-clock the suite on this machine")
+		size     = fs.Int("size", 300, "kernel size for host measurement")
+		duration = fs.Duration("duration", 150*time.Millisecond, "minimum host measurement time per kernel")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg, err := experiments.Quick()
+	if err != nil {
+		return err
+	}
+	suite, err := experiments.NewSuite(cfg)
+	if err != nil {
+		return err
+	}
+	tbl, err := suite.Table1()
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, tbl.String())
+
+	// Definition 2 on a worked example, as in the paper §4.3:
+	// "Server node with 1 CPU, one SunBlade compute node and two SunFire
+	// compute nodes with 1 CPU".
+	example, err := cluster.New("example",
+		cluster.ServerNode(0),
+		cluster.BladeNode(40),
+		cluster.V210Node(65, 0),
+		cluster.V210Node(66, 0),
+	)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nDefinition 2 example: %s\n", example)
+
+	if !*host {
+		return nil
+	}
+	fmt.Fprintln(out, "\nHost measurement (this machine):")
+	var scores []nasbench.Score
+	for _, k := range nasbench.Suite() {
+		sc, err := nasbench.MeasureHost(k, *size, *duration)
+		if err != nil {
+			return err
+		}
+		scores = append(scores, sc)
+		fmt.Fprintf(out, "  %-3s %10.1f Mflops\n", sc.Kernel, sc.Mflops)
+	}
+	ms, err := nasbench.MarkedSpeed(scores)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  host marked speed (suite mean): %.1f Mflops\n", ms)
+	return nil
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefault(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, frag := range []string{"Table 1", "SunBlade", "Definition 2 example", "258.3"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("output missing %q:\n%s", frag, got)
+		}
+	}
+	if strings.Contains(got, "Host measurement") {
+		t.Error("host measurement ran without -host")
+	}
+}
+
+func TestRunHost(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-host", "-size", "64", "-duration", "5ms"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "Host measurement") || !strings.Contains(got, "host marked speed") {
+		t.Errorf("host output wrong:\n%s", got)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-nope"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-host", "-size", "0"}, &out); err == nil {
+		t.Error("size 0 accepted")
+	}
+}

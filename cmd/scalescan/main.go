@@ -1,0 +1,208 @@
+// Command scalescan runs an isospeed-efficiency scalability scan for a
+// user-described heterogeneous cluster ladder: the generic version of the
+// paper's Tables 3-5 for arbitrary machines.
+//
+// The ladder is described in JSON (one cluster per rung):
+//
+//	{
+//	  "ladder": [
+//	    {"name": "small", "nodes": [
+//	      {"name": "a0", "class": "fast", "speedMflops": 90, "memMB": 2048},
+//	      {"name": "a1", "class": "slow", "speedMflops": 40, "memMB": 512}
+//	    ]},
+//	    {"name": "big", "nodes": [ ... more nodes ... ]}
+//	  ]
+//	}
+//
+// Usage:
+//
+//	scalescan -ladder ladder.json -alg ge -target 0.3
+//	scalescan -example            # print a ladder template and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/algs"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+const exampleLadder = `{
+  "ladder": [
+    {"name": "C2", "nodes": [
+      {"name": "n0", "class": "fast", "speedMflops": 90, "memMB": 2048},
+      {"name": "n1", "class": "slow", "speedMflops": 40, "memMB": 512}
+    ]},
+    {"name": "C4", "nodes": [
+      {"name": "n0", "class": "fast", "speedMflops": 90, "memMB": 2048},
+      {"name": "n1", "class": "fast", "speedMflops": 90, "memMB": 2048},
+      {"name": "n2", "class": "slow", "speedMflops": 40, "memMB": 512},
+      {"name": "n3", "class": "slow", "speedMflops": 40, "memMB": 512}
+    ]}
+  ]
+}`
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "scalescan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("scalescan", flag.ContinueOnError)
+	var (
+		ladderPath = fs.String("ladder", "", "path to the JSON ladder description")
+		alg        = fs.String("alg", "ge", "algorithm: ge or mm")
+		target     = fs.Float64("target", 0.3, "speed-efficiency set-point")
+		example    = fs.Bool("example", false, "print a ladder template and exit")
+		csv        = fs.Bool("csv", false, "emit CSV")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *example {
+		fmt.Fprintln(out, exampleLadder)
+		return nil
+	}
+	if *ladderPath == "" {
+		return fmt.Errorf("missing -ladder file (use -example for a template)")
+	}
+	spec, err := cluster.LoadLadder(*ladderPath)
+	if err != nil {
+		return err
+	}
+	clusters, err := spec.BuildAll()
+	if err != nil {
+		return err
+	}
+
+	model, err := simnet.NewParamModel("sunwulf-100Mb", simnet.Sunwulf100())
+	if err != nil {
+		return err
+	}
+
+	points := make([]core.ScalePoint, 0, len(clusters))
+	tbl := &experiments.Table{
+		Title:   fmt.Sprintf("Isospeed-efficiency scan: %s at E_s = %.2f", strings.ToUpper(*alg), *target),
+		Headers: []string{"Cluster", "p", "Marked speed (Mflops)", "Required N", "Workload W (flops)"},
+	}
+	for _, cl := range clusters {
+		n, w, err := requiredSize(cl, model, strings.ToLower(*alg), *target)
+		if err != nil {
+			return fmt.Errorf("%s: %w", cl.Name, err)
+		}
+		points = append(points, core.ScalePoint{Label: cl.Name, C: cl.MarkedSpeed(), N: n, W: w})
+		tbl.AddRow(cl.Name, fmt.Sprintf("%d", cl.Size()),
+			fmt.Sprintf("%.1f", cl.MarkedSpeed()), fmt.Sprintf("%d", n), fmt.Sprintf("%.3e", w))
+	}
+	psis, err := core.PsiChain(points)
+	if err != nil {
+		return err
+	}
+	psiRow := make([]string, 0, len(psis))
+	psiHdr := make([]string, 0, len(psis))
+	for i, psi := range psis {
+		psiHdr = append(psiHdr, fmt.Sprintf("ψ(%s,%s)", points[i].Label, points[i+1].Label))
+		psiRow = append(psiRow, fmt.Sprintf("%.4f", psi))
+	}
+	psiTbl := &experiments.Table{Title: "Scalability chain", Headers: psiHdr, Rows: [][]string{psiRow}}
+
+	for _, t := range []*experiments.Table{tbl, psiTbl} {
+		if *csv {
+			fmt.Fprint(out, t.CSV())
+		} else {
+			fmt.Fprint(out, t.String())
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// requiredSize runs the measurement pipeline for one cluster: analytic
+// guess, sweep, trend fit, read-off.
+func requiredSize(cl *cluster.Cluster, model simnet.CostModel, alg string, target float64) (int, float64, error) {
+	var (
+		machine core.AnalyticMachine
+		runner  core.Runner
+		workAt  func(int) float64
+	)
+	switch alg {
+	case "ge":
+		to, err := algs.GEOverhead(cl, model)
+		if err != nil {
+			return 0, 0, err
+		}
+		t0, err := algs.GESeqTime(cl, algs.DefaultGESustained)
+		if err != nil {
+			return 0, 0, err
+		}
+		machine = core.AnalyticMachine{
+			Label: cl.Name, C: cl.MarkedSpeed(), P: cl.Size(), Sustained: algs.DefaultGESustained,
+			Work:    func(n float64) float64 { return 2 * n * n * n / 3 },
+			SeqTime: t0, Overhead: to,
+		}
+		runner = func(n int) (float64, float64, error) {
+			out, err := algs.RunGE(cl, model, mpi.Options{}, n, algs.GEOptions{Symbolic: true})
+			if err != nil {
+				return 0, 0, err
+			}
+			return out.Work, out.Res.TimeMS, nil
+		}
+		workAt = algs.WorkGE
+	case "mm":
+		to, err := algs.MMOverhead(cl, model)
+		if err != nil {
+			return 0, 0, err
+		}
+		machine = core.AnalyticMachine{
+			Label: cl.Name, C: cl.MarkedSpeed(), P: cl.Size(), Sustained: algs.DefaultMMSustained,
+			Work:     func(n float64) float64 { return 2 * n * n * n },
+			Overhead: to,
+		}
+		runner = func(n int) (float64, float64, error) {
+			out, err := algs.RunMM(cl, model, mpi.Options{}, n, algs.MMOptions{Symbolic: true})
+			if err != nil {
+				return 0, 0, err
+			}
+			return out.Work, out.Res.TimeMS, nil
+		}
+		workAt = algs.WorkMM
+	default:
+		return 0, 0, fmt.Errorf("unknown algorithm %q (ge or mm)", alg)
+	}
+
+	guess, err := machine.RequiredN(target, 8, 5e6)
+	if err != nil {
+		return 0, 0, err
+	}
+	sizes := make([]int, 0, 8)
+	prev := 0
+	for i := 0; i < 8; i++ {
+		v := int(math.Round(guess * (0.45 + 1.35*float64(i)/7)))
+		if v <= prev {
+			v = prev + 1
+		}
+		sizes = append(sizes, v)
+		prev = v
+	}
+	curve, err := core.MeasureCurve(cl.Name, cl.MarkedSpeed(), sizes, 3, runner)
+	if err != nil {
+		return 0, 0, err
+	}
+	nReq, err := curve.RequiredSize(target)
+	if err != nil {
+		return 0, 0, err
+	}
+	n := int(math.Round(nReq))
+	return n, workAt(n), nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeLadder(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ladder.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestExampleTemplate(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-example"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"ladder"`) {
+		t.Errorf("template wrong:\n%s", out.String())
+	}
+}
+
+func TestScanWithTemplate(t *testing.T) {
+	var tpl strings.Builder
+	if err := run([]string{"-example"}, &tpl); err != nil {
+		t.Fatal(err)
+	}
+	path := writeLadder(t, tpl.String())
+	for _, alg := range []string{"ge", "mm"} {
+		var out strings.Builder
+		if err := run([]string{"-ladder", path, "-alg", alg, "-target", "0.2"}, &out); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		got := out.String()
+		if !strings.Contains(got, "Scalability chain") || !strings.Contains(got, "ψ(C2,C4)") {
+			t.Errorf("%s output wrong:\n%s", alg, got)
+		}
+	}
+}
+
+func TestScanCSV(t *testing.T) {
+	var tpl strings.Builder
+	if err := run([]string{"-example"}, &tpl); err != nil {
+		t.Fatal(err)
+	}
+	path := writeLadder(t, tpl.String())
+	var out strings.Builder
+	if err := run([]string{"-ladder", path, "-alg", "mm", "-target", "0.2", "-csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), ",") {
+		t.Errorf("CSV output wrong:\n%s", out.String())
+	}
+}
+
+func TestScanErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("missing ladder accepted")
+	}
+	if err := run([]string{"-ladder", "/does/not/exist.json"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := writeLadder(t, "{not json")
+	if err := run([]string{"-ladder", bad}, &out); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	short := writeLadder(t, `{"ladder":[{"name":"only","nodes":[{"name":"a","class":"x","speedMflops":10,"memMB":64}]}]}`)
+	if err := run([]string{"-ladder", short}, &out); err == nil {
+		t.Error("single-rung ladder accepted")
+	}
+	tpl := &strings.Builder{}
+	if err := run([]string{"-example"}, tpl); err != nil {
+		t.Fatal(err)
+	}
+	good := writeLadder(t, tpl.String())
+	if err := run([]string{"-ladder", good, "-alg", "qr"}, &out); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	invalid := writeLadder(t, `{"ladder":[
+	  {"name":"a","nodes":[{"name":"x","class":"c","speedMflops":-5,"memMB":64}]},
+	  {"name":"b","nodes":[{"name":"y","class":"c","speedMflops":10,"memMB":64}]}]}`)
+	if err := run([]string{"-ladder", invalid}, &out); err == nil {
+		t.Error("negative speed accepted")
+	}
+}

@@ -1,0 +1,86 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	Xian-He Sun, Yong Chen, Ming Wu,
+//	"Scalability of Heterogeneous Computing", ICPP 2005.
+//
+// The paper proposes the isospeed-efficiency scalability metric for
+// heterogeneous computing systems. This module implements the metric, the
+// analytical results built on it (Theorem 1, Corollaries 1-2, the §4.5
+// prediction method), and the entire experimental substrate needed to
+// reproduce the paper's evaluation: a heterogeneous cluster model with
+// NPB-style marked-speed benchmarking, a virtual-time message-passing
+// runtime with goroutine and discrete-event engines, a shared-Ethernet
+// cost model, and the two evaluated parallel algorithms (heterogeneous
+// Gaussian elimination and matrix multiplication) with verified numerics.
+//
+// Layout:
+//
+//	internal/core        the metric library (the paper's contribution)
+//	internal/cluster     nodes, marked speed, Sunwulf profiles
+//	internal/nasbench    NPB-style kernels measuring marked speed
+//	internal/simnet      communication cost models + calibration
+//	internal/des         discrete-event simulation kernel
+//	internal/mpi         virtual-time message passing (2 engines)
+//	internal/dist        heterogeneous data distributions
+//	internal/linalg      dense kernels and sequential references
+//	internal/algs        the parallel GE and MM of the evaluation
+//	internal/experiments every table and figure of the paper
+//	cmd/hetsim           run any experiment from the command line
+//	cmd/markedspeed      Table 1 + host measurement
+//	cmd/scalescan        scalability scans for user-defined clusters
+//	examples/...         runnable walkthroughs of the public API
+//
+// This root package is a thin façade over internal/experiments for
+// programmatic use; see README.md for the guided tour and EXPERIMENTS.md
+// for the paper-vs-reproduction record.
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+// ExperimentIDs lists the reproducible experiments (table1..table7, fig1,
+// fig2, compare, and the validation/ablation studies).
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// ExperimentAbout describes one experiment id.
+func ExperimentAbout(id string) (string, error) {
+	exp, ok := experiments.Registry()[id]
+	if !ok {
+		return "", fmt.Errorf("repro: unknown experiment %q", id)
+	}
+	return exp.About, nil
+}
+
+// RunExperiment regenerates one experiment (or "all") and returns the
+// rendered outputs. quick=true uses the reduced 2/4/8-node ladder; false
+// runs the paper's full 2..32 ladder (minutes of CPU).
+func RunExperiment(id string, quick bool) ([]string, error) {
+	var (
+		cfg experiments.Config
+		err error
+	)
+	if quick {
+		cfg, err = experiments.Quick()
+	} else {
+		cfg, err = experiments.Default()
+	}
+	if err != nil {
+		return nil, err
+	}
+	suite, err := experiments.NewSuite(cfg)
+	if err != nil {
+		return nil, err
+	}
+	results, err := experiments.RunByID(suite, id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(results))
+	for _, r := range results {
+		out = append(out, r.String())
+	}
+	return out, nil
+}

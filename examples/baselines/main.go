@@ -1,0 +1,147 @@
+// Baseline metrics side by side: the same heterogeneous scaling data
+// evaluated with the paper's isospeed-efficiency metric and with the
+// related metrics §2 reviews — homogeneous isospeed, isoefficiency (which
+// needs a sequential time), Jogalekar-Woodside productivity, and
+// Pastor-Bosque heterogeneous efficiency — showing where each one needs
+// extra inputs or loses the heterogeneity.
+//
+//	go run ./examples/baselines
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/algs"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+func main() {
+	model, err := simnet.NewParamModel("ethernet", simnet.Sunwulf100())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One heterogeneous scaling step: MM on 4 -> 8 mixed nodes, problem
+	// size chosen to hold E_s = 0.2.
+	small, err := cluster.MMConfig(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	big, err := cluster.MMConfig(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const target = 0.2
+	type rung struct {
+		cl   *cluster.Cluster
+		n    int
+		time float64 // ms at the chosen n
+	}
+	var rungs []rung
+	for _, cl := range []*cluster.Cluster{small, big} {
+		runner := func(n int) (float64, float64, error) {
+			out, err := algs.RunMM(cl, model, mpi.Options{}, n, algs.MMOptions{Symbolic: true})
+			if err != nil {
+				return 0, 0, err
+			}
+			return out.Work, out.Res.TimeMS, nil
+		}
+		curve, err := core.MeasureCurve(cl.Name, cl.MarkedSpeed(),
+			[]int{24, 48, 96, 192, 384, 768}, 3, runner)
+		if err != nil {
+			log.Fatal(err)
+		}
+		req, err := curve.RequiredSize(target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := int(req + 0.5)
+		_, t, err := runner(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rungs = append(rungs, rung{cl: cl, n: n, time: t})
+	}
+
+	w1, w2 := algs.WorkMM(rungs[0].n), algs.WorkMM(rungs[1].n)
+	c1, c2 := rungs[0].cl.MarkedSpeed(), rungs[1].cl.MarkedSpeed()
+
+	fmt.Printf("scaling step: %s (C=%.1f, N=%d) -> %s (C=%.1f, N=%d) at E_s = %.2f\n\n",
+		rungs[0].cl.Name, c1, rungs[0].n, rungs[1].cl.Name, c2, rungs[1].n, target)
+
+	// 1. Isospeed-efficiency (this paper): no sequential run needed,
+	//    heterogeneity handled by marked speed.
+	psi, err := core.Psi(c1, w1, c2, w2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("isospeed-efficiency ψ(C,C')      = %.4f   (inputs: W, W', C, C' only)\n", psi)
+
+	// 2. Homogeneous isospeed: forced to pretend nodes are equal; uses
+	//    processor counts instead of marked speeds.
+	psiIso, err := core.IsospeedPsi(rungs[0].cl.Size(), w1, rungs[1].cl.Size(), w2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("homogeneous isospeed ψ(p,p')     = %.4f   (ignores that V210s are 2x blades)\n", psiIso)
+
+	// 3. Isoefficiency: needs T_seq of the SCALED problem on ONE node —
+	//    the impractical measurement the paper criticizes; we must
+	//    estimate it.
+	for i, r := range rungs {
+		w := algs.WorkMM(r.n)
+		tseq, err := core.EstimateSeqTime(w, cluster.SunBladeMflops, algs.DefaultMMSustained)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eff, err := core.ParallelEfficiency(tseq, r.time, r.cl.Size())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("isoefficiency E at rung %d        = %.4f   (needs estimated T_seq = %.0f ms on one SunBlade)\n",
+			i+1, eff, tseq)
+	}
+
+	// 4. Pastor-Bosque heterogeneous efficiency: heterogeneity via
+	//    "equivalent processors", still anchored to a reference node's
+	//    sequential time.
+	for i, r := range rungs {
+		w := algs.WorkMM(r.n)
+		tseq, err := core.EstimateSeqTime(w, cluster.SunBladeMflops, algs.DefaultMMSustained)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eff, err := core.PastorBosqueEfficiency(tseq, r.time, r.cl.MarkedSpeed(), cluster.SunBladeMflops)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Pastor-Bosque E at rung %d        = %.4f   (reference node: SunBlade)\n", i+1, eff)
+	}
+
+	// 5. Productivity (Jogalekar-Woodside): needs a money-cost model —
+	//    the same data plus an assumed $/node-hour shows how commercial
+	//    cost enters the metric.
+	const dollarsPerNodeSecond = 0.01
+	prods := make([]core.Productivity, 2)
+	for i, r := range rungs {
+		jobsPerSec := 1000.0 / r.time // one "job" = one solve
+		prods[i] = core.Productivity{
+			ThroughputPerSec: jobsPerSec,
+			ValuePerJob:      algs.WorkMM(r.n) / 1e9, // value grows with work done
+			CostPerSec:       dollarsPerNodeSecond * float64(r.cl.Size()),
+		}
+	}
+	psiProd, err := core.ProductivityPsi(prods[0], prods[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("productivity ψ (F2/F1)           = %.4f   (depends on the $%.2f/node/s price tag)\n",
+		psiProd, dollarsPerNodeSecond)
+
+	fmt.Println("\nonly the isospeed-efficiency metric needed nothing beyond (W, T, C) pairs.")
+}

@@ -1,0 +1,107 @@
+// Gaussian-elimination scaling study: the paper's §4.4.1 workflow on the
+// GE-Sunwulf combination — measure speed-efficiency curves across the
+// configuration ladder, read off the required matrix size at E_s = 0.3,
+// verify it by a direct run, and report the measured scalability chain.
+//
+//	go run ./examples/gaussian
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/algs"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+func main() {
+	model, err := simnet.NewParamModel("ethernet", simnet.Sunwulf100())
+	if err != nil {
+		log.Fatal(err)
+	}
+	const target = 0.3
+
+	// First, a correctness check: the distributed GE must actually solve
+	// the system it is handed.
+	small, err := cluster.GEConfig(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	real, err := algs.RunGE(small, model, mpi.Options{}, 64, algs.GEOptions{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("correctness: 64x64 system solved with residual %.2e\n\n", real.Residual)
+
+	var points []core.ScalePoint
+	for _, p := range []int{2, 4, 8} {
+		cl, err := cluster.GEConfig(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runner := func(n int) (float64, float64, error) {
+			out, err := algs.RunGE(cl, model, mpi.Options{}, n, algs.GEOptions{Symbolic: true})
+			if err != nil {
+				return 0, 0, err
+			}
+			return out.Work, out.Res.TimeMS, nil
+		}
+
+		// Guess the interesting region from the analytic model, then
+		// measure.
+		to, err := algs.GEOverhead(cl, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0, err := algs.GESeqTime(cl, algs.DefaultGESustained)
+		if err != nil {
+			log.Fatal(err)
+		}
+		machine := core.AnalyticMachine{
+			Label: cl.Name, C: cl.MarkedSpeed(), P: cl.Size(),
+			Sustained: algs.DefaultGESustained,
+			Work:      func(n float64) float64 { return 2 * n * n * n / 3 },
+			SeqTime:   t0, Overhead: to,
+		}
+		guess, err := machine.RequiredN(target, 8, 5e6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var sizes []int
+		for i := 0; i < 7; i++ {
+			sizes = append(sizes, int(guess*(0.45+1.35*float64(i)/6)))
+		}
+
+		curve, err := core.MeasureCurve(cl.Name, cl.MarkedSpeed(), sizes, 3, runner)
+		if err != nil {
+			log.Fatal(err)
+		}
+		req, err := curve.RequiredSize(target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nReq := int(math.Round(req))
+		verified, err := curve.VerifyAt(nReq, runner)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s trend R²=%.4f  required N=%d  verified E_s=%.4f (target %.2f, predicted N≈%.0f)\n",
+			cl.String(), curve.Fit.RSquared, nReq, verified, target, guess)
+		points = append(points, core.ScalePoint{
+			Label: cl.Name, C: cl.MarkedSpeed(), N: nReq, W: algs.WorkGE(nReq),
+		})
+	}
+
+	psis, err := core.PsiChain(points)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmeasured scalability of GE (paper Table 4 analogue):")
+	for i, psi := range psis {
+		fmt.Printf("  ψ(%s, %s) = %.4f\n", points[i].Label, points[i+1].Label, psi)
+	}
+}

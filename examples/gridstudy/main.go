@@ -1,0 +1,98 @@
+// Grid study: the paper's "widely distributed" claim in action. The same
+// isospeed-efficiency metric evaluates one machine under two network
+// realities — a single-site LAN and two WAN-linked sites — without any
+// change to the metric itself: heterogeneity of the NETWORK is absorbed
+// by the cost model just as heterogeneity of the NODES is absorbed by
+// marked speed.
+//
+//	go run ./examples/gridstudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/algs"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+func main() {
+	// Eight mixed nodes (the paper's MM-style configuration).
+	cl, err := cluster.MMConfig(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lan, err := simnet.NewParamModel("lan", simnet.Sunwulf100())
+	if err != nil {
+		log.Fatal(err)
+	}
+	wan, err := simnet.NewParamModel("wan", simnet.WAN())
+	if err != nil {
+		log.Fatal(err)
+	}
+	twoSite, err := simnet.NewTwoLevel("grid-2x4", lan, wan, []int{0, 0, 0, 0, 1, 1, 1, 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("machine: %s\n", cl)
+	fmt.Printf("networks: %s (intra-site) vs %s split across two sites\n\n", lan.Name(), twoSite.Name())
+
+	// One scaled problem per algorithm; same W, same C — only T changes.
+	type study struct {
+		name string
+		n    int
+		run  func(model simnet.CostModel) (work, timeMS float64, err error)
+	}
+	studies := []study{
+		{"MM (one-shot bulk transfers)", 400, func(model simnet.CostModel) (float64, float64, error) {
+			out, err := algs.RunMM(cl, model, mpi.Options{}, 400, algs.MMOptions{Symbolic: true})
+			if err != nil {
+				return 0, 0, err
+			}
+			return out.Work, out.Res.TimeMS, nil
+		}},
+		{"Jacobi (latency-bound sweeps)", 400, func(model simnet.CostModel) (float64, float64, error) {
+			out, err := algs.RunJacobi(cl, model, mpi.Options{}, 400, algs.JacobiOptions{
+				Iters: 100, CheckEvery: 10, Symbolic: true,
+			})
+			if err != nil {
+				return 0, 0, err
+			}
+			return out.Work, out.Res.TimeMS, nil
+		}},
+		{"GE (broadcast every pivot)", 400, func(model simnet.CostModel) (float64, float64, error) {
+			out, err := algs.RunGE(cl, model, mpi.Options{}, 400, algs.GEOptions{Symbolic: true})
+			if err != nil {
+				return 0, 0, err
+			}
+			return out.Work, out.Res.TimeMS, nil
+		}},
+	}
+	for _, st := range studies {
+		wLan, tLan, err := st.run(lan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, tWan, err := st.run(twoSite)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eLan, err := core.SpeedEfficiency(wLan, tLan, cl.MarkedSpeed())
+		if err != nil {
+			log.Fatal(err)
+		}
+		eWan, err := core.SpeedEfficiency(wLan, tWan, cl.MarkedSpeed())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-32s N=%d  LAN: T=%8.1f ms E_s=%.4f   2-site WAN: T=%9.1f ms E_s=%.4f  (%.1fx slower)\n",
+			st.name, st.n, tLan, eLan, tWan, eWan, tWan/tLan)
+	}
+
+	fmt.Println("\ncommunication structure decides who survives the WAN:")
+	fmt.Println("  bulk one-shot transfers amortize the 30 ms latency; per-sweep and")
+	fmt.Println("  per-pivot synchronization pay it hundreds or thousands of times.")
+}

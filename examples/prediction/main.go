@@ -1,0 +1,112 @@
+// Scalability prediction: the paper's §4.5 workflow — calibrate the
+// communication constants from timing samples, build the analytic
+// overhead model, predict the required problem sizes and ψ for systems
+// never measured, then compare against actual measurement.
+//
+//	go run ./examples/prediction
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/algs"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+func main() {
+	model, err := simnet.NewParamModel("ethernet", simnet.Sunwulf100())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1 (paper: "we have measured the parameters on Sunwulf"):
+	// recover the communication constants by probing and least-squares
+	// fitting, as one would on real hardware.
+	cal, err := simnet.CalibrateModel(model, []int{2, 4, 8, 16, 32}, []int{64, 512, 4096, 65536})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("calibrated constants (cf. the paper's measured table):\n")
+	fmt.Printf("  T_broadcast ≈ %.3f·p ms            (R²=%.4f)\n", cal.BcastPerProcMS, cal.BcastR2)
+	fmt.Printf("  T_barrier   ≈ %.3f·p ms            (R²=%.4f)\n", cal.BarrierPerProcMS, cal.BarrierR2)
+	fmt.Printf("  T_send+recv ≈ %.4f + %.2e·bytes ms (R²=%.4f)\n\n",
+		cal.SendBaseMS, cal.SendPerByteMS, cal.SendR2)
+
+	// Step 2: analytic machines for the GE ladder (Corollary 2 territory:
+	// α ≈ 0 for large N, so ψ ≈ To/To').
+	const target = 0.3
+	var machines []core.AnalyticMachine
+	ladder := []int{2, 4, 8}
+	for _, p := range ladder {
+		cl, err := cluster.GEConfig(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		to, err := algs.GEOverhead(cl, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0, err := algs.GESeqTime(cl, algs.DefaultGESustained)
+		if err != nil {
+			log.Fatal(err)
+		}
+		machines = append(machines, core.AnalyticMachine{
+			Label: cl.Name, C: cl.MarkedSpeed(), P: cl.Size(),
+			Sustained: algs.DefaultGESustained,
+			Work:      func(n float64) float64 { return 2*n*n*n/3 + 3*n*n/2 - 7*n/6 + n*n },
+			SeqTime:   t0, Overhead: to,
+		})
+	}
+	preds, psiDef, psiThm, err := core.PredictChain(machines, target, 8, 5e6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("predicted required rank (paper Table 6 analogue):")
+	for _, p := range preds {
+		fmt.Printf("  %-4s N ≈ %5.0f  (To = %8.1f ms, t0 = %6.1f ms)\n", p.Label, p.N, p.To, p.T0)
+	}
+
+	// Step 3: measure the same ladder and compare (paper Table 7: "the
+	// predicted scalability is close to our measured scalability").
+	fmt.Println("\npredicted vs measured ψ (paper Table 7 analogue):")
+	var points []core.ScalePoint
+	for i, p := range ladder {
+		cl, err := cluster.GEConfig(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runner := func(n int) (float64, float64, error) {
+			out, err := algs.RunGE(cl, model, mpi.Options{}, n, algs.GEOptions{Symbolic: true})
+			if err != nil {
+				return 0, 0, err
+			}
+			return out.Work, out.Res.TimeMS, nil
+		}
+		var sizes []int
+		for k := 0; k < 7; k++ {
+			sizes = append(sizes, int(preds[i].N*(0.45+1.35*float64(k)/6)))
+		}
+		curve, err := core.MeasureCurve(cl.Name, cl.MarkedSpeed(), sizes, 3, runner)
+		if err != nil {
+			log.Fatal(err)
+		}
+		req, err := curve.RequiredSize(target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := int(req + 0.5)
+		points = append(points, core.ScalePoint{Label: cl.Name, C: cl.MarkedSpeed(), N: n, W: algs.WorkGE(n)})
+	}
+	psiMeas, err := core.PsiChain(points)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range psiMeas {
+		fmt.Printf("  %s -> %s: predicted (def) %.4f, predicted (Thm 1) %.4f, measured %.4f\n",
+			points[i].Label, points[i+1].Label, psiDef[i], psiThm[i], psiMeas[i])
+	}
+}

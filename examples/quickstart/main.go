@@ -1,0 +1,104 @@
+// Quickstart: build a heterogeneous cluster, run the parallel matrix
+// multiplication on it, and evaluate the isospeed-efficiency metric.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/algs"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+func main() {
+	// 1. Describe the machine: three node classes with different marked
+	//    speeds (Definition 1), summed into the system marked speed
+	//    (Definition 2).
+	cl, err := cluster.New("demo",
+		cluster.ServerNode(0),
+		cluster.BladeNode(40),
+		cluster.BladeNode(41),
+		cluster.V210Node(65, 0),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cluster:", cl)
+
+	// 2. Pick the interconnect model: the Sunwulf-style 100 Mb Ethernet.
+	model, err := simnet.NewParamModel("ethernet", simnet.Sunwulf100())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Run the real parallel MM (data actually moves and multiplies;
+	//    time is virtual).
+	const n = 192
+	out, err := algs.RunMM(cl, model, mpi.Options{}, n, algs.MMOptions{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MM %dx%d: T = %.2f ms over %d messages (%d bytes), max |err| vs sequential = %.2e\n",
+		n, n, out.Res.TimeMS, out.Res.Messages, out.Res.BytesMoved, out.MaxError)
+
+	// 4. Evaluate the paper's metric (Definition 3).
+	eff, err := core.SpeedEfficiency(out.Work, out.Res.TimeMS, cl.MarkedSpeed())
+	if err != nil {
+		log.Fatal(err)
+	}
+	speed, err := core.AchievedSpeed(out.Work, out.Res.TimeMS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("achieved speed %.1f Mflops of %.1f marked -> speed-efficiency E_s = %.3f\n",
+		speed, cl.MarkedSpeed(), eff)
+
+	// 5. Scale the system up and ask: what problem size keeps E_s
+	//    constant, and what does that say about scalability (ψ)?
+	big, err := cluster.New("demo-big",
+		cluster.ServerNode(0), cluster.ServerNode(1),
+		cluster.BladeNode(40), cluster.BladeNode(41), cluster.BladeNode(42), cluster.BladeNode(43),
+		cluster.V210Node(65, 0), cluster.V210Node(66, 0),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	runner := func(c *cluster.Cluster) core.Runner {
+		return func(n int) (float64, float64, error) {
+			o, err := algs.RunMM(c, model, mpi.Options{}, n, algs.MMOptions{Symbolic: true})
+			if err != nil {
+				return 0, 0, err
+			}
+			return o.Work, o.Res.TimeMS, nil
+		}
+	}
+	target := eff // hold the efficiency we just achieved
+	var points []core.ScalePoint
+	for _, c := range []*cluster.Cluster{cl, big} {
+		curve, err := core.MeasureCurve(c.Name, c.MarkedSpeed(),
+			[]int{n / 4, n / 2, n, 2 * n, 4 * n, 8 * n}, 3, runner(c))
+		if err != nil {
+			log.Fatal(err)
+		}
+		req, err := curve.RequiredSize(target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nReq := int(req + 0.5)
+		points = append(points, core.ScalePoint{
+			Label: c.Name, C: c.MarkedSpeed(), N: nReq, W: algs.WorkMM(nReq),
+		})
+		fmt.Printf("%s needs N ≈ %d to hold E_s = %.3f\n", c.Name, nReq, target)
+	}
+	psis, err := core.PsiChain(points)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("isospeed-efficiency scalability ψ(%s, %s) = %.4f (ideal 1.0)\n",
+		points[0].Label, points[1].Label, psis[0])
+}

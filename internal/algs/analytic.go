@@ -1,0 +1,112 @@
+package algs
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/simnet"
+)
+
+// This file provides closed-form overhead models T_o(n) for the two
+// algorithms, mirroring the paper's §4.5 prediction step where
+//
+//	T_o = T_broadcast + 2(p-1)(T_send + T_recv) + N(2·T_broadcast + T_barrier)
+//
+// was written down for their GE implementation. The formulas below play
+// the same role for the implementations in this package: distribution +
+// per-iteration collectives + collection for GE, scatter + broadcast +
+// gather for MM. They intentionally share the simplifications of the
+// paper's model (perfect load balance, no pipelining), so predicted and
+// measured scalability agree in shape rather than to the last digit.
+
+// wordB is shorthand for the wire size of one element.
+const wordB = float64(simnet.WordBytes)
+
+// GEOverhead returns To(n) in ms for the parallel GE of RunGE on the given
+// cluster and cost model. The problem size is continuous so the result can
+// be handed to root solvers.
+func GEOverhead(cl *cluster.Cluster, m simnet.CostModel) (func(n float64) float64, error) {
+	if cl == nil || m == nil {
+		return nil, fmt.Errorf("algs: GEOverhead needs cluster and model")
+	}
+	speeds := cl.Speeds()
+	p := len(speeds)
+	var total float64
+	for _, s := range speeds {
+		total += s
+	}
+	return func(n float64) float64 {
+		var to float64
+		// Distribution: rank 0 sends each peer its rows (count_r × n
+		// elements) and rhs (count_r elements), serialized at the sender.
+		for r := 1; r < p; r++ {
+			rows := n * speeds[r] / total
+			bA := int(wordB * rows * n)
+			bR := int(wordB * rows)
+			to += m.SendTime(bA) + m.TransferTime(bA)
+			to += m.SendTime(bR) + m.TransferTime(bR)
+		}
+		// Elimination: one pivot-row broadcast of n+1 elements plus one
+		// barrier per iteration, n-1 iterations.
+		iters := n - 1
+		if iters < 0 {
+			iters = 0
+		}
+		bPiv := int(wordB * (n + 1))
+		to += iters * (m.BcastTime(p, bPiv) + m.BarrierTime(p))
+		// Collection: each peer returns count_r × (n+1) elements; rank 0's
+		// receive processing serializes.
+		for r := 1; r < p; r++ {
+			rows := n * speeds[r] / total
+			bU := int(wordB * rows * (n + 1))
+			to += m.TransferTime(bU) + m.RecvTime(bU)
+		}
+		return to
+	}, nil
+}
+
+// GESeqTime returns t0(n) in ms: the back-substitution stage executed only
+// at rank 0, n(n+1) flops at rank 0's sustained rate. This is the paper's
+// sequential portion with α = O(1/N).
+func GESeqTime(cl *cluster.Cluster, sustained float64) (func(n float64) float64, error) {
+	if cl == nil || cl.Size() == 0 {
+		return nil, fmt.Errorf("algs: GESeqTime needs a cluster")
+	}
+	if sustained <= 0 || sustained > 1 {
+		return nil, fmt.Errorf("algs: sustained fraction %g out of (0,1]", sustained)
+	}
+	speed0 := cl.Nodes[0].SpeedMflops
+	return func(n float64) float64 {
+		return n * (n + 1) / (sustained * speed0 * 1e3)
+	}, nil
+}
+
+// MMOverhead returns To(n) in ms for the parallel MM of RunMM: scatter of
+// A bands (serialized at rank 0), broadcast of B, gather of C bands.
+func MMOverhead(cl *cluster.Cluster, m simnet.CostModel) (func(n float64) float64, error) {
+	if cl == nil || m == nil {
+		return nil, fmt.Errorf("algs: MMOverhead needs cluster and model")
+	}
+	speeds := cl.Speeds()
+	p := len(speeds)
+	var total float64
+	for _, s := range speeds {
+		total += s
+	}
+	return func(n float64) float64 {
+		var to float64
+		for r := 1; r < p; r++ {
+			rows := n * speeds[r] / total
+			bA := int(wordB * rows * n)
+			to += m.SendTime(bA) + m.TransferTime(bA)
+		}
+		bB := int(wordB * n * n)
+		to += m.BcastTime(p, bB)
+		for r := 1; r < p; r++ {
+			rows := n * speeds[r] / total
+			bC := int(wordB * rows * n)
+			to += m.TransferTime(bC) + m.RecvTime(bC)
+		}
+		return to
+	}, nil
+}

@@ -1,0 +1,118 @@
+package algs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+// The analytic models must track the measured virtual times: the total
+// time decomposes as T = W/(δC) + t0 + To, so To ≈ T - W/(δC) - t0. The
+// models share the paper's simplifications, so we allow generous (but
+// bounded) disagreement.
+
+func TestGEOverheadTracksMeasurement(t *testing.T) {
+	cl := geCluster(t)
+	m := testModel(t)
+	toFn, err := GEOverhead(cl, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0Fn, err := GESeqTime(cl, DefaultGESustained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cl.MarkedSpeed()
+	for _, n := range []int{100, 300, 600} {
+		out, err := RunGE(cl, m, mpi.Options{}, n, GEOptions{Symbolic: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nf := float64(n)
+		predicted := out.Work/(DefaultGESustained*c*1e3) + t0Fn(nf) + toFn(nf)
+		rel := math.Abs(predicted-out.Res.TimeMS) / out.Res.TimeMS
+		if rel > 0.15 {
+			t.Errorf("n=%d: predicted %g ms vs measured %g ms (rel %.3f)",
+				n, predicted, out.Res.TimeMS, rel)
+		}
+	}
+}
+
+func TestMMOverheadTracksMeasurement(t *testing.T) {
+	cl := mmCluster(t)
+	m := testModel(t)
+	toFn, err := MMOverhead(cl, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cl.MarkedSpeed()
+	for _, n := range []int{100, 250, 500} {
+		out, err := RunMM(cl, m, mpi.Options{}, n, MMOptions{Symbolic: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		predicted := out.Work/(DefaultMMSustained*c*1e3) + toFn(float64(n))
+		rel := math.Abs(predicted-out.Res.TimeMS) / out.Res.TimeMS
+		if rel > 0.15 {
+			t.Errorf("n=%d: predicted %g ms vs measured %g ms (rel %.3f)",
+				n, predicted, out.Res.TimeMS, rel)
+		}
+	}
+}
+
+func TestOverheadGrowsWithClusterSize(t *testing.T) {
+	m := testModel(t)
+	prevGE, prevMM := -1.0, -1.0
+	for _, p := range []int{2, 4, 8, 16} {
+		geCl, err := clusterGE(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		toGE, err := GEOverhead(geCl, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := toGE(500); v <= prevGE {
+			t.Errorf("GE overhead at p=%d not increasing: %g", p, v)
+		} else {
+			prevGE = v
+		}
+		mmCl, err := clusterMM(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		toMM, err := MMOverhead(mmCl, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := toMM(500); v <= prevMM {
+			t.Errorf("MM overhead at p=%d not increasing: %g", p, v)
+		} else {
+			prevMM = v
+		}
+	}
+}
+
+func TestAnalyticErrors(t *testing.T) {
+	cl := geCluster(t)
+	m := testModel(t)
+	if _, err := GEOverhead(nil, m); err == nil {
+		t.Error("nil cluster accepted")
+	}
+	if _, err := GEOverhead(cl, nil); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := MMOverhead(nil, m); err == nil {
+		t.Error("nil cluster accepted")
+	}
+	if _, err := GESeqTime(nil, 0.5); err == nil {
+		t.Error("nil cluster accepted")
+	}
+	if _, err := GESeqTime(cl, 0); err == nil {
+		t.Error("δ=0 accepted")
+	}
+	if _, err := GESeqTime(cl, 2); err == nil {
+		t.Error("δ=2 accepted")
+	}
+}

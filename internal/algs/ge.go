@@ -1,0 +1,261 @@
+package algs
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/dist"
+	"repro/internal/linalg"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+// Message tags used by the GE program.
+const (
+	tagGERows    = 100 // packed matrix rows, distribution phase
+	tagGERhs     = 101 // packed rhs entries, distribution phase
+	tagGECollect = 102 // packed eliminated rows + rhs, collection phase
+	tagGEPivot   = 103 // pivot row, algorithmic broadcast variants
+)
+
+// PivotBcast selects how the pivot row travels each elimination step.
+type PivotBcast int
+
+// Pivot broadcast implementations.
+const (
+	// PivotBcastModel uses Comm.Bcast: the paper's measured aggregate
+	// T_broadcast ≈ 0.23·p (MPICH's linear broadcast as a black box).
+	PivotBcastModel PivotBcast = iota
+	// PivotBcastTree uses the binomial-tree algorithm built from
+	// point-to-point messages: ⌈log2 p⌉ rounds.
+	PivotBcastTree
+	// PivotBcastLinear uses the explicit flat algorithm: the owner sends
+	// to all p-1 peers in turn.
+	PivotBcastLinear
+)
+
+// GEOptions configures a parallel Gaussian-elimination run.
+type GEOptions struct {
+	// Strategy distributes rows over ranks. Default: dist.HetCyclic
+	// (the paper's row-based heterogeneous cyclic distribution [6]).
+	Strategy dist.Strategy
+	// Symbolic skips host arithmetic (message sizes, counts and virtual
+	// times are unchanged). X is nil in the outcome.
+	Symbolic bool
+	// SustainedFraction is the fraction of marked speed the elimination
+	// kernel sustains (0 < f <= 1). Default DefaultGESustained.
+	SustainedFraction float64
+	// Pivot selects the pivot-row broadcast implementation (default: the
+	// measured aggregate model, like the paper's testbed).
+	Pivot PivotBcast
+	// Seed selects the deterministic random system (diagonally dominant,
+	// so the paper's no-pivot row elimination is numerically safe).
+	Seed int64
+}
+
+func (o *GEOptions) setDefaults() error {
+	if o.Strategy == nil {
+		o.Strategy = dist.HetCyclic{}
+	}
+	if o.SustainedFraction == 0 {
+		o.SustainedFraction = DefaultGESustained
+	}
+	if o.SustainedFraction < 0 || o.SustainedFraction > 1 {
+		return fmt.Errorf("algs: GE sustained fraction %g out of (0,1]", o.SustainedFraction)
+	}
+	return nil
+}
+
+// GEOutcome is the result of a GE run.
+type GEOutcome struct {
+	N        int
+	Work     float64 // W(N) in flops
+	Res      mpi.Result
+	X        []float64 // solution (nil when symbolic)
+	Residual float64   // ||Ax-b||_inf (0 when symbolic)
+}
+
+// RunGE executes the paper's parallel GE (§4.1.1) for an N x N system on
+// the cluster under the given cost model and engine options:
+//
+//  1. rank 0 distributes rows of A and entries of b to their owners
+//     according to the distribution strategy (heterogeneous cyclic by
+//     default, proportional to marked speeds);
+//  2. for each pivot k: the owner broadcasts the pivot row, every rank
+//     eliminates its own rows below k, and all ranks synchronize;
+//  3. rank 0 collects the upper-triangular system and back-substitutes.
+func RunGE(cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, n int, opts GEOptions) (GEOutcome, error) {
+	if n < 1 {
+		return GEOutcome{}, fmt.Errorf("algs: GE needs n >= 1, got %d", n)
+	}
+	if err := opts.setDefaults(); err != nil {
+		return GEOutcome{}, err
+	}
+	speeds := cl.Speeds()
+	asn, err := opts.Strategy.Assign(n, speeds)
+	if err != nil {
+		return GEOutcome{}, fmt.Errorf("algs: GE distribution: %w", err)
+	}
+
+	// Reference data, built once at "rank 0". In symbolic mode only shapes
+	// are used.
+	var a *linalg.Matrix
+	var b []float64
+	if !opts.Symbolic {
+		a = linalg.RandomDiagDominant(n, opts.Seed)
+		b = linalg.RandomVector(n, opts.Seed+1)
+	}
+
+	var x []float64
+	res, err := mpi.Run(cl, model, mpiOpts, func(c mpi.Comm) error {
+		sol, err := geRank(c, n, asn, a, b, opts)
+		if c.Rank() == 0 {
+			x = sol
+		}
+		return err
+	})
+	if err != nil {
+		return GEOutcome{}, err
+	}
+
+	out := GEOutcome{N: n, Work: WorkGE(n), Res: res, X: x}
+	if !opts.Symbolic {
+		r, err := linalg.ResidualInf(a, x, b)
+		if err != nil {
+			return GEOutcome{}, err
+		}
+		out.Residual = r
+	}
+	return out, nil
+}
+
+// geRank is the per-rank program body.
+func geRank(c mpi.Comm, n int, asn dist.Assignment, a *linalg.Matrix, b []float64, opts GEOptions) ([]float64, error) {
+	rank, p := c.Rank(), c.Size()
+	myRowIdx := asn.Rows(rank) // sorted ascending
+	symbolic := opts.Symbolic
+	frac := opts.SustainedFraction
+
+	// --- Phase 1: distribution (paper step 1) -----------------------------
+	// Rank 0 packs each peer's rows into one flat message plus one rhs
+	// message: 2(p-1) point-to-point messages, matching the 2(p-1)
+	// (T_send+T_recv) term of the paper's overhead model.
+	myRows := make(map[int][]float64, len(myRowIdx))
+	myRhs := make(map[int]float64, len(myRowIdx))
+	if rank == 0 {
+		for r := p - 1; r >= 0; r-- {
+			idx := asn.Rows(r)
+			rows := make([]float64, len(idx)*n)
+			rhs := make([]float64, len(idx))
+			if !symbolic {
+				for pos, i := range idx {
+					copy(rows[pos*n:(pos+1)*n], a.Row(i))
+					rhs[pos] = b[i]
+				}
+			}
+			if r == 0 {
+				unpackRows(myRows, myRhs, idx, rows, rhs, n)
+			} else {
+				c.Send(r, tagGERows, rows)
+				c.Send(r, tagGERhs, rhs)
+			}
+		}
+	} else {
+		rows := c.Recv(0, tagGERows)
+		rhs := c.Recv(0, tagGERhs)
+		if len(rows) != len(myRowIdx)*n || len(rhs) != len(myRowIdx) {
+			return nil, fmt.Errorf("algs: rank %d received %d row values, want %d", rank, len(rows), len(myRowIdx)*n)
+		}
+		unpackRows(myRows, myRhs, myRowIdx, rows, rhs, n)
+	}
+
+	// --- Phase 2: elimination (paper step 2) ------------------------------
+	// next indexes the first owned row with index > k.
+	next := 0
+	pivBuf := make([]float64, n+1)
+	for k := 0; k < n-1; k++ {
+		for next < len(myRowIdx) && myRowIdx[next] <= k {
+			next++
+		}
+		owner := asn.Owner[k]
+		var piv []float64
+		if rank == owner {
+			if symbolic {
+				piv = pivBuf
+			} else {
+				piv = append(append(pivBuf[:0], myRows[k]...), myRhs[k])
+			}
+		}
+		switch opts.Pivot {
+		case PivotBcastTree:
+			piv = mpi.BcastTree(c, owner, tagGEPivot, piv)
+		case PivotBcastLinear:
+			piv = mpi.BcastLinear(c, owner, tagGEPivot, piv)
+		default:
+			piv = c.Bcast(owner, piv)
+		}
+
+		active := len(myRowIdx) - next
+		if active > 0 {
+			// Each row update: 1 divide + (n-1-k) multiply-subtract pairs on
+			// the row + 1 pair on the rhs = 2(n-k)-1 flops; charge 2(n-k).
+			c.Compute(float64(active) * 2 * float64(n-k) / frac)
+			if !symbolic {
+				pivRhs := piv[n]
+				for _, j := range myRowIdx[next:] {
+					rhs := myRhs[j]
+					if _, err := linalg.EliminateRow(myRows[j], piv[:n], &rhs, pivRhs, k); err != nil {
+						return nil, fmt.Errorf("algs: rank %d row %d: %w", rank, j, err)
+					}
+					myRhs[j] = rhs
+				}
+			}
+		}
+		c.Barrier() // paper step 2.2: synchronize due to data dependence
+	}
+
+	// --- Phase 3: collection + back substitution (paper step 3) -----------
+	packed := make([]float64, len(myRowIdx)*(n+1))
+	if !symbolic {
+		for pos, i := range myRowIdx {
+			copy(packed[pos*(n+1):pos*(n+1)+n], myRows[i])
+			packed[pos*(n+1)+n] = myRhs[i]
+		}
+	}
+	if rank != 0 {
+		c.Send(0, tagGECollect, packed)
+		return nil, nil
+	}
+
+	u := linalg.NewMatrix(n, n)
+	y := make([]float64, n)
+	fill := func(idx []int, data []float64) {
+		for pos, i := range idx {
+			copy(u.Row(i), data[pos*(n+1):pos*(n+1)+n])
+			y[i] = data[pos*(n+1)+n]
+		}
+	}
+	fill(myRowIdx, packed)
+	for r := 1; r < p; r++ {
+		data := c.Recv(r, tagGECollect)
+		fill(asn.Rows(r), data)
+	}
+	// Back substitution is the sequential portion t0: ~N(N+1) flops at
+	// rank 0 only — the paper's α = O(1/N).
+	c.Compute(float64(n) * float64(n+1) / frac)
+	if symbolic {
+		return nil, nil
+	}
+	x, err := linalg.BackSubstitute(u, y)
+	if err != nil {
+		return nil, fmt.Errorf("algs: back substitution: %w", err)
+	}
+	return x, nil
+}
+
+func unpackRows(rows map[int][]float64, rhs map[int]float64, idx []int, flat, flatRhs []float64, n int) {
+	for pos, i := range idx {
+		rows[i] = flat[pos*n : (pos+1)*n : (pos+1)*n]
+		rhs[i] = flatRhs[pos]
+	}
+}

@@ -1,0 +1,409 @@
+package algs
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/dist"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+// Jacobi is a third algorithm–system combination beyond the paper's two:
+// an iterative 5-point Jacobi relaxation of the 2D Laplace equation with
+// heterogeneous row-band decomposition and nearest-neighbour halo
+// exchange. Its communication per iteration is (almost) independent of
+// the number of nodes — two halo rows per rank plus an occasional
+// residual all-reduce — so under the isospeed-efficiency metric it is far
+// more scalable than GE (per-iteration broadcasts) or MM (full-matrix
+// replication). Together the three combinations span the scalability
+// spectrum the metric is designed to rank.
+
+// Message tags used by the Jacobi program.
+const (
+	tagJacInit    = 200 // initial band distribution
+	tagJacUp      = 201 // halo row travelling to the lower-index neighbour
+	tagJacDown    = 202 // halo row travelling to the higher-index neighbour
+	tagJacCollect = 203 // final band collection
+)
+
+// JacobiOptions configures a run.
+type JacobiOptions struct {
+	// Iters is the fixed number of relaxation sweeps (required > 0).
+	// Scalability studies use a fixed count so W(n) is a pure function.
+	Iters int
+	// CheckEvery inserts a residual all-reduce every so many sweeps
+	// (0 disables convergence checking; the sweep count stays fixed
+	// either way — the check models the synchronization cost).
+	CheckEvery int
+	// Overlap hides the halo transfers behind the ghost-independent
+	// interior update using non-blocking sends (the classic
+	// communication/computation overlap optimization). Results are
+	// numerically identical to the bulk-synchronous variant.
+	Overlap bool
+	// Symbolic skips host arithmetic (timing and traffic unchanged).
+	Symbolic bool
+	// SustainedFraction of marked speed the stencil kernel achieves.
+	// Default DefaultJacobiSustained.
+	SustainedFraction float64
+	// Seed drives the deterministic initial grid.
+	Seed int64
+}
+
+// DefaultJacobiSustained is the default sustained fraction for the
+// stencil kernel (streaming-friendly, between GE and MM).
+const DefaultJacobiSustained = 0.58
+
+func (o *JacobiOptions) setDefaults() error {
+	if o.Iters <= 0 {
+		return fmt.Errorf("algs: Jacobi needs Iters > 0, got %d", o.Iters)
+	}
+	if o.CheckEvery < 0 {
+		return fmt.Errorf("algs: Jacobi CheckEvery %d must be >= 0", o.CheckEvery)
+	}
+	if o.SustainedFraction == 0 {
+		o.SustainedFraction = DefaultJacobiSustained
+	}
+	if o.SustainedFraction < 0 || o.SustainedFraction > 1 {
+		return fmt.Errorf("algs: Jacobi sustained fraction %g out of (0,1]", o.SustainedFraction)
+	}
+	return nil
+}
+
+// WorkJacobi is W(n) for iters sweeps on an n x n grid: 6 flops per
+// interior point per sweep (4 adds, 1 multiply, 1 residual op).
+func WorkJacobi(n, iters int) float64 {
+	if n < 3 {
+		return 0
+	}
+	inner := float64(n-2) * float64(n-2)
+	return 6 * inner * float64(iters)
+}
+
+// JacobiOutcome is the result of a run.
+type JacobiOutcome struct {
+	N     int
+	Iters int
+	Work  float64
+	Res   mpi.Result
+	// SweepTimeMS is the virtual time of the sweep loop alone, barrier to
+	// barrier, excluding the one-time distribution and collection. This is
+	// the standard way stencil kernels are benchmarked (the field lives
+	// distributed in a real application); scalability studies of the
+	// Jacobi combination use it, since the O(n²) one-shot scatter through
+	// rank 0 would otherwise dominate W ∝ n² at large system sizes.
+	SweepTimeMS float64
+	Grid        []float64 // final n*n grid at rank 0 (nil when symbolic)
+	Residual    float64   // final max |update| (0 when symbolic)
+}
+
+// RunJacobi executes the heterogeneous Jacobi relaxation on an n x n grid
+// (n >= 3): rank 0 scatters proportional row bands, every sweep exchanges
+// one halo row with each neighbour and relaxes the interior, every
+// CheckEvery sweeps the global residual is all-reduced, and rank 0
+// gathers the final grid.
+func RunJacobi(cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, n int, opts JacobiOptions) (JacobiOutcome, error) {
+	if n < 3 {
+		return JacobiOutcome{}, fmt.Errorf("algs: Jacobi needs n >= 3, got %d", n)
+	}
+	if err := opts.setDefaults(); err != nil {
+		return JacobiOutcome{}, err
+	}
+	// Distribute the n-2 interior rows proportionally; boundary rows 0 and
+	// n-1 are fixed and never owned.
+	asn, err := dist.HetBlock{}.Assign(n-2, cl.Speeds())
+	if err != nil {
+		return JacobiOutcome{}, fmt.Errorf("algs: Jacobi distribution: %w", err)
+	}
+	for r, c := range asn.Counts {
+		if c == 0 {
+			return JacobiOutcome{}, fmt.Errorf("algs: Jacobi grid too small: rank %d owns 0 rows (n=%d, p=%d)",
+				r, n, cl.Size())
+		}
+	}
+	ranges := dist.BlockRanges(asn.Counts) // over interior rows, offset by 1
+
+	var grid []float64
+	if !opts.Symbolic {
+		grid = jacobiInitialGrid(n, opts.Seed)
+	}
+
+	var outGrid []float64
+	var resid, sweepMS float64
+	res, err := mpi.Run(cl, model, mpiOpts, func(c mpi.Comm) error {
+		g, r, sw, err := jacobiRank(c, n, ranges, grid, opts)
+		if c.Rank() == 0 {
+			outGrid, resid, sweepMS = g, r, sw
+		}
+		return err
+	})
+	if err != nil {
+		return JacobiOutcome{}, err
+	}
+	return JacobiOutcome{
+		N: n, Iters: opts.Iters, Work: WorkJacobi(n, opts.Iters),
+		Res: res, SweepTimeMS: sweepMS, Grid: outGrid, Residual: resid,
+	}, nil
+}
+
+// jacobiInitialGrid builds the deterministic Dirichlet problem: boundary
+// held at a smooth profile, interior at zero.
+func jacobiInitialGrid(n int, seed int64) []float64 {
+	g := make([]float64, n*n)
+	s := float64(seed%97) + 1
+	for i := 0; i < n; i++ {
+		t := float64(i) / float64(n-1)
+		g[i] = math.Sin(math.Pi*t) * s             // top row
+		g[(n-1)*n+i] = math.Cos(math.Pi*t) * s / 2 // bottom row
+		g[i*n] = t * s                             // left column
+		g[i*n+n-1] = (1 - t) * s                   // right column
+	}
+	return g
+}
+
+// jacobiRank is the per-rank program body. It returns (grid, residual,
+// sweepTimeMS) at rank 0.
+func jacobiRank(c mpi.Comm, n int, ranges [][2]int, grid []float64, opts JacobiOptions) ([]float64, float64, float64, error) {
+	rank, p := c.Rank(), c.Size()
+	symbolic := opts.Symbolic
+	frac := opts.SustainedFraction
+	// Global interior row span of this rank: rows [lo, hi) with
+	// 1 <= lo < hi <= n-1.
+	lo, hi := ranges[rank][0]+1, ranges[rank][1]+1
+	rows := hi - lo
+
+	// Local storage: rows+2 rows of n values (ghost row above and below).
+	cur := make([]float64, (rows+2)*n)
+	nxt := make([]float64, (rows+2)*n)
+
+	// --- Distribution: rank 0 sends each band including its initial ghost
+	// rows (boundary values live in the ghosts of edge ranks).
+	if rank == 0 {
+		for r := p - 1; r >= 0; r-- {
+			rlo, rhi := ranges[r][0]+1, ranges[r][1]+1
+			band := make([]float64, (rhi-rlo+2)*n)
+			if !symbolic {
+				copy(band, grid[(rlo-1)*n:(rhi+1)*n])
+			}
+			if r == 0 {
+				copy(cur, band)
+			} else {
+				c.Send(r, tagJacInit, band)
+			}
+		}
+	} else {
+		band := c.Recv(0, tagJacInit)
+		if len(band) != len(cur) {
+			return nil, 0, 0, fmt.Errorf("algs: rank %d band size %d, want %d", rank, len(band), len(cur))
+		}
+		copy(cur, band)
+	}
+	copy(nxt, cur)
+
+	// Time the sweep loop barrier-to-barrier: after these barriers every
+	// rank's virtual clock is identical, so the window is a well-defined
+	// makespan of the iteration region.
+	c.Barrier()
+	sweepStart := c.Clock()
+
+	up, down := rank-1, rank+1
+	needTop := up >= 0  // else the top ghost is the fixed boundary row
+	needBot := down < p // else the bottom ghost is the fixed boundary row
+	var localResid float64
+
+	// relax applies the 5-point update to local rows [lo, hi] (inclusive,
+	// 1-based within the band), charging virtual compute and, in real
+	// mode, updating nxt and the running residual.
+	relax := func(lo, hi int) {
+		if hi < lo {
+			return
+		}
+		c.Compute(6 * float64(hi-lo+1) * float64(n-2) / frac)
+		if symbolic {
+			return
+		}
+		for i := lo; i <= hi; i++ {
+			for j := 1; j < n-1; j++ {
+				idx := i*n + j
+				v := 0.25 * (cur[idx-1] + cur[idx+1] + cur[idx-n] + cur[idx+n])
+				if d := math.Abs(v - cur[idx]); d > localResid {
+					localResid = d
+				}
+				nxt[idx] = v
+			}
+		}
+	}
+
+	for it := 0; it < opts.Iters; it++ {
+		if !symbolic {
+			localResid = 0
+		}
+		if opts.Overlap {
+			// --- Overlapped variant: non-blocking halo sends, relax the
+			// rows that need no ghost while the transfers fly, then
+			// receive and finish the ghost-dependent edge rows.
+			if needTop {
+				c.ISend(up, tagJacUp, cur[n:2*n])
+			}
+			if needBot {
+				c.ISend(down, tagJacDown, cur[rows*n:(rows+1)*n])
+			}
+			innerLo, innerHi := 1, rows
+			if needTop {
+				innerLo = 2
+			}
+			if needBot {
+				innerHi = rows - 1
+			}
+			relax(innerLo, innerHi)
+			if rows == 1 && needTop && needBot {
+				// The single owned row needs both ghosts before relaxing.
+				top := c.Recv(up, tagJacDown)
+				bot := c.Recv(down, tagJacUp)
+				if !symbolic {
+					copy(cur[:n], top)
+					copy(cur[(rows+1)*n:], bot)
+				}
+				relax(1, 1)
+			} else {
+				if needTop {
+					ghost := c.Recv(up, tagJacDown)
+					if !symbolic {
+						copy(cur[:n], ghost)
+					}
+					relax(1, 1)
+				}
+				if needBot {
+					ghost := c.Recv(down, tagJacUp)
+					if !symbolic {
+						copy(cur[(rows+1)*n:], ghost)
+					}
+					relax(rows, rows)
+				}
+			}
+		} else {
+			// --- Bulk-synchronous variant (the baseline): exchange, then
+			// relax everything. Sends are issued before receives; the
+			// runtime's sends do not rendezvous, so the symmetric pattern
+			// cannot deadlock.
+			if needTop {
+				c.Send(up, tagJacUp, cur[n:2*n]) // my first owned row
+			}
+			if needBot {
+				c.Send(down, tagJacDown, cur[rows*n:(rows+1)*n]) // my last owned row
+			}
+			if needTop {
+				ghost := c.Recv(up, tagJacDown)
+				if !symbolic {
+					copy(cur[:n], ghost)
+				}
+			}
+			if needBot {
+				ghost := c.Recv(down, tagJacUp)
+				if !symbolic {
+					copy(cur[(rows+1)*n:], ghost)
+				}
+			}
+			relax(1, rows)
+		}
+
+		if !symbolic {
+			// Preserve ghost and boundary columns, then swap.
+			copy(nxt[:n], cur[:n])
+			copy(nxt[(rows+1)*n:], cur[(rows+1)*n:])
+			for i := 1; i <= rows; i++ {
+				nxt[i*n] = cur[i*n]
+				nxt[i*n+n-1] = cur[i*n+n-1]
+			}
+			cur, nxt = nxt, cur
+		}
+
+		// --- Periodic global residual check (cost model only: the sweep
+		// count is fixed so results stay a pure function of inputs).
+		if opts.CheckEvery > 0 && (it+1)%opts.CheckEvery == 0 {
+			c.Allreduce(localResid, mpi.OpMax)
+		}
+	}
+
+	// Close the timed sweep region.
+	c.Barrier()
+	sweepMS := c.Clock() - sweepStart
+
+	// --- Collection at rank 0.
+	own := make([]float64, rows*n)
+	if !symbolic {
+		copy(own, cur[n:(rows+1)*n])
+	}
+	parts := c.Gatherv(0, own)
+	if rank != 0 {
+		return nil, 0, 0, nil
+	}
+	if symbolic {
+		return nil, 0, sweepMS, nil
+	}
+	out := make([]float64, n*n)
+	copy(out, grid) // boundary
+	for r := 0; r < p; r++ {
+		rlo := ranges[r][0] + 1
+		copy(out[rlo*n:rlo*n+len(parts[r])], parts[r])
+	}
+	return out, localResid, sweepMS, nil
+}
+
+// JacobiSequential runs the same relaxation single-threaded for
+// verification: identical sweep count, identical update order.
+func JacobiSequential(n, iters int, seed int64) ([]float64, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("algs: Jacobi needs n >= 3, got %d", n)
+	}
+	if iters <= 0 {
+		return nil, fmt.Errorf("algs: Jacobi needs iters > 0, got %d", iters)
+	}
+	cur := jacobiInitialGrid(n, seed)
+	nxt := make([]float64, len(cur))
+	copy(nxt, cur)
+	for it := 0; it < iters; it++ {
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				idx := i*n + j
+				nxt[idx] = 0.25 * (cur[idx-1] + cur[idx+1] + cur[idx-n] + cur[idx+n])
+			}
+		}
+		cur, nxt = nxt, cur
+	}
+	return cur, nil
+}
+
+// JacobiOverhead returns the analytic To(n) in ms for the fixed-iteration
+// Jacobi SWEEP LOOP on the given cluster: per sweep, each interior rank
+// exchanges two halo rows (edge ranks one), plus the periodic all-reduce
+// modeled as a gather of scalars at rank 0 and a broadcast. The one-time
+// distribution/collection is deliberately outside the model, matching the
+// SweepTimeMS measurement window.
+func JacobiOverhead(cl *cluster.Cluster, m simnet.CostModel, iters, checkEvery int) (func(n float64) float64, error) {
+	if cl == nil || m == nil {
+		return nil, fmt.Errorf("algs: JacobiOverhead needs cluster and model")
+	}
+	if iters <= 0 {
+		return nil, fmt.Errorf("algs: JacobiOverhead needs iters > 0")
+	}
+	p := cl.Size()
+	return func(n float64) float64 {
+		row := int(wordB * n)
+		// Critical-path halo cost per sweep: an interior rank sends two
+		// rows and receives two rows.
+		exchanges := 2
+		if p == 1 {
+			exchanges = 0
+		}
+		halo := float64(exchanges) * (m.SendTime(row) + m.TransferTime(row) + m.RecvTime(row))
+		to := float64(iters) * halo
+		if checkEvery > 0 && p > 1 {
+			scalar := int(wordB)
+			perCheck := float64(p-1)*(m.TransferTime(scalar)+m.RecvTime(scalar)) + m.BcastTime(p, scalar)
+			to += float64(iters/checkEvery) * perCheck
+		}
+		return to
+	}, nil
+}

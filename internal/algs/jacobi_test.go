@@ -1,0 +1,282 @@
+package algs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+)
+
+func TestJacobiMatchesSequential(t *testing.T) {
+	cl := mmCluster(t)
+	m := testModel(t)
+	for _, tc := range []struct{ n, iters int }{
+		{8, 5}, {16, 20}, {40, 50},
+	} {
+		out, err := RunJacobi(cl, m, mpi.Options{}, tc.n, JacobiOptions{
+			Iters: tc.iters, CheckEvery: 10, Seed: 3,
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", tc.n, err)
+		}
+		ref, err := JacobiSequential(tc.n, tc.iters, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if math.Abs(ref[i]-out.Grid[i]) > 1e-12 {
+				t.Fatalf("n=%d iters=%d: grid[%d] = %g, ref %g", tc.n, tc.iters, i, out.Grid[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestJacobiConvergesTowardHarmonic(t *testing.T) {
+	// With many sweeps the residual must shrink substantially.
+	cl := mmCluster(t)
+	m := testModel(t)
+	few, err := RunJacobi(cl, m, mpi.Options{}, 24, JacobiOptions{Iters: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := RunJacobi(cl, m, mpi.Options{}, 24, JacobiOptions{Iters: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.Residual >= few.Residual/10 {
+		t.Errorf("residual did not shrink: %g -> %g", few.Residual, many.Residual)
+	}
+}
+
+func TestJacobiSymbolicMatchesRealTiming(t *testing.T) {
+	cl := mmCluster(t)
+	m := testModel(t)
+	opts := JacobiOptions{Iters: 30, CheckEvery: 5, Seed: 2}
+	real, err := RunJacobi(cl, m, mpi.Options{}, 32, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Symbolic = true
+	sym, err := RunJacobi(cl, m, mpi.Options{}, 32, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym.Grid != nil {
+		t.Error("symbolic run returned a grid")
+	}
+	if real.Res.TimeMS != sym.Res.TimeMS {
+		t.Errorf("symbolic time %g != real %g", sym.Res.TimeMS, real.Res.TimeMS)
+	}
+	if real.Res.Messages != sym.Res.Messages || real.Res.BytesMoved != sym.Res.BytesMoved {
+		t.Error("traffic differs between symbolic and real")
+	}
+}
+
+func TestJacobiEnginesAgree(t *testing.T) {
+	cl := mmCluster(t)
+	m := testModel(t)
+	opts := JacobiOptions{Iters: 20, CheckEvery: 4, Seed: 5}
+	live, err := RunJacobi(cl, m, mpi.Options{Engine: mpi.EngineLive}, 24, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	des, err := RunJacobi(cl, m, mpi.Options{Engine: mpi.EngineDES}, 24, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(live.Res.TimeMS-des.Res.TimeMS) > 1e-9 {
+		t.Errorf("engines disagree: %g vs %g", live.Res.TimeMS, des.Res.TimeMS)
+	}
+}
+
+func TestJacobiValidation(t *testing.T) {
+	cl := mmCluster(t)
+	m := testModel(t)
+	if _, err := RunJacobi(cl, m, mpi.Options{}, 2, JacobiOptions{Iters: 5}); err == nil {
+		t.Error("n=2 accepted")
+	}
+	if _, err := RunJacobi(cl, m, mpi.Options{}, 20, JacobiOptions{}); err == nil {
+		t.Error("Iters=0 accepted")
+	}
+	if _, err := RunJacobi(cl, m, mpi.Options{}, 20, JacobiOptions{Iters: 5, CheckEvery: -1}); err == nil {
+		t.Error("negative CheckEvery accepted")
+	}
+	if _, err := RunJacobi(cl, m, mpi.Options{}, 20, JacobiOptions{Iters: 5, SustainedFraction: 9}); err == nil {
+		t.Error("bad fraction accepted")
+	}
+	// Grid too small for the rank count: every rank must own >= 1 row.
+	big, err := cluster.MMConfig(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunJacobi(big, m, mpi.Options{}, 6, JacobiOptions{Iters: 3}); err == nil {
+		t.Error("undersized grid accepted")
+	}
+	if _, err := JacobiSequential(2, 5, 1); err == nil {
+		t.Error("sequential n=2 accepted")
+	}
+	if _, err := JacobiSequential(10, 0, 1); err == nil {
+		t.Error("sequential iters=0 accepted")
+	}
+}
+
+func TestJacobiWork(t *testing.T) {
+	if WorkJacobi(2, 10) != 0 {
+		t.Error("degenerate grid work != 0")
+	}
+	if got, want := WorkJacobi(12, 10), 6.0*100*10; got != want {
+		t.Errorf("WorkJacobi = %g, want %g", got, want)
+	}
+}
+
+func TestJacobiOverheadTracksMeasurement(t *testing.T) {
+	cl := mmCluster(t)
+	m := testModel(t)
+	const iters, check = 50, 10
+	toFn, err := JacobiOverhead(cl, m, iters, check)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cl.MarkedSpeed()
+	for _, n := range []int{64, 200, 500} {
+		out, err := RunJacobi(cl, m, mpi.Options{}, n, JacobiOptions{
+			Iters: iters, CheckEvery: check, Symbolic: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		predicted := out.Work/(DefaultJacobiSustained*c*1e3) + toFn(float64(n))
+		rel := math.Abs(predicted-out.Res.TimeMS) / out.Res.TimeMS
+		if rel > 0.35 {
+			t.Errorf("n=%d: predicted %g ms vs measured %g ms (rel %.3f)",
+				n, predicted, out.Res.TimeMS, rel)
+		}
+	}
+}
+
+func TestJacobiOverheadErrors(t *testing.T) {
+	cl := mmCluster(t)
+	m := testModel(t)
+	if _, err := JacobiOverhead(nil, m, 10, 5); err == nil {
+		t.Error("nil cluster accepted")
+	}
+	if _, err := JacobiOverhead(cl, nil, 10, 5); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := JacobiOverhead(cl, m, 0, 5); err == nil {
+		t.Error("iters=0 accepted")
+	}
+}
+
+func TestJacobiOverheadGrowsSlowerThanGE(t *testing.T) {
+	// The halo pattern's per-sweep communication is independent of p
+	// (except the periodic all-reduce), while GE pays a broadcast+barrier
+	// proportional to p every iteration. Doubling the system size at a
+	// fixed n must therefore inflate GE's critical communication time far
+	// more than Jacobi's.
+	m := testModel(t)
+	c4, err := cluster.MMConfig(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c8, err := cluster.MMConfig(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 256
+	jacComm := func(cl *cluster.Cluster) float64 {
+		out, err := RunJacobi(cl, m, mpi.Options{}, n, JacobiOptions{
+			Iters: 100, CheckEvery: 10, Symbolic: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Res.MaxCommMS()
+	}
+	geComm := func(cl *cluster.Cluster) float64 {
+		out, err := RunGE(cl, m, mpi.Options{}, n, GEOptions{Symbolic: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Res.MaxCommMS()
+	}
+	jacGrowth := jacComm(c8) / jacComm(c4)
+	geGrowth := geComm(c8) / geComm(c4)
+	if jacGrowth >= geGrowth {
+		t.Errorf("Jacobi comm growth %.3f should be below GE's %.3f", jacGrowth, geGrowth)
+	}
+	if jacGrowth > 1.8 {
+		t.Errorf("Jacobi comm growth %.3f unexpectedly large", jacGrowth)
+	}
+}
+
+func TestJacobiOverlapIdenticalNumerics(t *testing.T) {
+	cl := mmCluster(t)
+	m := testModel(t)
+	base, err := RunJacobi(cl, m, mpi.Options{}, 32, JacobiOptions{Iters: 25, CheckEvery: 5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := RunJacobi(cl, m, mpi.Options{}, 32, JacobiOptions{Iters: 25, CheckEvery: 5, Seed: 4, Overlap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Grid {
+		if base.Grid[i] != over.Grid[i] {
+			t.Fatalf("grids differ at %d: %g vs %g", i, base.Grid[i], over.Grid[i])
+		}
+	}
+	if over.Res.TimeMS >= base.Res.TimeMS {
+		t.Errorf("overlap %g should beat bulk-synchronous %g", over.Res.TimeMS, base.Res.TimeMS)
+	}
+}
+
+func TestJacobiOverlapHidesTransfers(t *testing.T) {
+	// With big rows (large transfer time) and plenty of interior compute,
+	// the overlap should hide most of the per-sweep transfer.
+	cl := mmCluster(t)
+	m := testModel(t)
+	const n, iters = 600, 40
+	base, err := RunJacobi(cl, m, mpi.Options{}, n, JacobiOptions{Iters: iters, Symbolic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := RunJacobi(cl, m, mpi.Options{}, n, JacobiOptions{Iters: iters, Symbolic: true, Overlap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := base.Res.TimeMS - over.Res.TimeMS
+	// Interior ranks wait for a full halo round-trip per sweep in the
+	// baseline; overlap should reclaim a visible chunk of it.
+	perSweepTransfer := m.TransferTime(n * 8)
+	if saved < float64(iters)*perSweepTransfer*0.5 {
+		t.Errorf("overlap saved only %g ms (per-sweep transfer %g x %d sweeps)",
+			saved, perSweepTransfer, iters)
+	}
+}
+
+func TestJacobiOverlapDegenerateBands(t *testing.T) {
+	// Bands of a single row force the both-ghosts path; numerics must
+	// still match the sequential reference.
+	m := testModel(t)
+	cl, err := cluster.Uniform("u", 6, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n-2 = 6 interior rows over 6 ranks -> exactly 1 row each.
+	const n, iters = 8, 12
+	out, err := RunJacobi(cl, m, mpi.Options{}, n, JacobiOptions{Iters: iters, Seed: 2, Overlap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := JacobiSequential(n, iters, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if math.Abs(ref[i]-out.Grid[i]) > 1e-12 {
+			t.Fatalf("grid[%d] = %g, ref %g", i, out.Grid[i], ref[i])
+		}
+	}
+}

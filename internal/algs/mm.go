@@ -1,0 +1,189 @@
+package algs
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/dist"
+	"repro/internal/linalg"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+// MMOptions configures a parallel matrix-multiplication run.
+type MMOptions struct {
+	// Strategy distributes the rows of A over ranks. Default:
+	// dist.HetBlock (proportional row bands — the HoHe strategy).
+	Strategy dist.Strategy
+	// Symbolic skips host arithmetic; C and the residual check are
+	// omitted. Message sizes and virtual times are unchanged.
+	Symbolic bool
+	// SustainedFraction is the fraction of marked speed the multiply
+	// kernel sustains. Default DefaultMMSustained.
+	SustainedFraction float64
+	// Seed selects the deterministic random inputs.
+	Seed int64
+}
+
+func (o *MMOptions) setDefaults() error {
+	if o.Strategy == nil {
+		o.Strategy = dist.HetBlock{}
+	}
+	if o.SustainedFraction == 0 {
+		o.SustainedFraction = DefaultMMSustained
+	}
+	if o.SustainedFraction < 0 || o.SustainedFraction > 1 {
+		return fmt.Errorf("algs: MM sustained fraction %g out of (0,1]", o.SustainedFraction)
+	}
+	return nil
+}
+
+// MMOutcome is the result of an MM run.
+type MMOutcome struct {
+	N    int
+	Work float64 // W(N) = 2N³ flops
+	Res  mpi.Result
+	C    *linalg.Matrix // product (nil when symbolic)
+	// MaxError is the largest |C - A*B| element vs the sequential
+	// reference, computed only for n <= mmVerifyLimit (0 otherwise).
+	MaxError float64
+}
+
+// mmVerifyLimit bounds the n for which RunMM cross-checks against the
+// sequential product (the check itself is O(n³) on the host).
+const mmVerifyLimit = 256
+
+// RunMM executes the paper's parallel MM (§4.1.2) for N x N matrices:
+// rank 0 scatters row bands of A proportionally to marked speed, broadcasts
+// B, every rank multiplies its band (no communication during compute), and
+// rank 0 gathers the result bands. This is the HoHe strategy: homogeneous
+// processes, one per processor, heterogeneous data distribution.
+func RunMM(cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, n int, opts MMOptions) (MMOutcome, error) {
+	if n < 1 {
+		return MMOutcome{}, fmt.Errorf("algs: MM needs n >= 1, got %d", n)
+	}
+	if err := opts.setDefaults(); err != nil {
+		return MMOutcome{}, err
+	}
+	asn, err := opts.Strategy.Assign(n, cl.Speeds())
+	if err != nil {
+		return MMOutcome{}, fmt.Errorf("algs: MM distribution: %w", err)
+	}
+	if !isBlockAssignment(asn) {
+		return MMOutcome{}, fmt.Errorf("algs: MM requires a contiguous block distribution, %q is not", opts.Strategy.Name())
+	}
+	ranges := dist.BlockRanges(asn.Counts)
+
+	var a, b *linalg.Matrix
+	if !opts.Symbolic {
+		a = linalg.RandomMatrix(n, opts.Seed)
+		b = linalg.RandomMatrix(n, opts.Seed+1)
+	}
+
+	var cOut *linalg.Matrix
+	res, err := mpi.Run(cl, model, mpiOpts, func(c mpi.Comm) error {
+		prod, err := mmRank(c, n, ranges, a, b, opts)
+		if c.Rank() == 0 {
+			cOut = prod
+		}
+		return err
+	})
+	if err != nil {
+		return MMOutcome{}, err
+	}
+
+	out := MMOutcome{N: n, Work: WorkMM(n), Res: res, C: cOut}
+	if !opts.Symbolic && n <= mmVerifyLimit {
+		ref, err := linalg.MatMul(a, b)
+		if err != nil {
+			return MMOutcome{}, err
+		}
+		var worst float64
+		for i := range ref.Data {
+			d := ref.Data[i] - cOut.Data[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+		out.MaxError = worst
+	}
+	return out, nil
+}
+
+func isBlockAssignment(asn dist.Assignment) bool {
+	prev := 0
+	for _, o := range asn.Owner {
+		if o < prev {
+			return false
+		}
+		prev = o
+	}
+	return true
+}
+
+// mmRank is the per-rank program body.
+func mmRank(c mpi.Comm, n int, ranges [][2]int, a, b *linalg.Matrix, opts MMOptions) (*linalg.Matrix, error) {
+	rank, p := c.Rank(), c.Size()
+	lo, hi := ranges[rank][0], ranges[rank][1]
+	myCount := hi - lo
+	symbolic := opts.Symbolic
+	frac := opts.SustainedFraction
+
+	// Distribute A bands from rank 0 (Scatterv) and replicate B (Bcast).
+	var parts [][]float64
+	if rank == 0 {
+		parts = make([][]float64, p)
+		for r := 0; r < p; r++ {
+			rl, rh := ranges[r][0], ranges[r][1]
+			if symbolic {
+				parts[r] = make([]float64, (rh-rl)*n)
+			} else {
+				parts[r] = a.Data[rl*n : rh*n]
+			}
+		}
+	}
+	myA := c.Scatterv(0, parts)
+	if len(myA) != myCount*n {
+		return nil, fmt.Errorf("algs: rank %d band size %d, want %d", rank, len(myA), myCount*n)
+	}
+
+	var bFlat []float64
+	if rank == 0 {
+		if symbolic {
+			bFlat = make([]float64, n*n)
+		} else {
+			bFlat = b.Data
+		}
+	}
+	bFlat = c.Bcast(0, bFlat)
+
+	// Local multiply: the whole compute phase is communication-free.
+	c.Compute(2 * float64(n) * float64(n) * float64(myCount) / frac)
+	var myC []float64
+	if symbolic {
+		myC = make([]float64, myCount*n)
+	} else {
+		band := &linalg.Matrix{Rows: myCount, Cols: n, Data: myA}
+		bm := &linalg.Matrix{Rows: n, Cols: n, Data: bFlat}
+		prod, err := linalg.MulRowsInto(band, bm)
+		if err != nil {
+			return nil, fmt.Errorf("algs: rank %d multiply: %w", rank, err)
+		}
+		myC = prod.Data
+	}
+
+	// Collect result bands at rank 0.
+	gathered := c.Gatherv(0, myC)
+	if rank != 0 || symbolic {
+		return nil, nil
+	}
+	out := linalg.NewMatrix(n, n)
+	for r := 0; r < p; r++ {
+		rl := ranges[r][0]
+		copy(out.Data[rl*n:rl*n+len(gathered[r])], gathered[r])
+	}
+	return out, nil
+}

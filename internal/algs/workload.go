@@ -1,0 +1,40 @@
+// Package algs implements the two algorithm–system combinations of the
+// paper's evaluation (§4.1) on top of the virtual-time message-passing
+// runtime:
+//
+//   - parallel Gaussian Elimination with row-based heterogeneous cyclic
+//     distribution (pivot-row broadcast, per-iteration synchronization,
+//     back substitution at rank 0), and
+//   - parallel Matrix Multiplication in the HoHe style (row bands of A
+//     proportional to marked speed, B replicated, no communication during
+//     compute).
+//
+// Both algorithms move real data and produce verifiable numerics, or can
+// run in symbolic mode, which skips the host arithmetic while performing
+// exactly the same message traffic and virtual-time accounting — symbolic
+// and real runs are verified to produce identical timings.
+//
+// Achieved speed vs marked speed: marked speed is benchmarked with NPB-
+// style kernels, but real applications sustain only a fraction of it (the
+// paper: "the achieved speed of an application may not be the same as the
+// benchmarked marked speed"). The SustainedFraction option models this; the
+// defaults put the speed-efficiency curves in the paper's observed range
+// (E_s saturating well below 1, targets 0.3/0.2 crossed at moderate N).
+package algs
+
+import "repro/internal/linalg"
+
+// WorkGE returns the paper's workload polynomial W(N) for Gaussian
+// elimination + back substitution, in flops.
+func WorkGE(n int) float64 { return linalg.GEFlops(n) }
+
+// WorkMM returns W(N) = 2N³ for matrix multiplication, in flops.
+func WorkMM(n int) float64 { return linalg.MMFlops(n) }
+
+// Default sustained fractions of marked speed delivered by each kernel.
+// MM streams contiguous rows and sustains more of the benchmarked rate
+// than GE's stride-y elimination updates.
+const (
+	DefaultGESustained = 0.55
+	DefaultMMSustained = 0.60
+)

@@ -1,0 +1,35 @@
+package cluster
+
+import "testing"
+
+// FuzzParseLadder ensures arbitrary bytes never panic the JSON spec
+// pipeline and that whatever parses also builds or fails cleanly.
+func FuzzParseLadder(f *testing.F) {
+	f.Add([]byte(testLadderJSON))
+	f.Add([]byte(`{"ladder":[]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"ladder":[{"name":"a","nodes":[{"name":"x","speedMflops":1}]},
+	               {"name":"b","nodes":[{"name":"y","speedMflops":2}]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := ParseLadder(data)
+		if err != nil {
+			return
+		}
+		clusters, err := l.BuildAll()
+		if err != nil {
+			return
+		}
+		for _, c := range clusters {
+			if c.Size() == 0 {
+				t.Fatal("built cluster with zero nodes")
+			}
+			if c.MarkedSpeed() <= 0 {
+				t.Fatalf("built cluster with non-positive marked speed %g", c.MarkedSpeed())
+			}
+			// Round trip must keep building.
+			if _, err := c.ToSpec().Build(); err != nil {
+				t.Fatalf("round trip failed: %v", err)
+			}
+		}
+	})
+}

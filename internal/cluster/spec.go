@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Spec is the JSON description of a cluster, used by cmd/scalescan and
+// available to any tool that wants to describe machines declaratively:
+//
+//	{"name": "C2", "nodes": [
+//	  {"name": "n0", "class": "fast", "speedMflops": 90, "memMB": 2048},
+//	  {"name": "n1", "class": "slow", "speedMflops": 40, "memMB": 512}
+//	]}
+type Spec struct {
+	Name  string     `json:"name"`
+	Nodes []NodeSpec `json:"nodes"`
+}
+
+// NodeSpec is one node of a Spec.
+type NodeSpec struct {
+	Name        string  `json:"name"`
+	Class       string  `json:"class"`
+	SpeedMflops float64 `json:"speedMflops"`
+	MemMB       int     `json:"memMB"`
+}
+
+// Build validates the spec and constructs the cluster.
+func (s Spec) Build() (*Cluster, error) {
+	nodes := make([]Node, 0, len(s.Nodes))
+	for _, ns := range s.Nodes {
+		nodes = append(nodes, Node{
+			Name: ns.Name, Class: ns.Class, SpeedMflops: ns.SpeedMflops, MemMB: ns.MemMB,
+		})
+	}
+	return New(s.Name, nodes...)
+}
+
+// LadderSpec is a sequence of cluster specs forming a scalability ladder.
+type LadderSpec struct {
+	Ladder []Spec `json:"ladder"`
+}
+
+// BuildAll constructs every rung, requiring at least two.
+func (l LadderSpec) BuildAll() ([]*Cluster, error) {
+	if len(l.Ladder) < 2 {
+		return nil, fmt.Errorf("cluster: ladder needs at least 2 clusters, got %d", len(l.Ladder))
+	}
+	out := make([]*Cluster, 0, len(l.Ladder))
+	for i, spec := range l.Ladder {
+		cl, err := spec.Build()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: ladder rung %d (%q): %w", i, spec.Name, err)
+		}
+		out = append(out, cl)
+	}
+	return out, nil
+}
+
+// ParseLadder decodes a JSON ladder description.
+func ParseLadder(data []byte) (LadderSpec, error) {
+	var l LadderSpec
+	if err := json.Unmarshal(data, &l); err != nil {
+		return LadderSpec{}, fmt.Errorf("cluster: parsing ladder: %w", err)
+	}
+	return l, nil
+}
+
+// LoadLadder reads and decodes a ladder file.
+func LoadLadder(path string) (LadderSpec, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return LadderSpec{}, err
+	}
+	return ParseLadder(raw)
+}
+
+// ToSpec round-trips a cluster back into its declarative form.
+func (c *Cluster) ToSpec() Spec {
+	s := Spec{Name: c.Name, Nodes: make([]NodeSpec, len(c.Nodes))}
+	for i, n := range c.Nodes {
+		s.Nodes[i] = NodeSpec{Name: n.Name, Class: n.Class, SpeedMflops: n.SpeedMflops, MemMB: n.MemMB}
+	}
+	return s
+}

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+const testLadderJSON = `{
+  "ladder": [
+    {"name": "A", "nodes": [
+      {"name": "a0", "class": "fast", "speedMflops": 90, "memMB": 2048},
+      {"name": "a1", "class": "slow", "speedMflops": 40, "memMB": 512}
+    ]},
+    {"name": "B", "nodes": [
+      {"name": "b0", "class": "fast", "speedMflops": 90, "memMB": 2048},
+      {"name": "b1", "class": "fast", "speedMflops": 90, "memMB": 2048},
+      {"name": "b2", "class": "slow", "speedMflops": 40, "memMB": 512}
+    ]}
+  ]
+}`
+
+func TestParseAndBuildLadder(t *testing.T) {
+	l, err := ParseLadder([]byte(testLadderJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters, err := l.BuildAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %d", len(clusters))
+	}
+	if clusters[0].MarkedSpeed() != 130 || clusters[1].MarkedSpeed() != 220 {
+		t.Errorf("marked speeds = %g, %g", clusters[0].MarkedSpeed(), clusters[1].MarkedSpeed())
+	}
+	if clusters[1].Nodes[2].Class != "slow" || clusters[1].Nodes[2].MemMB != 512 {
+		t.Errorf("node fields lost: %+v", clusters[1].Nodes[2])
+	}
+}
+
+func TestParseLadderErrors(t *testing.T) {
+	if _, err := ParseLadder([]byte("{nope")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	l, err := ParseLadder([]byte(`{"ladder":[{"name":"only","nodes":[{"name":"a","speedMflops":1}]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.BuildAll(); err == nil {
+		t.Error("single-rung ladder accepted")
+	}
+	bad, err := ParseLadder([]byte(`{"ladder":[
+	  {"name":"a","nodes":[{"name":"x","speedMflops":-1}]},
+	  {"name":"b","nodes":[{"name":"y","speedMflops":1}]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.BuildAll(); err == nil {
+		t.Error("invalid node accepted")
+	}
+}
+
+func TestLoadLadder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ladder.json")
+	if err := os.WriteFile(path, []byte(testLadderJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := LoadLadder(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Ladder) != 2 {
+		t.Errorf("rungs = %d", len(l.Ladder))
+	}
+	if _, err := LoadLadder(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	orig, err := GEConfig(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := orig.ToSpec().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.Name != orig.Name || rebuilt.Size() != orig.Size() ||
+		rebuilt.MarkedSpeed() != orig.MarkedSpeed() {
+		t.Errorf("round trip lost data: %s vs %s", rebuilt, orig)
+	}
+	for i := range orig.Nodes {
+		if rebuilt.Nodes[i] != orig.Nodes[i] {
+			t.Errorf("node %d differs: %+v vs %+v", i, rebuilt.Nodes[i], orig.Nodes[i])
+		}
+	}
+}
+
+// Property: ToSpec/Build round trip preserves every uniform cluster.
+func TestSpecRoundTripQuick(t *testing.T) {
+	f := func(pRaw, sRaw uint8) bool {
+		p := int(pRaw%16) + 1
+		speed := float64(sRaw%200) + 1
+		c, err := Uniform("u", p, speed)
+		if err != nil {
+			return false
+		}
+		r, err := c.ToSpec().Build()
+		if err != nil {
+			return false
+		}
+		return r.Size() == c.Size() && r.MarkedSpeed() == c.MarkedSpeed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

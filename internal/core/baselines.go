@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+)
+
+// This file implements the related metrics the paper reviews in §2, used
+// throughout the examples and benchmarks as comparison baselines. Each
+// carries the practical limitation the paper points out.
+
+// ParallelEfficiency is the classical efficiency of isoefficiency analysis
+// (Kumar et al.): E = speedup/p = T_seq / (p · T_par). The paper's critique:
+// it requires measuring T_seq — running the full problem on one node —
+// which is impractical or impossible for large problems.
+func ParallelEfficiency(tSeqMS, tParMS float64, p int) (float64, error) {
+	if tSeqMS <= 0 || tParMS <= 0 {
+		return 0, fmt.Errorf("%w: tSeq=%g tPar=%g", ErrNonPositive, tSeqMS, tParMS)
+	}
+	if p <= 0 {
+		return 0, fmt.Errorf("%w: p=%d", ErrNonPositive, p)
+	}
+	return tSeqMS / (float64(p) * tParMS), nil
+}
+
+// EstimateSeqTime estimates the single-node execution time the
+// isoefficiency metric needs, from the workload and one reference node's
+// sustained speed — the workaround users must resort to when the problem
+// no longer fits on one node (and precisely the dependence the
+// isospeed-efficiency metric removes).
+func EstimateSeqTime(workFlops, nodeMflops, sustained float64) (float64, error) {
+	if workFlops <= 0 || nodeMflops <= 0 {
+		return 0, fmt.Errorf("%w: W=%g speed=%g", ErrNonPositive, workFlops, nodeMflops)
+	}
+	if sustained <= 0 || sustained > 1 {
+		return 0, fmt.Errorf("core: sustained fraction %g out of (0,1]", sustained)
+	}
+	return workFlops / (nodeMflops * sustained * 1e3), nil
+}
+
+// IsoefficiencyPsi expresses isoefficiency scalability in the same
+// ratio-form as ψ: the work needed to keep E = T_seq/(p·T_par) constant,
+// compared with the ideal linear growth W' = W·p'/p. Values in (0,1]; 1 is
+// perfectly scalable. Only meaningful on homogeneous systems.
+func IsoefficiencyPsi(p int, w float64, pPrime int, wPrime float64) (float64, error) {
+	return IsospeedPsi(p, w, pPrime, wPrime)
+}
+
+// Productivity is the Jogalekar–Woodside notion for distributed systems:
+// value delivered per unit cost per unit time,
+//
+//	F = (throughput · value-per-job) / cost-rate.
+//
+// Their scalability between two deployment scales is the productivity
+// ratio. The paper's critique: cost is a commercial quantity (money), so
+// the metric measures "worthiness of renting a service" rather than the
+// inherent scalability of the computing system.
+type Productivity struct {
+	ThroughputPerSec float64 // jobs per second delivered
+	ValuePerJob      float64 // value function of QoS (e.g. response time)
+	CostPerSec       float64 // money per second
+}
+
+// F returns the productivity value.
+func (pr Productivity) F() (float64, error) {
+	if pr.ThroughputPerSec <= 0 || pr.ValuePerJob <= 0 || pr.CostPerSec <= 0 {
+		return 0, fmt.Errorf("%w: %+v", ErrNonPositive, pr)
+	}
+	return pr.ThroughputPerSec * pr.ValuePerJob / pr.CostPerSec, nil
+}
+
+// ProductivityPsi is the Jogalekar–Woodside scalability metric between two
+// scales: F2/F1. A system is "scalable" when the ratio stays near or
+// above 1.
+func ProductivityPsi(scale1, scale2 Productivity) (float64, error) {
+	f1, err := scale1.F()
+	if err != nil {
+		return 0, err
+	}
+	f2, err := scale2.F()
+	if err != nil {
+		return 0, err
+	}
+	return f2 / f1, nil
+}
+
+// PastorBosqueEfficiency is the heterogeneous efficiency of Pastor &
+// Bosque: speedup against a reference node, divided by the cluster's
+// power relative to that reference node ("equivalent processors",
+// C/C_ref). Like isoefficiency it still needs the sequential time on the
+// reference node — the limitation the paper notes it inherits.
+func PastorBosqueEfficiency(tSeqRefMS, tParMS, clusterMflops, refNodeMflops float64) (float64, error) {
+	if tSeqRefMS <= 0 || tParMS <= 0 || clusterMflops <= 0 || refNodeMflops <= 0 {
+		return 0, fmt.Errorf("%w: tSeq=%g tPar=%g C=%g Cref=%g",
+			ErrNonPositive, tSeqRefMS, tParMS, clusterMflops, refNodeMflops)
+	}
+	equivalent := clusterMflops / refNodeMflops
+	return tSeqRefMS / tParMS / equivalent, nil
+}

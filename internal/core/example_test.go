@@ -1,0 +1,90 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// The speed-efficiency of Definition 3: 1e9 flops in 4 seconds on a
+// 500-Mflops system sustains half the marked speed.
+func ExampleSpeedEfficiency() {
+	eff, err := core.SpeedEfficiency(1e9, 4000, 500)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("E_s = %.2f\n", eff)
+	// Output: E_s = 0.50
+}
+
+// ψ compares the work two systems need for equal speed-efficiency: the
+// scaled system is 4x faster but needed 8x the work, so ψ = 0.5.
+func ExamplePsi() {
+	psi, err := core.Psi(100, 1e8, 400, 8e8)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ψ = %.2f\n", psi)
+	// Output: ψ = 0.50
+}
+
+// Theorem 1 computes the same ψ from the sequential times and parallel
+// overheads alone.
+func ExampleTheorem1Psi() {
+	psi, err := core.Theorem1Psi(2, 8, 5, 15)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ψ = (2+8)/(5+15) = %.2f\n", psi)
+	// Output: ψ = (2+8)/(5+15) = 0.50
+}
+
+// An analytic machine answers "what problem size holds E_s at the
+// target?" without running anything: here T(n) = W/(δC) + To with
+// W = n³ and To = 5 + 0.1·n ms.
+func ExampleAnalyticMachine_RequiredN() {
+	m := core.AnalyticMachine{
+		Label:     "demo",
+		C:         200, // Mflops
+		P:         4,
+		Sustained: 0.5,
+		Work:      func(n float64) float64 { return n * n * n },
+		Overhead:  func(n float64) float64 { return 5 + 0.1*n },
+	}
+	n, err := m.RequiredN(0.25, 10, 1e6)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("E_s(%.0f) = %.2f\n", n, m.Efficiency(n))
+	// Output: E_s(119) = 0.25
+}
+
+// RunStudy packages the paper's whole §4.4 procedure: sweep, fit, read
+// off the required size, and chain ψ across a ladder of machines.
+func ExampleRunStudy() {
+	machine := func(label string, c float64, p int) core.StudyTarget {
+		m := core.AnalyticMachine{
+			Label: label, C: c, P: p, Sustained: 0.5,
+			Work:     func(n float64) float64 { return n * n * n },
+			Overhead: func(n float64) float64 { return 5 + 0.1*n },
+		}
+		return core.StudyTarget{
+			Label: label, C: c, Machine: m,
+			Run: func(n int) (float64, float64, error) {
+				nf := float64(n)
+				return m.Work(nf), m.TimeMS(nf), nil
+			},
+			WorkAt: func(n int) float64 { return m.Work(float64(n)) },
+		}
+	}
+	res, err := core.RunStudy([]core.StudyTarget{
+		machine("small", 200, 4),
+		machine("big", 800, 16),
+	}, core.StudyOptions{TargetEff: 0.25})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("required N: %d -> %d, ψ = %.2f\n",
+		res.Rungs[0].RequiredN, res.Rungs[1].RequiredN, res.PsiMeasured[0])
+	// Output: required N: 120 -> 223, ψ = 0.62
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// MarkedPerformance is the multi-parameter generalization of marked speed
+// sketched in the paper's future work ("we plan to extend the single
+// parameter marked speed to multi-parameter marked performance that has
+// several parameters to describe the full capability of a computing
+// system"). A node is described by several sustained-rate parameters; an
+// application by its demand mix. The effective marked speed of the node
+// for that application is the bottleneck rate, Roofline-style.
+type MarkedPerformance struct {
+	ComputeMflops float64 // sustained compute rate
+	MemoryMBps    float64 // sustained memory bandwidth
+	NetworkMBps   float64 // sustained network bandwidth
+}
+
+// Validate reports non-positive capability parameters.
+func (mp MarkedPerformance) Validate() error {
+	if mp.ComputeMflops <= 0 || mp.MemoryMBps <= 0 || mp.NetworkMBps <= 0 {
+		return fmt.Errorf("%w: %+v", ErrNonPositive, mp)
+	}
+	return nil
+}
+
+// DemandMix characterizes an application kernel per useful flop:
+// how many bytes of memory traffic and network traffic it generates for
+// each floating-point operation it performs.
+type DemandMix struct {
+	BytesPerFlopMem float64 // memory bytes touched per flop
+	BytesPerFlopNet float64 // network bytes moved per flop
+}
+
+// Validate reports negative demands.
+func (d DemandMix) Validate() error {
+	if d.BytesPerFlopMem < 0 || d.BytesPerFlopNet < 0 {
+		return fmt.Errorf("core: demand mix must be non-negative: %+v", d)
+	}
+	return nil
+}
+
+// EffectiveMflops returns the marked speed the node can sustain for the
+// given demand mix: the compute rate capped by whichever of memory or
+// network saturates first,
+//
+//	min( Cflops, Mem/bytesPerFlopMem, Net/bytesPerFlopNet ).
+func (mp MarkedPerformance) EffectiveMflops(d DemandMix) (float64, error) {
+	if err := mp.Validate(); err != nil {
+		return 0, err
+	}
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	eff := mp.ComputeMflops
+	if d.BytesPerFlopMem > 0 {
+		// MB/s over bytes/flop = Mflop/s.
+		eff = math.Min(eff, mp.MemoryMBps/d.BytesPerFlopMem)
+	}
+	if d.BytesPerFlopNet > 0 {
+		eff = math.Min(eff, mp.NetworkMBps/d.BytesPerFlopNet)
+	}
+	return eff, nil
+}
+
+// SystemEffectiveMflops sums the effective marked speeds of a set of
+// nodes for one demand mix — Definition 2 lifted to multi-parameter
+// marked performance.
+func SystemEffectiveMflops(nodes []MarkedPerformance, d DemandMix) (float64, error) {
+	if len(nodes) == 0 {
+		return 0, fmt.Errorf("core: SystemEffectiveMflops needs nodes")
+	}
+	var s float64
+	for i, n := range nodes {
+		e, err := n.EffectiveMflops(d)
+		if err != nil {
+			return 0, fmt.Errorf("core: node %d: %w", i, err)
+		}
+		s += e
+	}
+	return s, nil
+}

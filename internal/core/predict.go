@@ -1,0 +1,145 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/numeric"
+)
+
+// AnalyticMachine is the closed-form performance model of one
+// algorithm–system combination, used for the paper's §4.5 scalability
+// prediction: measure the machine constants once, then *predict* required
+// problem sizes and ψ without running the scaled configurations.
+//
+// The model is the same decomposition as Theorem 1:
+//
+//	T(n) = W(n)/(δ·C) + t0(n) + To(n)
+//
+// with W the workload (flops), δ the sustained fraction of marked speed C
+// the kernel achieves, t0 the sequential-portion time and To the parallel
+// overhead (both ms).
+type AnalyticMachine struct {
+	Label string
+	// C is the system marked speed in Mflops.
+	C float64
+	// P is the number of participating ranks.
+	P int
+	// Sustained is δ in (0, 1].
+	Sustained float64
+	// Work returns W(n) in flops; it must be positive and increasing.
+	Work func(n float64) float64
+	// SeqTime returns t0(n) in ms (nil means 0, the α≈0 case of §4.5).
+	SeqTime func(n float64) float64
+	// Overhead returns To(n) in ms for this machine's P.
+	Overhead func(n float64) float64
+}
+
+// Validate reports malformed models.
+func (m AnalyticMachine) Validate() error {
+	if m.C <= 0 {
+		return fmt.Errorf("%w: C = %g", ErrNonPositive, m.C)
+	}
+	if m.P <= 0 {
+		return fmt.Errorf("%w: P = %d", ErrNonPositive, m.P)
+	}
+	if m.Sustained <= 0 || m.Sustained > 1 {
+		return fmt.Errorf("core: sustained fraction %g out of (0,1]", m.Sustained)
+	}
+	if m.Work == nil {
+		return errors.New("core: AnalyticMachine needs a Work function")
+	}
+	if m.Overhead == nil {
+		return errors.New("core: AnalyticMachine needs an Overhead function")
+	}
+	return nil
+}
+
+func (m AnalyticMachine) seq(n float64) float64 {
+	if m.SeqTime == nil {
+		return 0
+	}
+	return m.SeqTime(n)
+}
+
+// TimeMS returns the modeled execution time at problem size n.
+func (m AnalyticMachine) TimeMS(n float64) float64 {
+	return m.Work(n)/(m.Sustained*m.C*1e3) + m.seq(n) + m.Overhead(n)
+}
+
+// Efficiency returns the modeled E_s(n) = W/(T·C).
+func (m AnalyticMachine) Efficiency(n float64) float64 {
+	return m.Work(n) / (m.TimeMS(n) * m.C * 1e3)
+}
+
+// RequiredN solves E_s(n) = target over [loN, hiN]. For the models of this
+// paper E_s is increasing in n (overheads grow slower than W), so a
+// monotone solve applies; ErrTargetUnreachable is returned when the target
+// exceeds the model's asymptote δ or the bracket.
+func (m AnalyticMachine) RequiredN(target, loN, hiN float64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if target <= 0 || target >= m.Sustained {
+		return 0, fmt.Errorf("%w: target %g vs asymptote δ=%g", ErrTargetUnreachable, target, m.Sustained)
+	}
+	n, err := numeric.SolveIncreasing(m.Efficiency, target, loN, hiN, 1e-6)
+	if err != nil {
+		if errors.Is(err, numeric.ErrBelowRange) || errors.Is(err, numeric.ErrAboveRange) {
+			return 0, fmt.Errorf("%w: target %g outside bracket [%g, %g] -> [%g, %g]",
+				ErrTargetUnreachable, target, loN, hiN, m.Efficiency(loN), m.Efficiency(hiN))
+		}
+		return 0, err
+	}
+	return n, nil
+}
+
+// Prediction is the outcome of the §4.5 procedure for one scaled machine.
+type Prediction struct {
+	Label string
+	C     float64
+	N     float64 // predicted problem size holding E_s at the target
+	W     float64
+	To    float64 // modeled overhead at N
+	T0    float64 // modeled sequential time at N
+}
+
+// PredictChain runs the §4.5 prediction over a ladder of machines: find
+// each machine's required n for the target efficiency, then compute the
+// step scalabilities two ways — by the definition ψ = C'W/(CW') and by
+// Theorem 1 / Corollary 2 (ψ = (t0+To)/(t0'+To')). The paper's Tables 6
+// and 7 are the N column and the Theorem-1 column respectively.
+func PredictChain(machines []AnalyticMachine, target, loN, hiN float64) ([]Prediction, []float64, []float64, error) {
+	if len(machines) < 2 {
+		return nil, nil, nil, fmt.Errorf("core: PredictChain needs >= 2 machines, got %d", len(machines))
+	}
+	preds := make([]Prediction, len(machines))
+	for i, m := range machines {
+		n, err := m.RequiredN(target, loN, hiN)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("core: PredictChain %s: %w", m.Label, err)
+		}
+		preds[i] = Prediction{
+			Label: m.Label,
+			C:     m.C,
+			N:     n,
+			W:     m.Work(n),
+			To:    m.Overhead(n),
+			T0:    m.seq(n),
+		}
+	}
+	psiDef := make([]float64, len(machines)-1)
+	psiThm := make([]float64, len(machines)-1)
+	for i := 1; i < len(preds); i++ {
+		var err error
+		psiDef[i-1], err = Psi(preds[i-1].C, preds[i-1].W, preds[i].C, preds[i].W)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		psiThm[i-1], err = Theorem1Psi(preds[i-1].T0, preds[i-1].To, preds[i].T0, preds[i].To)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return preds, psiDef, psiThm, nil
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func gePredictMachine(label string, c float64, p int) AnalyticMachine {
+	// GE-like: W = (2/3)n³, To = n·(0.62·p) + 0.0007·n², t0 = n²/(C/ms).
+	return AnalyticMachine{
+		Label:     label,
+		C:         c,
+		P:         p,
+		Sustained: 0.55,
+		Work:      func(n float64) float64 { return 2 * n * n * n / 3 },
+		SeqTime:   func(n float64) float64 { return n * n / (c * 1e3) },
+		Overhead:  func(n float64) float64 { return n*0.62*float64(p) + 0.0007*n*n },
+	}
+}
+
+func TestAnalyticMachineValidate(t *testing.T) {
+	m := gePredictMachine("C2", 116.5, 3)
+	if err := m.Validate(); err != nil {
+		t.Errorf("valid machine rejected: %v", err)
+	}
+	bad := m
+	bad.C = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("C=0 accepted")
+	}
+	bad = m
+	bad.Sustained = 1.2
+	if err := bad.Validate(); err == nil {
+		t.Error("δ>1 accepted")
+	}
+	bad = m
+	bad.Work = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("nil Work accepted")
+	}
+	bad = m
+	bad.Overhead = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("nil Overhead accepted")
+	}
+	bad = m
+	bad.P = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("P=0 accepted")
+	}
+}
+
+func TestEfficiencyIncreasingAndBounded(t *testing.T) {
+	m := gePredictMachine("C2", 116.5, 3)
+	prev := 0.0
+	for _, n := range []float64{50, 100, 500, 2000, 10000} {
+		e := m.Efficiency(n)
+		if e <= prev {
+			t.Errorf("E(%g) = %g not increasing", n, e)
+		}
+		if e >= m.Sustained {
+			t.Errorf("E(%g) = %g exceeds asymptote %g", n, e, m.Sustained)
+		}
+		prev = e
+	}
+}
+
+func TestRequiredNSolvesCondition(t *testing.T) {
+	m := gePredictMachine("C2", 116.5, 3)
+	n, err := m.RequiredN(0.3, 10, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Efficiency(n)-0.3) > 1e-6 {
+		t.Errorf("E(RequiredN) = %g, want 0.3", m.Efficiency(n))
+	}
+	// SeqTime nil works too.
+	m2 := m
+	m2.SeqTime = nil
+	if _, err := m2.RequiredN(0.3, 10, 1e6); err != nil {
+		t.Errorf("nil SeqTime: %v", err)
+	}
+	// Target above asymptote fails cleanly.
+	if _, err := m.RequiredN(0.56, 10, 1e6); !errors.Is(err, ErrTargetUnreachable) {
+		t.Errorf("above-asymptote target: %v", err)
+	}
+	// Tiny bracket fails cleanly.
+	if _, err := m.RequiredN(0.3, 10, 20); !errors.Is(err, ErrTargetUnreachable) {
+		t.Errorf("tiny bracket: %v", err)
+	}
+	bad := m
+	bad.C = -1
+	if _, err := bad.RequiredN(0.3, 10, 1e6); err == nil {
+		t.Error("invalid machine accepted")
+	}
+}
+
+func TestPredictChainPaperShape(t *testing.T) {
+	// Ladder mimicking the paper's GE configs: C grows, p grows.
+	machines := []AnalyticMachine{
+		gePredictMachine("C2", 116.5, 3),
+		gePredictMachine("C4", 242.7, 5),
+		gePredictMachine("C8", 411.1, 9),
+		gePredictMachine("C16", 747.9, 17),
+		gePredictMachine("C32", 1421.5, 33),
+	}
+	preds, psiDef, psiThm, err := PredictChain(machines, 0.3, 10, 1e7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 5 || len(psiDef) != 4 || len(psiThm) != 4 {
+		t.Fatalf("lengths %d/%d/%d", len(preds), len(psiDef), len(psiThm))
+	}
+	// Required N grows with system size.
+	for i := 1; i < len(preds); i++ {
+		if preds[i].N <= preds[i-1].N {
+			t.Errorf("N not growing: %v", preds)
+		}
+	}
+	// ψ in (0,1); definition and Theorem 1 agree (the theorem is exact for
+	// this model family).
+	for i := range psiDef {
+		if psiDef[i] <= 0 || psiDef[i] >= 1 {
+			t.Errorf("ψ_def[%d] = %g out of (0,1)", i, psiDef[i])
+		}
+		if math.Abs(psiDef[i]-psiThm[i]) > 1e-6 {
+			t.Errorf("step %d: ψ_def %g vs ψ_thm %g", i, psiDef[i], psiThm[i])
+		}
+	}
+}
+
+func TestPredictChainErrors(t *testing.T) {
+	m := gePredictMachine("C2", 116.5, 3)
+	if _, _, _, err := PredictChain([]AnalyticMachine{m}, 0.3, 10, 1e6); err == nil {
+		t.Error("single machine accepted")
+	}
+	bad := gePredictMachine("C4", 242.7, 5)
+	bad.Work = nil
+	if _, _, _, err := PredictChain([]AnalyticMachine{m, bad}, 0.3, 10, 1e6); err == nil {
+		t.Error("invalid machine accepted")
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Classic scaling models, for context around the isospeed-efficiency
+// metric. The paper descends from this line of work (Sun & Ni's
+// memory-bounded speedup is its reference [9]); putting the four models
+// side by side shows what the new metric adds: no sequential-fraction
+// guess, no single-node run, heterogeneity through marked speed.
+//
+// All three speedup models take the "processor count" as a float so the
+// heterogeneous generalization (p ≡ C/C_ref, the system's marked speed in
+// units of a reference node) drops in unchanged.
+
+// AmdahlSpeedup is fixed-size speedup: S(p) = 1 / (α + (1-α)/p), with α
+// the sequential fraction of the (fixed) workload.
+func AmdahlSpeedup(alpha, p float64) (float64, error) {
+	if err := checkAlphaP(alpha, p); err != nil {
+		return 0, err
+	}
+	return 1 / (alpha + (1-alpha)/p), nil
+}
+
+// GustafsonSpeedup is fixed-time (scaled) speedup: S(p) = α + (1-α)·p.
+func GustafsonSpeedup(alpha, p float64) (float64, error) {
+	if err := checkAlphaP(alpha, p); err != nil {
+		return 0, err
+	}
+	return alpha + (1-alpha)*p, nil
+}
+
+// SunNiSpeedup is memory-bounded speedup: the parallel workload grows by
+// the factor G(p) that fits the scaled memory,
+//
+//	S(p) = (α + (1-α)·G(p)) / (α + (1-α)·G(p)/p).
+//
+// G(p) = 1 recovers Amdahl; G(p) = p recovers Gustafson; for dense
+// matrix computation with memory growing linearly in p, W ∝ N³ while
+// memory ∝ N², giving the classical G(p) = p^{3/2}.
+func SunNiSpeedup(alpha, p float64, g func(p float64) float64) (float64, error) {
+	if err := checkAlphaP(alpha, p); err != nil {
+		return 0, err
+	}
+	if g == nil {
+		return 0, errors.New("core: SunNiSpeedup needs a work-growth function G")
+	}
+	gp := g(p)
+	if gp <= 0 {
+		return 0, fmt.Errorf("core: G(%g) = %g must be positive", p, gp)
+	}
+	return (alpha + (1-alpha)*gp) / (alpha + (1-alpha)*gp/p), nil
+}
+
+func checkAlphaP(alpha, p float64) error {
+	if alpha < 0 || alpha > 1 {
+		return fmt.Errorf("core: sequential fraction %g out of [0,1]", alpha)
+	}
+	if p <= 0 {
+		return fmt.Errorf("%w: p = %g", ErrNonPositive, p)
+	}
+	return nil
+}
+
+// GMatrixMemory is the classical G for dense matrix computation when
+// aggregate memory grows linearly with p: G(p) = p^{3/2} (W ∝ N³,
+// memory ∝ N²).
+func GMatrixMemory(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	// p^{3/2} without math.Pow for the common case.
+	return p * sqrt(p)
+}
+
+func sqrt(x float64) float64 {
+	// Newton's iteration, sufficient for well-scaled positive inputs and
+	// keeps this file dependency-free.
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// ScalingRow is one rung of the four-model comparison.
+type ScalingRow struct {
+	Label      string
+	PEquiv     float64 // C/C_ref: heterogeneous "equivalent processors"
+	Amdahl     float64
+	Gustafson  float64
+	SunNi      float64
+	WorkGrowth float64 // W'/W demanded by the isospeed-efficiency condition
+	IdealWork  float64 // C'/C: ideal work growth
+	Psi        float64 // isospeed-efficiency scalability vs the base rung
+}
+
+// CompareScalingModels evaluates the classic models and the
+// isospeed-efficiency requirement on a ladder of analytic machines. The
+// base machine is machines[0]; alpha is the sequential fraction used for
+// the classic models; target the efficiency set-point for required-N.
+func CompareScalingModels(machines []AnalyticMachine, alpha, target, loN, hiN float64) ([]ScalingRow, error) {
+	if len(machines) < 2 {
+		return nil, fmt.Errorf("core: CompareScalingModels needs >= 2 machines, got %d", len(machines))
+	}
+	preds, _, _, err := PredictChain(machines, target, loN, hiN)
+	if err != nil {
+		return nil, err
+	}
+	base := preds[0]
+	rows := make([]ScalingRow, len(machines))
+	for i, m := range machines {
+		pEq := m.C / machines[0].C * float64(machines[0].P)
+		am, err := AmdahlSpeedup(alpha, pEq)
+		if err != nil {
+			return nil, err
+		}
+		gu, err := GustafsonSpeedup(alpha, pEq)
+		if err != nil {
+			return nil, err
+		}
+		sn, err := SunNiSpeedup(alpha, pEq, GMatrixMemory)
+		if err != nil {
+			return nil, err
+		}
+		row := ScalingRow{
+			Label:      m.Label,
+			PEquiv:     pEq,
+			Amdahl:     am,
+			Gustafson:  gu,
+			SunNi:      sn,
+			WorkGrowth: preds[i].W / base.W,
+			IdealWork:  m.C / machines[0].C,
+		}
+		if i > 0 {
+			psi, err := Psi(base.C, base.W, preds[i].C, preds[i].W)
+			if err != nil {
+				return nil, err
+			}
+			row.Psi = psi
+		} else {
+			row.Psi = 1
+		}
+		rows[i] = row
+	}
+	return rows, nil
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAmdahlKnownValues(t *testing.T) {
+	// α=0: perfect speedup.
+	if s, err := AmdahlSpeedup(0, 16); err != nil || s != 16 {
+		t.Errorf("Amdahl(0,16) = %g, %v", s, err)
+	}
+	// α=1: no speedup.
+	if s, err := AmdahlSpeedup(1, 16); err != nil || s != 1 {
+		t.Errorf("Amdahl(1,16) = %g, %v", s, err)
+	}
+	// Classic: α=0.05, p=20 -> 1/(0.05+0.95/20) = 10.256...
+	s, err := AmdahlSpeedup(0.05, 20)
+	if err != nil || math.Abs(s-10.2564) > 1e-3 {
+		t.Errorf("Amdahl(0.05,20) = %g, %v", s, err)
+	}
+	if _, err := AmdahlSpeedup(-0.1, 4); err == nil {
+		t.Error("negative alpha accepted")
+	}
+	if _, err := AmdahlSpeedup(0.5, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+}
+
+func TestGustafsonKnownValues(t *testing.T) {
+	if s, err := GustafsonSpeedup(0, 16); err != nil || s != 16 {
+		t.Errorf("Gustafson(0,16) = %g, %v", s, err)
+	}
+	if s, err := GustafsonSpeedup(1, 16); err != nil || s != 1 {
+		t.Errorf("Gustafson(1,16) = %g, %v", s, err)
+	}
+	if s, err := GustafsonSpeedup(0.05, 20); err != nil || math.Abs(s-19.05) > 1e-12 {
+		t.Errorf("Gustafson(0.05,20) = %g, %v", s, err)
+	}
+}
+
+func TestSunNiBracketsTheOthers(t *testing.T) {
+	// G=1 -> Amdahl, G=p -> Gustafson, G=p^{3/2} above Gustafson.
+	alpha, p := 0.1, 16.0
+	am, _ := AmdahlSpeedup(alpha, p)
+	gu, _ := GustafsonSpeedup(alpha, p)
+	snAm, err := SunNiSpeedup(alpha, p, func(float64) float64 { return 1 })
+	if err != nil || math.Abs(snAm-am) > 1e-12 {
+		t.Errorf("SunNi(G=1) = %g, want Amdahl %g", snAm, am)
+	}
+	snGu, err := SunNiSpeedup(alpha, p, func(q float64) float64 { return q })
+	if err != nil || math.Abs(snGu-gu) > 1e-12 {
+		t.Errorf("SunNi(G=p) = %g, want Gustafson %g", snGu, gu)
+	}
+	snMem, err := SunNiSpeedup(alpha, p, GMatrixMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(snMem > gu && gu > am) {
+		t.Errorf("ordering violated: SunNi %g, Gustafson %g, Amdahl %g", snMem, gu, am)
+	}
+	if _, err := SunNiSpeedup(alpha, p, nil); err == nil {
+		t.Error("nil G accepted")
+	}
+	if _, err := SunNiSpeedup(alpha, p, func(float64) float64 { return -1 }); err == nil {
+		t.Error("negative G accepted")
+	}
+}
+
+func TestGMatrixMemory(t *testing.T) {
+	if got := GMatrixMemory(4); math.Abs(got-8) > 1e-9 {
+		t.Errorf("G(4) = %g, want 8", got)
+	}
+	if got := GMatrixMemory(1); math.Abs(got-1) > 1e-9 {
+		t.Errorf("G(1) = %g, want 1", got)
+	}
+	if GMatrixMemory(0) != 0 || GMatrixMemory(-2) != 0 {
+		t.Error("non-positive input should give 0")
+	}
+}
+
+func TestCompareScalingModels(t *testing.T) {
+	machines := []AnalyticMachine{
+		gePredictMachine("C2", 116.5, 3),
+		gePredictMachine("C4", 242.7, 5),
+		gePredictMachine("C8", 411.1, 9),
+	}
+	rows, err := CompareScalingModels(machines, 0.02, 0.3, 10, 1e7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Psi != 1 || rows[0].WorkGrowth != 1 || rows[0].IdealWork != 1 {
+		t.Errorf("base row %+v", rows[0])
+	}
+	for i := 1; i < len(rows); i++ {
+		r := rows[i]
+		// Speedup ordering holds on every rung.
+		if !(r.SunNi >= r.Gustafson && r.Gustafson >= r.Amdahl) {
+			t.Errorf("rung %d: model ordering violated: %+v", i, r)
+		}
+		// The isospeed-efficiency condition demands superlinear work.
+		if r.WorkGrowth <= r.IdealWork {
+			t.Errorf("rung %d: work growth %g should exceed ideal %g", i, r.WorkGrowth, r.IdealWork)
+		}
+		if r.Psi <= 0 || r.Psi >= 1 {
+			t.Errorf("rung %d: ψ = %g", i, r.Psi)
+		}
+		// ψ is exactly ideal/actual work growth.
+		if math.Abs(r.Psi-r.IdealWork/r.WorkGrowth) > 1e-9 {
+			t.Errorf("rung %d: ψ %g != ideal/growth %g", i, r.Psi, r.IdealWork/r.WorkGrowth)
+		}
+	}
+	if _, err := CompareScalingModels(machines[:1], 0.02, 0.3, 10, 1e7); err == nil {
+		t.Error("single machine accepted")
+	}
+	if _, err := CompareScalingModels(machines, -1, 0.3, 10, 1e7); err == nil {
+		t.Error("bad alpha accepted")
+	}
+}
+
+// Property: Amdahl <= Gustafson for any valid (alpha, p); both reduce to 1
+// at p=1.
+func TestScalingModelOrderingQuick(t *testing.T) {
+	f := func(ra, rp uint16) bool {
+		alpha := float64(ra%1000) / 1000
+		p := 1 + float64(rp%512)
+		am, err1 := AmdahlSpeedup(alpha, p)
+		gu, err2 := GustafsonSpeedup(alpha, p)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if am > gu+1e-12 {
+			return false
+		}
+		a1, _ := AmdahlSpeedup(alpha, 1)
+		g1, _ := GustafsonSpeedup(alpha, 1)
+		return math.Abs(a1-1) < 1e-12 && math.Abs(g1-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import "fmt"
+
+// Theorem1Psi computes the scalability of Theorem 1:
+//
+//	ψ(C, C') = (t0 + To) / (t0' + To')
+//
+// where t0, t0' are the sequential-portion execution times and To, To' the
+// total parallel overheads at the initial and scaled system. The theorem
+// assumes balanced per-node workload and that a problem size exists which
+// keeps speed-efficiency constant.
+//
+// Derivation (paper §3.4): with T = t0 + (1-α)W/C + To the isospeed-
+// efficiency condition W/(TC) = W'/(T'C') reduces to
+// W·C'(t0'+To') = W'·C(t0+To), hence ψ = (C'W)/(CW') = (t0+To)/(t0'+To').
+func Theorem1Psi(t0, to, t0Prime, toPrime float64) (float64, error) {
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{{"t0", t0}, {"To", to}, {"t0'", t0Prime}, {"To'", toPrime}} {
+		if v.val < 0 {
+			return 0, fmt.Errorf("core: Theorem1Psi: %s = %g must be non-negative", v.name, v.val)
+		}
+	}
+	den := t0Prime + toPrime
+	num := t0 + to
+	if den <= 0 {
+		if num == 0 {
+			// Corollary 1's ideal case: no sequential part, constant (zero)
+			// overhead — perfectly scalable.
+			return 1, nil
+		}
+		return 0, fmt.Errorf("core: Theorem1Psi: zero scaled overhead with nonzero base overhead")
+	}
+	if num == 0 {
+		return 0, fmt.Errorf("core: Theorem1Psi: zero base overhead with nonzero scaled overhead")
+	}
+	return num / den, nil
+}
+
+// Corollary2Psi is the perfectly-parallelizable special case (α = 0,
+// t0 = t0' = 0): ψ(C, C') = To / To'. This is the form the paper uses for
+// its GE prediction in §4.5.
+func Corollary2Psi(to, toPrime float64) (float64, error) {
+	return Theorem1Psi(0, to, 0, toPrime)
+}
+
+// ScaledWork computes the problem size growth Theorem 1's proof derives:
+// the scaled work keeping E_s constant is
+//
+//	W' = W · C'·(t0' + To') / (C·(t0 + To)).
+func ScaledWork(w, c, cPrime, t0, to, t0Prime, toPrime float64) (float64, error) {
+	if w <= 0 || c <= 0 || cPrime <= 0 {
+		return 0, fmt.Errorf("%w: W=%g C=%g C'=%g", ErrNonPositive, w, c, cPrime)
+	}
+	psi, err := Theorem1Psi(t0, to, t0Prime, toPrime)
+	if err != nil {
+		return 0, err
+	}
+	// ψ = C'W/(CW')  =>  W' = C'W/(Cψ).
+	return cPrime * w / (c * psi), nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTheorem1Psi(t *testing.T) {
+	// ψ = (t0+To)/(t0'+To').
+	psi, err := Theorem1Psi(2, 8, 5, 15)
+	if err != nil || !almostEq(psi, 0.5, 1e-12) {
+		t.Errorf("ψ = %g, %v; want 0.5", psi, err)
+	}
+	// Corollary 1: perfect parallelism + constant overhead -> ψ = 1.
+	psi, err = Theorem1Psi(0, 7, 0, 7)
+	if err != nil || psi != 1 {
+		t.Errorf("Corollary 1: ψ = %g, %v", psi, err)
+	}
+	// Degenerate zero/zero: ideal.
+	psi, err = Theorem1Psi(0, 0, 0, 0)
+	if err != nil || psi != 1 {
+		t.Errorf("0/0 case: ψ = %g, %v", psi, err)
+	}
+	if _, err := Theorem1Psi(-1, 0, 1, 1); err == nil {
+		t.Error("negative t0 accepted")
+	}
+	if _, err := Theorem1Psi(1, 1, 0, 0); err == nil {
+		t.Error("nonzero/zero accepted")
+	}
+	if _, err := Theorem1Psi(0, 0, 1, 1); err == nil {
+		t.Error("zero/nonzero accepted")
+	}
+}
+
+func TestCorollary2(t *testing.T) {
+	psi, err := Corollary2Psi(10, 40)
+	if err != nil || !almostEq(psi, 0.25, 1e-12) {
+		t.Errorf("Corollary2 ψ = %g, %v", psi, err)
+	}
+}
+
+func TestScaledWorkConsistentWithPsi(t *testing.T) {
+	// W' from ScaledWork must reproduce ψ via the definition.
+	w, c, cp := 1e9, 100.0, 350.0
+	t0, to, t0p, top := 1.0, 9.0, 2.0, 23.0
+	wPrime, err := ScaledWork(w, c, cp, t0, to, t0p, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psiDef, err := Psi(c, w, cp, wPrime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psiThm, err := Theorem1Psi(t0, to, t0p, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(psiDef, psiThm, 1e-12) {
+		t.Errorf("definition ψ %g != theorem ψ %g", psiDef, psiThm)
+	}
+	if _, err := ScaledWork(0, c, cp, t0, to, t0p, top); err == nil {
+		t.Error("zero W accepted")
+	}
+}
+
+// Property (Theorem 1 consistency): for random positive overheads, the
+// work ScaledWork prescribes keeps the modeled speed-efficiency constant.
+func TestIsospeedEfficiencyConditionQuick(t *testing.T) {
+	f := func(rw, rc, rcp, rt0, rto, rt0p, rtop uint16) bool {
+		w := 1e8 + float64(rw)*1e4
+		c := 50 + float64(rc%500)
+		cp := c * (1.5 + float64(rcp%40)/10)
+		t0 := float64(rt0%100) / 10
+		to := 1 + float64(rto%500)/10
+		t0p := float64(rt0p%100) / 10
+		top := 1 + float64(rtop%500)/10
+
+		wp, err := ScaledWork(w, c, cp, t0, to, t0p, top)
+		if err != nil {
+			return false
+		}
+		// Model: T = (1-α)W/C + t0 + To with balanced load; the derivation
+		// charges the parallel part at full C. E = W/(TC).
+		alphaPart := func(w, c, t0, to float64) float64 {
+			return w/(c*1e3) + t0 + to // ms; (1-α)W ≈ W for α→0 per §4.5
+		}
+		e1 := w / (alphaPart(w, c, t0, to) * c * 1e3)
+		e2 := wp / (alphaPart(wp, cp, t0p, top) * cp * 1e3)
+		return almostEq(e1, e2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

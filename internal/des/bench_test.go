@@ -1,0 +1,74 @@
+package des
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw event dispatch rate.
+func BenchmarkEventThroughput(b *testing.B) {
+	k := NewKernel()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(float64(i), func() {})
+	}
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkProcessSwitch measures the cooperative handoff cost: one
+// process delaying b.N times.
+func BenchmarkProcessSwitch(b *testing.B) {
+	k := NewKernel()
+	k.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Delay(1)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkResourceContention measures queued acquire/release cycles over
+// a unit-capacity resource shared by 8 processes.
+func BenchmarkResourceContention(b *testing.B) {
+	k := NewKernel()
+	r := k.NewResource("wire", 1)
+	per := b.N/8 + 1
+	for w := 0; w < 8; w++ {
+		k.Spawn("w", func(p *Proc) {
+			for i := 0; i < per; i++ {
+				r.Use(p, 0.001)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkQueuePingPong measures store-and-forward messaging between two
+// processes.
+func BenchmarkQueuePingPong(b *testing.B) {
+	k := NewKernel()
+	q1 := k.NewQueue("a2b")
+	q2 := k.NewQueue("b2a")
+	n := b.N
+	k.Spawn("a", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			q1.Put(i, 0.1)
+			q2.Get(p)
+		}
+	})
+	k.Spawn("b", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			q1.Get(p)
+			q2.Put(i, 0.1)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+package des
+
+import "fmt"
+
+// Proc is a simulation process: a goroutine that advances virtual time via
+// Delay and coordinates with other processes through Resources and Queues.
+// All Proc methods must be called from the process's own goroutine.
+type Proc struct {
+	Name   string
+	k      *Kernel
+	resume chan struct{}
+	done   bool
+}
+
+// Spawn creates a process running fn, starting at the current virtual time
+// (after already-queued events at this time). fn runs in its own goroutine
+// but under the kernel's cooperative regime.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{Name: name, k: k, resume: make(chan struct{})}
+	k.procs++
+	k.Schedule(0, func() {
+		go func() {
+			defer func() {
+				// A panicking process would strand the kernel on k.yield;
+				// convert to a crash with context instead of a hang.
+				if r := recover(); r != nil {
+					panic(fmt.Sprintf("des: process %q panicked: %v", p.Name, r))
+				}
+			}()
+			fn(p)
+			p.done = true
+			k.procs--
+			k.yield <- struct{}{}
+		}()
+		<-k.yield // wait until the process blocks or finishes
+	})
+	return p
+}
+
+// Delay advances the process's virtual time by dt (>= 0), letting other
+// events run in between.
+func (p *Proc) Delay(dt float64) {
+	if p.done {
+		panic("des: Delay on finished process")
+	}
+	p.k.Schedule(dt, func() {
+		p.resume <- struct{}{}
+		<-p.k.yield
+	})
+	p.yieldAndWait()
+}
+
+// suspend parks the process with no scheduled wake-up. Something else must
+// call p.wake() or the kernel will report deadlock.
+func (p *Proc) suspend() {
+	p.k.blocked++
+	p.yieldAndWait()
+	p.k.blocked--
+}
+
+// wake schedules the process to resume at the current virtual time. It must
+// be called from kernel context (an event callback) or from another process.
+func (p *Proc) wake() {
+	p.k.Schedule(0, func() {
+		p.resume <- struct{}{}
+		<-p.k.yield
+	})
+}
+
+// yieldAndWait hands control to the kernel and blocks until resumed.
+func (p *Proc) yieldAndWait() {
+	p.k.yield <- struct{}{}
+	<-p.resume
+}
+
+// Suspend parks the process indefinitely; some other process or event must
+// Wake it, or the kernel will report deadlock. It is the building block for
+// user-defined synchronization (e.g. barriers) outside this package.
+func (p *Proc) Suspend() { p.suspend() }
+
+// Wake schedules a Suspended process to resume at the current virtual time.
+// Waking a process that is not suspended corrupts the handshake; callers
+// must pair Wake with exactly one outstanding Suspend.
+func (p *Proc) Wake() { p.wake() }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.k.Now() }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }

@@ -1,0 +1,270 @@
+// Package dist implements the data-distribution strategies the paper's
+// parallel algorithms rely on to balance work across nodes of different
+// marked speeds:
+//
+//   - proportional (heterogeneous) block distribution — used by the MM
+//     algorithm of §4.1.2, which gives node i a contiguous band of
+//     N·C_i/C rows ("HoHe" strategy of Kalinov & Lastovetsky);
+//   - heterogeneous cyclic distribution — used by the GE algorithm of
+//     §4.1.1, which interleaves row ownership so the *remaining* active
+//     rows stay proportional to node speed throughout elimination;
+//   - homogeneous block and cyclic distributions — the ablation baselines
+//     that ignore heterogeneity;
+//   - a Beaumont-style column tiling heuristic for two-dimensional MM
+//     partitions (the paper's reference [1]), provided as an extension.
+//
+// A distribution is an Assignment: an owner rank per row plus per-rank
+// counts. Invariants (verified by property tests): every row has exactly
+// one owner, counts sum to N, and every speed-positive rank set yields a
+// valid assignment for every N >= 0.
+package dist
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Assignment is the result of distributing n rows over p ranks.
+type Assignment struct {
+	Owner  []int // Owner[row] = rank, len n
+	Counts []int // Counts[rank] = number of rows owned, len p
+}
+
+// Validate checks internal consistency.
+func (a Assignment) Validate() error {
+	p := len(a.Counts)
+	seen := make([]int, p)
+	for row, r := range a.Owner {
+		if r < 0 || r >= p {
+			return fmt.Errorf("dist: row %d owned by out-of-range rank %d", row, r)
+		}
+		seen[r]++
+	}
+	for r := range seen {
+		if seen[r] != a.Counts[r] {
+			return fmt.Errorf("dist: rank %d count %d disagrees with owner map %d", r, a.Counts[r], seen[r])
+		}
+	}
+	return nil
+}
+
+// Rows returns the rows owned by rank r, in increasing order.
+func (a Assignment) Rows(r int) []int {
+	out := make([]int, 0, a.Counts[r])
+	for row, o := range a.Owner {
+		if o == r {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// Strategy assigns n rows to ranks given per-rank speeds.
+type Strategy interface {
+	Name() string
+	Assign(n int, speeds []float64) (Assignment, error)
+}
+
+func checkSpeeds(speeds []float64) error {
+	if len(speeds) == 0 {
+		return errors.New("dist: no ranks")
+	}
+	for i, s := range speeds {
+		if s <= 0 {
+			return fmt.Errorf("dist: rank %d has non-positive speed %g", i, s)
+		}
+	}
+	return nil
+}
+
+// proportionalCounts splits n into integer counts proportional to speeds
+// using largest-remainder rounding, guaranteeing sum == n.
+func proportionalCounts(n int, speeds []float64) []int {
+	p := len(speeds)
+	var total float64
+	for _, s := range speeds {
+		total += s
+	}
+	counts := make([]int, p)
+	type rem struct {
+		frac float64
+		rank int
+	}
+	rems := make([]rem, p)
+	assigned := 0
+	for i, s := range speeds {
+		exact := float64(n) * s / total
+		counts[i] = int(exact)
+		assigned += counts[i]
+		rems[i] = rem{frac: exact - float64(counts[i]), rank: i}
+	}
+	// Hand the leftover rows to the largest fractional parts (ties: lower
+	// rank first, for determinism).
+	for assigned < n {
+		best := -1
+		for i := range rems {
+			if best == -1 || rems[i].frac > rems[best].frac {
+				best = i
+			}
+		}
+		counts[rems[best].rank]++
+		rems[best].frac = -1
+		assigned++
+	}
+	return counts
+}
+
+// HetBlock is the proportional contiguous-band distribution: rank i owns a
+// block of ~n·C_i/C consecutive rows.
+type HetBlock struct{}
+
+// Name implements Strategy.
+func (HetBlock) Name() string { return "het-block" }
+
+// Assign implements Strategy.
+func (HetBlock) Assign(n int, speeds []float64) (Assignment, error) {
+	if err := checkSpeeds(speeds); err != nil {
+		return Assignment{}, err
+	}
+	if n < 0 {
+		return Assignment{}, fmt.Errorf("dist: negative n %d", n)
+	}
+	counts := proportionalCounts(n, speeds)
+	owner := make([]int, n)
+	row := 0
+	for r, c := range counts {
+		for k := 0; k < c; k++ {
+			owner[row] = r
+			row++
+		}
+	}
+	return Assignment{Owner: owner, Counts: counts}, nil
+}
+
+// BlockRanges returns, for a block assignment with the given counts, the
+// half-open row range [lo, hi) of each rank.
+func BlockRanges(counts []int) [][2]int {
+	out := make([][2]int, len(counts))
+	lo := 0
+	for r, c := range counts {
+		out[r] = [2]int{lo, lo + c}
+		lo += c
+	}
+	return out
+}
+
+// HetCyclic is the heterogeneous cyclic distribution used by the parallel
+// GE: rows are dealt one at a time to the rank with the largest speed
+// deficit, so that every prefix (and therefore every elimination tail) is
+// owned in near-proportion to speed. For equal speeds it reduces exactly to
+// round-robin dealing.
+type HetCyclic struct{}
+
+// Name implements Strategy.
+func (HetCyclic) Name() string { return "het-cyclic" }
+
+// Assign implements Strategy.
+func (HetCyclic) Assign(n int, speeds []float64) (Assignment, error) {
+	if err := checkSpeeds(speeds); err != nil {
+		return Assignment{}, err
+	}
+	if n < 0 {
+		return Assignment{}, fmt.Errorf("dist: negative n %d", n)
+	}
+	p := len(speeds)
+	owner := make([]int, n)
+	counts := make([]int, p)
+	for row := 0; row < n; row++ {
+		// Choose the rank minimizing (count+1)/speed — i.e., the rank whose
+		// normalized load stays smallest after taking this row. Ties go to
+		// the lowest rank for determinism.
+		best := 0
+		bestKey := float64(counts[0]+1) / speeds[0]
+		for r := 1; r < p; r++ {
+			key := float64(counts[r]+1) / speeds[r]
+			if key < bestKey {
+				best, bestKey = r, key
+			}
+		}
+		owner[row] = best
+		counts[best]++
+	}
+	return Assignment{Owner: owner, Counts: counts}, nil
+}
+
+// HomBlock ignores speeds and splits rows into p near-equal contiguous
+// blocks — the homogeneous baseline for ablation.
+type HomBlock struct{}
+
+// Name implements Strategy.
+func (HomBlock) Name() string { return "hom-block" }
+
+// Assign implements Strategy.
+func (HomBlock) Assign(n int, speeds []float64) (Assignment, error) {
+	if err := checkSpeeds(speeds); err != nil {
+		return Assignment{}, err
+	}
+	uniform := make([]float64, len(speeds))
+	for i := range uniform {
+		uniform[i] = 1
+	}
+	return HetBlock{}.Assign(n, uniform)
+}
+
+// HomCyclic deals rows round-robin ignoring speeds.
+type HomCyclic struct{}
+
+// Name implements Strategy.
+func (HomCyclic) Name() string { return "hom-cyclic" }
+
+// Assign implements Strategy.
+func (HomCyclic) Assign(n int, speeds []float64) (Assignment, error) {
+	if err := checkSpeeds(speeds); err != nil {
+		return Assignment{}, err
+	}
+	if n < 0 {
+		return Assignment{}, fmt.Errorf("dist: negative n %d", n)
+	}
+	p := len(speeds)
+	owner := make([]int, n)
+	counts := make([]int, p)
+	for row := 0; row < n; row++ {
+		owner[row] = row % p
+		counts[row%p]++
+	}
+	return Assignment{Owner: owner, Counts: counts}, nil
+}
+
+// Imbalance measures how unbalanced an assignment is relative to the
+// speeds: max_i (count_i / speed_i) divided by (n / total_speed). A
+// perfectly proportional assignment scores 1; larger is worse. Returns 1
+// for n == 0.
+func Imbalance(counts []int, speeds []float64) (float64, error) {
+	if len(counts) != len(speeds) {
+		return 0, fmt.Errorf("dist: Imbalance length mismatch %d vs %d", len(counts), len(speeds))
+	}
+	if err := checkSpeeds(speeds); err != nil {
+		return 0, err
+	}
+	n := 0
+	var total float64
+	for i := range counts {
+		if counts[i] < 0 {
+			return 0, fmt.Errorf("dist: negative count at rank %d", i)
+		}
+		n += counts[i]
+		total += speeds[i]
+	}
+	if n == 0 {
+		return 1, nil
+	}
+	ideal := float64(n) / total
+	var worst float64
+	for i := range counts {
+		v := float64(counts[i]) / speeds[i]
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst / ideal, nil
+}

@@ -1,0 +1,263 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var allStrategies = []Strategy{HetBlock{}, HetCyclic{}, HomBlock{}, HomCyclic{}}
+
+func TestStrategyNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range allStrategies {
+		if s.Name() == "" || seen[s.Name()] {
+			t.Errorf("bad or duplicate strategy name %q", s.Name())
+		}
+		seen[s.Name()] = true
+	}
+}
+
+func TestConservationAndValidity(t *testing.T) {
+	speeds := []float64{37.2, 42.1, 89.5, 89.5}
+	for _, s := range allStrategies {
+		for _, n := range []int{0, 1, 3, 4, 17, 100, 1000} {
+			a, err := s.Assign(n, speeds)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", s.Name(), n, err)
+			}
+			if err := a.Validate(); err != nil {
+				t.Fatalf("%s n=%d: %v", s.Name(), n, err)
+			}
+			sum := 0
+			for _, c := range a.Counts {
+				sum += c
+			}
+			if sum != n {
+				t.Errorf("%s n=%d: counts sum %d", s.Name(), n, sum)
+			}
+			if len(a.Owner) != n {
+				t.Errorf("%s n=%d: owner len %d", s.Name(), n, len(a.Owner))
+			}
+		}
+	}
+}
+
+func TestErrorsOnBadInput(t *testing.T) {
+	for _, s := range allStrategies {
+		if _, err := s.Assign(10, nil); err == nil {
+			t.Errorf("%s: empty speeds accepted", s.Name())
+		}
+		if _, err := s.Assign(10, []float64{1, 0}); err == nil {
+			t.Errorf("%s: zero speed accepted", s.Name())
+		}
+		if _, err := s.Assign(-1, []float64{1, 2}); err == nil {
+			t.Errorf("%s: negative n accepted", s.Name())
+		}
+	}
+}
+
+func TestHetBlockProportionality(t *testing.T) {
+	speeds := []float64{10, 30, 60}
+	a, err := HetBlock{}.Assign(100, speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{10, 30, 60}
+	for i := range want {
+		if a.Counts[i] != want[i] {
+			t.Errorf("Counts = %v, want %v", a.Counts, want)
+			break
+		}
+	}
+	// Blocks are contiguous.
+	ranges := BlockRanges(a.Counts)
+	for r, rg := range ranges {
+		for row := rg[0]; row < rg[1]; row++ {
+			if a.Owner[row] != r {
+				t.Fatalf("row %d: owner %d, want %d", row, a.Owner[row], r)
+			}
+		}
+	}
+}
+
+func TestLargestRemainderRounding(t *testing.T) {
+	// 10 rows over speeds 1,1,1 -> 4,3,3 (first rank gets the remainder).
+	a, err := HetBlock{}.Assign(10, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counts[0] != 4 || a.Counts[1] != 3 || a.Counts[2] != 3 {
+		t.Errorf("Counts = %v, want [4 3 3]", a.Counts)
+	}
+}
+
+func TestHetCyclicPrefixProportionality(t *testing.T) {
+	// The GE property: every prefix of rows should be owned roughly in
+	// proportion to speed, so the elimination tail stays balanced.
+	speeds := []float64{37.2, 42.1, 89.5}
+	var total float64
+	for _, s := range speeds {
+		total += s
+	}
+	a, err := HetCyclic{}.Assign(600, speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(speeds))
+	for prefix := 1; prefix <= 600; prefix++ {
+		counts[a.Owner[prefix-1]]++
+		if prefix < 12 {
+			continue // tiny prefixes can't be proportional
+		}
+		for r := range speeds {
+			ideal := float64(prefix) * speeds[r] / total
+			if math.Abs(float64(counts[r])-ideal) > 2.5 {
+				t.Fatalf("prefix %d rank %d: count %d vs ideal %.1f", prefix, r, counts[r], ideal)
+			}
+		}
+	}
+}
+
+func TestHetCyclicEqualSpeedsIsRoundRobin(t *testing.T) {
+	a, err := HetCyclic{}.Assign(12, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for row, o := range a.Owner {
+		if o != row%3 {
+			t.Fatalf("row %d owner %d, want round-robin %d", row, o, row%3)
+		}
+	}
+}
+
+func TestHomStrategiesIgnoreSpeeds(t *testing.T) {
+	fast := []float64{1, 100}
+	a, err := HomBlock{}.Assign(10, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counts[0] != 5 || a.Counts[1] != 5 {
+		t.Errorf("HomBlock counts = %v, want [5 5]", a.Counts)
+	}
+	b, err := HomCyclic{}.Assign(10, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Counts[0] != 5 || b.Counts[1] != 5 {
+		t.Errorf("HomCyclic counts = %v, want [5 5]", b.Counts)
+	}
+	if b.Owner[0] != 0 || b.Owner[1] != 1 || b.Owner[2] != 0 {
+		t.Errorf("HomCyclic owners = %v", b.Owner)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	// Proportional assignment scores ~1.
+	speeds := []float64{1, 3}
+	im, err := Imbalance([]int{25, 75}, speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(im-1) > 1e-12 {
+		t.Errorf("proportional imbalance = %g, want 1", im)
+	}
+	// Equal split over unequal speeds is imbalanced by 2x on the slow rank:
+	// slow rank does 50/1 vs ideal 100/4 = 25 -> imbalance 2.
+	im, err = Imbalance([]int{50, 50}, speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(im-2) > 1e-12 {
+		t.Errorf("equal-split imbalance = %g, want 2", im)
+	}
+	if _, err := Imbalance([]int{1}, speeds); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Imbalance([]int{-1, 1}, speeds); err == nil {
+		t.Error("negative count accepted")
+	}
+	if im, err := Imbalance([]int{0, 0}, speeds); err != nil || im != 1 {
+		t.Errorf("empty assignment imbalance = %g, %v; want 1", im, err)
+	}
+}
+
+func TestHeterogeneousBeatsHomogeneousImbalance(t *testing.T) {
+	speeds := []float64{37.2, 37.2, 42.1, 89.5, 89.5, 89.5, 42.1, 42.1}
+	n := 500
+	het, err := HetBlock{}.Assign(n, speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hom, err := HomBlock{}.Assign(n, speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imHet, _ := Imbalance(het.Counts, speeds)
+	imHom, _ := Imbalance(hom.Counts, speeds)
+	if imHet >= imHom {
+		t.Errorf("het imbalance %g should beat hom %g", imHet, imHom)
+	}
+	if imHet > 1.1 {
+		t.Errorf("het imbalance %g too high", imHet)
+	}
+}
+
+func TestAssignmentRows(t *testing.T) {
+	a, err := HetCyclic{}.Assign(10, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows0 := a.Rows(0)
+	rows1 := a.Rows(1)
+	if len(rows0) != a.Counts[0] || len(rows1) != a.Counts[1] {
+		t.Errorf("Rows lengths %d,%d vs counts %v", len(rows0), len(rows1), a.Counts)
+	}
+	seen := map[int]bool{}
+	for _, r := range append(rows0, rows1...) {
+		if seen[r] {
+			t.Fatalf("row %d assigned twice", r)
+		}
+		seen[r] = true
+	}
+}
+
+// Property: for random speeds and sizes, counts are proportional within
+// one row per rank (block) and prefix-proportional within small error
+// (cyclic).
+func TestProportionalityQuick(t *testing.T) {
+	f := func(rawSpeeds []uint8, rawN uint16) bool {
+		speeds := make([]float64, 0, len(rawSpeeds))
+		for _, s := range rawSpeeds {
+			if len(speeds) == 8 {
+				break
+			}
+			speeds = append(speeds, float64(s%50)+1)
+		}
+		if len(speeds) == 0 {
+			return true
+		}
+		n := int(rawN % 2000)
+		var total float64
+		for _, s := range speeds {
+			total += s
+		}
+		a, err := HetBlock{}.Assign(n, speeds)
+		if err != nil {
+			return false
+		}
+		if err := a.Validate(); err != nil {
+			return false
+		}
+		for i, c := range a.Counts {
+			ideal := float64(n) * speeds[i] / total
+			if math.Abs(float64(c)-ideal) > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,129 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Tile is an axis-aligned rectangle of the unit square assigned to one
+// rank: the rank computes the corresponding block of the result matrix.
+type Tile struct {
+	Rank       int
+	X, Y, W, H float64 // all in [0,1]; W*H is the rank's area share
+}
+
+// Tiling is a two-dimensional partition of the unit square among ranks,
+// produced by the column-based heuristic of Beaumont, Boudet, Rastello &
+// Robert ("Matrix Multiplication on Heterogeneous Platforms"), the paper's
+// reference [1]. The exact optimization is NP-complete; the heuristic
+// arranges ranks into processor columns, gives each column a width equal to
+// its total speed share, and stacks tiles inside a column with heights
+// proportional to speed. The number of columns (and the assignment of
+// ranks to columns) is chosen to minimize the total half-perimeter
+// Σ(w_i + h_i), which is proportional to the communication volume of a
+// 2D matrix multiplication.
+type Tiling struct {
+	Tiles         []Tile
+	HalfPerimeter float64 // Σ(w+h), the communication-cost proxy
+	Columns       int
+}
+
+// ColumnTiling computes the heuristic tiling for the given speeds.
+func ColumnTiling(speeds []float64) (Tiling, error) {
+	if err := checkSpeeds(speeds); err != nil {
+		return Tiling{}, err
+	}
+	p := len(speeds)
+	var total float64
+	for _, s := range speeds {
+		total += s
+	}
+
+	// Sort ranks by decreasing speed; we will fill columns greedily.
+	order := make([]int, p)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if speeds[order[a]] != speeds[order[b]] {
+			return speeds[order[a]] > speeds[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	best := Tiling{HalfPerimeter: math.Inf(1)}
+	for cols := 1; cols <= p; cols++ {
+		t := buildColumnTiling(speeds, order, total, cols)
+		if t.HalfPerimeter < best.HalfPerimeter {
+			best = t
+		}
+	}
+	return best, nil
+}
+
+// buildColumnTiling distributes ranks (in the given order) over cols
+// columns snake-wise to equalize column speeds, then lays out tiles.
+func buildColumnTiling(speeds []float64, order []int, total float64, cols int) Tiling {
+	colMembers := make([][]int, cols)
+	colSpeed := make([]float64, cols)
+	// Greedy: put the next-fastest rank into the currently lightest column.
+	for _, r := range order {
+		best := 0
+		for c := 1; c < cols; c++ {
+			if colSpeed[c] < colSpeed[best] {
+				best = c
+			}
+		}
+		colMembers[best] = append(colMembers[best], r)
+		colSpeed[best] += speeds[r]
+	}
+
+	t := Tiling{Columns: cols}
+	x := 0.0
+	for c := 0; c < cols; c++ {
+		if len(colMembers[c]) == 0 {
+			continue
+		}
+		w := colSpeed[c] / total
+		y := 0.0
+		for _, r := range colMembers[c] {
+			h := speeds[r] / colSpeed[c]
+			t.Tiles = append(t.Tiles, Tile{Rank: r, X: x, Y: y, W: w, H: h})
+			t.HalfPerimeter += w + h
+			y += h
+		}
+		x += w
+	}
+	// Deterministic order by rank for callers.
+	sort.Slice(t.Tiles, func(i, j int) bool { return t.Tiles[i].Rank < t.Tiles[j].Rank })
+	return t
+}
+
+// Validate checks that a tiling covers the unit square exactly: areas sum
+// to 1 and each rank's area share equals its speed share.
+func (t Tiling) Validate(speeds []float64) error {
+	if len(t.Tiles) != len(speeds) {
+		return fmt.Errorf("dist: tiling has %d tiles for %d ranks", len(t.Tiles), len(speeds))
+	}
+	var total float64
+	for _, s := range speeds {
+		total += s
+	}
+	var area float64
+	for _, tile := range t.Tiles {
+		if tile.W <= 0 || tile.H <= 0 || tile.X < -1e-12 || tile.Y < -1e-12 ||
+			tile.X+tile.W > 1+1e-9 || tile.Y+tile.H > 1+1e-9 {
+			return fmt.Errorf("dist: tile %+v out of unit square", tile)
+		}
+		area += tile.W * tile.H
+		share := speeds[tile.Rank] / total
+		if math.Abs(tile.W*tile.H-share) > 1e-9 {
+			return fmt.Errorf("dist: rank %d area %g != speed share %g", tile.Rank, tile.W*tile.H, share)
+		}
+	}
+	if math.Abs(area-1) > 1e-9 {
+		return fmt.Errorf("dist: tiling area %g != 1", area)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestColumnTilingSingleRank(t *testing.T) {
+	tl, err := ColumnTiling([]float64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Tiles) != 1 {
+		t.Fatalf("tiles = %v", tl.Tiles)
+	}
+	tile := tl.Tiles[0]
+	if tile.W != 1 || tile.H != 1 || tile.X != 0 || tile.Y != 0 {
+		t.Errorf("single tile = %+v, want unit square", tile)
+	}
+	if math.Abs(tl.HalfPerimeter-2) > 1e-12 {
+		t.Errorf("half perimeter = %g, want 2", tl.HalfPerimeter)
+	}
+}
+
+func TestColumnTilingValidates(t *testing.T) {
+	cases := [][]float64{
+		{1, 1},
+		{1, 1, 1, 1},
+		{37.2, 42.1, 89.5},
+		{37.2, 42.1, 42.1, 89.5, 89.5, 89.5, 89.5, 42.1},
+		{1, 100},
+	}
+	for _, speeds := range cases {
+		tl, err := ColumnTiling(speeds)
+		if err != nil {
+			t.Fatalf("speeds %v: %v", speeds, err)
+		}
+		if err := tl.Validate(speeds); err != nil {
+			t.Errorf("speeds %v: %v", speeds, err)
+		}
+	}
+}
+
+func TestColumnTilingHomogeneousSquarish(t *testing.T) {
+	// Four equal ranks: optimal is a 2x2 grid with half-perimeter 4*(0.5+0.5)=4,
+	// strictly better than 1x4 (4*(0.25+1)=5).
+	tl, err := ColumnTiling([]float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Columns != 2 {
+		t.Errorf("Columns = %d, want 2", tl.Columns)
+	}
+	if math.Abs(tl.HalfPerimeter-4) > 1e-9 {
+		t.Errorf("HalfPerimeter = %g, want 4", tl.HalfPerimeter)
+	}
+}
+
+func TestColumnTilingBeatsSingleColumn(t *testing.T) {
+	speeds := []float64{37.2, 42.1, 89.5, 89.5, 42.1, 37.2, 89.5, 42.1}
+	tl, err := ColumnTiling(speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cost of the trivial 1-column layout: Σ(1 + h_i) = p + 1... each tile
+	// spans full width 1 and heights sum to 1, so Σ(w+h) = p*1 + 1 = 9.
+	single := float64(len(speeds)) + 1
+	if tl.HalfPerimeter >= single {
+		t.Errorf("heuristic half-perimeter %g not better than single column %g", tl.HalfPerimeter, single)
+	}
+}
+
+func TestColumnTilingErrors(t *testing.T) {
+	if _, err := ColumnTiling(nil); err == nil {
+		t.Error("empty speeds accepted")
+	}
+	if _, err := ColumnTiling([]float64{1, -1}); err == nil {
+		t.Error("negative speed accepted")
+	}
+}
+
+func TestTilingValidateCatchesBadTilings(t *testing.T) {
+	speeds := []float64{1, 1}
+	bad := Tiling{Tiles: []Tile{{Rank: 0, X: 0, Y: 0, W: 1, H: 1}}}
+	if err := bad.Validate(speeds); err == nil {
+		t.Error("tile-count mismatch accepted")
+	}
+	bad = Tiling{Tiles: []Tile{
+		{Rank: 0, X: 0, Y: 0, W: 1, H: 0.5},
+		{Rank: 1, X: 0, Y: 0.5, W: 1, H: 0.6}, // overflows square
+	}}
+	if err := bad.Validate(speeds); err == nil {
+		t.Error("overflowing tiling accepted")
+	}
+}
+
+// Property: for random speed vectors the heuristic tiling always covers the
+// square with speed-proportional areas.
+func TestColumnTilingQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		speeds := make([]float64, 0, 6)
+		for _, s := range raw {
+			if len(speeds) == 6 {
+				break
+			}
+			speeds = append(speeds, float64(s%90)+10)
+		}
+		if len(speeds) == 0 {
+			return true
+		}
+		tl, err := ColumnTiling(speeds)
+		if err != nil {
+			return false
+		}
+		return tl.Validate(speeds) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

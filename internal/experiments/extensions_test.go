@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/algs"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mpi"
+)
+
+func TestThreeWayOrdering(t *testing.T) {
+	s := quickSuite(t)
+	ge, err := s.GEChainMeasured()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jac, err := s.JacChainMeasured()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := s.MMChainMeasured()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All chains well-formed.
+	for _, chain := range []*chainResult{ge, mm, jac} {
+		for i, psi := range chain.Psis {
+			if psi <= 0 || psi >= 1 {
+				t.Errorf("ψ[%d] = %g out of (0,1)", i, psi)
+			}
+		}
+	}
+	// Asymptotic ordering: at the last ladder step the halo pattern must
+	// beat both the replication and the broadcast patterns (the first
+	// step can invert because a 2-node Jacobi has only one neighbour
+	// exchange and gains a second when the system grows).
+	last := len(ge.Psis) - 1
+	if jac.Psis[last] <= mm.Psis[last] {
+		t.Errorf("last step: Jacobi ψ %g should exceed MM ψ %g", jac.Psis[last], mm.Psis[last])
+	}
+	if jac.Psis[last] <= ge.Psis[last] {
+		t.Errorf("last step: Jacobi ψ %g should exceed GE ψ %g", jac.Psis[last], ge.Psis[last])
+	}
+	// Rendering.
+	tbl, err := s.ThreeWay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(ge.Psis) {
+		t.Errorf("rows %d, want %d", len(tbl.Rows), len(ge.Psis))
+	}
+}
+
+func TestMemBoundBitesEventually(t *testing.T) {
+	s := quickSuite(t)
+	tbl, err := s.MemBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawBounded, sawUnbounded bool
+	prevReq := 0.0
+	for _, row := range tbl.Rows {
+		req, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("bad required N %q", row[1])
+		}
+		if req <= prevReq {
+			t.Errorf("required N not increasing: %v", tbl.Rows)
+		}
+		prevReq = req
+		switch row[3] {
+		case "YES":
+			sawBounded = true
+			eff, err := strconv.ParseFloat(row[4], 64)
+			if err != nil {
+				t.Fatalf("bad eff %q", row[4])
+			}
+			if eff >= s.Cfg.MMTarget {
+				t.Errorf("bounded rung achieves %g >= target %g", eff, s.Cfg.MMTarget)
+			}
+		case "no":
+			sawUnbounded = true
+		default:
+			t.Errorf("bad bounded cell %q", row[3])
+		}
+	}
+	if !sawBounded || !sawUnbounded {
+		t.Errorf("ladder should cross the memory bound: %v", tbl.Rows)
+	}
+}
+
+func TestTraceDecomposition(t *testing.T) {
+	s := quickSuite(t)
+	tbl, err := s.TraceDecomposition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 ranks + To* row per algorithm.
+	if len(tbl.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10:\n%s", len(tbl.Rows), tbl)
+	}
+	// GE's critical overhead (To* row, compute column reused) must exceed
+	// Jacobi's relative to their makespans.
+	var geTo, geTotal, jacTo, jacTotal float64
+	for _, row := range tbl.Rows {
+		if row[1] != "To*" {
+			continue
+		}
+		to, err1 := strconv.ParseFloat(row[2], 64)
+		total, err2 := strconv.ParseFloat(row[6], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("bad To* row %v", row)
+		}
+		switch row[0] {
+		case "GE":
+			geTo, geTotal = to, total
+		case "Jacobi":
+			jacTo, jacTotal = to, total
+		}
+	}
+	if geTo/geTotal <= jacTo/jacTotal {
+		t.Errorf("GE overhead fraction %.3f should exceed Jacobi's %.3f",
+			geTo/geTotal, jacTo/jacTotal)
+	}
+}
+
+func TestAblateNetworksShape(t *testing.T) {
+	s := quickSuite(t)
+	tbl, err := s.AblateNetworks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tbl.Rows))
+	}
+	times := map[string]map[string]float64{}
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if times[row[0]] == nil {
+			times[row[0]] = map[string]float64{}
+		}
+		times[row[0]][row[1]] = v
+	}
+	for alg, m := range times {
+		if !(m["ideal"] <= m["switched"] && m["switched"] <= m["shared"]) {
+			t.Errorf("%s: ordering violated: %v", alg, m)
+		}
+	}
+	// The switch must strictly help Jacobi's disjoint halo traffic.
+	if !(times["Jacobi"]["switched"] < times["Jacobi"]["shared"]) {
+		t.Errorf("switch should beat bus for Jacobi: %v", times["Jacobi"])
+	}
+}
+
+func TestGridSeparatesCombinations(t *testing.T) {
+	s := quickSuite(t)
+	tbl, err := s.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tbl.Rows))
+	}
+	slow := map[string]float64{}
+	for _, row := range tbl.Rows {
+		if strings.HasPrefix(row[2], "WAN") {
+			v, err := strconv.ParseFloat(row[5], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slow[row[0]] = v
+		}
+	}
+	// Every combination degrades over the WAN, and the ordering reflects
+	// communication structure: per-iteration broadcast (GE) worst,
+	// per-sweep latency (Jacobi) in between, one-shot bulk (MM) best.
+	for alg, v := range slow {
+		if v <= 1.5 {
+			t.Errorf("%s WAN slowdown %g suspiciously small", alg, v)
+		}
+	}
+	if !(slow["GE"] > slow["Jacobi"] && slow["Jacobi"] > slow["MM"]) {
+		t.Errorf("slowdown ordering wrong: %v", slow)
+	}
+}
+
+func TestNewExperimentsRegistered(t *testing.T) {
+	reg := Registry()
+	for _, id := range []string{"threeway", "membound", "tracedecomp", "ablate-network", "grid"} {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+}
+
+func TestThreeWayRenderContainsAlgorithms(t *testing.T) {
+	s := quickSuite(t)
+	tbl, err := s.ThreeWay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	for _, frag := range []string{"GE", "MM", "Jacobi"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("three-way table missing %q", frag)
+		}
+	}
+}
+
+func TestReadOffRobustUnderJitter(t *testing.T) {
+	// The paper's procedure fits a trend to noisy measurements; with 10%
+	// multiplicative timing noise the read-off must stay close to the
+	// noise-free one (the fit averages the noise out).
+	s := quickSuite(t)
+	cl, err := cluster.GEConfig(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := func(jitter float64, seed int64) core.Runner {
+		return func(n int) (float64, float64, error) {
+			out, err := algs.RunGE(cl, s.Cfg.Model, mpi.Options{
+				Jitter: jitter, JitterSeed: seed,
+			}, n, algs.GEOptions{Symbolic: true})
+			if err != nil {
+				return 0, 0, err
+			}
+			return out.Work, out.Res.TimeMS, nil
+		}
+	}
+	m, err := s.geMachine(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guess, err := m.RequiredN(s.Cfg.GETarget, 8, 5e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, clean, err := s.readOff(cl.Name, cl.MarkedSpeed(), s.Cfg.GETarget, guess, runner(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		_, noisy, err := s.readOff(cl.Name, cl.MarkedSpeed(), s.Cfg.GETarget, guess, runner(0.10, seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rel := math.Abs(noisy-clean) / clean
+		if rel > 0.12 {
+			t.Errorf("seed %d: jittered read-off %g vs clean %g (rel %.3f)", seed, noisy, clean, rel)
+		}
+	}
+}

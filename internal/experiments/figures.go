@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// Fig1 reproduces "Speed-efficiency on two nodes": the measured E_s
+// samples on the C2 GE configuration, the polynomial trend line, and the
+// paper's verification dot — re-running the algorithm at the read-off
+// size and confirming the achieved efficiency (the paper reads N≈310 for
+// E_s=0.3 and measures 0.312 there).
+func (s *Suite) Fig1() (*Figure, *Table, error) {
+	chain, err := s.GEChainMeasured()
+	if err != nil {
+		return nil, nil, err
+	}
+	curve := chain.Curves[0]
+	cl := chain.Clusters[0]
+
+	measured := Series{Name: "measured"}
+	for _, p := range curve.Points {
+		measured.X = append(measured.X, float64(p.N))
+		measured.Y = append(measured.Y, p.Eff)
+	}
+	trend := Series{Name: "poly trend"}
+	lo, hi := measured.X[0], measured.X[len(measured.X)-1]
+	for _, x := range numeric.Linspace(lo, hi, 40) {
+		trend.X = append(trend.X, x)
+		trend.Y = append(trend.Y, curve.EffAt(x))
+	}
+
+	nReq, err := curve.RequiredSize(s.Cfg.GETarget)
+	if err != nil {
+		return nil, nil, err
+	}
+	nInt := int(math.Round(nReq))
+	verified, err := curve.VerifyAt(nInt, s.geRunner(cl))
+	if err != nil {
+		return nil, nil, err
+	}
+	dot := Series{Name: "verification", X: []float64{float64(nInt)}, Y: []float64{verified}}
+
+	fig := &Figure{
+		Title:  fmt.Sprintf("Fig 1: Speed-efficiency on two nodes (%s)", cl.Name),
+		XLabel: "N",
+		YLabel: "speed-efficiency",
+		Series: []Series{measured, trend, dot},
+		Notes: []string{
+			fmt.Sprintf("trend read-off: E_s=%.2f at N≈%d; verification run measured E_s=%.4f",
+				s.Cfg.GETarget, nInt, verified),
+		},
+	}
+	tbl := &Table{
+		Title:   "Fig 1 read-off verification",
+		Headers: []string{"Target E_s", "Required N (trend)", "Measured E_s at N", "|diff|"},
+	}
+	tbl.AddRow(
+		fmtFloat(s.Cfg.GETarget, 2),
+		fmt.Sprintf("%d", nInt),
+		fmtFloat(verified, 4),
+		fmtFloat(math.Abs(verified-s.Cfg.GETarget), 4),
+	)
+	return fig, tbl, nil
+}
+
+// Fig2 reproduces "Speed-efficiency of MM on Sunwulf": one measured series
+// plus fitted trend per system configuration (2..32 nodes).
+func (s *Suite) Fig2() (*Figure, error) {
+	chain, err := s.MMChainMeasured()
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		Title:  "Fig 2: Speed-efficiency of MM on Sunwulf",
+		XLabel: "N",
+		YLabel: "speed-efficiency",
+	}
+	for i, curve := range chain.Curves {
+		ser := Series{Name: fmt.Sprintf("%d nodes", chain.Clusters[i].Size())}
+		for _, p := range curve.Points {
+			ser.X = append(ser.X, float64(p.N))
+			ser.Y = append(ser.Y, p.Eff)
+		}
+		fig.Series = append(fig.Series, ser)
+		tr := Series{Name: fmt.Sprintf("poly (%d nodes)", chain.Clusters[i].Size())}
+		lo := float64(curve.Points[0].N)
+		hi := float64(curve.Points[len(curve.Points)-1].N)
+		for _, x := range numeric.Linspace(lo, hi, 30) {
+			tr.X = append(tr.X, x)
+			tr.Y = append(tr.Y, curve.EffAt(x))
+		}
+		fig.Series = append(fig.Series, tr)
+	}
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("required N at E_s=%.1f read off each trend feeds Table 5", s.Cfg.MMTarget))
+	return fig, nil
+}

@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Renderable is anything an experiment can output.
+type Renderable interface {
+	String() string
+	CSV() string
+}
+
+// Experiment is a named, runnable reproduction unit.
+type Experiment struct {
+	ID    string
+	About string
+	Run   func(s *Suite) ([]Renderable, error)
+}
+
+// Registry returns all experiments keyed by id.
+func Registry() map[string]Experiment {
+	exps := []Experiment{
+		{
+			ID:    "table1",
+			About: "marked speed of Sunwulf node classes (NPB-style suite)",
+			Run: func(s *Suite) ([]Renderable, error) {
+				t, err := s.Table1()
+				return wrap(t, err)
+			},
+		},
+		{
+			ID:    "table2",
+			About: "GE on two nodes: W, T, achieved speed, speed-efficiency",
+			Run: func(s *Suite) ([]Renderable, error) {
+				t, err := s.Table2()
+				return wrap(t, err)
+			},
+		},
+		{
+			ID:    "fig1",
+			About: "speed-efficiency curve on two nodes + trend + verification",
+			Run: func(s *Suite) ([]Renderable, error) {
+				fig, tbl, err := s.Fig1()
+				if err != nil {
+					return nil, err
+				}
+				return []Renderable{fig, tbl}, nil
+			},
+		},
+		{
+			ID:    "table3",
+			About: "required rank for target speed-efficiency per GE config",
+			Run: func(s *Suite) ([]Renderable, error) {
+				t, err := s.Table3()
+				return wrap(t, err)
+			},
+		},
+		{
+			ID:    "table4",
+			About: "measured scalability chain of GE",
+			Run: func(s *Suite) ([]Renderable, error) {
+				t, err := s.Table4()
+				return wrap(t, err)
+			},
+		},
+		{
+			ID:    "fig2",
+			About: "speed-efficiency of MM at all system configurations",
+			Run: func(s *Suite) ([]Renderable, error) {
+				fig, err := s.Fig2()
+				return wrap(fig, err)
+			},
+		},
+		{
+			ID:    "table5",
+			About: "measured scalability chain of MM",
+			Run: func(s *Suite) ([]Renderable, error) {
+				t, err := s.Table5()
+				return wrap(t, err)
+			},
+		},
+		{
+			ID:    "compare",
+			About: "§4.4.3 GE vs MM scalability comparison",
+			Run: func(s *Suite) ([]Renderable, error) {
+				t, err := s.CompareGEMM()
+				return wrap(t, err)
+			},
+		},
+		{
+			ID:    "table6",
+			About: "predicted required rank from the analytic overhead model",
+			Run: func(s *Suite) ([]Renderable, error) {
+				t, _, err := s.Table6()
+				return wrap(t, err)
+			},
+		},
+		{
+			ID:    "table7",
+			About: "predicted vs measured scalability of GE",
+			Run: func(s *Suite) ([]Renderable, error) {
+				t, err := s.Table7()
+				return wrap(t, err)
+			},
+		},
+		{
+			ID:    "homog",
+			About: "validation: homogeneous special case reduces to isospeed",
+			Run: func(s *Suite) ([]Renderable, error) {
+				t, err := s.HomogeneousCheck()
+				return wrap(t, err)
+			},
+		},
+		{
+			ID:    "ablate-dist",
+			About: "ablation: heterogeneous vs homogeneous distribution",
+			Run: func(s *Suite) ([]Renderable, error) {
+				t, err := s.AblateDistribution()
+				return wrap(t, err)
+			},
+		},
+		{
+			ID:    "ablate-contention",
+			About: "ablation: ideal vs contended shared Ethernet",
+			Run: func(s *Suite) ([]Renderable, error) {
+				t, err := s.AblateContention()
+				return wrap(t, err)
+			},
+		},
+		{
+			ID:    "ablate-tiling",
+			About: "ablation: row bands vs Beaumont column tiling",
+			Run: func(s *Suite) ([]Renderable, error) {
+				t, err := s.AblateTiling()
+				return wrap(t, err)
+			},
+		},
+		{
+			ID:    "threeway",
+			About: "extension: GE vs MM vs Jacobi scalability (3 combinations)",
+			Run: func(s *Suite) ([]Renderable, error) {
+				t, err := s.ThreeWay()
+				return wrap(t, err)
+			},
+		},
+		{
+			ID:    "membound",
+			About: "extension: memory-bounded scalability (Sun & Ni [9] folded in)",
+			Run: func(s *Suite) ([]Renderable, error) {
+				t, err := s.MemBound()
+				return wrap(t, err)
+			},
+		},
+		{
+			ID:    "tracedecomp",
+			About: "extension: trace-derived per-rank time decomposition",
+			Run: func(s *Suite) ([]Renderable, error) {
+				t, err := s.TraceDecomposition()
+				return wrap(t, err)
+			},
+		},
+		{
+			ID:    "ablate-network",
+			About: "ablation: ideal vs switched vs shared network",
+			Run: func(s *Suite) ([]Renderable, error) {
+				t, err := s.AblateNetworks()
+				return wrap(t, err)
+			},
+		},
+		{
+			ID:    "grid",
+			About: "extension: widely distributed (two WAN-linked sites)",
+			Run: func(s *Suite) ([]Renderable, error) {
+				t, err := s.Grid()
+				return wrap(t, err)
+			},
+		},
+		{
+			ID:    "ablate-collectives",
+			About: "ablation: pivot broadcast algorithm (model vs flat vs tree)",
+			Run: func(s *Suite) ([]Renderable, error) {
+				t, err := s.AblateCollectives()
+				return wrap(t, err)
+			},
+		},
+		{
+			ID:    "ablate-overlap",
+			About: "ablation: bulk-synchronous vs overlapped halo exchange",
+			Run: func(s *Suite) ([]Renderable, error) {
+				t, err := s.AblateOverlap()
+				return wrap(t, err)
+			},
+		},
+		{
+			ID:    "time-at-scale",
+			About: "extension: execution time at constant E_s (ref [8])",
+			Run: func(s *Suite) ([]Renderable, error) {
+				t, err := s.TimeAtScale()
+				return wrap(t, err)
+			},
+		},
+		{
+			ID:    "scaling-models",
+			About: "extension: Amdahl/Gustafson/Sun-Ni vs isospeed-efficiency",
+			Run: func(s *Suite) ([]Renderable, error) {
+				t, err := s.ScalingModels()
+				return wrap(t, err)
+			},
+		},
+	}
+	out := make(map[string]Experiment, len(exps))
+	for _, e := range exps {
+		out[e.ID] = e
+	}
+	return out
+}
+
+func wrap(r Renderable, err error) ([]Renderable, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []Renderable{r}, nil
+}
+
+// IDs returns the experiment ids in stable order.
+func IDs() []string {
+	reg := Registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RunByID runs one experiment (or "all") against the suite.
+func RunByID(s *Suite, id string) ([]Renderable, error) {
+	if id == "all" {
+		var out []Renderable
+		for _, eid := range IDs() {
+			rs, err := RunByID(s, eid)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", eid, err)
+			}
+			out = append(out, rs...)
+		}
+		return out, nil
+	}
+	exp, ok := Registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s, all)",
+			id, strings.Join(IDs(), ", "))
+	}
+	return exp.Run(s)
+}

@@ -1,0 +1,196 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4) on the simulated Sunwulf substrate:
+//
+//	Table 1  marked speed of Sunwulf node classes (NPB-style suite)
+//	Table 2  GE on two nodes: workload, time, achieved speed, E_s
+//	Fig 1    E_s vs N on two nodes, polynomial trend, 0.3 read-off + verify
+//	Table 3  required rank N for E_s = 0.3 at 2..32 nodes
+//	Table 4  measured ψ chain for GE
+//	Fig 2    E_s of MM at 2..32-node mixed configs
+//	Table 5  measured ψ chain for MM
+//	§4.4.3   GE vs MM comparison
+//	Table 6  predicted required rank (analytic overhead model)
+//	Table 7  predicted ψ vs measured ψ
+//
+// plus the ablations DESIGN.md §5 calls out (distribution strategy,
+// network contention). Each experiment returns renderable Tables/Figures
+// so cmd/hetsim can print them and tests can assert their shapes.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a renderable result table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (fields with commas are
+// quoted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, t.Headers)
+	for _, row := range t.Rows {
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			b.WriteByte('"')
+			b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+			b.WriteByte('"')
+		} else {
+			b.WriteString(c)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+// Series is one named line of a figure.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Figure is a renderable plot: CSV for external tooling plus an ASCII
+// scatter for the terminal.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// CSV emits long-format rows: series,x,y.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, []string{"series", f.XLabel, f.YLabel})
+	for _, s := range f.Series {
+		for i := range s.X {
+			writeCSVRow(&b, []string{s.Name, trimFloat(s.X[i]), trimFloat(s.Y[i])})
+		}
+	}
+	return b.String()
+}
+
+func trimFloat(v float64) string { return fmt.Sprintf("%g", v) }
+
+// String renders an ASCII scatter plot of all series plus the CSV legend.
+func (f *Figure) String() string {
+	const w, h = 72, 20
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return b.String() + "(no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	marks := "ox+*#@%&"
+	for si, s := range f.Series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			cx := int((s.X[i] - xmin) / (xmax - xmin) * float64(w-1))
+			cy := int((s.Y[i] - ymin) / (ymax - ymin) * float64(h-1))
+			row := h - 1 - cy
+			if row >= 0 && row < h && cx >= 0 && cx < w {
+				grid[row][cx] = mark
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%10.4g +%s\n", ymax, strings.Repeat("-", w))
+	for _, row := range grid {
+		fmt.Fprintf(&b, "%10s |%s\n", "", string(row))
+	}
+	fmt.Fprintf(&b, "%10.4g +%s\n", ymin, strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%10s  %-10.6g%*s\n", "", xmin, w-10, fmt.Sprintf("%.6g", xmax))
+	fmt.Fprintf(&b, "%10s  x: %s, y: %s\n", "", f.XLabel, f.YLabel)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "%10s  %c = %s\n", "", marks[si%len(marks)], s.Name)
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// fmtFloat renders a value with sensible precision for tables.
+func fmtFloat(v float64, prec int) string {
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// fmtSci renders a value in scientific notation (workloads).
+func fmtSci(v float64) string { return fmt.Sprintf("%.3e", v) }

@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteMarkdownReport(t *testing.T) {
+	s := quickSuite(t)
+	var out strings.Builder
+	if err := WriteMarkdownReport(s, &out, []string{"table1", "ablate-tiling"}, time.Unix(0, 0).UTC()); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, frag := range []string{
+		"# Reproduction report",
+		"## Contents",
+		"## table1",
+		"## ablate-tiling",
+		"1970-01-01T00:00:00Z",
+		"```text",
+	} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("report missing %q", frag)
+		}
+	}
+	if err := WriteMarkdownReport(s, &out, []string{"bogus"}, time.Now()); err == nil {
+		t.Error("unknown id accepted")
+	}
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ScalingModels places the isospeed-efficiency requirement next to the
+// classic scaling models of the paper's lineage (Amdahl fixed-size,
+// Gustafson fixed-time, Sun & Ni memory-bounded — reference [9]) on the
+// GE ladder: predicted speedups under each model, and the work growth the
+// isospeed-efficiency condition demands with the resulting ψ.
+func (s *Suite) ScalingModels() (*Table, error) {
+	machines, err := s.geMachines()
+	if err != nil {
+		return nil, err
+	}
+	// α from the GE model at the base rung's required N: back substitution
+	// over total work.
+	const alpha = 0.005
+	rows, err := core.CompareScalingModels(machines, alpha, s.Cfg.GETarget, 8, 5e6)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Scaling models on the GE ladder (α = %.3f, E_s target %.1f)", alpha, s.Cfg.GETarget),
+		Headers: []string{
+			"Config", "p-equiv", "Amdahl S", "Gustafson S", "Sun-Ni S",
+			"W'/W (isospeed-eff)", "C'/C (ideal)", "ψ",
+		},
+	}
+	for _, r := range rows {
+		t.AddRow(
+			r.Label,
+			fmtFloat(r.PEquiv, 1),
+			fmtFloat(r.Amdahl, 2),
+			fmtFloat(r.Gustafson, 2),
+			fmtFloat(r.SunNi, 2),
+			fmtFloat(r.WorkGrowth, 2),
+			fmtFloat(r.IdealWork, 2),
+			fmtFloat(r.Psi, 4),
+		)
+	}
+	t.Notes = append(t.Notes,
+		"Amdahl fixes the problem, Gustafson fixes the time, Sun-Ni fixes the memory; isospeed-efficiency fixes E_s and reports the work growth that costs",
+		"p-equiv = C/C_base x p_base: marked speed expressed as equivalent base processors (heterogeneity folded in)")
+	return t, nil
+}

@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/algs"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+// Config controls how the experiments run.
+type Config struct {
+	// Model is the communication cost model (default: Sunwulf 100 Mb
+	// Ethernet calibration).
+	Model simnet.CostModel
+	// Engine selects the execution engine for measurements.
+	Engine mpi.Engine
+	// Contended turns on shared-medium queueing (DES engine only).
+	Contended bool
+	// Sizes is the system-size ladder (default: the paper's 2,4,8,16,32).
+	Sizes []int
+	// GETarget and MMTarget are the speed-efficiency set-points of the
+	// paper's read-offs (0.3 for GE, 0.2 for MM).
+	GETarget float64
+	MMTarget float64
+	// SweepPoints is how many problem sizes are measured per efficiency
+	// curve (>= 4).
+	SweepPoints int
+	// Seed drives all synthetic inputs.
+	Seed int64
+}
+
+// Default returns the full-paper configuration.
+func Default() (Config, error) {
+	m, err := simnet.NewParamModel("sunwulf-100Mb", simnet.Sunwulf100())
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Model:       m,
+		Engine:      mpi.EngineLive,
+		Sizes:       append([]int(nil), cluster.PaperSizes...),
+		GETarget:    0.3,
+		MMTarget:    0.2,
+		SweepPoints: 8,
+		Seed:        20050614, // ICPP 2005
+	}, nil
+}
+
+// Quick returns a reduced configuration (smaller ladder, fewer sweep
+// points) for tests and smoke runs.
+func Quick() (Config, error) {
+	cfg, err := Default()
+	if err != nil {
+		return Config{}, err
+	}
+	cfg.Sizes = []int{2, 4, 8}
+	cfg.SweepPoints = 6
+	return cfg, nil
+}
+
+func (c Config) validate() error {
+	if c.Model == nil {
+		return errors.New("experiments: nil cost model")
+	}
+	if len(c.Sizes) == 0 {
+		return errors.New("experiments: empty size ladder")
+	}
+	if c.GETarget <= 0 || c.GETarget >= 1 || c.MMTarget <= 0 || c.MMTarget >= 1 {
+		return fmt.Errorf("experiments: targets out of range: GE %g MM %g", c.GETarget, c.MMTarget)
+	}
+	if c.SweepPoints < 4 {
+		return fmt.Errorf("experiments: SweepPoints %d < 4", c.SweepPoints)
+	}
+	return nil
+}
+
+func (c Config) mpiOpts() mpi.Options {
+	return mpi.Options{Engine: c.Engine, Contended: c.Contended}
+}
+
+// Suite memoizes the expensive measured chains so Table 2/3/4 and Fig 1
+// (which share data) run the sweeps once.
+type Suite struct {
+	Cfg Config
+
+	mu       sync.Mutex
+	geChain  *chainResult
+	mmChain  *chainResult
+	jacChain *chainResult
+}
+
+// chainResult is a measured scalability ladder for one algorithm.
+type chainResult struct {
+	Clusters []*cluster.Cluster
+	Curves   []core.EfficiencyCurve
+	Points   []core.ScalePoint
+	Psis     []float64
+}
+
+// NewSuite validates the config and wraps it.
+func NewSuite(cfg Config) (*Suite, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Suite{Cfg: cfg}, nil
+}
+
+// geRunner builds a core.Runner for the GE algorithm on one cluster.
+func (s *Suite) geRunner(cl *cluster.Cluster) core.Runner {
+	return func(n int) (float64, float64, error) {
+		out, err := algs.RunGE(cl, s.Cfg.Model, s.Cfg.mpiOpts(), n, algs.GEOptions{
+			Symbolic: true,
+			Seed:     s.Cfg.Seed,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		return out.Work, out.Res.TimeMS, nil
+	}
+}
+
+// mmRunner builds a core.Runner for the MM algorithm on one cluster.
+func (s *Suite) mmRunner(cl *cluster.Cluster) core.Runner {
+	return func(n int) (float64, float64, error) {
+		out, err := algs.RunMM(cl, s.Cfg.Model, s.Cfg.mpiOpts(), n, algs.MMOptions{
+			Symbolic: true,
+			Seed:     s.Cfg.Seed,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		return out.Work, out.Res.TimeMS, nil
+	}
+}
+
+// geMachine builds the analytic model of §4.5 for one GE configuration.
+func (s *Suite) geMachine(cl *cluster.Cluster) (core.AnalyticMachine, error) {
+	to, err := algs.GEOverhead(cl, s.Cfg.Model)
+	if err != nil {
+		return core.AnalyticMachine{}, err
+	}
+	t0, err := algs.GESeqTime(cl, algs.DefaultGESustained)
+	if err != nil {
+		return core.AnalyticMachine{}, err
+	}
+	return core.AnalyticMachine{
+		Label:     cl.Name,
+		C:         cl.MarkedSpeed(),
+		P:         cl.Size(),
+		Sustained: algs.DefaultGESustained,
+		Work:      func(n float64) float64 { return 2*n*n*n/3 + 3*n*n/2 - 7*n/6 + n*n },
+		SeqTime:   t0,
+		Overhead:  to,
+	}, nil
+}
+
+// mmMachine builds the analytic model for one MM configuration.
+func (s *Suite) mmMachine(cl *cluster.Cluster) (core.AnalyticMachine, error) {
+	to, err := algs.MMOverhead(cl, s.Cfg.Model)
+	if err != nil {
+		return core.AnalyticMachine{}, err
+	}
+	return core.AnalyticMachine{
+		Label:     cl.Name,
+		C:         cl.MarkedSpeed(),
+		P:         cl.Size(),
+		Sustained: algs.DefaultMMSustained,
+		Work:      func(n float64) float64 { return 2 * n * n * n },
+		Overhead:  to,
+	}, nil
+}
+
+// studyOpts maps the suite configuration onto core.StudyOptions.
+func (s *Suite) studyOpts(target float64) core.StudyOptions {
+	return core.StudyOptions{TargetEff: target, SweepPoints: s.Cfg.SweepPoints}
+}
+
+// measureChain runs the full §4.4 procedure for one algorithm family by
+// delegating to core.RunStudy: per configuration, sweep problem sizes,
+// fit the trend, read off the required N at the target efficiency, and
+// assemble the ψ chain.
+func (s *Suite) measureChain(
+	clusters []*cluster.Cluster,
+	target float64,
+	machine func(*cluster.Cluster) (core.AnalyticMachine, error),
+	runner func(*cluster.Cluster) core.Runner,
+	workAt func(n int) float64,
+) (*chainResult, error) {
+	targets := make([]core.StudyTarget, 0, len(clusters))
+	for _, cl := range clusters {
+		m, err := machine(cl)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, core.StudyTarget{
+			Label:   cl.Name,
+			C:       cl.MarkedSpeed(),
+			Machine: m,
+			Run:     runner(cl),
+			WorkAt:  workAt,
+		})
+	}
+	study, err := core.RunStudy(targets, s.studyOpts(target))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	res := &chainResult{Clusters: clusters, Psis: study.PsiMeasured}
+	for _, r := range study.Rungs {
+		res.Curves = append(res.Curves, r.Curve)
+		res.Points = append(res.Points, core.ScalePoint{
+			Label: r.Label, C: r.C, N: r.RequiredN, W: r.Work,
+		})
+	}
+	return res, nil
+}
+
+// readOff measures a curve around the guess and reads the required size,
+// widening the sweep when the target falls outside the measured range.
+func (s *Suite) readOff(label string, c, target, guess float64, run core.Runner) (core.EfficiencyCurve, float64, error) {
+	return core.ReadOffRequiredSize(label, c, target, guess, run, s.studyOpts(target))
+}
+
+// GEChainMeasured returns (memoized) the measured GE ladder: curves per
+// configuration, required-N points at the GE target, and the ψ chain.
+func (s *Suite) GEChainMeasured() (*chainResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.geChain != nil {
+		return s.geChain, nil
+	}
+	var clusters []*cluster.Cluster
+	for _, p := range s.Cfg.Sizes {
+		cl, err := cluster.GEConfig(p)
+		if err != nil {
+			return nil, err
+		}
+		clusters = append(clusters, cl)
+	}
+	chain, err := s.measureChain(clusters, s.Cfg.GETarget, s.geMachine, s.geRunner, algs.WorkGE)
+	if err != nil {
+		return nil, err
+	}
+	s.geChain = chain
+	return chain, nil
+}
+
+// MMChainMeasured returns (memoized) the measured MM ladder at the MM
+// target.
+func (s *Suite) MMChainMeasured() (*chainResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mmChain != nil {
+		return s.mmChain, nil
+	}
+	var clusters []*cluster.Cluster
+	for _, p := range s.Cfg.Sizes {
+		cl, err := cluster.MMConfig(p)
+		if err != nil {
+			return nil, err
+		}
+		clusters = append(clusters, cl)
+	}
+	chain, err := s.measureChain(clusters, s.Cfg.MMTarget, s.mmMachine, s.mmRunner, algs.WorkMM)
+	if err != nil {
+		return nil, err
+	}
+	s.mmChain = chain
+	return chain, nil
+}

@@ -1,0 +1,206 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveGaussKnownSystem(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	b := []float64{8, -11, -3}
+	x, err := SolveGauss(a, b)
+	if err != nil {
+		t.Fatalf("SolveGauss: %v", err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Errorf("x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveGaussRandomResidual(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 20, 64} {
+		a := RandomDiagDominant(n, int64(n))
+		b := RandomVector(n, int64(n)+100)
+		x, err := SolveGauss(a, b)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		r, err := ResidualInf(a, x, b)
+		if err != nil {
+			t.Fatalf("n=%d residual: %v", n, err)
+		}
+		if r > 1e-8*float64(n) {
+			t.Errorf("n=%d: residual %g too large", n, r)
+		}
+	}
+}
+
+func TestSolveGaussNeedsPivoting(t *testing.T) {
+	// Zero on the diagonal: no-pivot elimination must fail, pivoting must
+	// succeed.
+	a, _ := FromRows([][]float64{
+		{0, 1},
+		{1, 0},
+	})
+	b := []float64{3, 7}
+	if _, err := SolveGaussNoPivot(a, b); !errors.Is(err, ErrSingular) {
+		t.Errorf("SolveGaussNoPivot: want ErrSingular, got %v", err)
+	}
+	x, err := SolveGauss(a, b)
+	if err != nil {
+		t.Fatalf("SolveGauss: %v", err)
+	}
+	if math.Abs(x[0]-7) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("x = %v, want [7 3]", x)
+	}
+}
+
+func TestSolveGaussSingular(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{1, 2},
+		{2, 4},
+	})
+	if _, err := SolveGauss(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Errorf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestSolveGaussShapeErrors(t *testing.T) {
+	rect := NewMatrix(2, 3)
+	if _, err := SolveGauss(rect, []float64{1, 2}); err == nil {
+		t.Error("non-square: want error")
+	}
+	sq := Identity(3)
+	if _, err := SolveGauss(sq, []float64{1}); err == nil {
+		t.Error("rhs length: want error")
+	}
+	if _, err := SolveGaussNoPivot(rect, []float64{1, 2}); err == nil {
+		t.Error("non-square (nopivot): want error")
+	}
+	if _, err := SolveGaussNoPivot(sq, []float64{1}); err == nil {
+		t.Error("rhs length (nopivot): want error")
+	}
+}
+
+func TestNoPivotMatchesPivotOnDominant(t *testing.T) {
+	// On diagonally dominant systems, the no-pivot path (what the
+	// distributed GE uses) must agree with the pivoting reference.
+	n := 40
+	a := RandomDiagDominant(n, 11)
+	b := RandomVector(n, 12)
+	x1, err := SolveGauss(a, b)
+	if err != nil {
+		t.Fatalf("pivot: %v", err)
+	}
+	x2, err := SolveGaussNoPivot(a, b)
+	if err != nil {
+		t.Fatalf("nopivot: %v", err)
+	}
+	for i := range x1 {
+		if math.Abs(x1[i]-x2[i]) > 1e-8 {
+			t.Fatalf("x[%d]: pivot %g vs nopivot %g", i, x1[i], x2[i])
+		}
+	}
+}
+
+func TestBackSubstitute(t *testing.T) {
+	u, _ := FromRows([][]float64{
+		{2, 1, 0},
+		{0, 3, -1},
+		{0, 0, 4},
+	})
+	y := []float64{5, 5, 8}
+	x, err := BackSubstitute(u, y)
+	if err != nil {
+		t.Fatalf("BackSubstitute: %v", err)
+	}
+	// x2 = 2, x1 = (5+2)/3 = 7/3, x0 = (5 - 7/3)/2 = 4/3.
+	want := []float64{4.0 / 3, 7.0 / 3, 2}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Errorf("x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+	// Zero diagonal fails.
+	u.Set(1, 1, 0)
+	if _, err := BackSubstitute(u, y); !errors.Is(err, ErrSingular) {
+		t.Errorf("zero diagonal: want ErrSingular, got %v", err)
+	}
+	if _, err := BackSubstitute(NewMatrix(2, 3), []float64{1, 2}); err == nil {
+		t.Error("non-square: want error")
+	}
+	if _, err := BackSubstitute(Identity(2), []float64{1}); err == nil {
+		t.Error("bad rhs length: want error")
+	}
+}
+
+func TestEliminateRowKernel(t *testing.T) {
+	pivot := []float64{2, 4, 6}
+	target := []float64{4, 10, 20}
+	rhsT, rhsP := 8.0, 2.0
+	f, err := EliminateRow(target, pivot, &rhsT, rhsP, 0)
+	if err != nil {
+		t.Fatalf("EliminateRow: %v", err)
+	}
+	if f != 2 {
+		t.Errorf("multiplier = %g, want 2", f)
+	}
+	if target[0] != 0 || target[1] != 2 || target[2] != 8 {
+		t.Errorf("target = %v, want [0 2 8]", target)
+	}
+	if rhsT != 4 {
+		t.Errorf("rhs = %g, want 4", rhsT)
+	}
+	// Zero pivot errors.
+	if _, err := EliminateRow(target, []float64{0, 1, 1}, &rhsT, 1, 0); !errors.Is(err, ErrSingular) {
+		t.Errorf("zero pivot: want ErrSingular, got %v", err)
+	}
+}
+
+func TestFlopCounts(t *testing.T) {
+	if got := MMFlops(10); got != 2000 {
+		t.Errorf("MMFlops(10) = %g, want 2000", got)
+	}
+	// GE flops ~ (2/3)N^3 dominates for large N.
+	n := 1000
+	got := GEFlops(n)
+	lead := 2.0 / 3.0 * 1e9
+	if math.Abs(got-lead)/lead > 0.01 {
+		t.Errorf("GEFlops(%d) = %g, want within 1%% of %g", n, got, lead)
+	}
+	if GEFlops(1) <= 0 {
+		t.Errorf("GEFlops(1) = %g, want > 0", GEFlops(1))
+	}
+}
+
+// Property: solving a system built from a known x recovers x.
+func TestSolveGaussRecoversSolutionQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 8
+		a := RandomDiagDominant(n, seed)
+		xTrue := RandomVector(n, seed+999)
+		b, _ := MatVec(a, xTrue)
+		x, err := SolveGauss(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

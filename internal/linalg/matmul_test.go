@@ -1,0 +1,134 @@
+package linalg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMulKnown(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := MatMul(a, b)
+	if err != nil {
+		t.Fatalf("MatMul: %v", err)
+	}
+	want, _ := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !c.Equalish(want, 1e-12) {
+		t.Errorf("MatMul = %v, want %v", c.Data, want.Data)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	a := RandomMatrix(12, 5)
+	c, err := MatMul(a, Identity(12))
+	if err != nil {
+		t.Fatalf("MatMul: %v", err)
+	}
+	if !c.Equalish(a, 1e-12) {
+		t.Error("A*I != A")
+	}
+	c2, _ := MatMul(Identity(12), a)
+	if !c2.Equalish(a, 1e-12) {
+		t.Error("I*A != A")
+	}
+}
+
+func TestMatMulDimMismatch(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := MatMul(a, b); err == nil {
+		t.Error("want error")
+	}
+	if _, err := MatMulBlocked(a, b, 16); err == nil {
+		t.Error("want error (blocked)")
+	}
+	if _, err := MatMulParallel(a, b, 2); err == nil {
+		t.Error("want error (parallel)")
+	}
+	if _, err := MulRowsInto(a, b); err == nil {
+		t.Error("want error (rows-into)")
+	}
+}
+
+func TestBlockedAndParallelMatchNaive(t *testing.T) {
+	for _, n := range []int{1, 7, 33, 100} {
+		a := RandomMatrix(n, int64(n))
+		b := RandomMatrix(n, int64(n)+1)
+		ref, err := MatMul(a, b)
+		if err != nil {
+			t.Fatalf("n=%d naive: %v", n, err)
+		}
+		bl, err := MatMulBlocked(a, b, 8)
+		if err != nil {
+			t.Fatalf("n=%d blocked: %v", n, err)
+		}
+		if !bl.Equalish(ref, 1e-9) {
+			t.Errorf("n=%d: blocked differs from naive", n)
+		}
+		for _, w := range []int{1, 2, 4, 100} {
+			par, err := MatMulParallel(a, b, w)
+			if err != nil {
+				t.Fatalf("n=%d parallel w=%d: %v", n, w, err)
+			}
+			if !par.Equalish(ref, 1e-9) {
+				t.Errorf("n=%d w=%d: parallel differs from naive", n, w)
+			}
+		}
+	}
+}
+
+func TestMatMulBlockedDefaultBlockSize(t *testing.T) {
+	a := RandomMatrix(70, 2)
+	b := RandomMatrix(70, 3)
+	ref, _ := MatMul(a, b)
+	bl, err := MatMulBlocked(a, b, 0)
+	if err != nil {
+		t.Fatalf("MatMulBlocked: %v", err)
+	}
+	if !bl.Equalish(ref, 1e-9) {
+		t.Error("blocked (default bs) differs from naive")
+	}
+}
+
+func TestMulRowsIntoBand(t *testing.T) {
+	n := 16
+	a := RandomMatrix(n, 21)
+	b := RandomMatrix(n, 22)
+	ref, _ := MatMul(a, b)
+	// Multiply a band of rows and compare with the same slice of ref.
+	lo, hi := 5, 11
+	band := &Matrix{Rows: hi - lo, Cols: n, Data: a.Data[lo*n : hi*n]}
+	c, err := MulRowsInto(band, b)
+	if err != nil {
+		t.Fatalf("MulRowsInto: %v", err)
+	}
+	for i := 0; i < hi-lo; i++ {
+		for j := 0; j < n; j++ {
+			if diff := c.At(i, j) - ref.At(lo+i, j); diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("band element (%d,%d) differs by %g", i, j, diff)
+			}
+		}
+	}
+}
+
+// Property: (A*B)*x == A*(B*x).
+func TestMatMulAssociativityWithVectorQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 9
+		a := RandomMatrix(n, seed)
+		b := RandomMatrix(n, seed+1)
+		x := RandomVector(n, seed+2)
+		ab, err := MatMul(a, b)
+		if err != nil {
+			return false
+		}
+		lhs, _ := MatVec(ab, x)
+		bx, _ := MatVec(b, x)
+		rhs, _ := MatVec(a, bx)
+		d, _ := VecSub(lhs, rhs)
+		return VecNormInf(d) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

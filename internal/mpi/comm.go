@@ -1,0 +1,264 @@
+// Package mpi is a small message-passing runtime over *virtual time*,
+// standing in for the MPICH installation of the paper's Sunwulf testbed.
+//
+// A parallel program is a Go function executed once per rank. Each rank is
+// pinned to a cluster node and owns a virtual clock in milliseconds:
+//
+//   - Compute(flops) advances the clock by flops / markedSpeed;
+//   - point-to-point and collective operations advance it according to a
+//     simnet.CostModel and the causality of message delivery (a receive
+//     cannot complete before the matching payload arrives).
+//
+// Payloads are real data ([]float64 slices): the algorithms in
+// internal/algs perform genuine numerics, so their results can be verified
+// against sequential solvers while their timing comes from the model.
+//
+// Two engines execute programs:
+//
+//   - the live engine (EngineLive): one goroutine per rank, channels for
+//     messages, a max-reduction barrier for collectives. Virtual time is
+//     computed from message timestamps, so results are bit-deterministic
+//     regardless of Go scheduling.
+//   - the DES engine (EngineDES): ranks are processes of a
+//     discrete-event kernel (internal/des), optionally sharing a contended
+//     Ethernet wire (internal/simnet.Wire) so point-to-point transfers
+//     queue for the medium like frames on a hub.
+//
+// With contention disabled the two engines produce identical virtual times
+// (verified by tests); the DES engine with contention enabled is the
+// ablation that quantifies what shared Ethernet does to scalability.
+//
+// Send semantics are blocking-by-cost: a sender is busy for
+// SendTime+TransferTime (it drives the payload onto the wire), and the
+// payload becomes available to the receiver at that instant; the receiver
+// additionally pays RecvTime. Broadcast and barrier use the paper's
+// measured aggregate forms (simnet BcastTime/BarrierTime) rather than being
+// decomposed into point-to-point messages, matching how §4.5 models T_o.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// Well-known message tags. User programs may use any non-negative tag;
+// negative tags are reserved for collectives.
+const (
+	tagBcast   = -1
+	tagGather  = -2
+	tagScatter = -3
+	tagReduce  = -4
+)
+
+// ReduceOp is a binary reduction operator.
+type ReduceOp func(a, b float64) float64
+
+// Standard reduction operators.
+var (
+	OpSum ReduceOp = func(a, b float64) float64 { return a + b }
+	OpMax ReduceOp = func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	OpMin ReduceOp = func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+)
+
+// Comm is the per-rank handle a parallel program uses, analogous to an MPI
+// communicator bound to one rank. All methods must be called from the
+// program goroutine that received the Comm.
+type Comm interface {
+	// Rank returns this process's rank in [0, Size).
+	Rank() int
+	// Size returns the number of ranks.
+	Size() int
+	// Node returns the cluster node this rank runs on.
+	Node() cluster.Node
+	// Clock returns this rank's virtual time in milliseconds.
+	Clock() float64
+	// ComputeMS returns the virtual time this rank has spent computing.
+	ComputeMS() float64
+	// CommMS returns the virtual time this rank has spent communicating
+	// (including waiting for messages and barriers).
+	CommMS() float64
+
+	// Compute advances the clock by flops at this node's marked speed.
+	Compute(flops float64)
+	// Sleep advances the clock by ms without charging compute or comm
+	// time (used to model non-overlapped local overheads).
+	Sleep(ms float64)
+
+	// Send transmits data to rank `to` with the given tag. The payload is
+	// copied; the caller may reuse data.
+	Send(to, tag int, data []float64)
+	// ISend is the non-blocking variant: the sender is busy only for the
+	// software send overhead while the transfer proceeds in the
+	// background (NIC offload). The matching Recv is the completion wait.
+	// Background transfers do not queue on a contended wire (offloaded
+	// DMA is outside the host-driven contention model).
+	ISend(to, tag int, data []float64)
+	// Recv receives the oldest message from rank `from`; its tag must
+	// equal tag (mismatch panics: it is a program bug, not a data error).
+	Recv(from, tag int) []float64
+
+	// Bcast broadcasts data from root to all ranks; every rank returns the
+	// same shared copy, which must be treated as READ-ONLY (copy it before
+	// mutating). All ranks must call it.
+	Bcast(root int, data []float64) []float64
+	// Barrier synchronizes all ranks: afterwards every clock equals the
+	// maximum arrival time plus the model's barrier cost.
+	Barrier()
+	// Gatherv collects every rank's slice at root. Root receives a
+	// per-rank slice; other ranks receive nil.
+	Gatherv(root int, data []float64) [][]float64
+	// Scatterv distributes parts[i] to rank i from root; every rank
+	// returns its part. Only root's parts argument is consulted.
+	Scatterv(root int, parts [][]float64) []float64
+	// Reduce folds one value per rank with op at root (returned at root;
+	// zero elsewhere).
+	Reduce(root int, value float64, op ReduceOp) float64
+	// Allreduce folds one value per rank and distributes the result.
+	Allreduce(value float64, op ReduceOp) float64
+}
+
+// Engine selects the execution engine.
+type Engine int
+
+// Engines.
+const (
+	// EngineLive runs ranks as goroutines with virtual-time bookkeeping.
+	EngineLive Engine = iota
+	// EngineDES runs ranks as discrete-event processes.
+	EngineDES
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case EngineLive:
+		return "live"
+	case EngineDES:
+		return "des"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// Options configures a Run.
+type Options struct {
+	// Engine selects live (default) or DES execution.
+	Engine Engine
+	// Contended enables shared-medium queueing for point-to-point
+	// transfers (shorthand for Network: simnet.WireShared). Only the DES
+	// engine honors it; Run rejects the combination EngineLive+Contended.
+	Contended bool
+	// Network selects the medium model for point-to-point transfers:
+	// ideal (default), shared hub Ethernet, or a non-blocking switch with
+	// per-port queueing. DES engine only.
+	Network simnet.WireMode
+	// ChanCap is the per-rank-pair message buffer for the live engine
+	// (default 1024). Programs that send more than ChanCap messages to a
+	// rank between its receives would block the real goroutine (virtual
+	// time is unaffected); raise it for unusual communication patterns.
+	ChanCap int
+	// Trace, when non-nil, records every rank's virtual timeline
+	// (compute/send/recv/wait/collective spans) for Gantt rendering and
+	// overhead decomposition.
+	Trace *trace.Trace
+	// Jitter adds deterministic multiplicative noise to every charged
+	// time interval: each is scaled by a factor drawn uniformly from
+	// [1, 1+Jitter] (seeded by JitterSeed, per rank). It models the
+	// measurement noise of a real testbed; 0 disables it. Must be in
+	// [0, 1).
+	Jitter float64
+	// JitterSeed seeds the jitter stream (same seed -> same "noise").
+	JitterSeed int64
+}
+
+// Result summarizes one program execution.
+type Result struct {
+	// TimeMS is the makespan: the maximum final clock across ranks.
+	TimeMS float64
+	// RankClocks holds each rank's final virtual clock.
+	RankClocks []float64
+	// ComputeMS and CommMS break each rank's time into computation and
+	// communication (waiting included); residual is Sleep/idle.
+	ComputeMS []float64
+	CommMS    []float64
+	// Messages and BytesMoved count point-to-point payloads (collectives
+	// count their internal distribution messages too).
+	Messages   int64
+	BytesMoved int64
+}
+
+// MaxCommMS returns the largest per-rank communication time — the measured
+// stand-in for the paper's total parallel overhead T_o on the critical path.
+func (r Result) MaxCommMS() float64 {
+	var m float64
+	for _, v := range r.CommMS {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Program is the per-rank body of a parallel computation. An error from any
+// rank aborts the Run (after all ranks finish, to keep engines simple).
+type Program func(c Comm) error
+
+// validateRun checks arguments common to both engines.
+func validateRun(cl *cluster.Cluster, model simnet.CostModel, opts Options, program Program) error {
+	if cl == nil || cl.Size() == 0 {
+		return errors.New("mpi: nil or empty cluster")
+	}
+	if model == nil {
+		return errors.New("mpi: nil cost model")
+	}
+	if program == nil {
+		return errors.New("mpi: nil program")
+	}
+	if opts.Engine == EngineLive && (opts.Contended || opts.Network != simnet.WireIdeal) {
+		return errors.New("mpi: network contention requires the DES engine")
+	}
+	if opts.Engine != EngineLive && opts.Engine != EngineDES {
+		return fmt.Errorf("mpi: unknown engine %v", opts.Engine)
+	}
+	if opts.Jitter < 0 || opts.Jitter >= 1 {
+		return fmt.Errorf("mpi: jitter %g out of [0, 1)", opts.Jitter)
+	}
+	return nil
+}
+
+// Run executes program once per rank of cl under the given cost model and
+// returns the virtual-time result. Program errors from any rank are joined
+// and returned.
+func Run(cl *cluster.Cluster, model simnet.CostModel, opts Options, program Program) (Result, error) {
+	if err := validateRun(cl, model, opts, program); err != nil {
+		return Result{}, err
+	}
+	switch opts.Engine {
+	case EngineDES:
+		return runDES(cl, model, opts, program)
+	default:
+		return runLive(cl, model, opts, program)
+	}
+}
+
+func payloadBytes(data []float64) int { return simnet.WordBytes * len(data) }
+
+func copySlice(data []float64) []float64 {
+	out := make([]float64, len(data))
+	copy(out, data)
+	return out
+}

@@ -1,0 +1,162 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/simnet"
+)
+
+// desWorld is the shared state of a DES-engine run.
+type desWorld struct {
+	cl     *cluster.Cluster
+	model  simnet.CostModel
+	kernel *des.Kernel
+	queues [][]*des.Queue // queues[from][to]
+	wire   *simnet.Wire
+	bar    *desBarrier
+	msgs   int64
+	bytes  int64
+}
+
+// desBarrier synchronizes all ranks inside the event kernel. The last
+// arrival is necessarily at the maximum virtual time, so waking everyone at
+// that instant realizes the max-sync.
+type desBarrier struct {
+	n       int
+	arrived int
+	waiters []*des.Proc
+}
+
+func (b *desBarrier) wait(p *des.Proc) {
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		ws := b.waiters
+		b.waiters = nil
+		for _, w := range ws {
+			w.Wake()
+		}
+		return
+	}
+	b.waiters = append(b.waiters, p)
+	p.Suspend()
+}
+
+// desOps implements engineOps for the discrete-event engine; the rank's
+// virtual clock is the kernel clock observed from its process.
+type desOps struct {
+	w    *desWorld
+	rank int
+	p    *des.Proc
+}
+
+func (o *desOps) rankID() int                 { return o.rank }
+func (o *desOps) worldSize() int              { return o.w.cl.Size() }
+func (o *desOps) nodeInfo() cluster.Node      { return o.w.cl.Nodes[o.rank] }
+func (o *desOps) costModel() simnet.CostModel { return o.w.model }
+func (o *desOps) clockNow() float64           { return o.p.Now() }
+func (o *desOps) advance(dt float64)          { o.p.Delay(dt) }
+
+func (o *desOps) waitUntil(t float64) {
+	if now := o.p.Now(); t > now {
+		o.p.Delay(t - now)
+	}
+}
+
+func (o *desOps) transfer(durMS float64, to int) { o.w.wire.OccupyFor(o.p, durMS, o.rank, to) }
+
+func (o *desOps) post(to int, m message) { o.w.queues[o.rank][to].Put(m, 0) }
+
+func (o *desOps) take(from int) message {
+	return o.w.queues[from][o.rank].Get(o.p).(message)
+}
+
+func (o *desOps) syncMax(myClock float64) float64 {
+	o.w.bar.wait(o.p)
+	return o.p.Now()
+}
+
+func (o *desOps) countMsg(bytes int) {
+	// Single-threaded under the kernel: plain counters suffice.
+	o.w.msgs++
+	o.w.bytes += int64(bytes)
+}
+
+// wireMode normalizes the Options network selection.
+func wireMode(opts Options) simnet.WireMode {
+	if opts.Network != simnet.WireIdeal {
+		return opts.Network
+	}
+	if opts.Contended {
+		return simnet.WireShared
+	}
+	return simnet.WireIdeal
+}
+
+// runDES executes program as processes of a discrete-event kernel,
+// optionally with a contended shared wire.
+func runDES(cl *cluster.Cluster, model simnet.CostModel, opts Options, program Program) (Result, error) {
+	p := cl.Size()
+	k := des.NewKernel()
+	w := &desWorld{
+		cl:     cl,
+		model:  model,
+		kernel: k,
+		queues: make([][]*des.Queue, p),
+		wire:   simnet.NewWireMode(k, model, wireMode(opts), p),
+		bar:    &desBarrier{n: p},
+	}
+	for i := range w.queues {
+		w.queues[i] = make([]*des.Queue, p)
+		for j := range w.queues[i] {
+			w.queues[i][j] = k.NewQueue(fmt.Sprintf("q%d-%d", i, j))
+		}
+	}
+
+	comms := make([]*comm, p)
+	errs := make([]error, p)
+	clocks := make([]float64, p)
+	for r := 0; r < p; r++ {
+		r := r
+		ops := &desOps{w: w, rank: r}
+		c := newComm(ops, opts)
+		comms[r] = c
+		proc := k.Spawn(fmt.Sprintf("rank%d", r), func(pr *des.Proc) {
+			defer func() {
+				clocks[r] = pr.Now()
+				if rec := recover(); rec != nil {
+					errs[r] = fmt.Errorf("mpi: rank %d panicked: %v", r, rec)
+				}
+			}()
+			if err := program(c); err != nil {
+				errs[r] = fmt.Errorf("mpi: rank %d: %w", r, err)
+			}
+		})
+		ops.p = proc
+	}
+	runErr := k.Run()
+	if runErr != nil {
+		// A failed rank typically strands its peers on empty queues; the
+		// kernel reports that as deadlock. Surface both causes.
+		errs = append(errs, runErr)
+	}
+
+	res := Result{
+		RankClocks: clocks,
+		ComputeMS:  make([]float64, p),
+		CommMS:     make([]float64, p),
+		Messages:   w.msgs,
+		BytesMoved: w.bytes,
+	}
+	for r, c := range comms {
+		res.ComputeMS[r] = c.compMS
+		res.CommMS[r] = c.commMS
+		if clocks[r] > res.TimeMS {
+			res.TimeMS = clocks[r]
+		}
+	}
+	return res, errors.Join(errs...)
+}

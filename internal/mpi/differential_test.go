@@ -1,0 +1,156 @@
+package mpi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Randomized differential testing: generate random (but deterministic,
+// seeded) parallel programs and require the live and DES engines to
+// produce identical virtual times, message counts and accounting. This
+// covers interleavings of primitives no hand-written test enumerates.
+
+// randomProgram builds a deterministic program from seed: a sequence of
+// collective/point-to-point/compute steps that is structurally identical
+// on every rank (so it cannot deadlock) but exercises rank-dependent
+// paths.
+func randomProgram(seed int64, steps int) Program {
+	return func(c Comm) error {
+		rng := rand.New(rand.NewSource(seed)) // same stream on every rank
+		p := c.Size()
+		for s := 0; s < steps; s++ {
+			switch rng.Intn(7) {
+			case 0:
+				flops := float64(rng.Intn(100000)) * float64(c.Rank()+1)
+				c.Compute(flops)
+			case 1:
+				root := rng.Intn(p)
+				size := 1 + rng.Intn(300)
+				var in []float64
+				if c.Rank() == root {
+					in = make([]float64, size)
+					for i := range in {
+						in[i] = float64(s*size + i)
+					}
+				}
+				c.Bcast(root, in)
+			case 2:
+				c.Barrier()
+			case 3:
+				// Ring shift with random payload size.
+				size := 1 + rng.Intn(200)
+				to := (c.Rank() + 1) % p
+				from := (c.Rank() + p - 1) % p
+				if rng.Intn(2) == 0 {
+					c.Send(to, s, make([]float64, size))
+				} else {
+					c.ISend(to, s, make([]float64, size))
+				}
+				c.Recv(from, s)
+			case 4:
+				root := rng.Intn(p)
+				c.Gatherv(root, make([]float64, 1+rng.Intn(50)))
+			case 5:
+				c.Allreduce(float64(c.Rank()), OpSum)
+			case 6:
+				root := rng.Intn(p)
+				// Every rank must consume the same rng draws or the shared
+				// stream desynchronizes and ranks disagree on later steps.
+				sizes := make([]int, p)
+				for i := range sizes {
+					sizes[i] = 1 + rng.Intn(40)
+				}
+				var parts [][]float64
+				if c.Rank() == root {
+					parts = make([][]float64, p)
+					for i := range parts {
+						parts[i] = make([]float64, sizes[i])
+					}
+				}
+				c.Scatterv(root, parts)
+			}
+		}
+		return nil
+	}
+}
+
+func TestDifferentialEngines(t *testing.T) {
+	cl := testCluster(t, 37.2, 42.1, 89.5, 89.5, 42.1, 60)
+	m := testModel(t)
+	for seed := int64(0); seed < 25; seed++ {
+		prog := randomProgram(seed, 30)
+		live, err := Run(cl, m, Options{Engine: EngineLive}, prog)
+		if err != nil {
+			t.Fatalf("seed %d live: %v", seed, err)
+		}
+		des, err := Run(cl, m, Options{Engine: EngineDES}, prog)
+		if err != nil {
+			t.Fatalf("seed %d des: %v", seed, err)
+		}
+		if live.Messages != des.Messages || live.BytesMoved != des.BytesMoved {
+			t.Errorf("seed %d: traffic differs: live %d/%d vs des %d/%d",
+				seed, live.Messages, live.BytesMoved, des.Messages, des.BytesMoved)
+		}
+		for r := range live.RankClocks {
+			if math.Abs(live.RankClocks[r]-des.RankClocks[r]) > 1e-6 {
+				t.Errorf("seed %d rank %d: clocks differ: live %g vs des %g",
+					seed, r, live.RankClocks[r], des.RankClocks[r])
+			}
+			if math.Abs(live.ComputeMS[r]-des.ComputeMS[r]) > 1e-6 {
+				t.Errorf("seed %d rank %d: compute differs", seed, r)
+			}
+			if math.Abs(live.CommMS[r]-des.CommMS[r]) > 1e-6 {
+				t.Errorf("seed %d rank %d: comm differs: %g vs %g",
+					seed, r, live.CommMS[r], des.CommMS[r])
+			}
+		}
+	}
+}
+
+func TestDifferentialEnginesWithJitter(t *testing.T) {
+	cl := testCluster(t, 40, 80, 60)
+	m := testModel(t)
+	for seed := int64(0); seed < 8; seed++ {
+		prog := randomProgram(seed+100, 20)
+		opts := Options{Jitter: 0.15, JitterSeed: seed}
+		live, err := Run(cl, m, opts, prog)
+		if err != nil {
+			t.Fatalf("seed %d live: %v", seed, err)
+		}
+		opts.Engine = EngineDES
+		des, err := Run(cl, m, opts, prog)
+		if err != nil {
+			t.Fatalf("seed %d des: %v", seed, err)
+		}
+		for r := range live.RankClocks {
+			if math.Abs(live.RankClocks[r]-des.RankClocks[r]) > 1e-6 {
+				t.Errorf("seed %d rank %d: jittered clocks differ: %g vs %g",
+					seed, r, live.RankClocks[r], des.RankClocks[r])
+			}
+		}
+	}
+}
+
+func TestDifferentialRunsAreStable(t *testing.T) {
+	// The same random program re-run on the same engine is bit-stable.
+	cl := testCluster(t, 50, 70, 90, 40)
+	m := testModel(t)
+	prog := randomProgram(7, 40)
+	var first Result
+	for i := 0; i < 3; i++ {
+		res, err := Run(cl, m, Options{}, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = res
+			continue
+		}
+		for r := range res.RankClocks {
+			if res.RankClocks[r] != first.RankClocks[r] {
+				t.Fatalf("iteration %d rank %d: clock drifted", i, r)
+			}
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cluster"
+	"repro/internal/simnet"
+)
+
+// errAborted is the sentinel panic value used to unwind ranks blocked on a
+// world whose sibling rank has failed.
+var errAborted = errors.New("mpi: run aborted by another rank's failure")
+
+// liveWorld is the shared state of a live-engine run.
+type liveWorld struct {
+	cl    *cluster.Cluster
+	model simnet.CostModel
+	chans [][]chan message // chans[from][to]
+	bar   *maxBarrier
+
+	abortOnce sync.Once
+	aborted   chan struct{}
+
+	msgs  atomic.Int64
+	bytes atomic.Int64
+}
+
+func (w *liveWorld) abort() {
+	w.abortOnce.Do(func() { close(w.aborted) })
+}
+
+// maxBarrier is a reusable all-rank barrier that additionally computes the
+// maximum of the values contributed by the participants (the ranks' virtual
+// clocks). Generations make it safely reusable back-to-back.
+type maxBarrier struct {
+	mu      sync.Mutex
+	n       int
+	arrived int
+	cur     *barrierGen
+	aborted chan struct{}
+}
+
+type barrierGen struct {
+	release chan struct{}
+	max     float64
+}
+
+func newMaxBarrier(n int, aborted chan struct{}) *maxBarrier {
+	return &maxBarrier{
+		n:       n,
+		cur:     &barrierGen{release: make(chan struct{}), max: math.Inf(-1)},
+		aborted: aborted,
+	}
+}
+
+// wait blocks until all n participants arrive and returns the maximum
+// contributed value. It panics with errAborted if the world aborts.
+func (b *maxBarrier) wait(v float64) float64 {
+	b.mu.Lock()
+	g := b.cur
+	if v > g.max {
+		g.max = v
+	}
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.cur = &barrierGen{release: make(chan struct{}), max: math.Inf(-1)}
+		close(g.release)
+	}
+	b.mu.Unlock()
+	select {
+	case <-g.release:
+		return g.max
+	case <-b.aborted:
+		panic(errAborted)
+	}
+}
+
+// liveOps implements engineOps for the goroutine engine. The virtual clock
+// is plain rank-local state: correctness never depends on Go scheduling,
+// only on message timestamps and per-pair FIFO order.
+type liveOps struct {
+	w     *liveWorld
+	rank  int
+	clock float64
+}
+
+func (o *liveOps) rankID() int                   { return o.rank }
+func (o *liveOps) worldSize() int                { return o.w.cl.Size() }
+func (o *liveOps) nodeInfo() cluster.Node        { return o.w.cl.Nodes[o.rank] }
+func (o *liveOps) costModel() simnet.CostModel   { return o.w.model }
+func (o *liveOps) clockNow() float64             { return o.clock }
+func (o *liveOps) advance(dt float64)            { o.clock += dt }
+func (o *liveOps) transfer(durMS float64, _ int) { o.clock += durMS }
+
+func (o *liveOps) waitUntil(t float64) {
+	if t > o.clock {
+		o.clock = t
+	}
+}
+
+func (o *liveOps) post(to int, m message) {
+	select {
+	case o.w.chans[o.rank][to] <- m:
+	case <-o.w.aborted:
+		panic(errAborted)
+	}
+}
+
+func (o *liveOps) take(from int) message {
+	select {
+	case m := <-o.w.chans[from][o.rank]:
+		return m
+	case <-o.w.aborted:
+		panic(errAborted)
+	}
+}
+
+func (o *liveOps) syncMax(myClock float64) float64 { return o.w.bar.wait(myClock) }
+
+func (o *liveOps) countMsg(bytes int) {
+	o.w.msgs.Add(1)
+	o.w.bytes.Add(int64(bytes))
+}
+
+// runLive executes program on one goroutine per rank.
+func runLive(cl *cluster.Cluster, model simnet.CostModel, opts Options, program Program) (Result, error) {
+	p := cl.Size()
+	cap := opts.ChanCap
+	if cap <= 0 {
+		cap = 1024
+	}
+	w := &liveWorld{
+		cl:      cl,
+		model:   model,
+		chans:   make([][]chan message, p),
+		aborted: make(chan struct{}),
+	}
+	for i := range w.chans {
+		w.chans[i] = make([]chan message, p)
+		for j := range w.chans[i] {
+			w.chans[i][j] = make(chan message, cap)
+		}
+	}
+	w.bar = newMaxBarrier(p, w.aborted)
+
+	comms := make([]*comm, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		r := r
+		c := newComm(&liveOps{w: w, rank: r}, opts)
+		comms[r] = c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					if rec == errAborted { //nolint:errorlint // sentinel identity
+						errs[r] = fmt.Errorf("mpi: rank %d: %w", r, errAborted)
+					} else {
+						errs[r] = fmt.Errorf("mpi: rank %d panicked: %v", r, rec)
+					}
+					w.abort()
+				}
+			}()
+			if err := program(c); err != nil {
+				errs[r] = fmt.Errorf("mpi: rank %d: %w", r, err)
+				w.abort()
+			}
+		}()
+	}
+	wg.Wait()
+
+	res := Result{
+		RankClocks: make([]float64, p),
+		ComputeMS:  make([]float64, p),
+		CommMS:     make([]float64, p),
+		Messages:   w.msgs.Load(),
+		BytesMoved: w.bytes.Load(),
+	}
+	for r, c := range comms {
+		res.RankClocks[r] = c.ops.clockNow()
+		res.ComputeMS[r] = c.compMS
+		res.CommMS[r] = c.commMS
+		if res.RankClocks[r] > res.TimeMS {
+			res.TimeMS = res.RankClocks[r]
+		}
+	}
+	return res, errors.Join(errs...)
+}

@@ -1,0 +1,323 @@
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// message is the unit of transport between ranks. avail is the virtual
+// instant at which the payload is fully usable at the receiver (transfer
+// complete; receive-side overhead not yet charged).
+type message struct {
+	tag   int
+	avail float64
+	data  []float64
+}
+
+// engineOps is the narrow per-engine interface the shared Comm
+// implementation is built on. Implementations: liveOps (goroutines) and
+// desOps (discrete-event processes).
+type engineOps interface {
+	rankID() int
+	worldSize() int
+	nodeInfo() cluster.Node
+	costModel() simnet.CostModel
+
+	// clockNow returns this rank's virtual time (ms).
+	clockNow() float64
+	// advance moves this rank's virtual time forward by dt >= 0.
+	advance(dt float64)
+	// waitUntil moves this rank's virtual time to at least t.
+	waitUntil(t float64)
+	// transfer charges the medium-occupancy time durMS of moving a
+	// payload across the network to rank `to` (queueing for a contended
+	// wire included on top).
+	transfer(durMS float64, to int)
+	// post enqueues m for rank to, stamped at the current instant.
+	post(to int, m message)
+	// take dequeues the oldest message from rank from, blocking as needed.
+	// On return the virtual clock is >= the instant m was posted; callers
+	// still must waitUntil(m.avail).
+	take(from int) message
+	// syncMax blocks until all ranks call it, then returns the maximum
+	// clock among them.
+	syncMax(myClock float64) float64
+	// countMsg records one payload of the given size in the run totals.
+	countMsg(bytes int)
+}
+
+// comm implements Comm generically over engineOps.
+type comm struct {
+	ops    engineOps
+	compMS float64
+	commMS float64
+
+	tr     *trace.Trace     // nil when tracing is off
+	jitter float64          // 0 when jitter is off
+	rng    *rand.Rand       // per-rank, seeded deterministically
+	pair   simnet.PairModel // non-nil when the cost model is topology-aware
+}
+
+var _ Comm = (*comm)(nil)
+
+// newComm wires the per-run options into a rank's comm.
+func newComm(ops engineOps, opts Options) *comm {
+	c := &comm{ops: ops, tr: opts.Trace, jitter: opts.Jitter}
+	c.pair, _ = ops.costModel().(simnet.PairModel)
+	if c.jitter > 0 {
+		c.rng = rand.New(rand.NewSource(opts.JitterSeed + int64(ops.rankID())*7919))
+	}
+	return c
+}
+
+// stretch applies the configured measurement jitter to a charged duration.
+// Each rank draws from its own deterministic stream, so runs remain
+// reproducible while individual samples wobble like real measurements.
+func (c *comm) stretch(dt float64) float64 {
+	if c.jitter == 0 || dt == 0 {
+		return dt
+	}
+	return dt * (1 + c.jitter*c.rng.Float64())
+}
+
+// span records a trace interval if tracing is enabled.
+func (c *comm) span(kind trace.Kind, start, end float64, bytes, peer int) {
+	if c.tr == nil {
+		return
+	}
+	c.tr.Add(trace.Span{
+		Rank: c.ops.rankID(), Kind: kind,
+		StartMS: start, EndMS: end, Bytes: bytes, Peer: peer,
+	})
+}
+
+// Rank implements Comm.
+func (c *comm) Rank() int { return c.ops.rankID() }
+
+// Size implements Comm.
+func (c *comm) Size() int { return c.ops.worldSize() }
+
+// Node implements Comm.
+func (c *comm) Node() cluster.Node { return c.ops.nodeInfo() }
+
+// Clock implements Comm.
+func (c *comm) Clock() float64 { return c.ops.clockNow() }
+
+// ComputeMS implements Comm.
+func (c *comm) ComputeMS() float64 { return c.compMS }
+
+// CommMS implements Comm.
+func (c *comm) CommMS() float64 { return c.commMS }
+
+// Compute implements Comm. Marked speed is in Mflops = 1e3 flops per ms.
+func (c *comm) Compute(flops float64) {
+	if flops < 0 {
+		panic(fmt.Sprintf("mpi: rank %d: negative flops %g", c.Rank(), flops))
+	}
+	start := c.ops.clockNow()
+	dt := c.stretch(flops / (c.ops.nodeInfo().SpeedMflops * 1e3))
+	c.ops.advance(dt)
+	c.compMS += dt
+	c.span(trace.KindCompute, start, c.ops.clockNow(), 0, -1)
+}
+
+// Sleep implements Comm.
+func (c *comm) Sleep(ms float64) {
+	if ms < 0 {
+		panic(fmt.Sprintf("mpi: rank %d: negative sleep %g", c.Rank(), ms))
+	}
+	start := c.ops.clockNow()
+	c.ops.advance(ms)
+	c.span(trace.KindSleep, start, c.ops.clockNow(), 0, -1)
+}
+
+func (c *comm) checkPeer(r int, what string) {
+	if r < 0 || r >= c.Size() {
+		panic(fmt.Sprintf("mpi: rank %d: %s peer %d out of range [0,%d)", c.Rank(), what, r, c.Size()))
+	}
+}
+
+// sendCost and recvCost return the (possibly endpoint-aware) component
+// costs of a point-to-point message.
+func (c *comm) sendCost(to, bytes int) (send, xfer float64) {
+	if c.pair != nil {
+		return c.pair.PairSendTime(c.Rank(), to, bytes), c.pair.PairTransferTime(c.Rank(), to, bytes)
+	}
+	m := c.ops.costModel()
+	return m.SendTime(bytes), m.TransferTime(bytes)
+}
+
+func (c *comm) recvCost(from, bytes int) float64 {
+	if c.pair != nil {
+		return c.pair.PairRecvTime(from, c.Rank(), bytes)
+	}
+	return c.ops.costModel().RecvTime(bytes)
+}
+
+// Send implements Comm.
+func (c *comm) Send(to, tag int, data []float64) {
+	c.checkPeer(to, "Send")
+	start := c.ops.clockNow()
+	b := payloadBytes(data)
+	send, xfer := c.sendCost(to, b)
+	c.ops.advance(c.stretch(send))
+	c.ops.transfer(xfer, to)
+	c.ops.post(to, message{tag: tag, avail: c.ops.clockNow(), data: copySlice(data)})
+	c.ops.countMsg(b)
+	c.commMS += c.ops.clockNow() - start
+	c.span(trace.KindSend, start, c.ops.clockNow(), b, to)
+}
+
+// ISend implements Comm: the sender pays only its software overhead; the
+// payload becomes available at sender-clock + transfer time, overlapping
+// whatever the sender does next. The contended-wire queueing of the DES
+// engine does not apply (the transfer is modeled as offloaded).
+func (c *comm) ISend(to, tag int, data []float64) {
+	c.checkPeer(to, "ISend")
+	start := c.ops.clockNow()
+	b := payloadBytes(data)
+	send, xfer := c.sendCost(to, b)
+	c.ops.advance(c.stretch(send))
+	c.ops.post(to, message{tag: tag, avail: c.ops.clockNow() + xfer, data: copySlice(data)})
+	c.ops.countMsg(b)
+	c.commMS += c.ops.clockNow() - start
+	c.span(trace.KindSend, start, c.ops.clockNow(), b, to)
+}
+
+// Recv implements Comm.
+func (c *comm) Recv(from, tag int) []float64 {
+	c.checkPeer(from, "Recv")
+	start := c.ops.clockNow()
+	msg := c.ops.take(from)
+	if msg.tag != tag {
+		panic(fmt.Sprintf("mpi: rank %d: Recv(from=%d) tag mismatch: got %d, want %d",
+			c.Rank(), from, msg.tag, tag))
+	}
+	c.ops.waitUntil(msg.avail)
+	waited := c.ops.clockNow()
+	c.span(trace.KindWait, start, waited, 0, from)
+	b := payloadBytes(msg.data)
+	c.ops.advance(c.stretch(c.recvCost(from, b)))
+	c.commMS += c.ops.clockNow() - start
+	c.span(trace.KindRecv, waited, c.ops.clockNow(), b, from)
+	return msg.data
+}
+
+// Bcast implements Comm. The cost model's aggregate BcastTime(p, bytes)
+// bounds everyone's completion, mirroring the paper's T_broadcast ≈ 0.23·p.
+//
+// The returned slice is a single copy shared by every participant: treat
+// it as read-only. (Ranks run concurrently in real time; the shared copy
+// insulates receivers from the root's buffer reuse but not from each
+// other's writes.) Callers that need to mutate the payload must copy it.
+func (c *comm) Bcast(root int, data []float64) []float64 {
+	c.checkPeer(root, "Bcast")
+	start := c.ops.clockNow()
+	p := c.Size()
+	var out []float64
+	if c.Rank() == root {
+		b := payloadBytes(data)
+		done := c.ops.clockNow() + c.stretch(c.ops.costModel().BcastTime(p, b))
+		shared := copySlice(data)
+		for r := 0; r < p; r++ {
+			if r == root {
+				continue
+			}
+			c.ops.post(r, message{tag: tagBcast, avail: done, data: shared})
+			c.ops.countMsg(b)
+		}
+		c.ops.waitUntil(done)
+		out = shared
+		c.span(trace.KindBcast, start, c.ops.clockNow(), b, root)
+	} else {
+		msg := c.ops.take(root)
+		if msg.tag != tagBcast {
+			panic(fmt.Sprintf("mpi: rank %d: Bcast collective mismatch (tag %d)", c.Rank(), msg.tag))
+		}
+		c.ops.waitUntil(msg.avail)
+		out = msg.data
+		c.span(trace.KindWait, start, c.ops.clockNow(), payloadBytes(out), root)
+	}
+	c.commMS += c.ops.clockNow() - start
+	return out
+}
+
+// Barrier implements Comm.
+func (c *comm) Barrier() {
+	start := c.ops.clockNow()
+	mx := c.ops.syncMax(start)
+	c.ops.waitUntil(mx)
+	waited := c.ops.clockNow()
+	c.span(trace.KindWait, start, waited, 0, -1)
+	c.ops.advance(c.stretch(c.ops.costModel().BarrierTime(c.Size())))
+	c.commMS += c.ops.clockNow() - start
+	c.span(trace.KindBarrier, waited, c.ops.clockNow(), 0, -1)
+}
+
+// Gatherv implements Comm.
+func (c *comm) Gatherv(root int, data []float64) [][]float64 {
+	c.checkPeer(root, "Gatherv")
+	if c.Rank() != root {
+		c.Send(root, tagGather, data)
+		return nil
+	}
+	parts := make([][]float64, c.Size())
+	parts[root] = copySlice(data)
+	for r := 0; r < c.Size(); r++ {
+		if r != root {
+			parts[r] = c.Recv(r, tagGather)
+		}
+	}
+	return parts
+}
+
+// Scatterv implements Comm.
+func (c *comm) Scatterv(root int, parts [][]float64) []float64 {
+	c.checkPeer(root, "Scatterv")
+	if c.Rank() != root {
+		return c.Recv(root, tagScatter)
+	}
+	if len(parts) != c.Size() {
+		panic(fmt.Sprintf("mpi: rank %d: Scatterv needs %d parts, got %d", c.Rank(), c.Size(), len(parts)))
+	}
+	for r := 0; r < c.Size(); r++ {
+		if r != root {
+			c.Send(r, tagScatter, parts[r])
+		}
+	}
+	return copySlice(parts[root])
+}
+
+// Reduce implements Comm.
+func (c *comm) Reduce(root int, value float64, op ReduceOp) float64 {
+	c.checkPeer(root, "Reduce")
+	if op == nil {
+		panic(fmt.Sprintf("mpi: rank %d: nil ReduceOp", c.Rank()))
+	}
+	if c.Rank() != root {
+		c.Send(root, tagReduce, []float64{value})
+		return 0
+	}
+	acc := value
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		v := c.Recv(r, tagReduce)
+		acc = op(acc, v[0])
+	}
+	c.Compute(float64(c.Size() - 1)) // fold flops
+	return acc
+}
+
+// Allreduce implements Comm.
+func (c *comm) Allreduce(value float64, op ReduceOp) float64 {
+	const root = 0
+	acc := c.Reduce(root, value, op)
+	out := c.Bcast(root, []float64{acc})
+	return out[0]
+}

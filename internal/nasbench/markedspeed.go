@@ -1,0 +1,103 @@
+package nasbench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// Score is the measured sustained rate of one kernel on one node.
+type Score struct {
+	Kernel string
+	Mflops float64
+}
+
+// kernelAffinity models that each kernel sustains a slightly different
+// fraction of a node's nominal rate (cache behaviour, arithmetic mix). The
+// factors average to exactly 1.0 over the suite, so the paper's "take the
+// average speed on each node as its marked speed" procedure recovers the
+// node's nominal SpeedMflops.
+var kernelAffinity = map[string]float64{
+	"EP": 1.10,
+	"MG": 1.00,
+	"FT": 0.92,
+	"LU": 0.95,
+	"BT": 1.03,
+}
+
+// ModelScores "runs" the suite on a simulated node: each kernel observes
+// rate = node.SpeedMflops * affinity(kernel). This is the simulated stand-in
+// for benchmarking a physical node.
+func ModelScores(n cluster.Node, kernels []Kernel) ([]Score, error) {
+	if len(kernels) == 0 {
+		return nil, fmt.Errorf("nasbench: empty kernel suite")
+	}
+	out := make([]Score, len(kernels))
+	for i, k := range kernels {
+		aff, ok := kernelAffinity[k.Name()]
+		if !ok {
+			aff = 1
+		}
+		out[i] = Score{Kernel: k.Name(), Mflops: n.SpeedMflops * aff}
+	}
+	return out, nil
+}
+
+// MarkedSpeed averages the suite scores — Definition 1's benchmarked
+// sustained speed of a node.
+func MarkedSpeed(scores []Score) (float64, error) {
+	if len(scores) == 0 {
+		return 0, fmt.Errorf("nasbench: no scores")
+	}
+	var s float64
+	for _, sc := range scores {
+		if sc.Mflops <= 0 {
+			return 0, fmt.Errorf("nasbench: non-positive score for %s", sc.Kernel)
+		}
+		s += sc.Mflops
+	}
+	return s / float64(len(scores)), nil
+}
+
+// MeasureNodeModel benchmarks a simulated node with the default suite and
+// returns its marked speed plus the per-kernel scores (one Table 1 cell).
+func MeasureNodeModel(n cluster.Node) (float64, []Score, error) {
+	scores, err := ModelScores(n, Suite())
+	if err != nil {
+		return 0, nil, err
+	}
+	ms, err := MarkedSpeed(scores)
+	if err != nil {
+		return 0, nil, err
+	}
+	return ms, scores, nil
+}
+
+// MeasureHost wall-clocks a kernel on the machine running this process and
+// returns the sustained Mflops. The kernel is run once for warmup and then
+// repeatedly until minDuration elapses. Results depend on the host; this
+// path exists for cmd/markedspeed and grounds the simulation's notion of a
+// flop in something physical.
+func MeasureHost(k Kernel, size int, minDuration time.Duration) (Score, error) {
+	if size <= 0 {
+		return Score{}, fmt.Errorf("nasbench: size must be positive, got %d", size)
+	}
+	if minDuration <= 0 {
+		minDuration = 100 * time.Millisecond
+	}
+	sink := k.Run(size) // warmup
+	var iters int
+	start := time.Now()
+	for time.Since(start) < minDuration {
+		sink += k.Run(size)
+		iters++
+	}
+	elapsed := time.Since(start).Seconds()
+	if iters == 0 || elapsed <= 0 {
+		return Score{}, fmt.Errorf("nasbench: kernel %s did not complete", k.Name())
+	}
+	_ = sink
+	mflops := k.Flops(size) * float64(iters) / elapsed / 1e6
+	return Score{Kernel: k.Name(), Mflops: mflops}, nil
+}

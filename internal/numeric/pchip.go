@@ -1,0 +1,118 @@
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// MonotoneCubic is a piecewise-cubic Hermite interpolant with
+// Fritsch–Carlson slope limiting: it passes through every sample exactly
+// and is monotone on every interval where the data are monotone. It is
+// the safe alternative to the paper's polynomial trend lines for reading
+// required problem sizes off efficiency curves — a polynomial can wiggle
+// between samples and produce spurious crossings; this cannot.
+type MonotoneCubic struct {
+	xs, ys, ms []float64 // knots, values, endpoint slopes
+}
+
+// NewMonotoneCubic builds the interpolant from samples. xs must be
+// strictly increasing; at least two points are required.
+func NewMonotoneCubic(xs, ys []float64) (*MonotoneCubic, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("numeric: MonotoneCubic length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return nil, errors.New("numeric: MonotoneCubic needs >= 2 points")
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return nil, fmt.Errorf("numeric: MonotoneCubic xs not strictly increasing at %d", i)
+		}
+	}
+	for i := range xs {
+		if !IsFinite(xs[i]) || !IsFinite(ys[i]) {
+			return nil, fmt.Errorf("numeric: MonotoneCubic non-finite sample at %d", i)
+		}
+	}
+	n := len(xs)
+	// Secant slopes.
+	d := make([]float64, n-1)
+	for i := 0; i < n-1; i++ {
+		d[i] = (ys[i+1] - ys[i]) / (xs[i+1] - xs[i])
+	}
+	// Initial tangents.
+	m := make([]float64, n)
+	m[0] = d[0]
+	m[n-1] = d[n-2]
+	for i := 1; i < n-1; i++ {
+		if d[i-1]*d[i] <= 0 {
+			m[i] = 0 // local extremum: flat tangent
+		} else {
+			m[i] = (d[i-1] + d[i]) / 2
+		}
+	}
+	// Fritsch–Carlson limiting.
+	for i := 0; i < n-1; i++ {
+		if d[i] == 0 {
+			m[i] = 0
+			m[i+1] = 0
+			continue
+		}
+		a := m[i] / d[i]
+		b := m[i+1] / d[i]
+		s := a*a + b*b
+		if s > 9 {
+			tau := 3 / sqrtFC(s)
+			m[i] = tau * a * d[i]
+			m[i+1] = tau * b * d[i]
+		}
+	}
+	return &MonotoneCubic{
+		xs: append([]float64(nil), xs...),
+		ys: append([]float64(nil), ys...),
+		ms: m,
+	}, nil
+}
+
+func sqrtFC(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// Eval evaluates the interpolant; outside the knot range it extrapolates
+// linearly with the boundary tangent.
+func (mc *MonotoneCubic) Eval(x float64) float64 {
+	n := len(mc.xs)
+	if x <= mc.xs[0] {
+		return mc.ys[0] + mc.ms[0]*(x-mc.xs[0])
+	}
+	if x >= mc.xs[n-1] {
+		return mc.ys[n-1] + mc.ms[n-1]*(x-mc.xs[n-1])
+	}
+	// Find the interval with binary search.
+	i := sort.SearchFloat64s(mc.xs, x) - 1
+	if i < 0 {
+		i = 0
+	}
+	h := mc.xs[i+1] - mc.xs[i]
+	t := (x - mc.xs[i]) / h
+	t2 := t * t
+	t3 := t2 * t
+	h00 := 2*t3 - 3*t2 + 1
+	h10 := t3 - 2*t2 + t
+	h01 := -2*t3 + 3*t2
+	h11 := t3 - t2
+	return h00*mc.ys[i] + h10*h*mc.ms[i] + h01*mc.ys[i+1] + h11*h*mc.ms[i+1]
+}
+
+// Domain returns the knot range.
+func (mc *MonotoneCubic) Domain() (lo, hi float64) {
+	return mc.xs[0], mc.xs[len(mc.xs)-1]
+}

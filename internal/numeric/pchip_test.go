@@ -1,0 +1,147 @@
+package numeric
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMonotoneCubicInterpolates(t *testing.T) {
+	xs := []float64{0, 1, 3, 4, 7}
+	ys := []float64{1, 2, 2.5, 4, 4.1}
+	mc, err := NewMonotoneCubic(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if got := mc.Eval(xs[i]); math.Abs(got-ys[i]) > 1e-12 {
+			t.Errorf("Eval(knot %g) = %g, want %g", xs[i], got, ys[i])
+		}
+	}
+	lo, hi := mc.Domain()
+	if lo != 0 || hi != 7 {
+		t.Errorf("Domain = %g, %g", lo, hi)
+	}
+}
+
+func TestMonotoneCubicPreservesMonotonicity(t *testing.T) {
+	// Saturating efficiency-like data: interpolant must never decrease.
+	xs := []float64{100, 200, 300, 400, 500, 600}
+	ys := []float64{0.10, 0.22, 0.28, 0.305, 0.318, 0.325}
+	mc, err := NewMonotoneCubic(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(-1)
+	for x := 100.0; x <= 600; x += 0.5 {
+		v := mc.Eval(x)
+		if v < prev-1e-12 {
+			t.Fatalf("interpolant decreases at x=%g: %g < %g", x, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestMonotoneCubicFlatSegments(t *testing.T) {
+	// Flat data stays flat — no polynomial overshoot.
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{5, 5, 5, 9}
+	mc, err := NewMonotoneCubic(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0.0; x <= 2; x += 0.1 {
+		if v := mc.Eval(x); math.Abs(v-5) > 1e-12 {
+			t.Errorf("flat segment at %g: %g", x, v)
+		}
+	}
+}
+
+func TestMonotoneCubicExtrapolatesLinearly(t *testing.T) {
+	xs := []float64{0, 1}
+	ys := []float64{0, 2}
+	mc, err := NewMonotoneCubic(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mc.Eval(2); math.Abs(got-4) > 1e-9 {
+		t.Errorf("right extrapolation = %g, want 4", got)
+	}
+	if got := mc.Eval(-1); math.Abs(got+2) > 1e-9 {
+		t.Errorf("left extrapolation = %g, want -2", got)
+	}
+}
+
+func TestMonotoneCubicErrors(t *testing.T) {
+	if _, err := NewMonotoneCubic([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := NewMonotoneCubic([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewMonotoneCubic([]float64{2, 1}, []float64{1, 2}); err == nil {
+		t.Error("decreasing xs accepted")
+	}
+	if _, err := NewMonotoneCubic([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("duplicate xs accepted")
+	}
+	if _, err := NewMonotoneCubic([]float64{1, math.NaN()}, []float64{1, 2}); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+// Property: for random increasing data, the interpolant is monotone
+// between every pair of adjacent knots and SolveIncreasing can read any
+// target in range back out.
+func TestMonotoneCubicQuick(t *testing.T) {
+	f := func(raw []uint16, targetRaw uint16) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		if len(raw) > 12 {
+			raw = raw[:12]
+		}
+		xs := make([]float64, len(raw))
+		ys := make([]float64, len(raw))
+		x, y := 0.0, 0.0
+		for i, r := range raw {
+			x += 1 + float64(r%50)
+			y += float64(r%97) / 10 // non-decreasing
+			xs[i] = x
+			ys[i] = y
+		}
+		if !sort.Float64sAreSorted(ys) {
+			return true
+		}
+		mc, err := NewMonotoneCubic(xs, ys)
+		if err != nil {
+			return false
+		}
+		// Dense monotonicity check.
+		prev := math.Inf(-1)
+		lo, hi := mc.Domain()
+		for i := 0; i <= 200; i++ {
+			v := mc.Eval(lo + (hi-lo)*float64(i)/200)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		// Read-off round trip when the curve strictly increases.
+		if ys[len(ys)-1] > ys[0] {
+			target := ys[0] + (ys[len(ys)-1]-ys[0])*float64(targetRaw%98+1)/100
+			got, err := SolveIncreasing(mc.Eval, target, lo, hi, 1e-9)
+			if err != nil {
+				return false
+			}
+			if math.Abs(mc.Eval(got)-target) > 1e-6*math.Max(1, target) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,209 @@
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// PolyFit fits a least-squares polynomial of the given degree to the points
+// (xs[i], ys[i]). It mirrors the "polynomial trend line" used in the paper's
+// Figures 1 and 2 to smooth measured speed-efficiency curves.
+//
+// The fit solves the Vandermonde least-squares problem with Householder QR,
+// which is numerically far better behaved than normal equations for the
+// problem sizes (N up to a few thousand) this library works with. The x
+// values are internally shifted and scaled to [-1, 1] to keep the basis
+// well conditioned; the returned polynomial is expressed in the original
+// coordinates.
+func PolyFit(xs, ys []float64, degree int) (Polynomial, error) {
+	if len(xs) != len(ys) {
+		return Polynomial{}, fmt.Errorf("numeric: PolyFit length mismatch: %d xs vs %d ys", len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return Polynomial{}, ErrNoData
+	}
+	if degree < 0 {
+		return Polynomial{}, fmt.Errorf("numeric: PolyFit negative degree %d", degree)
+	}
+	if len(xs) < degree+1 {
+		return Polynomial{}, fmt.Errorf("numeric: PolyFit needs at least %d points for degree %d, got %d",
+			degree+1, degree, len(xs))
+	}
+	for i := range xs {
+		if !IsFinite(xs[i]) || !IsFinite(ys[i]) {
+			return Polynomial{}, fmt.Errorf("numeric: PolyFit non-finite sample at index %d", i)
+		}
+	}
+
+	// Scale x into [-1, 1]: u = (x - mid) / half.
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	mid := (lo + hi) / 2
+	half := (hi - lo) / 2
+	if half == 0 {
+		// All x identical: only a constant is identifiable.
+		if degree > 0 {
+			return Polynomial{}, errors.New("numeric: PolyFit cannot fit degree > 0 to identical x values")
+		}
+		return NewPolynomial(Mean(ys)), nil
+	}
+
+	m, n := len(xs), degree+1
+	a := make([][]float64, m)
+	for i, x := range xs {
+		u := (x - mid) / half
+		row := make([]float64, n)
+		pow := 1.0
+		for j := 0; j < n; j++ {
+			row[j] = pow
+			pow *= u
+		}
+		a[i] = row
+	}
+	b := make([]float64, m)
+	copy(b, ys)
+
+	coeffScaled, err := solveLeastSquaresQR(a, b)
+	if err != nil {
+		return Polynomial{}, err
+	}
+
+	// Convert from the scaled basis u = (x-mid)/half back to powers of x by
+	// expanding sum_j c_j * ((x-mid)/half)^j.
+	result := Polynomial{Coeffs: []float64{0}}
+	base := NewPolynomial(-mid/half, 1/half) // u as a polynomial in x
+	term := NewPolynomial(1)
+	for j := 0; j < n; j++ {
+		result = result.Add(term.Scale(coeffScaled[j]))
+		term = polyMul(term, base)
+	}
+	return result, nil
+}
+
+func polyMul(p, q Polynomial) Polynomial {
+	if len(p.Coeffs) == 0 || len(q.Coeffs) == 0 {
+		return Polynomial{Coeffs: []float64{0}}
+	}
+	c := make([]float64, len(p.Coeffs)+len(q.Coeffs)-1)
+	for i, pv := range p.Coeffs {
+		for j, qv := range q.Coeffs {
+			c[i+j] += pv * qv
+		}
+	}
+	return Polynomial{Coeffs: trimTrailingZeros(c)}
+}
+
+// solveLeastSquaresQR solves min ||Ax - b||_2 with Householder QR.
+// A is m x n with m >= n; A and b are clobbered.
+func solveLeastSquaresQR(a [][]float64, b []float64) ([]float64, error) {
+	m := len(a)
+	if m == 0 {
+		return nil, ErrNoData
+	}
+	n := len(a[0])
+	if m < n {
+		return nil, fmt.Errorf("numeric: least squares underdetermined (%d rows < %d cols)", m, n)
+	}
+
+	rdiag := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Householder vector for column k, rows k..m-1 (LINPACK convention:
+		// pick the reflection sign matching a[k][k] so a[k][k]+1 never
+		// suffers cancellation).
+		var norm float64
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, a[i][k])
+		}
+		if norm == 0 {
+			return nil, fmt.Errorf("numeric: rank-deficient least-squares system at column %d", k)
+		}
+		if a[k][k] < 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			a[i][k] /= norm
+		}
+		a[k][k] += 1
+
+		// Apply transformation to remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += a[i][k] * a[i][j]
+			}
+			s = -s / a[k][k]
+			for i := k; i < m; i++ {
+				a[i][j] += s * a[i][k]
+			}
+		}
+		// Apply to b.
+		var s float64
+		for i := k; i < m; i++ {
+			s += a[i][k] * b[i]
+		}
+		s = -s / a[k][k]
+		for i := k; i < m; i++ {
+			b[i] += s * a[i][k]
+		}
+		rdiag[k] = -norm
+	}
+
+	// Back substitution on R x = Qᵀb: R's strict upper part lives in a,
+	// its diagonal in rdiag.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= a[i][j] * x[j]
+		}
+		d := rdiag[i]
+		if d == 0 {
+			return nil, fmt.Errorf("numeric: zero pivot in least-squares back substitution at %d", i)
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// FitQuality bundles goodness-of-fit measures for a fitted curve.
+type FitQuality struct {
+	RSquared float64 // coefficient of determination
+	RMSE     float64 // root mean squared error of residuals
+	MaxAbs   float64 // worst absolute residual
+}
+
+// Quality evaluates how well polynomial p explains the samples.
+func Quality(p Polynomial, xs, ys []float64) (FitQuality, error) {
+	if len(xs) != len(ys) {
+		return FitQuality{}, fmt.Errorf("numeric: Quality length mismatch: %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return FitQuality{}, ErrNoData
+	}
+	mean := Mean(ys)
+	var ssRes, ssTot, maxAbs float64
+	for i := range xs {
+		r := ys[i] - p.Eval(xs[i])
+		ssRes += r * r
+		d := ys[i] - mean
+		ssTot += d * d
+		if a := math.Abs(r); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	} else if ssRes > 0 {
+		r2 = 0
+	}
+	return FitQuality{
+		RSquared: r2,
+		RMSE:     math.Sqrt(ssRes / float64(len(xs))),
+		MaxAbs:   maxAbs,
+	}, nil
+}

@@ -1,0 +1,151 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolyFitExactRecovery(t *testing.T) {
+	// Fitting a degree-3 polynomial to exact samples of a degree-3
+	// polynomial must recover it (up to floating point noise).
+	truth := NewPolynomial(2, -1, 0.5, 0.125)
+	xs := Linspace(-5, 10, 25)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = truth.Eval(x)
+	}
+	fit, err := PolyFit(xs, ys, 3)
+	if err != nil {
+		t.Fatalf("PolyFit: %v", err)
+	}
+	for _, x := range Linspace(-5, 10, 50) {
+		if got, want := fit.Eval(x), truth.Eval(x); !almostEq(got, want, 1e-8) {
+			t.Fatalf("fit(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestPolyFitDegreeZero(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{10, 12, 8, 10}
+	fit, err := PolyFit(xs, ys, 0)
+	if err != nil {
+		t.Fatalf("PolyFit: %v", err)
+	}
+	if got := fit.Eval(99); !almostEq(got, 10, 1e-12) {
+		t.Errorf("constant fit = %g, want mean 10", got)
+	}
+}
+
+func TestPolyFitNoisy(t *testing.T) {
+	// With small symmetric noise, the fit should stay near the truth.
+	truth := NewPolynomial(0.05, 0.002, -0.0000012)
+	rng := rand.New(rand.NewSource(7))
+	xs := Linspace(50, 800, 60)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = truth.Eval(x) + 0.002*(rng.Float64()-0.5)
+	}
+	fit, err := PolyFit(xs, ys, 2)
+	if err != nil {
+		t.Fatalf("PolyFit: %v", err)
+	}
+	q, err := Quality(fit, xs, ys)
+	if err != nil {
+		t.Fatalf("Quality: %v", err)
+	}
+	if q.RSquared < 0.999 {
+		t.Errorf("RSquared = %g, want > 0.999", q.RSquared)
+	}
+	for _, x := range []float64{100, 300, 600} {
+		if RelErr(fit.Eval(x), truth.Eval(x)) > 0.02 {
+			t.Errorf("fit(%g) = %g, truth %g: too far", x, fit.Eval(x), truth.Eval(x))
+		}
+	}
+}
+
+func TestPolyFitErrors(t *testing.T) {
+	if _, err := PolyFit([]float64{1, 2}, []float64{1}, 1); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := PolyFit(nil, nil, 1); err == nil {
+		t.Error("empty input: want error")
+	}
+	if _, err := PolyFit([]float64{1, 2}, []float64{1, 2}, -1); err == nil {
+		t.Error("negative degree: want error")
+	}
+	if _, err := PolyFit([]float64{1, 2}, []float64{1, 2}, 2); err == nil {
+		t.Error("too few points for degree: want error")
+	}
+	if _, err := PolyFit([]float64{1, math.NaN()}, []float64{1, 2}, 1); err == nil {
+		t.Error("NaN sample: want error")
+	}
+	// Identical x values: degree 0 allowed, degree 1 rejected.
+	if _, err := PolyFit([]float64{3, 3, 3}, []float64{1, 2, 3}, 1); err == nil {
+		t.Error("identical x, degree 1: want error")
+	}
+	fit, err := PolyFit([]float64{3, 3, 3}, []float64{1, 2, 3}, 0)
+	if err != nil {
+		t.Fatalf("identical x, degree 0: %v", err)
+	}
+	if got := fit.Eval(3); !almostEq(got, 2, 1e-12) {
+		t.Errorf("constant fit on identical x = %g, want 2", got)
+	}
+}
+
+func TestQualityPerfectFit(t *testing.T) {
+	p := NewPolynomial(1, 1)
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 2, 3, 4}
+	q, err := Quality(p, xs, ys)
+	if err != nil {
+		t.Fatalf("Quality: %v", err)
+	}
+	if q.RSquared < 1-1e-12 || q.RMSE > 1e-12 || q.MaxAbs > 1e-12 {
+		t.Errorf("perfect fit quality = %+v", q)
+	}
+}
+
+func TestQualityErrors(t *testing.T) {
+	if _, err := Quality(NewPolynomial(1), []float64{1}, nil); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := Quality(NewPolynomial(1), nil, nil); err == nil {
+		t.Error("no data: want error")
+	}
+}
+
+// Property: for random quadratics sampled exactly, PolyFit reproduces the
+// sampled values.
+func TestPolyFitRoundTripQuick(t *testing.T) {
+	f := func(c0, c1, c2 float64) bool {
+		for _, v := range []float64{c0, c1, c2} {
+			if !IsFinite(v) || math.Abs(v) > 1e5 {
+				return true
+			}
+		}
+		truth := NewPolynomial(c0, c1, c2)
+		xs := Linspace(1, 20, 12)
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = truth.Eval(x)
+		}
+		fit, err := PolyFit(xs, ys, 2)
+		if err != nil {
+			return false
+		}
+		for i, x := range xs {
+			// Absolute tolerance scaled by magnitude of the data.
+			scale := math.Max(1, math.Abs(ys[i]))
+			if math.Abs(fit.Eval(x)-ys[i]) > 1e-6*scale {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

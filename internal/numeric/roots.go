@@ -1,0 +1,153 @@
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoBracket is returned when a root finder cannot bracket a sign change.
+var ErrNoBracket = errors.New("numeric: no sign change in interval")
+
+// Bisect finds x in [lo, hi] with f(x) = 0 given f(lo) and f(hi) of opposite
+// sign. It converges unconditionally and is used as the safe fallback for
+// reading problem sizes off fitted efficiency curves.
+func Bisect(f func(float64) float64, lo, hi, tol float64, maxIter int) (float64, error) {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if (flo > 0) == (fhi > 0) {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, lo, flo, hi, fhi)
+	}
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	for i := 0; i < maxIter; i++ {
+		mid := lo + (hi-lo)/2
+		fm := f(mid)
+		if fm == 0 || hi-lo < tol {
+			return mid, nil
+		}
+		if (fm > 0) == (flo > 0) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2, nil
+}
+
+// Brent finds a root of f in [lo, hi] using Brent's method (inverse
+// quadratic interpolation with bisection safeguard). Requires a sign change.
+func Brent(f func(float64) float64, lo, hi, tol float64, maxIter int) (float64, error) {
+	a, b := lo, hi
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if (fa > 0) == (fb > 0) {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, a, fa, b, fb)
+	}
+	if math.Abs(fa) < math.Abs(fb) {
+		a, b = b, a
+		fa, fb = fb, fa
+	}
+	c, fc := a, fa
+	mflag := true
+	var d float64
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	for i := 0; i < maxIter; i++ {
+		if fb == 0 || math.Abs(b-a) < tol {
+			return b, nil
+		}
+		var s float64
+		if fa != fc && fb != fc {
+			// Inverse quadratic interpolation.
+			s = a*fb*fc/((fa-fb)*(fa-fc)) +
+				b*fa*fc/((fb-fa)*(fb-fc)) +
+				c*fa*fb/((fc-fa)*(fc-fb))
+		} else {
+			// Secant.
+			s = b - fb*(b-a)/(fb-fa)
+		}
+		lo3 := (3*a + b) / 4
+		cond := (s < math.Min(lo3, b) || s > math.Max(lo3, b)) ||
+			(mflag && math.Abs(s-b) >= math.Abs(b-c)/2) ||
+			(!mflag && math.Abs(s-b) >= math.Abs(c-d)/2) ||
+			(mflag && math.Abs(b-c) < tol) ||
+			(!mflag && math.Abs(c-d) < tol)
+		if cond {
+			s = (a + b) / 2
+			mflag = true
+		} else {
+			mflag = false
+		}
+		fs := f(s)
+		d = c
+		c, fc = b, fb
+		if (fa > 0) != (fs > 0) {
+			b, fb = s, fs
+		} else {
+			a, fa = s, fs
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a, b = b, a
+			fa, fb = fb, fa
+		}
+	}
+	return b, nil
+}
+
+// SolveIncreasing finds x in [lo, hi] such that f(x) = target, assuming f is
+// (weakly) increasing on the interval. This is the primitive behind "what
+// problem size N gives speed-efficiency 0.3?" reads of the paper: efficiency
+// grows with N for these algorithms, so the solve is monotone.
+//
+// If target lies below f(lo) the function returns lo with ErrBelowRange; if
+// above f(hi), hi with ErrAboveRange — callers may widen the sweep.
+func SolveIncreasing(f func(float64) float64, target, lo, hi, tol float64) (float64, error) {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	flo, fhi := f(lo), f(hi)
+	if target <= flo {
+		if target == flo {
+			return lo, nil
+		}
+		return lo, fmt.Errorf("%w: target %g below f(lo)=%g", ErrBelowRange, target, flo)
+	}
+	if target >= fhi {
+		if target == fhi {
+			return hi, nil
+		}
+		return hi, fmt.Errorf("%w: target %g above f(hi)=%g", ErrAboveRange, target, fhi)
+	}
+	g := func(x float64) float64 { return f(x) - target }
+	x, err := Brent(g, lo, hi, tol, 200)
+	if err != nil {
+		// Non-monotone wiggle from a fitted polynomial can in principle
+		// defeat the bracket; bisection on the same bracket is safe because
+		// we verified the endpoint signs above.
+		return Bisect(g, lo, hi, tol, 400)
+	}
+	return x, nil
+}
+
+// ErrBelowRange and ErrAboveRange report that a monotone solve's target is
+// outside the sampled range.
+var (
+	ErrBelowRange = errors.New("numeric: target below sampled range")
+	ErrAboveRange = errors.New("numeric: target above sampled range")
+)

@@ -1,0 +1,125 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisectSimple(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2 }
+	x, err := Bisect(f, 0, 2, 1e-12, 0)
+	if err != nil {
+		t.Fatalf("Bisect: %v", err)
+	}
+	if !almostEq(x, math.Sqrt2, 1e-9) {
+		t.Errorf("Bisect = %.12f, want sqrt(2)", x)
+	}
+}
+
+func TestBisectReversedInterval(t *testing.T) {
+	f := func(x float64) float64 { return x - 1 }
+	x, err := Bisect(f, 3, 0, 1e-12, 0)
+	if err != nil {
+		t.Fatalf("Bisect: %v", err)
+	}
+	if !almostEq(x, 1, 1e-9) {
+		t.Errorf("Bisect = %g, want 1", x)
+	}
+}
+
+func TestBisectEndpointRoots(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if x, err := Bisect(f, 0, 5, 1e-12, 0); err != nil || x != 0 {
+		t.Errorf("Bisect endpoint = %g, %v; want 0, nil", x, err)
+	}
+	g := func(x float64) float64 { return x - 5 }
+	if x, err := Bisect(g, 0, 5, 1e-12, 0); err != nil || x != 5 {
+		t.Errorf("Bisect endpoint = %g, %v; want 5, nil", x, err)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	if _, err := Bisect(f, -1, 1, 1e-12, 0); !errors.Is(err, ErrNoBracket) {
+		t.Errorf("want ErrNoBracket, got %v", err)
+	}
+}
+
+func TestBrentAgainstKnownRoots(t *testing.T) {
+	cases := []struct {
+		f        func(float64) float64
+		lo, hi   float64
+		wantRoot float64
+	}{
+		{func(x float64) float64 { return x*x*x - x - 2 }, 1, 2, 1.5213797068045676},
+		{func(x float64) float64 { return math.Cos(x) - x }, 0, 1, 0.7390851332151607},
+		{func(x float64) float64 { return math.Exp(x) - 5 }, 0, 3, math.Log(5)},
+	}
+	for i, c := range cases {
+		x, err := Brent(c.f, c.lo, c.hi, 1e-13, 0)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !almostEq(x, c.wantRoot, 1e-9) {
+			t.Errorf("case %d: Brent = %.15f, want %.15f", i, x, c.wantRoot)
+		}
+	}
+}
+
+func TestBrentNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return 1 + x*x }
+	if _, err := Brent(f, -2, 2, 1e-12, 0); !errors.Is(err, ErrNoBracket) {
+		t.Errorf("want ErrNoBracket, got %v", err)
+	}
+}
+
+func TestSolveIncreasing(t *testing.T) {
+	// Efficiency-like saturating curve.
+	f := func(n float64) float64 { return n / (n + 100) }
+	n, err := SolveIncreasing(f, 0.3, 1, 10000, 1e-9)
+	if err != nil {
+		t.Fatalf("SolveIncreasing: %v", err)
+	}
+	// n/(n+100) = 0.3 => n = 300/7.
+	if !almostEq(n, 300.0/7.0, 1e-6) {
+		t.Errorf("SolveIncreasing = %g, want %g", n, 300.0/7.0)
+	}
+}
+
+func TestSolveIncreasingOutOfRange(t *testing.T) {
+	f := func(n float64) float64 { return n / (n + 100) }
+	if _, err := SolveIncreasing(f, 0.999999, 1, 200, 1e-9); !errors.Is(err, ErrAboveRange) {
+		t.Errorf("want ErrAboveRange, got %v", err)
+	}
+	if _, err := SolveIncreasing(f, 0.0001, 100, 200, 1e-9); !errors.Is(err, ErrBelowRange) {
+		t.Errorf("want ErrBelowRange, got %v", err)
+	}
+	// Exact endpoint targets are accepted.
+	if x, err := SolveIncreasing(f, f(100), 100, 200, 1e-9); err != nil || x != 100 {
+		t.Errorf("endpoint target: got %g, %v", x, err)
+	}
+}
+
+// Property: for random monotone cubics, SolveIncreasing followed by f gets
+// back the target.
+func TestSolveIncreasingRoundTripQuick(t *testing.T) {
+	f := func(aRaw, bRaw, tRaw float64) bool {
+		a := 0.1 + math.Mod(math.Abs(aRaw), 5) // positive linear coeff
+		b := math.Mod(math.Abs(bRaw), 2)       // non-negative cubic coeff
+		fn := func(x float64) float64 { return a*x + b*x*x*x }
+		lo, hi := 0.0, 10.0
+		target := fn(lo) + math.Mod(math.Abs(tRaw), 1)*(fn(hi)-fn(lo))
+		x, err := SolveIncreasing(fn, target, lo, hi, 1e-12)
+		if err != nil {
+			// Endpoint equality cases can legitimately error; accept only
+			// the range errors.
+			return errors.Is(err, ErrBelowRange) || errors.Is(err, ErrAboveRange)
+		}
+		return math.Abs(fn(x)-target) < 1e-6*math.Max(1, math.Abs(target))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

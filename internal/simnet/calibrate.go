@@ -1,0 +1,93 @@
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/numeric"
+)
+
+// Calibration is a set of communication constants recovered from timing
+// samples, in the form the paper's §4.5 prediction step uses.
+type Calibration struct {
+	// BcastPerProcMS is the fitted slope of T_bcast vs p (paper: 0.23).
+	BcastPerProcMS float64
+	// BcastBaseMS is the fitted intercept of T_bcast vs p.
+	BcastBaseMS float64
+	// BarrierPerProcMS is the fitted slope of T_barrier vs p (paper: 0.39).
+	BarrierPerProcMS float64
+	// BarrierBaseMS is the fitted intercept of T_barrier vs p.
+	BarrierBaseMS float64
+	// SendBaseMS and SendPerByteMS fit T_send = base + perByte*bytes.
+	SendBaseMS    float64
+	SendPerByteMS float64
+	// Quality: R² of the three fits.
+	BcastR2, BarrierR2, SendR2 float64
+}
+
+// FitBcast fits the broadcast samples (participant counts ps, times ts).
+func (c *Calibration) FitBcast(ps, ts []float64) error {
+	lr, err := numeric.LinearFit(ps, ts)
+	if err != nil {
+		return fmt.Errorf("simnet: bcast calibration: %w", err)
+	}
+	c.BcastPerProcMS, c.BcastBaseMS, c.BcastR2 = lr.Slope, lr.Intercept, lr.R2
+	return nil
+}
+
+// FitBarrier fits the barrier samples.
+func (c *Calibration) FitBarrier(ps, ts []float64) error {
+	lr, err := numeric.LinearFit(ps, ts)
+	if err != nil {
+		return fmt.Errorf("simnet: barrier calibration: %w", err)
+	}
+	c.BarrierPerProcMS, c.BarrierBaseMS, c.BarrierR2 = lr.Slope, lr.Intercept, lr.R2
+	return nil
+}
+
+// FitSend fits point-to-point samples (message sizes in bytes, times in ms).
+func (c *Calibration) FitSend(bytes, ts []float64) error {
+	lr, err := numeric.LinearFit(bytes, ts)
+	if err != nil {
+		return fmt.Errorf("simnet: send calibration: %w", err)
+	}
+	c.SendBaseMS, c.SendPerByteMS, c.SendR2 = lr.Intercept, lr.Slope, lr.R2
+	return nil
+}
+
+// CalibrateModel probes a CostModel at the given participant counts and
+// message sizes and fits the affine constants back out. For ParamModel the
+// recovered slopes must match the configured parameters exactly (this is
+// verified in tests); for contended/simulated engines the fit recovers
+// effective constants including queueing, which is what prediction should
+// use.
+func CalibrateModel(m CostModel, ps []int, sizes []int) (Calibration, error) {
+	var c Calibration
+	if len(ps) >= 2 {
+		xs := make([]float64, len(ps))
+		bts := make([]float64, len(ps))
+		brs := make([]float64, len(ps))
+		for i, p := range ps {
+			xs[i] = float64(p)
+			bts[i] = m.BcastTime(p, WordBytes)
+			brs[i] = m.BarrierTime(p)
+		}
+		if err := c.FitBcast(xs, bts); err != nil {
+			return c, err
+		}
+		if err := c.FitBarrier(xs, brs); err != nil {
+			return c, err
+		}
+	}
+	if len(sizes) >= 2 {
+		xs := make([]float64, len(sizes))
+		ts := make([]float64, len(sizes))
+		for i, b := range sizes {
+			xs[i] = float64(b)
+			ts[i] = PointToPoint(m, b)
+		}
+		if err := c.FitSend(xs, ts); err != nil {
+			return c, err
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,166 @@
+// Package simnet models the interconnect of a simulated cluster.
+//
+// The paper's testbed network is 100 Mb shared Ethernet driven by MPICH. Its
+// §4.5 prediction step measures the communication constants
+//
+//	T_broadcast ≈ 0.23·p ms
+//	T_send = T_recv ≈ a + b·bytes ms
+//	T_barrier ≈ 0.39·p ms
+//
+// This package provides the same functional forms as a parametric cost
+// model (ParamModel), a DES-backed shared-medium variant that adds
+// contention (Wire), and least-squares calibration that recovers the
+// constants from timing samples — the programmatic equivalent of the
+// paper's measurement table.
+//
+// All times are in milliseconds; message sizes in bytes. A float64 is 8
+// bytes (WordBytes).
+package simnet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// WordBytes is the size of one matrix/vector element on the wire.
+const WordBytes = 8
+
+// Params holds the constants of the affine communication cost model.
+type Params struct {
+	// LatencyMS is the per-message in-flight latency (wire + stack).
+	LatencyMS float64
+	// BandwidthMBps is the payload bandwidth of the medium in megabytes
+	// per second (100 Mb Ethernet ≈ 12.5 MB/s raw; we default slightly
+	// lower for protocol overhead).
+	BandwidthMBps float64
+	// SendOverheadMS / RecvOverheadMS are fixed per-message CPU costs on
+	// the two endpoints (MPICH software stack).
+	SendOverheadMS float64
+	RecvOverheadMS float64
+	// PerByteCopyMS is the per-byte endpoint copy cost added to both send
+	// and receive overheads.
+	PerByteCopyMS float64
+	// BcastPerProcMS is the per-participant cost of a broadcast (the
+	// paper's 0.23 ms coefficient).
+	BcastPerProcMS float64
+	// BarrierPerProcMS is the per-participant cost of a barrier (the
+	// paper's 0.39 ms coefficient).
+	BarrierPerProcMS float64
+}
+
+// Validate reports nonsensical parameter combinations.
+func (p Params) Validate() error {
+	if p.BandwidthMBps <= 0 {
+		return fmt.Errorf("simnet: bandwidth must be positive, got %g", p.BandwidthMBps)
+	}
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{
+		{"LatencyMS", p.LatencyMS},
+		{"SendOverheadMS", p.SendOverheadMS},
+		{"RecvOverheadMS", p.RecvOverheadMS},
+		{"PerByteCopyMS", p.PerByteCopyMS},
+		{"BcastPerProcMS", p.BcastPerProcMS},
+		{"BarrierPerProcMS", p.BarrierPerProcMS},
+	} {
+		if v.val < 0 {
+			return fmt.Errorf("simnet: %s must be non-negative, got %g", v.name, v.val)
+		}
+	}
+	return nil
+}
+
+// Sunwulf100 returns the synthetic calibration of the Sunwulf 100 Mb
+// Ethernet + MPICH stack. The broadcast and barrier coefficients are the
+// paper's measured 0.23 and 0.39 ms/process; latency, bandwidth and
+// endpoint overheads are era-plausible values for 100 Mb Ethernet.
+func Sunwulf100() Params {
+	return Params{
+		LatencyMS:        0.10,
+		BandwidthMBps:    11.0, // 100 Mb/s minus framing/protocol overhead
+		SendOverheadMS:   0.03,
+		RecvOverheadMS:   0.03,
+		PerByteCopyMS:    1.0e-5,
+		BcastPerProcMS:   0.23,
+		BarrierPerProcMS: 0.39,
+	}
+}
+
+// CostModel answers "how long does this communication step take" for the
+// analytic (contention-free) engine and for prediction formulas.
+type CostModel interface {
+	// Name identifies the model in reports.
+	Name() string
+	// SendTime is the sender-side busy time for a message of the given size.
+	SendTime(bytes int) float64
+	// RecvTime is the receiver-side busy time.
+	RecvTime(bytes int) float64
+	// TransferTime is the in-flight time: latency plus serialization.
+	TransferTime(bytes int) float64
+	// BcastTime is the completion time of a p-participant broadcast of the
+	// given payload.
+	BcastTime(p, bytes int) float64
+	// BarrierTime is the completion time of a p-participant barrier.
+	BarrierTime(p int) float64
+}
+
+// ParamModel is the affine CostModel over Params.
+type ParamModel struct {
+	P     Params
+	Label string
+}
+
+// NewParamModel validates params and wraps them as a CostModel.
+func NewParamModel(label string, p Params) (*ParamModel, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if label == "" {
+		return nil, errors.New("simnet: model label must be non-empty")
+	}
+	return &ParamModel{P: p, Label: label}, nil
+}
+
+// Name implements CostModel.
+func (m *ParamModel) Name() string { return m.Label }
+
+// SendTime implements CostModel.
+func (m *ParamModel) SendTime(bytes int) float64 {
+	return m.P.SendOverheadMS + m.P.PerByteCopyMS*float64(bytes)
+}
+
+// RecvTime implements CostModel.
+func (m *ParamModel) RecvTime(bytes int) float64 {
+	return m.P.RecvOverheadMS + m.P.PerByteCopyMS*float64(bytes)
+}
+
+// TransferTime implements CostModel.
+func (m *ParamModel) TransferTime(bytes int) float64 {
+	// bytes / (MB/s) = bytes / (1e6 B / 1e3 ms) = bytes*1e-3/MBps ms.
+	return m.P.LatencyMS + float64(bytes)/(m.P.BandwidthMBps*1000)
+}
+
+// BcastTime implements CostModel: the paper's linear-in-p MPICH broadcast
+// plus one serialization of the payload.
+func (m *ParamModel) BcastTime(p, bytes int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return m.P.BcastPerProcMS*float64(p) + m.TransferTime(bytes)
+}
+
+// BarrierTime implements CostModel.
+func (m *ParamModel) BarrierTime(p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return m.P.BarrierPerProcMS * float64(p)
+}
+
+// PointToPoint returns the end-to-end time of a single message under the
+// model: send overhead + transfer + receive overhead. This is the quantity
+// a ping-pong microbenchmark measures (halved).
+func PointToPoint(m CostModel, bytes int) float64 {
+	return m.SendTime(bytes) + m.TransferTime(bytes) + m.RecvTime(bytes)
+}

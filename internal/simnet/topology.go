@@ -1,0 +1,153 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PairModel extends CostModel with endpoint-aware point-to-point costs,
+// for networks where who talks to whom matters (multi-site Grids,
+// hierarchical clusters). The aggregate collectives of CostModel remain
+// the authority for Bcast/Barrier; implementations fold their topology
+// into those too.
+type PairModel interface {
+	CostModel
+	// PairSendTime, PairRecvTime and PairTransferTime are the
+	// endpoint-aware counterparts of SendTime/RecvTime/TransferTime for a
+	// message from rank `from` to rank `to`.
+	PairSendTime(from, to, bytes int) float64
+	PairRecvTime(from, to, bytes int) float64
+	PairTransferTime(from, to, bytes int) float64
+}
+
+// TwoLevel is a hierarchical network: ranks live at sites; intra-site
+// traffic uses the Local model, cross-site traffic the Remote model
+// (typically orders of magnitude slower — a WAN between clusters). It
+// realizes the paper's "widely distributed" setting: the
+// isospeed-efficiency metric needs nothing new, only the cost model
+// changes.
+type TwoLevel struct {
+	Label  string
+	Local  CostModel
+	Remote CostModel
+	// Site[r] is the site id of rank r.
+	Site []int
+}
+
+// NewTwoLevel validates and builds a hierarchical model.
+func NewTwoLevel(label string, local, remote CostModel, site []int) (*TwoLevel, error) {
+	if label == "" {
+		return nil, errors.New("simnet: two-level model needs a label")
+	}
+	if local == nil || remote == nil {
+		return nil, errors.New("simnet: two-level model needs local and remote models")
+	}
+	if len(site) == 0 {
+		return nil, errors.New("simnet: two-level model needs a site assignment")
+	}
+	for r, s := range site {
+		if s < 0 {
+			return nil, fmt.Errorf("simnet: rank %d has negative site %d", r, s)
+		}
+	}
+	return &TwoLevel{Label: label, Local: local, Remote: remote, Site: append([]int(nil), site...)}, nil
+}
+
+var _ PairModel = (*TwoLevel)(nil)
+
+// Name implements CostModel.
+func (t *TwoLevel) Name() string { return t.Label }
+
+// modelFor picks local or remote by endpoint sites; out-of-range ranks
+// (used by size-only probes) default to local.
+func (t *TwoLevel) modelFor(from, to int) CostModel {
+	if from < 0 || from >= len(t.Site) || to < 0 || to >= len(t.Site) {
+		return t.Local
+	}
+	if t.Site[from] == t.Site[to] {
+		return t.Local
+	}
+	return t.Remote
+}
+
+// siteShape returns the number of distinct sites and the largest site
+// population among the first p ranks.
+func (t *TwoLevel) siteShape(p int) (sites, maxPop int) {
+	if p > len(t.Site) {
+		p = len(t.Site)
+	}
+	pop := map[int]int{}
+	for _, s := range t.Site[:p] {
+		pop[s]++
+		if pop[s] > maxPop {
+			maxPop = pop[s]
+		}
+	}
+	return len(pop), maxPop
+}
+
+// SendTime implements CostModel (endpoint-agnostic fallback: local).
+func (t *TwoLevel) SendTime(bytes int) float64 { return t.Local.SendTime(bytes) }
+
+// RecvTime implements CostModel.
+func (t *TwoLevel) RecvTime(bytes int) float64 { return t.Local.RecvTime(bytes) }
+
+// TransferTime implements CostModel.
+func (t *TwoLevel) TransferTime(bytes int) float64 { return t.Local.TransferTime(bytes) }
+
+// PairSendTime implements PairModel.
+func (t *TwoLevel) PairSendTime(from, to, bytes int) float64 {
+	return t.modelFor(from, to).SendTime(bytes)
+}
+
+// PairRecvTime implements PairModel.
+func (t *TwoLevel) PairRecvTime(from, to, bytes int) float64 {
+	return t.modelFor(from, to).RecvTime(bytes)
+}
+
+// PairTransferTime implements PairModel.
+func (t *TwoLevel) PairTransferTime(from, to, bytes int) float64 {
+	return t.modelFor(from, to).TransferTime(bytes)
+}
+
+// BcastTime implements CostModel hierarchically: one inter-site broadcast
+// over the WAN followed by parallel intra-site broadcasts.
+func (t *TwoLevel) BcastTime(p, bytes int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	sites, maxPop := t.siteShape(p)
+	total := t.Local.BcastTime(maxPop, bytes)
+	if sites > 1 {
+		total += t.Remote.BcastTime(sites, bytes)
+	}
+	return total
+}
+
+// BarrierTime implements CostModel hierarchically.
+func (t *TwoLevel) BarrierTime(p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	sites, maxPop := t.siteShape(p)
+	total := t.Local.BarrierTime(maxPop)
+	if sites > 1 {
+		total += t.Remote.BarrierTime(sites)
+	}
+	return total
+}
+
+// WAN returns an era-plausible wide-area parameterization linking Grid
+// sites: ~30 ms latency, ~1.2 MB/s effective throughput, expensive
+// per-message software overheads.
+func WAN() Params {
+	return Params{
+		LatencyMS:        30,
+		BandwidthMBps:    1.2,
+		SendOverheadMS:   0.5,
+		RecvOverheadMS:   0.5,
+		PerByteCopyMS:    1.0e-5,
+		BcastPerProcMS:   35,
+		BarrierPerProcMS: 40,
+	}
+}

@@ -1,0 +1,99 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+)
+
+func twoSiteModel(t *testing.T) *TwoLevel {
+	t.Helper()
+	local, err := NewParamModel("lan", Sunwulf100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := NewParamModel("wan", WAN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ranks 0-2 at site 0, ranks 3-5 at site 1.
+	tl, err := NewTwoLevel("grid", local, remote, []int{0, 0, 0, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl
+}
+
+func TestNewTwoLevelValidation(t *testing.T) {
+	local, _ := NewParamModel("l", Sunwulf100())
+	if _, err := NewTwoLevel("", local, local, []int{0}); err == nil {
+		t.Error("empty label accepted")
+	}
+	if _, err := NewTwoLevel("x", nil, local, []int{0}); err == nil {
+		t.Error("nil local accepted")
+	}
+	if _, err := NewTwoLevel("x", local, nil, []int{0}); err == nil {
+		t.Error("nil remote accepted")
+	}
+	if _, err := NewTwoLevel("x", local, local, nil); err == nil {
+		t.Error("empty sites accepted")
+	}
+	if _, err := NewTwoLevel("x", local, local, []int{0, -1}); err == nil {
+		t.Error("negative site accepted")
+	}
+}
+
+func TestPairCostsBySite(t *testing.T) {
+	tl := twoSiteModel(t)
+	const b = 4096
+	intra := tl.PairTransferTime(0, 2, b)
+	inter := tl.PairTransferTime(0, 3, b)
+	if inter <= 10*intra {
+		t.Errorf("cross-site transfer %g should dwarf intra-site %g", inter, intra)
+	}
+	if tl.PairSendTime(3, 5, b) != tl.Local.SendTime(b) {
+		t.Error("intra-site send should use the local model")
+	}
+	if tl.PairRecvTime(1, 4, b) != tl.Remote.RecvTime(b) {
+		t.Error("cross-site recv should use the remote model")
+	}
+	// Out-of-range ranks (size-only probes) fall back to local.
+	if tl.PairTransferTime(-1, 99, b) != tl.Local.TransferTime(b) {
+		t.Error("out-of-range probe should use local")
+	}
+	// The endpoint-agnostic CostModel methods are the local ones.
+	if tl.TransferTime(b) != tl.Local.TransferTime(b) {
+		t.Error("fallback TransferTime should be local")
+	}
+}
+
+func TestHierarchicalCollectives(t *testing.T) {
+	tl := twoSiteModel(t)
+	// All six ranks: local bcast over the biggest site (3) + WAN bcast
+	// over 2 sites.
+	wantB := tl.Local.BcastTime(3, 8) + tl.Remote.BcastTime(2, 8)
+	if got := tl.BcastTime(6, 8); math.Abs(got-wantB) > 1e-9 {
+		t.Errorf("BcastTime(6) = %g, want %g", got, wantB)
+	}
+	// First three ranks are one site: local only.
+	if got := tl.BcastTime(3, 8); math.Abs(got-tl.Local.BcastTime(3, 8)) > 1e-9 {
+		t.Errorf("single-site BcastTime = %g", got)
+	}
+	wantBar := tl.Local.BarrierTime(3) + tl.Remote.BarrierTime(2)
+	if got := tl.BarrierTime(6); math.Abs(got-wantBar) > 1e-9 {
+		t.Errorf("BarrierTime(6) = %g, want %g", got, wantBar)
+	}
+	if tl.BcastTime(1, 8) != 0 || tl.BarrierTime(1) != 0 {
+		t.Error("single participant should be free")
+	}
+}
+
+func TestWANParamsSane(t *testing.T) {
+	p := WAN()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lan := Sunwulf100()
+	if p.LatencyMS <= lan.LatencyMS || p.BandwidthMBps >= lan.BandwidthMBps {
+		t.Error("WAN should be slower than the LAN in latency and bandwidth")
+	}
+}

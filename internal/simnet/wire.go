@@ -1,0 +1,152 @@
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// WireMode selects how transfers contend for the medium.
+type WireMode int
+
+// Wire modes.
+const (
+	// WireIdeal has infinite parallel capacity: transfers never queue
+	// (the analytic model).
+	WireIdeal WireMode = iota
+	// WireShared is classic hub Ethernet: one frame in the collision
+	// domain at a time, FIFO.
+	WireShared
+	// WireSwitched is a non-blocking switch: each endpoint's port carries
+	// one transfer at a time, but disjoint pairs proceed in parallel.
+	WireSwitched
+)
+
+// String implements fmt.Stringer.
+func (m WireMode) String() string {
+	switch m {
+	case WireIdeal:
+		return "ideal"
+	case WireShared:
+		return "shared"
+	case WireSwitched:
+		return "switched"
+	default:
+		return fmt.Sprintf("WireMode(%d)", int(m))
+	}
+}
+
+// Wire is the transmission medium of a simulated cluster, backed by DES
+// resources according to its mode.
+type Wire struct {
+	Model CostModel
+	Mode  WireMode
+	bus   *des.Resource   // WireShared
+	ports []*des.Resource // WireSwitched: one per endpoint
+}
+
+// NewWire attaches a shared-or-ideal wire to kernel k (legacy two-mode
+// constructor kept for its many call sites).
+func NewWire(k *des.Kernel, model CostModel, contended bool) *Wire {
+	mode := WireIdeal
+	if contended {
+		mode = WireShared
+	}
+	return NewWireMode(k, model, mode, 0)
+}
+
+// NewWireMode attaches a wire with an explicit mode. endpoints is the
+// number of switch ports (required > 0 for WireSwitched, ignored
+// otherwise).
+func NewWireMode(k *des.Kernel, model CostModel, mode WireMode, endpoints int) *Wire {
+	w := &Wire{Model: model, Mode: mode}
+	switch mode {
+	case WireShared:
+		w.bus = k.NewResource("ethernet", 1)
+	case WireSwitched:
+		if endpoints < 1 {
+			panic("simnet: switched wire needs endpoints >= 1")
+		}
+		w.ports = make([]*des.Resource, endpoints)
+		for i := range w.ports {
+			w.ports[i] = k.NewResource(fmt.Sprintf("port%d", i), 1)
+		}
+	}
+	return w
+}
+
+// Contended reports whether the wire queues transfers at all.
+func (w *Wire) Contended() bool { return w.Mode != WireIdeal }
+
+// Transmit charges process p the full cost of moving bytes across the wire:
+// sender overhead, then (possibly queued) occupancy of the medium for the
+// transfer time. The returned value is the virtual time at which the
+// payload is fully delivered to the far end, i.e. when the receiver may
+// start its RecvTime processing.
+func (w *Wire) Transmit(p *des.Proc, bytes int) float64 {
+	p.Delay(w.Model.SendTime(bytes))
+	w.Occupy(p, bytes, 0, 0)
+	return p.Now()
+}
+
+// Occupy charges p only the medium-occupancy part of a transfer from
+// endpoint `from` to endpoint `to`: queueing per the wire mode plus the
+// transfer time. Callers that model endpoint overheads themselves (the
+// mpi engines) use this instead of Transmit.
+func (w *Wire) Occupy(p *des.Proc, bytes, from, to int) {
+	w.OccupyFor(p, w.Model.TransferTime(bytes), from, to)
+}
+
+// OccupyFor is Occupy with the transfer duration supplied by the caller
+// (used when a topology-aware model has already priced the specific
+// endpoint pair).
+func (w *Wire) OccupyFor(p *des.Proc, t float64, from, to int) {
+	switch w.Mode {
+	case WireShared:
+		w.bus.Use(p, t)
+	case WireSwitched:
+		// Hold both ports for the transfer. Canonical acquisition order
+		// (lower index first) rules out circular wait between opposite
+		// transfers.
+		a, b := w.ports[from%len(w.ports)], w.ports[to%len(w.ports)]
+		if from == to {
+			a.Use(p, t)
+			return
+		}
+		if to < from {
+			a, b = b, a
+		}
+		a.Acquire(p)
+		b.Acquire(p)
+		p.Delay(t)
+		b.Release()
+		a.Release()
+	default:
+		p.Delay(t)
+	}
+}
+
+// Stats exposes queueing statistics of the contended medium: the bus for
+// WireShared, the aggregate over ports for WireSwitched, zeros otherwise.
+func (w *Wire) Stats() des.ResourceStats {
+	switch w.Mode {
+	case WireShared:
+		return w.bus.Stats()
+	case WireSwitched:
+		var agg des.ResourceStats
+		var wait float64
+		for _, pt := range w.ports {
+			s := pt.Stats()
+			agg.Acquires += s.Acquires
+			wait += s.AvgWait * float64(s.Acquires)
+			agg.Utilization += s.Utilization
+		}
+		if agg.Acquires > 0 {
+			agg.AvgWait = wait / float64(agg.Acquires)
+		}
+		agg.Utilization /= float64(len(w.ports))
+		return agg
+	default:
+		return des.ResourceStats{}
+	}
+}

@@ -1,0 +1,48 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExperimentIDs(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 10 {
+		t.Fatalf("only %d experiments registered", len(ids))
+	}
+	want := map[string]bool{
+		"table1": false, "table2": false, "table3": false, "table4": false,
+		"table5": false, "table6": false, "table7": false,
+		"fig1": false, "fig2": false, "compare": false,
+	}
+	for _, id := range ids {
+		if _, ok := want[id]; ok {
+			want[id] = true
+		}
+		about, err := ExperimentAbout(id)
+		if err != nil || about == "" {
+			t.Errorf("ExperimentAbout(%s) = %q, %v", id, about, err)
+		}
+	}
+	for id, seen := range want {
+		if !seen {
+			t.Errorf("paper experiment %s missing from registry", id)
+		}
+	}
+	if _, err := ExperimentAbout("zzz"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestRunExperimentQuick(t *testing.T) {
+	out, err := RunExperiment("table1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || !strings.Contains(out[0], "Marked speed") {
+		t.Errorf("unexpected output: %v", out)
+	}
+	if _, err := RunExperiment("zzz", true); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
