@@ -166,6 +166,26 @@ func (c *Cluster) Subset(name string, ranks ...int) (*Cluster, error) {
 	return New(name, nodes...)
 }
 
+// Derate returns a copy of the cluster whose node speeds are scaled by
+// scale[i] in (0,1]: the effective marked speed of a system whose nodes
+// degrade at runtime (stragglers, thermal throttling). The derated
+// cluster's MarkedSpeed is the effective system speed C_eff; scalability
+// studies keep quoting the nominal C of the original cluster while
+// executing on the derated one.
+func (c *Cluster) Derate(name string, scale []float64) (*Cluster, error) {
+	if len(scale) != len(c.Nodes) {
+		return nil, fmt.Errorf("cluster: Derate got %d scale factors for %d nodes", len(scale), len(c.Nodes))
+	}
+	nodes := append([]Node(nil), c.Nodes...)
+	for i, s := range scale {
+		if s <= 0 || s > 1 {
+			return nil, fmt.Errorf("cluster: Derate scale[%d] = %g out of (0,1]", i, s)
+		}
+		nodes[i].SpeedMflops *= s
+	}
+	return New(name, nodes...)
+}
+
 // Uniform builds a homogeneous cluster of p identical nodes — the baseline
 // configuration for validating the homogeneous special case.
 func Uniform(name string, p int, speedMflops float64) (*Cluster, error) {

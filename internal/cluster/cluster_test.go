@@ -223,3 +223,65 @@ func TestSubsetSpeedQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property: derating scales the marked speed to Σ scale_i·C_i — never
+// above nominal — and leaves the source cluster untouched.
+func TestDerateQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		c, err := GEConfig(8)
+		if err != nil {
+			return false
+		}
+		scale := make([]float64, c.Size())
+		for i := range scale {
+			scale[i] = 1
+			if i < len(raw) {
+				scale[i] = (float64(raw[i]%100) + 1) / 100
+			}
+		}
+		d, err := c.Derate("derated", scale)
+		if err != nil {
+			return false
+		}
+		var want float64
+		for i, n := range c.Nodes {
+			want += n.SpeedMflops * scale[i]
+		}
+		if math.Abs(d.MarkedSpeed()-want) > 1e-9*want {
+			return false
+		}
+		if d.MarkedSpeed() > c.MarkedSpeed()+1e-9 {
+			return false
+		}
+		// The source cluster must keep its nominal speeds.
+		fresh, err := GEConfig(8)
+		if err != nil {
+			return false
+		}
+		for i := range c.Nodes {
+			if c.Nodes[i].SpeedMflops != fresh.Nodes[i].SpeedMflops {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDerateRejectsBadScales(t *testing.T) {
+	c, err := GEConfig(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Derate("d", []float64{1, 1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := c.Derate("d", []float64{1, 1, 0, 1}); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if _, err := c.Derate("d", []float64{1, 1, 1.5, 1}); err == nil {
+		t.Error("scale > 1 accepted")
+	}
+}

@@ -92,3 +92,87 @@ func TestIsospeedEfficiencyConditionQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property (degraded marked speeds): Theorem 1's overhead form equals the
+// definitional ψ = (C′·W)/(C·W′) no matter how far the effective marked
+// speeds sit below nominal — ψ is a statement about whatever speeds the
+// run actually achieved, so fault-derated C_eff, C′_eff satisfy it too.
+func TestTheorem1MatchesDefinitionUnderDerating(t *testing.T) {
+	f := func(rc, rcp, rs, rsp, rw, rt0, rto, rt0p, rtop uint16) bool {
+		c := 100 + float64(rc%900)
+		cp := c * (1.5 + float64(rcp%40)/10)
+		// Runtime derating: stragglers leave only a fraction of nominal.
+		cEff := c * (0.25 + 0.75*float64(rs%1000)/1000)
+		cpEff := cp * (0.25 + 0.75*float64(rsp%1000)/1000)
+		w := 1e7 + float64(rw)*1e4
+		t0 := float64(rt0%100) / 10
+		to := 0.5 + float64(rto%500)/10
+		t0p := float64(rt0p%100) / 10
+		top := 0.5 + float64(rtop%500)/10
+
+		wp, err := ScaledWork(w, cEff, cpEff, t0, to, t0p, top)
+		if err != nil {
+			return false
+		}
+		psiDef, err := Psi(cEff, w, cpEff, wp)
+		if err != nil {
+			return false
+		}
+		psiThm, err := Theorem1Psi(t0, to, t0p, top)
+		if err != nil {
+			return false
+		}
+		return almostEq(psiDef, psiThm, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (Corollary 1): constant parallel overhead means perfect
+// isospeed scalability — ψ ≡ 1 — and the scaled work reduces to the pure
+// speed ratio W′ = (C′/C)·W, for degraded speeds just as for nominal.
+func TestCorollary1ConstantOverheadUnderDerating(t *testing.T) {
+	f := func(rc, rs, rsp, rw, rt0, rto uint16) bool {
+		c := 100 + float64(rc%900)
+		cEff := c * (0.25 + 0.75*float64(rs%1000)/1000)
+		cpEff := 2 * c * (0.25 + 0.75*float64(rsp%1000)/1000)
+		w := 1e7 + float64(rw)*1e4
+		t0 := float64(rt0%100) / 10
+		to := 0.5 + float64(rto%500)/10
+
+		psi, err := Theorem1Psi(t0, to, t0, to)
+		if err != nil || !almostEq(psi, 1, 1e-12) {
+			return false
+		}
+		wp, err := ScaledWork(w, cEff, cpEff, t0, to, t0, to)
+		if err != nil {
+			return false
+		}
+		return almostEq(wp, w*cpEff/cEff, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: pure overhead inflation — the signature of drops, retries and
+// degraded links — can only push ψ below 1, and more inflation pushes it
+// strictly lower.
+func TestPsiMonotoneInOverheadInflation(t *testing.T) {
+	f := func(rt0, rto, rb1, rb2 uint16) bool {
+		t0 := float64(rt0%100) / 10
+		to := 0.5 + float64(rto%500)/10
+		b1 := 0.1 + float64(rb1%500)/10
+		b2 := b1 + 0.1 + float64(rb2%500)/10
+		psi1, err1 := Theorem1Psi(t0, to, t0, to+b1)
+		psi2, err2 := Theorem1Psi(t0, to, t0, to+b2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return psi1 < 1 && psi2 < psi1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -65,6 +65,33 @@ type Strategy interface {
 	Assign(n int, speeds []float64) (Assignment, error)
 }
 
+// Pinned wraps a strategy so it always distributes for a fixed speed
+// vector, ignoring the speeds the algorithm observes at run time. It
+// models blind distribution under unknown degradation: the marked speeds
+// were benchmarked ahead of time, so a runtime straggler keeps its
+// nominal share of rows and becomes the critical path — exactly the
+// situation fault-injection studies measure.
+type Pinned struct {
+	Speeds []float64
+	Inner  Strategy
+}
+
+// Name implements Strategy.
+func (p Pinned) Name() string { return "pinned(" + p.Inner.Name() + ")" }
+
+// Assign implements Strategy: the pinned speeds replace the observed
+// ones, which must describe the same number of ranks.
+func (p Pinned) Assign(n int, speeds []float64) (Assignment, error) {
+	if p.Inner == nil {
+		return Assignment{}, errors.New("dist: Pinned with nil inner strategy")
+	}
+	if len(speeds) != 0 && len(speeds) != len(p.Speeds) {
+		return Assignment{}, fmt.Errorf("dist: Pinned over %d speeds asked to assign for %d ranks",
+			len(p.Speeds), len(speeds))
+	}
+	return p.Inner.Assign(n, p.Speeds)
+}
+
 func checkSpeeds(speeds []float64) error {
 	if len(speeds) == 0 {
 		return errors.New("dist: no ranks")

@@ -261,3 +261,34 @@ func TestProportionalityQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Pinned distributes by the benchmarked nominal speeds no matter what the
+// runtime claims — the blind-distribution model fault studies rely on.
+func TestPinnedIgnoresObservedSpeeds(t *testing.T) {
+	nominal := []float64{100, 200, 300}
+	p := Pinned{Speeds: nominal, Inner: HetBlock{}}
+	want, err := HetBlock{}.Assign(600, nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, observed := range [][]float64{{1, 1, 1}, {300, 200, 100}, nil} {
+		got, err := p.Assign(600, observed)
+		if err != nil {
+			t.Fatalf("observed %v: %v", observed, err)
+		}
+		for i := range want.Counts {
+			if got.Counts[i] != want.Counts[i] {
+				t.Fatalf("observed %v: counts %v, want %v", observed, got.Counts, want.Counts)
+			}
+		}
+	}
+	if p.Name() != "pinned(het-block)" {
+		t.Errorf("Name() = %q", p.Name())
+	}
+	if _, err := (Pinned{Speeds: nominal}).Assign(10, nominal); err == nil {
+		t.Error("nil inner strategy accepted")
+	}
+	if _, err := p.Assign(10, []float64{1, 1}); err == nil {
+		t.Error("rank-count mismatch accepted")
+	}
+}

@@ -202,6 +202,22 @@ func Registry() map[string]Experiment {
 			},
 		},
 		{
+			ID:    "fault-sweep",
+			About: "extension: speed-efficiency degradation under injected faults (ψ vs fault-free)",
+			Run: func(s *Suite) ([]Renderable, error) {
+				t, err := s.FaultSweep()
+				return wrap(t, err)
+			},
+		},
+		{
+			ID:    "crash-restart",
+			About: "extension: fail-stop crashes priced with the restart-on-survivors model",
+			Run: func(s *Suite) ([]Renderable, error) {
+				t, err := s.CrashRestart()
+				return wrap(t, err)
+			},
+		},
+		{
 			ID:    "scaling-models",
 			About: "extension: Amdahl/Gustafson/Sun-Ni vs isospeed-efficiency",
 			Run: func(s *Suite) ([]Renderable, error) {

@@ -1,0 +1,82 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/simnet"
+)
+
+// FuzzParseSpec ensures arbitrary bytes never panic the spec pipeline,
+// and that whatever parses also instantiates and applies cleanly.
+func FuzzParseSpec(f *testing.F) {
+	f.Add([]byte(ExampleSpec))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"seed": -1, "dropProb": 0.9}`))
+	f.Add([]byte(`{"stragglerFrac": 1, "stragglerFactor": 1e308}`))
+	f.Add([]byte(`{"crashes": [{"rank": 0, "atMS": 0}]}`))
+	f.Add([]byte(`{"latencyFactor": 1e-9}`))
+	f.Add([]byte(`{`))
+	model, merr := simnet.NewParamModel("fuzz", simnet.Sunwulf100())
+	cl, cerr := cluster.Uniform("fuzz", 5, 100)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if merr != nil || cerr != nil {
+			t.Skip("fixture construction failed")
+		}
+		s, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		plan, err := s.Instantiate(cl.Size())
+		if err != nil {
+			return
+		}
+		// An instantiated plan must validate and apply without error: the
+		// derated cluster keeps positive speeds and the injector keeps the
+		// retry protocol well-formed.
+		if err := plan.Validate(cl.Size()); err != nil {
+			t.Fatalf("instantiated plan fails validation: %v\nspec %+v", err, s)
+		}
+		dcl, dm, inj, err := plan.Apply(cl, model)
+		if err != nil {
+			t.Fatalf("instantiated plan fails to apply: %v\nspec %+v", err, s)
+		}
+		if dcl.Size() != cl.Size() {
+			t.Fatalf("apply changed cluster size: %d -> %d", cl.Size(), dcl.Size())
+		}
+		for r, sp := range dcl.Speeds() {
+			if sp <= 0 {
+				t.Fatalf("derated speed[%d] = %g", r, sp)
+			}
+		}
+		if dm.TransferTime(1024) < 0 || dm.BarrierTime(cl.Size()) < 0 {
+			t.Fatal("degraded model produced negative cost")
+		}
+		if inj.MaxSendAttempts() < 1 {
+			t.Fatalf("injector attempts = %d", inj.MaxSendAttempts())
+		}
+		if inj.RetryDelayMS(0) < 0 || inj.RetryDelayMS(64) < 0 {
+			t.Fatal("negative retry delay")
+		}
+		for rank := 0; rank < cl.Size(); rank++ {
+			if at, ok := inj.CrashTimeMS(rank); ok && at < 0 {
+				t.Fatalf("negative crash time %g for rank %d", at, rank)
+			}
+		}
+	})
+}
+
+// FuzzInjectorDropSend checks the drop hash is total: any coordinates map
+// to a boolean without panicking, and the decision is stable.
+func FuzzInjectorDropSend(f *testing.F) {
+	f.Add(int64(0), 0, 0, 0)
+	f.Add(int64(-1), 1000, -5, 1<<30)
+	f.Add(int64(1<<62), -1, -1, -1)
+	f.Fuzz(func(t *testing.T, seed int64, from, to, seq int) {
+		inj := (Plan{Seed: seed, DropProb: 0.5}).Injector()
+		first := inj.DropSend(from, to, seq)
+		if first != inj.DropSend(from, to, seq) {
+			t.Fatal("DropSend not stable for identical coordinates")
+		}
+	})
+}

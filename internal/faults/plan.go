@@ -1,0 +1,237 @@
+// Package faults is a deterministic, seedable fault-plan engine for the
+// simulated heterogeneous cluster. The paper's isospeed-efficiency metric
+// ψ(C,C') = (C'·W)/(C·W') is defined for any marked speed C, including one
+// that degrades at runtime — yet the fault-free reproduction never
+// exercises Theorem 1 under stragglers, lossy links or node crashes. This
+// package supplies the perturbations:
+//
+//   - stragglers: per-node compute slowdown factors (the node's effective
+//     marked speed under degradation is SpeedMflops/Factor);
+//   - link degradation: latency inflation and bandwidth loss applied to
+//     the communication cost model (simnet.Degrade);
+//   - message drops: per-transmission Bernoulli loss, repaired by the mpi
+//     runtime's retry-with-timeout-and-exponential-backoff;
+//   - crashes: whole-node failure at a virtual instant, with graceful
+//     rank exclusion in both mpi engines.
+//
+// Every fault draw derives from the plan's Seed through a counter-free
+// hash (rank/peer/sequence indexed), so identical configurations replay
+// bit-identically on both the live and the DES engine regardless of
+// scheduling. The package deliberately does not import internal/mpi: the
+// runtime consumes the Injector through its own narrow interface.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/simnet"
+)
+
+// Defaults for the retry protocol (used when a Plan leaves them zero).
+const (
+	// DefaultRetryTimeoutMS is the base acknowledgement timeout charged
+	// before a dropped transmission is retried.
+	DefaultRetryTimeoutMS = 1.0
+	// DefaultMaxRetries bounds the retransmissions of one payload.
+	DefaultMaxRetries = 8
+	// MaxDropProb caps the drop probability so that the bounded retry
+	// protocol terminates with overwhelming probability.
+	MaxDropProb = 0.9
+)
+
+// Straggler marks one rank as computing slower than its marked speed.
+type Straggler struct {
+	Rank int
+	// Factor >= 1 is the slowdown: the node's effective marked speed is
+	// SpeedMflops/Factor.
+	Factor float64
+}
+
+// Crash kills one rank at a virtual instant. The crash manifests at the
+// rank's first compute/communication operation at or after AtMS.
+type Crash struct {
+	Rank int
+	AtMS float64
+}
+
+// Plan is a concrete fault schedule for a cluster of a known size. Build
+// one directly, or instantiate a size-independent Spec.
+type Plan struct {
+	// Seed drives every probabilistic draw (message drops). Two runs of
+	// the same plan on the same cluster replay bit-identically.
+	Seed int64
+	// Stragglers lists per-rank compute slowdowns.
+	Stragglers []Straggler
+	// LatencyFactor >= 1 inflates the per-message latency of the cost
+	// model (0 means 1: unchanged).
+	LatencyFactor float64
+	// BandwidthFactor in (0,1] is the fraction of nominal bandwidth that
+	// survives (0 means 1: unchanged).
+	BandwidthFactor float64
+	// DropProb in [0, MaxDropProb] is the per-transmission loss
+	// probability of point-to-point payloads.
+	DropProb float64
+	// RetryTimeoutMS is the base ack timeout before retransmission
+	// (default DefaultRetryTimeoutMS); it doubles per consecutive loss.
+	RetryTimeoutMS float64
+	// MaxRetries bounds retransmissions per payload (default
+	// DefaultMaxRetries).
+	MaxRetries int
+	// Crashes lists whole-node failures.
+	Crashes []Crash
+}
+
+// IsZero reports whether the plan perturbs nothing.
+func (p Plan) IsZero() bool {
+	return len(p.Stragglers) == 0 && len(p.Crashes) == 0 && p.DropProb == 0 &&
+		(p.LatencyFactor == 0 || p.LatencyFactor == 1) &&
+		(p.BandwidthFactor == 0 || p.BandwidthFactor == 1)
+}
+
+// Validate reports structural problems for a cluster of the given size.
+func (p Plan) Validate(size int) error {
+	if size <= 0 {
+		return fmt.Errorf("faults: plan validated against non-positive size %d", size)
+	}
+	seen := make(map[int]bool, len(p.Stragglers))
+	for _, s := range p.Stragglers {
+		if s.Rank < 0 || s.Rank >= size {
+			return fmt.Errorf("faults: straggler rank %d out of range [0,%d)", s.Rank, size)
+		}
+		if seen[s.Rank] {
+			return fmt.Errorf("faults: duplicate straggler rank %d", s.Rank)
+		}
+		seen[s.Rank] = true
+		if s.Factor < 1 || isBad(s.Factor) {
+			return fmt.Errorf("faults: straggler rank %d factor %g must be >= 1 and finite", s.Rank, s.Factor)
+		}
+	}
+	if p.LatencyFactor != 0 && (p.LatencyFactor < 1 || isBad(p.LatencyFactor)) {
+		return fmt.Errorf("faults: latency factor %g must be >= 1 and finite", p.LatencyFactor)
+	}
+	if p.BandwidthFactor != 0 && (p.BandwidthFactor <= 0 || p.BandwidthFactor > 1 || isBad(p.BandwidthFactor)) {
+		return fmt.Errorf("faults: bandwidth factor %g must be in (0,1]", p.BandwidthFactor)
+	}
+	if p.DropProb < 0 || p.DropProb > MaxDropProb || isBad(p.DropProb) {
+		return fmt.Errorf("faults: drop probability %g out of [0,%g]", p.DropProb, MaxDropProb)
+	}
+	if p.RetryTimeoutMS < 0 || isBad(p.RetryTimeoutMS) {
+		return fmt.Errorf("faults: retry timeout %g must be non-negative and finite", p.RetryTimeoutMS)
+	}
+	if p.MaxRetries < 0 {
+		return fmt.Errorf("faults: max retries %d must be non-negative", p.MaxRetries)
+	}
+	crashed := make(map[int]bool, len(p.Crashes))
+	for _, c := range p.Crashes {
+		if c.Rank < 0 || c.Rank >= size {
+			return fmt.Errorf("faults: crash rank %d out of range [0,%d)", c.Rank, size)
+		}
+		if crashed[c.Rank] {
+			return fmt.Errorf("faults: duplicate crash for rank %d", c.Rank)
+		}
+		crashed[c.Rank] = true
+		if c.AtMS < 0 || isBad(c.AtMS) {
+			return fmt.Errorf("faults: crash rank %d time %g must be non-negative and finite", c.Rank, c.AtMS)
+		}
+	}
+	if len(crashed) >= size {
+		return fmt.Errorf("faults: plan crashes all %d ranks", size)
+	}
+	return nil
+}
+
+// speedScale returns the per-rank multiplicative speed degradation in
+// (0,1]: 1/Factor for stragglers, 1 elsewhere.
+func (p Plan) speedScale(size int) []float64 {
+	scale := make([]float64, size)
+	for i := range scale {
+		scale[i] = 1
+	}
+	for _, s := range p.Stragglers {
+		scale[s.Rank] = 1 / s.Factor
+	}
+	return scale
+}
+
+// Degradation returns the link perturbation of the plan in simnet terms.
+func (p Plan) Degradation() simnet.Degradation {
+	d := simnet.Degradation{LatencyFactor: p.LatencyFactor, BandwidthFactor: p.BandwidthFactor}
+	if d.LatencyFactor == 0 {
+		d.LatencyFactor = 1
+	}
+	if d.BandwidthFactor == 0 {
+		d.BandwidthFactor = 1
+	}
+	return d
+}
+
+// Apply threads the plan through a cluster and a cost model: it returns
+// the derated cluster (effective marked speeds under the stragglers), the
+// degraded cost model, and the Injector that the mpi runtime consumes for
+// drops, retries and crashes. The inputs are not mutated.
+func (p Plan) Apply(cl *cluster.Cluster, model simnet.CostModel) (*cluster.Cluster, simnet.CostModel, *Injector, error) {
+	if cl == nil {
+		return nil, nil, nil, fmt.Errorf("faults: Apply on nil cluster")
+	}
+	if model == nil {
+		return nil, nil, nil, fmt.Errorf("faults: Apply on nil cost model")
+	}
+	if err := p.Validate(cl.Size()); err != nil {
+		return nil, nil, nil, err
+	}
+	dcl := cl
+	if len(p.Stragglers) > 0 {
+		var err error
+		dcl, err = cl.Derate(cl.Name+"+stragglers", p.speedScale(cl.Size()))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	dmodel, err := simnet.Degrade(model, p.Degradation())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return dcl, dmodel, p.Injector(), nil
+}
+
+// Injector builds the runtime fault injector of the plan. It is always
+// non-nil; a zero plan yields an inert injector.
+func (p Plan) Injector() *Injector {
+	inj := &Injector{
+		seed:           p.Seed,
+		dropProb:       p.DropProb,
+		retryTimeoutMS: p.RetryTimeoutMS,
+		maxRetries:     p.MaxRetries,
+	}
+	if inj.retryTimeoutMS == 0 {
+		inj.retryTimeoutMS = DefaultRetryTimeoutMS
+	}
+	if inj.maxRetries == 0 {
+		inj.maxRetries = DefaultMaxRetries
+	}
+	if len(p.Crashes) > 0 {
+		inj.crashAt = make(map[int]float64, len(p.Crashes))
+		for _, c := range p.Crashes {
+			inj.crashAt[c.Rank] = c.AtMS
+		}
+	}
+	return inj
+}
+
+// String renders a compact description for report notes.
+func (p Plan) String() string {
+	d := p.Degradation()
+	s := fmt.Sprintf("faults{seed %d, %d stragglers, lat x%.2f, bw x%.2f, drop %.3g",
+		p.Seed, len(p.Stragglers), d.LatencyFactor, d.BandwidthFactor, p.DropProb)
+	if len(p.Crashes) > 0 {
+		ranks := make([]int, 0, len(p.Crashes))
+		for _, c := range p.Crashes {
+			ranks = append(ranks, c.Rank)
+		}
+		sort.Ints(ranks)
+		s += fmt.Sprintf(", crashes %v", ranks)
+	}
+	return s + "}"
+}

@@ -52,6 +52,10 @@ const (
 	tagGather  = -2
 	tagScatter = -3
 	tagReduce  = -4
+	// tagCrashed is an engine-internal tombstone: the DES engine posts it
+	// on every outgoing queue of a dying rank so blocked receivers learn
+	// the peer is gone. It never reaches user programs.
+	tagCrashed = -5
 )
 
 // ReduceOp is a binary reduction operator.
@@ -183,6 +187,14 @@ type Options struct {
 	Jitter float64
 	// JitterSeed seeds the jitter stream (same seed -> same "noise").
 	JitterSeed int64
+	// Faults, when non-nil, injects the run's fault plan: probabilistic
+	// message loss with timeout/backoff retransmission, and rank crashes
+	// with graceful exclusion (peers that depend on a dead rank abort at
+	// its death time; barriers proceed without it). Both engines honor it
+	// and produce identical virtual times for the same injector. Fault
+	// deaths surface as CrashError / PeerCrashError / DropStormError in
+	// the joined Run error; see ClassifyFaults.
+	Faults FaultInjector
 }
 
 // Result summarizes one program execution.
@@ -236,6 +248,10 @@ func validateRun(cl *cluster.Cluster, model simnet.CostModel, opts Options, prog
 	}
 	if opts.Jitter < 0 || opts.Jitter >= 1 {
 		return fmt.Errorf("mpi: jitter %g out of [0, 1)", opts.Jitter)
+	}
+	if opts.Faults != nil && opts.Faults.MaxSendAttempts() < 1 {
+		return fmt.Errorf("mpi: fault injector allows %d send attempts, need >= 1",
+			opts.Faults.MaxSendAttempts())
 	}
 	return nil
 }

@@ -17,8 +17,26 @@ type desWorld struct {
 	queues [][]*des.Queue // queues[from][to]
 	wire   *simnet.Wire
 	bar    *desBarrier
+	dead   []bool    // fault deaths, per rank
+	deadAt []float64 // death times, valid where dead[r]
 	msgs   int64
 	bytes  int64
+}
+
+// die announces a fault death inside the kernel: a tombstone message goes
+// on every outgoing queue so blocked receivers wake and learn the peer is
+// gone (each queue has exactly one consumer, and consuming a tombstone is
+// fatal, so one tombstone per queue suffices), and the barrier stops
+// counting the rank. Runs in the dying rank's process context.
+func (w *desWorld) die(rank int, atMS float64) {
+	w.dead[rank] = true
+	w.deadAt[rank] = atMS
+	for to := range w.queues[rank] {
+		if to != rank {
+			w.queues[rank][to].Put(message{tag: tagCrashed, avail: atMS}, 0)
+		}
+	}
+	w.bar.leave(atMS)
 }
 
 // desBarrier synchronizes all ranks inside the event kernel. The last
@@ -43,6 +61,25 @@ func (b *desBarrier) wait(p *des.Proc) {
 	}
 	b.waiters = append(b.waiters, p)
 	p.Suspend()
+}
+
+// leave removes a dead participant, releasing the current generation if it
+// was the last one being waited for. Waiters wake at the kernel's current
+// time — the death instant — which matches the live engine's max-reduction
+// including the death time (kernel time is monotonic, so all earlier
+// arrivals are below it). The atMS argument documents intent; the kernel
+// clock supplies the value.
+func (b *desBarrier) leave(atMS float64) {
+	_ = atMS
+	b.n--
+	if b.n > 0 && b.arrived == b.n {
+		b.arrived = 0
+		ws := b.waiters
+		b.waiters = nil
+		for _, w := range ws {
+			w.Wake()
+		}
+	}
 }
 
 // desOps implements engineOps for the discrete-event engine; the rank's
@@ -70,9 +107,19 @@ func (o *desOps) transfer(durMS float64, to int) { o.w.wire.OccupyFor(o.p, durMS
 
 func (o *desOps) post(to int, m message) { o.w.queues[o.rank][to].Put(m, 0) }
 
-func (o *desOps) take(from int) message {
-	return o.w.queues[from][o.rank].Get(o.p).(message)
+func (o *desOps) take(from int) (message, bool) {
+	// Death is detected solely via the tombstone, never via w.dead: a
+	// peer's final payload may still be an in-flight delivery event when
+	// it dies, and the FIFO event heap guarantees the tombstone (posted
+	// last, at the latest time) arrives after every real message.
+	m := o.w.queues[from][o.rank].Get(o.p).(message)
+	if m.tag == tagCrashed {
+		return message{}, false
+	}
+	return m, true
 }
+
+func (o *desOps) peerDeathTime(from int) float64 { return o.w.deadAt[from] }
 
 func (o *desOps) syncMax(myClock float64) float64 {
 	o.w.bar.wait(o.p)
@@ -108,6 +155,8 @@ func runDES(cl *cluster.Cluster, model simnet.CostModel, opts Options, program P
 		queues: make([][]*des.Queue, p),
 		wire:   simnet.NewWireMode(k, model, wireMode(opts), p),
 		bar:    &desBarrier{n: p},
+		dead:   make([]bool, p),
+		deadAt: make([]float64, p),
 	}
 	for i := range w.queues {
 		w.queues[i] = make([]*des.Queue, p)
@@ -128,6 +177,11 @@ func runDES(cl *cluster.Cluster, model simnet.CostModel, opts Options, program P
 			defer func() {
 				clocks[r] = pr.Now()
 				if rec := recover(); rec != nil {
+					if d, ok := asRankDeath(rec); ok {
+						errs[r] = fmt.Errorf("mpi: rank %d: %w", r, d)
+						w.die(r, d.deathTime())
+						return
+					}
 					errs[r] = fmt.Errorf("mpi: rank %d panicked: %v", r, rec)
 				}
 			}()

@@ -1,9 +1,12 @@
 package mpi
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
+
+	"repro/internal/faults"
 )
 
 // Randomized differential testing: generate random (but deterministic,
@@ -126,6 +129,83 @@ func TestDifferentialEnginesWithJitter(t *testing.T) {
 		for r := range live.RankClocks {
 			if math.Abs(live.RankClocks[r]-des.RankClocks[r]) > 1e-6 {
 				t.Errorf("seed %d rank %d: jittered clocks differ: %g vs %g",
+					seed, r, live.RankClocks[r], des.RankClocks[r])
+			}
+		}
+	}
+}
+
+func TestDifferentialEnginesWithDrops(t *testing.T) {
+	// Fault-injected differential pass: the same lossy link plan must
+	// yield identical retransmission traffic and virtual times on both
+	// engines, for random programs neither engine was tuned to.
+	cl := testCluster(t, 37.2, 42.1, 89.5, 60)
+	m := testModel(t)
+	for seed := int64(0); seed < 15; seed++ {
+		prog := randomProgram(seed+500, 25)
+		inj := planInjector(t, faults.Plan{Seed: seed, DropProb: 0.1, RetryTimeoutMS: 0.5}, cl.Size())
+		live, errLive := Run(cl, m, Options{Engine: EngineLive, Faults: inj}, prog)
+		des, errDES := Run(cl, m, Options{Engine: EngineDES, Faults: inj}, prog)
+		if errLive != nil || errDES != nil {
+			t.Fatalf("seed %d: unexpected failure under 10%% loss: live=%v des=%v", seed, errLive, errDES)
+		}
+		if live.Messages != des.Messages || live.BytesMoved != des.BytesMoved {
+			t.Errorf("seed %d: lossy traffic differs: live %d/%d vs des %d/%d",
+				seed, live.Messages, live.BytesMoved, des.Messages, des.BytesMoved)
+		}
+		if live.Messages == 0 {
+			continue
+		}
+		for r := range live.RankClocks {
+			if math.Abs(live.RankClocks[r]-des.RankClocks[r]) > 1e-6 {
+				t.Errorf("seed %d rank %d: lossy clocks differ: live %g vs des %g",
+					seed, r, live.RankClocks[r], des.RankClocks[r])
+			}
+			if math.Abs(live.CommMS[r]-des.CommMS[r]) > 1e-6 {
+				t.Errorf("seed %d rank %d: lossy comm accounting differs: %g vs %g",
+					seed, r, live.CommMS[r], des.CommMS[r])
+			}
+		}
+	}
+}
+
+func TestDifferentialEnginesWithCrashes(t *testing.T) {
+	// Crash a rank mid-run and require both engines to agree on who died,
+	// when, who cascaded, and every survivor's final clock.
+	cl := testCluster(t, 37.2, 42.1, 89.5, 60)
+	m := testModel(t)
+	for seed := int64(0); seed < 15; seed++ {
+		prog := randomProgram(seed+900, 25)
+		base, err := Run(cl, m, Options{Engine: EngineLive}, prog)
+		if err != nil {
+			t.Fatalf("seed %d baseline: %v", seed, err)
+		}
+		victim := int(seed) % cl.Size()
+		inj := &testInjector{
+			crashAt:     map[int]float64{victim: base.TimeMS * 0.4},
+			maxAttempts: 1,
+		}
+		live, errLive := Run(cl, m, Options{Engine: EngineLive, Faults: inj}, prog)
+		des, errDES := Run(cl, m, Options{Engine: EngineDES, Faults: inj}, prog)
+		outLive, okLive := ClassifyFaults(cl.Size(), errLive)
+		outDES, okDES := ClassifyFaults(cl.Size(), errDES)
+		if !okLive || !okDES {
+			t.Fatalf("seed %d: non-fault failure: live=%v des=%v", seed, errLive, errDES)
+		}
+		if len(outLive.Crashed) != 1 {
+			t.Errorf("seed %d: want exactly one crash, got %+v", seed, outLive)
+		}
+		if fmt.Sprint(outLive.Crashed) != fmt.Sprint(outDES.Crashed) ||
+			fmt.Sprint(outLive.Aborted) != fmt.Sprint(outDES.Aborted) {
+			t.Errorf("seed %d: fault outcomes differ:\n live %+v\n des  %+v", seed, outLive, outDES)
+		}
+		if live.Messages != des.Messages || live.BytesMoved != des.BytesMoved {
+			t.Errorf("seed %d: post-crash traffic differs: live %d/%d vs des %d/%d",
+				seed, live.Messages, live.BytesMoved, des.Messages, des.BytesMoved)
+		}
+		for r := range live.RankClocks {
+			if math.Abs(live.RankClocks[r]-des.RankClocks[r]) > 1e-6 {
+				t.Errorf("seed %d rank %d: post-crash clocks differ: live %g vs des %g",
 					seed, r, live.RankClocks[r], des.RankClocks[r])
 			}
 		}

@@ -1,0 +1,134 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FaultInjector is the runtime's view of a fault plan (implemented by
+// internal/faults.Injector; defined here so the runtime does not depend
+// on the plan machinery). Implementations must be pure functions of the
+// plan: the engines call them from concurrent rank goroutines and rely on
+// identical answers for identical arguments.
+type FaultInjector interface {
+	// CrashTimeMS returns the virtual instant at which rank crashes.
+	CrashTimeMS(rank int) (float64, bool)
+	// DropSend decides whether transmission seq from->to is lost. seq
+	// numbers every attempt of every payload on that directed pair.
+	DropSend(from, to, seq int) bool
+	// RetryDelayMS is the ack timeout after the failed-th consecutive
+	// loss of one payload (0-based), typically exponential.
+	RetryDelayMS(failed int) float64
+	// MaxSendAttempts bounds transmissions per payload (>= 1).
+	MaxSendAttempts() int
+}
+
+// CrashError reports a rank killed by its fault plan. The rank stops at
+// AtMS and is gracefully excluded: peers receive its pre-crash messages,
+// then fail their next dependence on it; barriers proceed without it.
+type CrashError struct {
+	Rank int
+	AtMS float64
+}
+
+// Error implements error.
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("mpi: rank %d crashed at %.3f ms (fault plan)", e.Rank, e.AtMS)
+}
+
+// PeerCrashError reports a rank aborted because it depended on a crashed
+// (or itself aborted) peer: a receive or collective could never complete.
+// AtMS is the virtual time at which the dependence failed.
+type PeerCrashError struct {
+	Rank int
+	Peer int
+	AtMS float64
+}
+
+// Error implements error.
+func (e *PeerCrashError) Error() string {
+	return fmt.Sprintf("mpi: rank %d aborted at %.3f ms: peer %d is down", e.Rank, e.AtMS, e.Peer)
+}
+
+// DropStormError reports a payload that exceeded its retry budget — the
+// link was lossier than the protocol tolerates. The sending rank aborts.
+type DropStormError struct {
+	Rank     int
+	Peer     int
+	Attempts int
+	AtMS     float64
+}
+
+// Error implements error.
+func (e *DropStormError) Error() string {
+	return fmt.Sprintf("mpi: rank %d gave up sending to %d after %d attempts at %.3f ms",
+		e.Rank, e.Peer, e.Attempts, e.AtMS)
+}
+
+// rankDeath is the common shape of the three fault outcomes: a rank that
+// leaves the computation at a virtual instant.
+type rankDeath interface {
+	error
+	deathTime() float64
+}
+
+func (e *CrashError) deathTime() float64     { return e.AtMS }
+func (e *PeerCrashError) deathTime() float64 { return e.AtMS }
+func (e *DropStormError) deathTime() float64 { return e.AtMS }
+
+// asRankDeath classifies a recovered panic value as a fault death.
+func asRankDeath(rec interface{}) (rankDeath, bool) {
+	d, ok := rec.(rankDeath)
+	return d, ok
+}
+
+// FaultOutcome summarizes the fault-related terminations of one Run.
+type FaultOutcome struct {
+	// Crashed maps rank -> crash time for ranks killed by the plan.
+	Crashed map[int]float64
+	// Aborted maps rank -> abort time for ranks that died depending on a
+	// downed peer or exhausting a retry budget.
+	Aborted map[int]float64
+	// Survivors is the number of ranks that completed the program.
+	Survivors int
+}
+
+// ClassifyFaults walks a Run error (an errors.Join of per-rank failures)
+// and extracts the fault outcome. ok reports whether every failure inside
+// err was fault-induced; a false ok means some rank failed for an
+// unrelated reason and the caller should treat err as a real error.
+func ClassifyFaults(size int, err error) (out FaultOutcome, ok bool) {
+	out = FaultOutcome{Crashed: map[int]float64{}, Aborted: map[int]float64{}}
+	ok = true
+	walkErrors(err, func(e error) {
+		var crash *CrashError
+		var peer *PeerCrashError
+		var storm *DropStormError
+		switch {
+		case errors.As(e, &crash):
+			out.Crashed[crash.Rank] = crash.AtMS
+		case errors.As(e, &peer):
+			out.Aborted[peer.Rank] = peer.AtMS
+		case errors.As(e, &storm):
+			out.Aborted[storm.Rank] = storm.AtMS
+		default:
+			ok = false
+		}
+	})
+	out.Survivors = size - len(out.Crashed) - len(out.Aborted)
+	return out, ok
+}
+
+// walkErrors visits the leaves of an errors.Join tree.
+func walkErrors(err error, visit func(error)) {
+	if err == nil {
+		return
+	}
+	if joined, okJoin := err.(interface{ Unwrap() []error }); okJoin {
+		for _, e := range joined.Unwrap() {
+			walkErrors(e, visit)
+		}
+		return
+	}
+	visit(err)
+}

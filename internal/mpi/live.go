@@ -25,12 +25,27 @@ type liveWorld struct {
 	abortOnce sync.Once
 	aborted   chan struct{}
 
+	// crashNotify[r] is closed when rank r dies a fault death; deadAt[r]
+	// (Float64bits of the death time) is stored before the close, so the
+	// close's happens-before edge publishes it to observers.
+	crashNotify []chan struct{}
+	deadAt      []atomic.Uint64
+
 	msgs  atomic.Int64
 	bytes atomic.Int64
 }
 
 func (w *liveWorld) abort() {
 	w.abortOnce.Do(func() { close(w.aborted) })
+}
+
+// die announces a fault death: peers blocked on (or about to depend on)
+// this rank learn about it, and the barrier stops counting it. Called at
+// most once per rank, from that rank's own goroutine as it unwinds.
+func (w *liveWorld) die(rank int, atMS float64) {
+	w.deadAt[rank].Store(math.Float64bits(atMS))
+	close(w.crashNotify[rank])
+	w.bar.leave(atMS)
 }
 
 // maxBarrier is a reusable all-rank barrier that additionally computes the
@@ -80,6 +95,28 @@ func (b *maxBarrier) wait(v float64) float64 {
 	}
 }
 
+// leave removes a dead participant. Its death time still bounds the
+// release of the current (oldest incomplete) generation — survivors were,
+// or would have been, waiting for it there — and later generations
+// synchronize among the survivors only. Correct regardless of real
+// scheduling: a generation cannot complete while the dead rank is still
+// counted, so the contribution always lands in the first barrier the rank
+// failed to reach.
+func (b *maxBarrier) leave(v float64) {
+	b.mu.Lock()
+	g := b.cur
+	if v > g.max {
+		g.max = v
+	}
+	b.n--
+	if b.n > 0 && b.arrived == b.n {
+		b.arrived = 0
+		b.cur = &barrierGen{release: make(chan struct{}), max: math.Inf(-1)}
+		close(g.release)
+	}
+	b.mu.Unlock()
+}
+
 // liveOps implements engineOps for the goroutine engine. The virtual clock
 // is plain rank-local state: correctness never depends on Go scheduling,
 // only on message timestamps and per-pair FIFO order.
@@ -106,18 +143,35 @@ func (o *liveOps) waitUntil(t float64) {
 func (o *liveOps) post(to int, m message) {
 	select {
 	case o.w.chans[o.rank][to] <- m:
+	case <-o.w.crashNotify[to]:
+		// Receiver is dead: drop the payload instead of risking a block on
+		// a full buffer nobody will ever drain.
 	case <-o.w.aborted:
 		panic(errAborted)
 	}
 }
 
-func (o *liveOps) take(from int) message {
+func (o *liveOps) take(from int) (message, bool) {
 	select {
 	case m := <-o.w.chans[from][o.rank]:
-		return m
+		return m, true
+	case <-o.w.crashNotify[from]:
+		// The peer died — but messages it posted before dying may still be
+		// buffered, and select chooses arbitrarily among ready cases, so
+		// re-check the channel before declaring the stream over.
+		select {
+		case m := <-o.w.chans[from][o.rank]:
+			return m, true
+		default:
+			return message{}, false
+		}
 	case <-o.w.aborted:
 		panic(errAborted)
 	}
+}
+
+func (o *liveOps) peerDeathTime(from int) float64 {
+	return math.Float64frombits(o.w.deadAt[from].Load())
 }
 
 func (o *liveOps) syncMax(myClock float64) float64 { return o.w.bar.wait(myClock) }
@@ -135,16 +189,19 @@ func runLive(cl *cluster.Cluster, model simnet.CostModel, opts Options, program 
 		cap = 1024
 	}
 	w := &liveWorld{
-		cl:      cl,
-		model:   model,
-		chans:   make([][]chan message, p),
-		aborted: make(chan struct{}),
+		cl:          cl,
+		model:       model,
+		chans:       make([][]chan message, p),
+		aborted:     make(chan struct{}),
+		crashNotify: make([]chan struct{}, p),
+		deadAt:      make([]atomic.Uint64, p),
 	}
 	for i := range w.chans {
 		w.chans[i] = make([]chan message, p)
 		for j := range w.chans[i] {
 			w.chans[i][j] = make(chan message, cap)
 		}
+		w.crashNotify[i] = make(chan struct{})
 	}
 	w.bar = newMaxBarrier(p, w.aborted)
 
@@ -160,6 +217,13 @@ func runLive(cl *cluster.Cluster, model simnet.CostModel, opts Options, program 
 			defer wg.Done()
 			defer func() {
 				if rec := recover(); rec != nil {
+					if d, ok := asRankDeath(rec); ok {
+						// A fault death excludes this rank gracefully; the
+						// world keeps running on the survivors.
+						errs[r] = fmt.Errorf("mpi: rank %d: %w", r, d)
+						w.die(r, d.deathTime())
+						return
+					}
 					if rec == errAborted { //nolint:errorlint // sentinel identity
 						errs[r] = fmt.Errorf("mpi: rank %d: %w", r, errAborted)
 					} else {

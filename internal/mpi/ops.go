@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/cluster"
@@ -37,12 +38,18 @@ type engineOps interface {
 	// payload across the network to rank `to` (queueing for a contended
 	// wire included on top).
 	transfer(durMS float64, to int)
-	// post enqueues m for rank to, stamped at the current instant.
+	// post enqueues m for rank to, stamped at the current instant. Posting
+	// to a dead rank is a silent no-op.
 	post(to int, m message)
 	// take dequeues the oldest message from rank from, blocking as needed.
 	// On return the virtual clock is >= the instant m was posted; callers
-	// still must waitUntil(m.avail).
-	take(from int) message
+	// still must waitUntil(m.avail). ok is false when the peer died and
+	// every message it posted before dying has been consumed: nothing more
+	// will ever arrive, and peerDeathTime(from) is valid.
+	take(from int) (m message, ok bool)
+	// peerDeathTime returns the virtual instant at which rank from died.
+	// Only meaningful after take(from) returned ok == false.
+	peerDeathTime(from int) float64
 	// syncMax blocks until all ranks call it, then returns the maximum
 	// clock among them.
 	syncMax(myClock float64) float64
@@ -60,18 +67,93 @@ type comm struct {
 	jitter float64          // 0 when jitter is off
 	rng    *rand.Rand       // per-rank, seeded deterministically
 	pair   simnet.PairModel // non-nil when the cost model is topology-aware
+
+	inj     FaultInjector // nil when fault injection is off
+	crashAt float64       // this rank's plan crash time; +Inf when none
+	sendSeq []int         // per-destination transmission counter (every attempt)
 }
 
 var _ Comm = (*comm)(nil)
 
 // newComm wires the per-run options into a rank's comm.
 func newComm(ops engineOps, opts Options) *comm {
-	c := &comm{ops: ops, tr: opts.Trace, jitter: opts.Jitter}
+	c := &comm{ops: ops, tr: opts.Trace, jitter: opts.Jitter, crashAt: math.Inf(1)}
 	c.pair, _ = ops.costModel().(simnet.PairModel)
 	if c.jitter > 0 {
 		c.rng = rand.New(rand.NewSource(opts.JitterSeed + int64(ops.rankID())*7919))
 	}
+	if opts.Faults != nil {
+		c.inj = opts.Faults
+		if t, ok := c.inj.CrashTimeMS(ops.rankID()); ok {
+			c.crashAt = t
+		}
+		c.sendSeq = make([]int, ops.worldSize())
+	}
 	return c
+}
+
+// Fault plumbing. Death is always raised by panicking a rankDeath value;
+// the engine's recover handler records the error and announces the death
+// to surviving ranks, so the announcement code is engine-specific while
+// the decision to die lives here.
+//
+// Determinism: every death time below is a pure function of virtual time,
+// and both engines agree on the virtual clock at op boundaries, so a
+// given program + fault injector yields identical deaths, message counts
+// and final clocks on the live and DES engines regardless of real
+// scheduling.
+
+// checkCrash kills the rank at an operation boundary once its plan crash
+// time has passed.
+func (c *comm) checkCrash() {
+	if c.ops.clockNow() >= c.crashAt {
+		at := c.crashAt
+		if now := c.ops.clockNow(); now > at {
+			at = now
+		}
+		panic(&CrashError{Rank: c.Rank(), AtMS: at})
+	}
+}
+
+// adv advances charged virtual time like ops.advance, but truncates at the
+// crash instant: a rank scheduled to die mid-interval stops exactly there.
+func (c *comm) adv(dt float64) {
+	if c.ops.clockNow()+dt > c.crashAt {
+		c.ops.waitUntil(c.crashAt) // no-op if the clock already passed it
+		at := c.crashAt
+		if now := c.ops.clockNow(); now > at {
+			at = now
+		}
+		panic(&CrashError{Rank: c.Rank(), AtMS: at})
+	}
+	c.ops.advance(dt)
+}
+
+// xfer charges a network occupancy like ops.transfer, but a sender whose
+// crash lands mid-transfer dies at the crash instant and the payload is
+// never delivered.
+func (c *comm) xfer(durMS float64, to int) {
+	if c.ops.clockNow()+durMS > c.crashAt {
+		c.ops.waitUntil(c.crashAt)
+		at := c.crashAt
+		if now := c.ops.clockNow(); now > at {
+			at = now
+		}
+		panic(&CrashError{Rank: c.Rank(), AtMS: at})
+	}
+	c.ops.transfer(durMS, to)
+}
+
+// peerDown aborts this rank because a peer it depends on died: the abort
+// instant is when the dependence became unsatisfiable — the later of the
+// peer's death and this rank's own clock.
+func (c *comm) peerDown(peer int) {
+	at := c.ops.peerDeathTime(peer)
+	if now := c.ops.clockNow(); now > at {
+		at = now
+	}
+	c.ops.waitUntil(at)
+	panic(&PeerCrashError{Rank: c.Rank(), Peer: peer, AtMS: at})
 }
 
 // stretch applies the configured measurement jitter to a charged duration.
@@ -118,9 +200,10 @@ func (c *comm) Compute(flops float64) {
 	if flops < 0 {
 		panic(fmt.Sprintf("mpi: rank %d: negative flops %g", c.Rank(), flops))
 	}
+	c.checkCrash()
 	start := c.ops.clockNow()
 	dt := c.stretch(flops / (c.ops.nodeInfo().SpeedMflops * 1e3))
-	c.ops.advance(dt)
+	c.adv(dt)
 	c.compMS += dt
 	c.span(trace.KindCompute, start, c.ops.clockNow(), 0, -1)
 }
@@ -130,8 +213,9 @@ func (c *comm) Sleep(ms float64) {
 	if ms < 0 {
 		panic(fmt.Sprintf("mpi: rank %d: negative sleep %g", c.Rank(), ms))
 	}
+	c.checkCrash()
 	start := c.ops.clockNow()
-	c.ops.advance(ms)
+	c.adv(ms)
 	c.span(trace.KindSleep, start, c.ops.clockNow(), 0, -1)
 }
 
@@ -158,18 +242,50 @@ func (c *comm) recvCost(from, bytes int) float64 {
 	return c.ops.costModel().RecvTime(bytes)
 }
 
-// Send implements Comm.
+// Send implements Comm. Under fault injection the send is a stop-and-wait
+// retransmission protocol: each attempt pays the full send + transfer
+// cost; a dropped attempt costs an ack timeout (exponential backoff per
+// consecutive loss) before the retry; exhausting the budget kills the
+// sender with DropStormError. Every attempt — dropped or not — counts in
+// the run's Messages/BytesMoved totals, so fault runs expose their
+// retransmission traffic.
 func (c *comm) Send(to, tag int, data []float64) {
 	c.checkPeer(to, "Send")
+	c.checkCrash()
 	start := c.ops.clockNow()
 	b := payloadBytes(data)
 	send, xfer := c.sendCost(to, b)
-	c.ops.advance(c.stretch(send))
-	c.ops.transfer(xfer, to)
-	c.ops.post(to, message{tag: tag, avail: c.ops.clockNow(), data: copySlice(data)})
-	c.ops.countMsg(b)
+	if c.inj == nil {
+		c.adv(c.stretch(send))
+		c.xfer(xfer, to)
+		c.ops.post(to, message{tag: tag, avail: c.ops.clockNow(), data: copySlice(data)})
+		c.ops.countMsg(b)
+	} else {
+		c.sendReliable(to, tag, b, send, xfer, data)
+	}
 	c.commMS += c.ops.clockNow() - start
 	c.span(trace.KindSend, start, c.ops.clockNow(), b, to)
+}
+
+// sendReliable is the lossy-link Send path: transmit, and on a drop wait
+// out the ack timeout and retransmit, up to the injector's attempt budget.
+func (c *comm) sendReliable(to, tag, b int, send, xfer float64, data []float64) {
+	maxAttempts := c.inj.MaxSendAttempts()
+	for attempt := 0; ; attempt++ {
+		c.adv(c.stretch(send))
+		c.xfer(xfer, to)
+		c.ops.countMsg(b)
+		seq := c.sendSeq[to]
+		c.sendSeq[to]++
+		if !c.inj.DropSend(c.Rank(), to, seq) {
+			c.ops.post(to, message{tag: tag, avail: c.ops.clockNow(), data: copySlice(data)})
+			return
+		}
+		if attempt+1 >= maxAttempts {
+			panic(&DropStormError{Rank: c.Rank(), Peer: to, Attempts: attempt + 1, AtMS: c.ops.clockNow()})
+		}
+		c.adv(c.stretch(c.inj.RetryDelayMS(attempt)))
+	}
 }
 
 // ISend implements Comm: the sender pays only its software overhead; the
@@ -178,21 +294,51 @@ func (c *comm) Send(to, tag int, data []float64) {
 // engine does not apply (the transfer is modeled as offloaded).
 func (c *comm) ISend(to, tag int, data []float64) {
 	c.checkPeer(to, "ISend")
+	c.checkCrash()
 	start := c.ops.clockNow()
 	b := payloadBytes(data)
 	send, xfer := c.sendCost(to, b)
-	c.ops.advance(c.stretch(send))
-	c.ops.post(to, message{tag: tag, avail: c.ops.clockNow() + xfer, data: copySlice(data)})
-	c.ops.countMsg(b)
+	c.adv(c.stretch(send))
+	if c.inj == nil {
+		c.ops.post(to, message{tag: tag, avail: c.ops.clockNow() + xfer, data: copySlice(data)})
+		c.ops.countMsg(b)
+	} else {
+		// The offloaded NIC retransmits in the background: each lost
+		// attempt pushes availability out by a transfer plus the ack
+		// timeout, while the sender's own clock stays put. Exhausting the
+		// budget still kills the sender — at the instant the NIC gives up.
+		avail := c.ops.clockNow()
+		maxAttempts := c.inj.MaxSendAttempts()
+		for attempt := 0; ; attempt++ {
+			avail += xfer
+			c.ops.countMsg(b)
+			seq := c.sendSeq[to]
+			c.sendSeq[to]++
+			if !c.inj.DropSend(c.Rank(), to, seq) {
+				c.ops.post(to, message{tag: tag, avail: avail, data: copySlice(data)})
+				break
+			}
+			if attempt+1 >= maxAttempts {
+				panic(&DropStormError{Rank: c.Rank(), Peer: to, Attempts: attempt + 1, AtMS: avail})
+			}
+			avail += c.inj.RetryDelayMS(attempt)
+		}
+	}
 	c.commMS += c.ops.clockNow() - start
 	c.span(trace.KindSend, start, c.ops.clockNow(), b, to)
 }
 
-// Recv implements Comm.
+// Recv implements Comm. A receive from a rank that died before posting
+// the message aborts this rank too (PeerCrashError), at the later of the
+// peer's death time and this rank's clock — graceful cascade, not a hang.
 func (c *comm) Recv(from, tag int) []float64 {
 	c.checkPeer(from, "Recv")
+	c.checkCrash()
 	start := c.ops.clockNow()
-	msg := c.ops.take(from)
+	msg, ok := c.ops.take(from)
+	if !ok {
+		c.peerDown(from)
+	}
 	if msg.tag != tag {
 		panic(fmt.Sprintf("mpi: rank %d: Recv(from=%d) tag mismatch: got %d, want %d",
 			c.Rank(), from, msg.tag, tag))
@@ -201,7 +347,7 @@ func (c *comm) Recv(from, tag int) []float64 {
 	waited := c.ops.clockNow()
 	c.span(trace.KindWait, start, waited, 0, from)
 	b := payloadBytes(msg.data)
-	c.ops.advance(c.stretch(c.recvCost(from, b)))
+	c.adv(c.stretch(c.recvCost(from, b)))
 	c.commMS += c.ops.clockNow() - start
 	c.span(trace.KindRecv, waited, c.ops.clockNow(), b, from)
 	return msg.data
@@ -216,6 +362,7 @@ func (c *comm) Recv(from, tag int) []float64 {
 // other's writes.) Callers that need to mutate the payload must copy it.
 func (c *comm) Bcast(root int, data []float64) []float64 {
 	c.checkPeer(root, "Bcast")
+	c.checkCrash()
 	start := c.ops.clockNow()
 	p := c.Size()
 	var out []float64
@@ -234,7 +381,10 @@ func (c *comm) Bcast(root int, data []float64) []float64 {
 		out = shared
 		c.span(trace.KindBcast, start, c.ops.clockNow(), b, root)
 	} else {
-		msg := c.ops.take(root)
+		msg, ok := c.ops.take(root)
+		if !ok {
+			c.peerDown(root)
+		}
 		if msg.tag != tagBcast {
 			panic(fmt.Sprintf("mpi: rank %d: Bcast collective mismatch (tag %d)", c.Rank(), msg.tag))
 		}
@@ -246,14 +396,18 @@ func (c *comm) Bcast(root int, data []float64) []float64 {
 	return out
 }
 
-// Barrier implements Comm.
+// Barrier implements Comm. A rank that dies before arriving leaves the
+// barrier instead: survivors synchronize among themselves, and the dead
+// rank's death time still bounds the release of the barrier generation in
+// which it was expected (modeling failure detection).
 func (c *comm) Barrier() {
+	c.checkCrash()
 	start := c.ops.clockNow()
 	mx := c.ops.syncMax(start)
 	c.ops.waitUntil(mx)
 	waited := c.ops.clockNow()
 	c.span(trace.KindWait, start, waited, 0, -1)
-	c.ops.advance(c.stretch(c.ops.costModel().BarrierTime(c.Size())))
+	c.adv(c.stretch(c.ops.costModel().BarrierTime(c.Size())))
 	c.commMS += c.ops.clockNow() - start
 	c.span(trace.KindBarrier, waited, c.ops.clockNow(), 0, -1)
 }

@@ -1,0 +1,119 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+)
+
+// Degradation perturbs a cost model the way a sick interconnect would:
+// per-message latency inflates by LatencyFactor and the serialization
+// (bandwidth-proportional) part of every transfer stretches by
+// 1/BandwidthFactor. Endpoint CPU overheads (SendTime/RecvTime) are
+// unchanged — hosts are healthy, the wire is not.
+type Degradation struct {
+	// LatencyFactor >= 1 multiplies the zero-byte (latency) part of
+	// transfer, broadcast and barrier times.
+	LatencyFactor float64
+	// BandwidthFactor in (0,1] is the surviving fraction of nominal
+	// bandwidth; the per-byte part of transfers is divided by it.
+	BandwidthFactor float64
+}
+
+// IsIdentity reports whether the degradation changes nothing.
+func (d Degradation) IsIdentity() bool { return d.LatencyFactor == 1 && d.BandwidthFactor == 1 }
+
+// Validate reports nonsensical factors.
+func (d Degradation) Validate() error {
+	if !(d.LatencyFactor >= 1) || math.IsInf(d.LatencyFactor, 0) {
+		return fmt.Errorf("simnet: degradation latency factor %g must be >= 1 and finite", d.LatencyFactor)
+	}
+	if !(d.BandwidthFactor > 0 && d.BandwidthFactor <= 1) {
+		return fmt.Errorf("simnet: degradation bandwidth factor %g must be in (0,1]", d.BandwidthFactor)
+	}
+	return nil
+}
+
+// Degrade wraps a cost model with the degradation. The identity
+// degradation returns the model unchanged; a topology-aware PairModel
+// stays pair-aware under the wrap, so per-link costs keep flowing into
+// the engines. The decomposition into latency and serialization parts is
+// model-agnostic: the zero-byte cost is the latency share.
+func Degrade(m CostModel, d Degradation) (CostModel, error) {
+	if m == nil {
+		return nil, fmt.Errorf("simnet: Degrade on nil model")
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.IsIdentity() {
+		return m, nil
+	}
+	g := &degraded{inner: m, d: d}
+	if pm, ok := m.(PairModel); ok {
+		return &degradedPair{degraded: g, pair: pm}, nil
+	}
+	return g, nil
+}
+
+// degraded is the plain CostModel wrap.
+type degraded struct {
+	inner CostModel
+	d     Degradation
+}
+
+var _ CostModel = (*degraded)(nil)
+
+// stretch splits a cost into its zero-byte (latency) share and the rest
+// (serialization) and scales each by the corresponding factor.
+func (g *degraded) stretch(zero, full float64) float64 {
+	return g.d.LatencyFactor*zero + (full-zero)/g.d.BandwidthFactor
+}
+
+// Name implements CostModel.
+func (g *degraded) Name() string {
+	return fmt.Sprintf("degraded[lat x%.2f, bw x%.2f](%s)", g.d.LatencyFactor, g.d.BandwidthFactor, g.inner.Name())
+}
+
+// SendTime implements CostModel (endpoint CPU cost: unchanged).
+func (g *degraded) SendTime(bytes int) float64 { return g.inner.SendTime(bytes) }
+
+// RecvTime implements CostModel (endpoint CPU cost: unchanged).
+func (g *degraded) RecvTime(bytes int) float64 { return g.inner.RecvTime(bytes) }
+
+// TransferTime implements CostModel.
+func (g *degraded) TransferTime(bytes int) float64 {
+	return g.stretch(g.inner.TransferTime(0), g.inner.TransferTime(bytes))
+}
+
+// BcastTime implements CostModel.
+func (g *degraded) BcastTime(p, bytes int) float64 {
+	return g.stretch(g.inner.BcastTime(p, 0), g.inner.BcastTime(p, bytes))
+}
+
+// BarrierTime implements CostModel (latency-bound collective).
+func (g *degraded) BarrierTime(p int) float64 {
+	return g.d.LatencyFactor * g.inner.BarrierTime(p)
+}
+
+// degradedPair additionally forwards the endpoint-aware costs.
+type degradedPair struct {
+	*degraded
+	pair PairModel
+}
+
+var _ PairModel = (*degradedPair)(nil)
+
+// PairSendTime implements PairModel (endpoint CPU cost: unchanged).
+func (g *degradedPair) PairSendTime(from, to, bytes int) float64 {
+	return g.pair.PairSendTime(from, to, bytes)
+}
+
+// PairRecvTime implements PairModel (endpoint CPU cost: unchanged).
+func (g *degradedPair) PairRecvTime(from, to, bytes int) float64 {
+	return g.pair.PairRecvTime(from, to, bytes)
+}
+
+// PairTransferTime implements PairModel.
+func (g *degradedPair) PairTransferTime(from, to, bytes int) float64 {
+	return g.stretch(g.pair.PairTransferTime(from, to, 0), g.pair.PairTransferTime(from, to, bytes))
+}

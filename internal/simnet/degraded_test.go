@@ -1,0 +1,122 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+)
+
+func degTestModel(t *testing.T) CostModel {
+	t.Helper()
+	m, err := NewParamModel("deg-test", Sunwulf100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDegradeIdentityPassesThrough(t *testing.T) {
+	m := degTestModel(t)
+	got, err := Degrade(m, Degradation{LatencyFactor: 1, BandwidthFactor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Error("identity degradation wrapped the model")
+	}
+}
+
+func TestDegradeValidation(t *testing.T) {
+	m := degTestModel(t)
+	bad := []Degradation{
+		{LatencyFactor: 0.9, BandwidthFactor: 1},
+		{LatencyFactor: 1, BandwidthFactor: 0},
+		{LatencyFactor: 1, BandwidthFactor: 1.1},
+		{LatencyFactor: math.NaN(), BandwidthFactor: 1},
+	}
+	for i, d := range bad {
+		if _, err := Degrade(m, d); err == nil {
+			t.Errorf("bad degradation %d accepted: %+v", i, d)
+		}
+	}
+	if _, err := Degrade(nil, Degradation{LatencyFactor: 1, BandwidthFactor: 1}); err == nil {
+		t.Error("nil model accepted")
+	}
+}
+
+func TestDegradeStretchesLatencyAndBandwidth(t *testing.T) {
+	m := degTestModel(t)
+	const big = 1 << 20
+
+	// Pure latency inflation: zero-byte cost doubles, per-byte part intact.
+	lat, err := Degrade(m, Degradation{LatencyFactor: 2, BandwidthFactor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := lat.TransferTime(0), 2*m.TransferTime(0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("zero-byte transfer = %g, want %g", got, want)
+	}
+	serialNominal := m.TransferTime(big) - m.TransferTime(0)
+	serialLat := lat.TransferTime(big) - lat.TransferTime(0)
+	if math.Abs(serialLat-serialNominal) > 1e-9 {
+		t.Errorf("latency-only degradation changed serialization: %g vs %g", serialLat, serialNominal)
+	}
+
+	// Pure bandwidth loss: zero-byte cost intact, per-byte part doubles.
+	bw, err := Degrade(m, Degradation{LatencyFactor: 1, BandwidthFactor: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := bw.TransferTime(0), m.TransferTime(0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("bandwidth loss changed zero-byte cost: %g vs %g", got, want)
+	}
+	serialBW := bw.TransferTime(big) - bw.TransferTime(0)
+	if math.Abs(serialBW-2*serialNominal) > 1e-6 {
+		t.Errorf("halved bandwidth serialization = %g, want %g", serialBW, 2*serialNominal)
+	}
+
+	// Endpoint CPU overheads are a host property, not a wire property.
+	if lat.SendTime(4096) != m.SendTime(4096) || bw.RecvTime(4096) != m.RecvTime(4096) {
+		t.Error("degradation touched endpoint send/recv overheads")
+	}
+	// Barrier is latency-bound.
+	if got, want := lat.BarrierTime(8), 2*m.BarrierTime(8); math.Abs(got-want) > 1e-12 {
+		t.Errorf("degraded barrier = %g, want %g", got, want)
+	}
+	// Bcast stretches like transfers.
+	if lat.BcastTime(8, big) <= m.BcastTime(8, big) {
+		t.Error("degraded broadcast no slower than nominal")
+	}
+}
+
+func TestDegradePreservesPairAwareness(t *testing.T) {
+	local := degTestModel(t)
+	remote, err := NewParamModel("deg-remote", Params{
+		LatencyMS: 0.8, BandwidthMBps: 5,
+		SendOverheadMS: 0.1, RecvOverheadMS: 0.1, PerByteCopyMS: 2e-6,
+		BcastPerProcMS: 0.4, BarrierPerProcMS: 0.6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := NewTwoLevel("deg-2l", local, remote, []int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg, err := Degrade(topo, Degradation{LatencyFactor: 3, BandwidthFactor: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, ok := deg.(PairModel)
+	if !ok {
+		t.Fatal("degrading a PairModel lost pair awareness")
+	}
+	if got, want := pm.PairTransferTime(0, 1, 0), 3*topo.PairTransferTime(0, 1, 0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("pair zero-byte = %g, want %g", got, want)
+	}
+	if pm.PairTransferTime(0, 1, 1<<20) <= topo.PairTransferTime(0, 1, 1<<20) {
+		t.Error("pair transfer no slower under degradation")
+	}
+	if pm.PairSendTime(0, 1, 1024) != topo.PairSendTime(0, 1, 1024) {
+		t.Error("pair endpoint overhead changed")
+	}
+}

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Full local verification: static checks, build, the race-instrumented
+# test suite, and a fuzz smoke pass over every fuzz target. This is what
+# CI would run; it needs only the Go toolchain.
+#
+# Usage:  ./scripts/check.sh            # everything (a few minutes)
+#         FUZZTIME=30s ./scripts/check.sh   # longer fuzz smoke
+set -eu
+
+cd "$(dirname "$0")/.."
+FUZZTIME="${FUZZTIME:-10s}"
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+# Fuzz smoke: each target runs for a short budget; any crasher fails the
+# pass. Go only allows one fuzz target per invocation, so enumerate them.
+for pkgfn in \
+	./internal/cluster:FuzzParseLadder \
+	./internal/faults:FuzzParseSpec \
+	./internal/faults:FuzzInjectorDropSend \
+	./internal/numeric:FuzzPolyFitNeverPanicsAndInterpolates \
+	./internal/numeric:FuzzMonotoneCubicStaysMonotone \
+	./internal/numeric:FuzzBrentFindsBracketedRoots \
+; do
+	pkg="${pkgfn%%:*}"
+	fn="${pkgfn##*:}"
+	echo "==> go test $pkg -fuzz=^$fn\$ -fuzztime=$FUZZTIME"
+	go test "$pkg" -run "^$fn\$" -fuzz "^$fn\$" -fuzztime "$FUZZTIME"
+done
+
+echo "==> all checks passed"
