@@ -13,6 +13,7 @@ package repro
 // quantity being timed.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -46,11 +47,11 @@ func paperSuite(b *testing.B) *experiments.Suite {
 		}
 		// Warm the memoized chains so individual table benches time the
 		// regeneration, not the shared sweep.
-		if _, err := suite.GEChainMeasured(); err != nil {
+		if _, err := suite.GEChainMeasured(context.Background()); err != nil {
 			suiteErr = err
 			return
 		}
-		if _, err := suite.MMChainMeasured(); err != nil {
+		if _, err := suite.MMChainMeasured(context.Background()); err != nil {
 			suiteErr = err
 		}
 	})
@@ -73,94 +74,94 @@ func benchTable(b *testing.B, gen func() error) {
 
 func BenchmarkTable1MarkedSpeed(b *testing.B) {
 	s := paperSuite(b)
-	benchTable(b, func() error { _, err := s.Table1(); return err })
+	benchTable(b, func() error { _, err := s.Table1(context.Background()); return err })
 }
 
 func BenchmarkTable2GETwoNodes(b *testing.B) {
 	s := paperSuite(b)
-	benchTable(b, func() error { _, err := s.Table2(); return err })
+	benchTable(b, func() error { _, err := s.Table2(context.Background()); return err })
 }
 
 func BenchmarkFig1EfficiencyCurve(b *testing.B) {
 	s := paperSuite(b)
-	benchTable(b, func() error { _, _, err := s.Fig1(); return err })
+	benchTable(b, func() error { _, _, err := s.Fig1(context.Background()); return err })
 }
 
 func BenchmarkTable3RequiredRank(b *testing.B) {
 	s := paperSuite(b)
-	benchTable(b, func() error { _, err := s.Table3(); return err })
+	benchTable(b, func() error { _, err := s.Table3(context.Background()); return err })
 }
 
 func BenchmarkTable4GEScalability(b *testing.B) {
 	s := paperSuite(b)
-	benchTable(b, func() error { _, err := s.Table4(); return err })
+	benchTable(b, func() error { _, err := s.Table4(context.Background()); return err })
 }
 
 func BenchmarkFig2MMEfficiency(b *testing.B) {
 	s := paperSuite(b)
-	benchTable(b, func() error { _, err := s.Fig2(); return err })
+	benchTable(b, func() error { _, err := s.Fig2(context.Background()); return err })
 }
 
 func BenchmarkTable5MMScalability(b *testing.B) {
 	s := paperSuite(b)
-	benchTable(b, func() error { _, err := s.Table5(); return err })
+	benchTable(b, func() error { _, err := s.Table5(context.Background()); return err })
 }
 
 func BenchmarkCompareGEMM(b *testing.B) {
 	s := paperSuite(b)
-	benchTable(b, func() error { _, err := s.CompareGEMM(); return err })
+	benchTable(b, func() error { _, err := s.CompareGEMM(context.Background()); return err })
 }
 
 func BenchmarkTable6PredictedRank(b *testing.B) {
 	s := paperSuite(b)
-	benchTable(b, func() error { _, _, err := s.Table6(); return err })
+	benchTable(b, func() error { _, _, err := s.Table6(context.Background()); return err })
 }
 
 func BenchmarkTable7PredictedScalability(b *testing.B) {
 	s := paperSuite(b)
-	benchTable(b, func() error { _, err := s.Table7(); return err })
+	benchTable(b, func() error { _, err := s.Table7(context.Background()); return err })
 }
 
 // --- Validation and ablation benches (DESIGN.md §5) ----------------------
 
 func BenchmarkHomogeneousSpecialCase(b *testing.B) {
 	s := paperSuite(b)
-	benchTable(b, func() error { _, err := s.HomogeneousCheck(); return err })
+	benchTable(b, func() error { _, err := s.HomogeneousCheck(context.Background()); return err })
 }
 
 func BenchmarkAblateDistribution(b *testing.B) {
 	s := paperSuite(b)
-	benchTable(b, func() error { _, err := s.AblateDistribution(); return err })
+	benchTable(b, func() error { _, err := s.AblateDistribution(context.Background()); return err })
 }
 
 func BenchmarkAblateContention(b *testing.B) {
 	s := paperSuite(b)
-	benchTable(b, func() error { _, err := s.AblateContention(); return err })
+	benchTable(b, func() error { _, err := s.AblateContention(context.Background()); return err })
 }
 
 func BenchmarkAblateTiling(b *testing.B) {
 	s := paperSuite(b)
-	benchTable(b, func() error { _, err := s.AblateTiling(); return err })
+	benchTable(b, func() error { _, err := s.AblateTiling(context.Background()); return err })
 }
 
 func BenchmarkAblateNetworks(b *testing.B) {
 	s := paperSuite(b)
-	benchTable(b, func() error { _, err := s.AblateNetworks(); return err })
+	benchTable(b, func() error { _, err := s.AblateNetworks(context.Background()); return err })
 }
 
 func BenchmarkThreeWayComparison(b *testing.B) {
 	s := paperSuite(b)
-	benchTable(b, func() error { _, err := s.ThreeWay(); return err })
+	benchTable(b, func() error { _, err := s.ThreeWay(context.Background()); return err })
 }
 
 func BenchmarkMemoryBounded(b *testing.B) {
 	s := paperSuite(b)
-	benchTable(b, func() error { _, err := s.MemBound(); return err })
+	benchTable(b, func() error { _, err := s.MemBound(context.Background()); return err })
 }
 
 func BenchmarkTraceDecomposition(b *testing.B) {
 	s := paperSuite(b)
-	benchTable(b, func() error { _, err := s.TraceDecomposition(); return err })
+	benchTable(b, func() error { _, err := s.TraceDecomposition(context.Background()); return err })
 }
 
 // --- End-to-end algorithm benches (one virtual-time run per iteration) ---

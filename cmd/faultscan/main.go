@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"repro/internal/algs"
+	"repro/internal/cli"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dist"
@@ -57,6 +58,7 @@ func run(args []string, out io.Writer) error {
 		engine    = fs.String("engine", "live", "mpi engine: live or des")
 		example   = fs.Bool("example", false, "print a fault-spec template and exit")
 		csv       = fs.Bool("csv", false, "emit CSV")
+		jsonOut   = fs.Bool("json", false, "emit JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,18 +88,20 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("missing fault plan: pass -spec file or -intensity x (use -example for a template)")
 	}
 
-	var eng mpi.Engine
-	switch *engine {
-	case "live":
-		eng = mpi.EngineLive
-	case "des":
-		eng = mpi.EngineDES
-	default:
-		return fmt.Errorf("unknown engine %q (live or des)", *engine)
+	eng, err := cli.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
+	format, err := cli.Format(*csv, *jsonOut)
+	if err != nil {
+		return err
+	}
+	renderer, err := experiments.NewRenderer(format)
+	if err != nil {
+		return err
 	}
 
 	var cl *cluster.Cluster
-	var err error
 	switch strings.ToLower(*alg) {
 	case "ge":
 		cl, err = cluster.GEConfig(*p)
@@ -109,7 +113,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	model, err := simnet.NewParamModel("sunwulf-100Mb", simnet.Sunwulf100())
+	model, err := cli.SunwulfModel()
 	if err != nil {
 		return err
 	}
@@ -170,12 +174,7 @@ func run(args []string, out io.Writer) error {
 		"distribution is pinned to nominal speeds (blind to runtime degradation)",
 		"all fault draws derive from the plan seed: identical invocations reproduce this output byte-identically")
 
-	if *csv {
-		fmt.Fprint(out, tbl.CSV())
-	} else {
-		fmt.Fprint(out, tbl.String())
-	}
-	return nil
+	return renderer.Render(out, []experiments.Renderable{tbl})
 }
 
 // algRun is one measured execution: work in flops plus the mpi result.

@@ -5,62 +5,83 @@
 //
 //	hetsim -list
 //	hetsim -exp table4
-//	hetsim -exp all -quick
+//	hetsim -exp all -quick -jobs 4
+//	hetsim -exp group:ablation -quick
 //	hetsim -exp fig2 -csv
+//	hetsim -exp all -quick -json
 //	hetsim -exp table3 -engine des -contended
 //
-// Experiment ids match the paper's evaluation section: table1..table7,
-// fig1, fig2, compare, plus the validation/ablation experiments homog,
-// ablate-dist, ablate-contention, ablate-tiling.
+// -exp accepts an experiment id (see -list), "all", "quick" (the
+// analytic-only subset), or "group:<name>" (paper, validation, ablation,
+// extension, faults). Experiments are scheduled on a bounded worker pool
+// (-jobs, default: one per CPU); shared measurement sweeps are computed
+// once and stdout is byte-identical for every worker count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strings"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
-	"repro/internal/mpi"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "hetsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("hetsim", flag.ContinueOnError)
 	var (
-		exp       = fs.String("exp", "", "experiment id to run (see -list), or 'all'")
+		exp       = fs.String("exp", "", "experiment selector: id, 'all', 'quick', or 'group:<name>' (see -list)")
 		list      = fs.Bool("list", false, "list available experiments")
 		quick     = fs.Bool("quick", false, "reduced ladder (2,4,8 nodes) and sweeps")
 		csv       = fs.Bool("csv", false, "emit CSV instead of rendered tables")
+		jsonOut   = fs.Bool("json", false, "emit one JSON document holding every result")
 		md        = fs.Bool("md", false, "emit a markdown report (with -exp all: the full reproduction report)")
 		engine    = fs.String("engine", "live", "execution engine: live or des")
 		contended = fs.Bool("contended", false, "shared-Ethernet contention (des engine only)")
 		geTarget  = fs.Float64("ge-target", 0.3, "speed-efficiency set-point for GE read-offs")
 		mmTarget  = fs.Float64("mm-target", 0.2, "speed-efficiency set-point for MM read-offs")
+		jobs      = fs.Int("jobs", cli.DefaultJobs(), "worker-pool size for running experiments")
+		verbose   = fs.Bool("v", false, "narrate per-experiment progress and cache stats on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *list {
-		reg := experiments.Registry()
 		fmt.Fprintln(out, "available experiments:")
-		for _, id := range experiments.IDs() {
-			fmt.Fprintf(out, "  %-18s %s\n", id, reg[id].About)
+		for _, g := range experiments.Groups() {
+			fmt.Fprintf(out, "group:%s\n", g)
+			for _, e := range experiments.ByGroup(g) {
+				quickMark := " "
+				if e.Quick {
+					quickMark = "*"
+				}
+				fmt.Fprintf(out, "  %-18s %s %s\n", e.ID, quickMark, e.About)
+			}
 		}
-		fmt.Fprintln(out, "  all                run everything above")
+		fmt.Fprintln(out, "selectors: an id above, 'all', 'quick' (the * entries), or 'group:<name>'")
 		return nil
 	}
 	if *exp == "" {
 		return fmt.Errorf("missing -exp (or -list); try: hetsim -exp table4")
+	}
+	format, err := cli.Format(*csv, *jsonOut)
+	if err != nil {
+		return err
+	}
+	renderer, err := experiments.NewRenderer(format)
+	if err != nil {
+		return err
 	}
 
 	cfg, err := experiments.Default()
@@ -73,13 +94,9 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
-	switch strings.ToLower(*engine) {
-	case "live":
-		cfg.Engine = mpi.EngineLive
-	case "des":
-		cfg.Engine = mpi.EngineDES
-	default:
-		return fmt.Errorf("unknown engine %q (live or des)", *engine)
+	cfg.Engine, err = cli.ParseEngine(*engine)
+	if err != nil {
+		return err
 	}
 	cfg.Contended = *contended
 	cfg.GETarget = *geTarget
@@ -89,26 +106,27 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if *md {
-		var ids []string
-		if *exp != "all" {
-			ids = []string{*exp}
-		}
-		return experiments.WriteMarkdownReport(suite, out, ids, time.Now())
-	}
-	results, err := experiments.RunByID(suite, *exp)
+	ids, err := experiments.Resolve(*exp)
 	if err != nil {
 		return err
 	}
-	for i, r := range results {
-		if i > 0 {
-			fmt.Fprintln(out)
+	ctx := context.Background()
+	opts := experiments.RunOptions{Jobs: *jobs, Hooks: cli.Progress(errw, *verbose)}
+	if *md {
+		if err := experiments.WriteMarkdownReport(ctx, suite, out, ids, time.Now(), opts); err != nil {
+			return err
 		}
-		if *csv {
-			fmt.Fprint(out, r.CSV())
-		} else {
-			fmt.Fprint(out, r.String())
+	} else {
+		outcomes, err := experiments.RunSelected(ctx, suite, ids, opts)
+		if err != nil {
+			return err
 		}
+		if err := renderer.Render(out, experiments.Flatten(outcomes)); err != nil {
+			return err
+		}
+	}
+	if *verbose {
+		fmt.Fprintf(errw, "cache: %s\n", suite.CacheStats())
 	}
 	return nil
 }

@@ -1,87 +1,146 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
 	"strings"
 	"testing"
 
 	"repro/internal/experiments"
 )
 
-func TestRunList(t *testing.T) {
+// runOut drives run with stderr discarded.
+func runOut(t *testing.T, args ...string) (string, error) {
+	t.Helper()
 	var out strings.Builder
-	if err := run([]string{"-list"}, &out); err != nil {
+	err := run(args, &out, io.Discard)
+	return out.String(), err
+}
+
+func TestRunList(t *testing.T) {
+	got, err := runOut(t, "-list")
+	if err != nil {
 		t.Fatal(err)
 	}
-	got := out.String()
 	for _, id := range experiments.IDs() {
 		if !strings.Contains(got, id) {
 			t.Errorf("-list missing %q", id)
 		}
 	}
-	if !strings.Contains(got, "all") {
-		t.Error("-list missing 'all'")
+	for _, g := range experiments.Groups() {
+		if !strings.Contains(got, "group:"+string(g)) {
+			t.Errorf("-list missing group %q", g)
+		}
+	}
+	if !strings.Contains(got, "'all'") {
+		t.Error("-list missing 'all' selector")
 	}
 }
 
 func TestRunTable1(t *testing.T) {
-	var out strings.Builder
-	if err := run([]string{"-exp", "table1", "-quick"}, &out); err != nil {
+	got, err := runOut(t, "-exp", "table1", "-quick")
+	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out.String(), "Marked speed") {
-		t.Errorf("table1 output wrong:\n%s", out.String())
+	if !strings.Contains(got, "Marked speed") {
+		t.Errorf("table1 output wrong:\n%s", got)
 	}
 }
 
 func TestRunCSV(t *testing.T) {
-	var out strings.Builder
-	if err := run([]string{"-exp", "table1", "-quick", "-csv"}, &out); err != nil {
+	got, err := runOut(t, "-exp", "table1", "-quick", "-csv")
+	if err != nil {
 		t.Fatal(err)
 	}
-	got := out.String()
 	if !strings.Contains(got, ",") || strings.Contains(got, "----") {
 		t.Errorf("CSV output wrong:\n%s", got)
 	}
 }
 
-func TestRunDESEngine(t *testing.T) {
-	var out strings.Builder
-	if err := run([]string{"-exp", "ablate-tiling", "-quick", "-engine", "des"}, &out); err != nil {
+func TestRunJSON(t *testing.T) {
+	got, err := runOut(t, "-exp", "table1", "-quick", "-json")
+	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out.String(), "tiling") {
+	var docs []map[string]any
+	if err := json.Unmarshal([]byte(got), &docs); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, got)
+	}
+	if len(docs) != 1 || docs[0]["type"] != "table" {
+		t.Errorf("unexpected JSON document: %v", docs)
+	}
+}
+
+func TestRunGroupSelector(t *testing.T) {
+	got, err := runOut(t, "-exp", "quick", "-quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "Marked speed") || !strings.Contains(got, "tiling") {
+		t.Errorf("quick selector output missing expected tables:\n%s", got)
+	}
+}
+
+func TestRunDESEngine(t *testing.T) {
+	got, err := runOut(t, "-exp", "ablate-tiling", "-quick", "-engine", "des")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "tiling") {
 		t.Error("des engine run produced no tiling output")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	var out strings.Builder
-	if err := run([]string{}, &out); err == nil {
-		t.Error("missing -exp accepted")
-	}
-	if err := run([]string{"-exp", "nope"}, &out); err == nil {
-		t.Error("unknown experiment accepted")
-	}
-	if err := run([]string{"-exp", "table1", "-engine", "warp"}, &out); err == nil {
-		t.Error("unknown engine accepted")
-	}
-	if err := run([]string{"-badflag"}, &out); err == nil {
-		t.Error("bad flag accepted")
-	}
-	if err := run([]string{"-exp", "table1", "-ge-target", "7"}, &out); err == nil {
-		t.Error("bad target accepted")
+	for _, args := range [][]string{
+		{},
+		{"-exp", "nope"},
+		{"-exp", "group:nope"},
+		{"-exp", "table1", "-engine", "warp"},
+		{"-badflag"},
+		{"-exp", "table1", "-ge-target", "7"},
+		{"-exp", "table1", "-csv", "-json"},
+	} {
+		if _, err := runOut(t, args...); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
 	}
 }
 
 func TestRunMarkdownReport(t *testing.T) {
-	var out strings.Builder
-	if err := run([]string{"-exp", "table1", "-quick", "-md"}, &out); err != nil {
+	got, err := runOut(t, "-exp", "table1", "-quick", "-md")
+	if err != nil {
 		t.Fatal(err)
 	}
-	got := out.String()
 	for _, frag := range []string{"# Reproduction report", "## table1", "```text"} {
 		if !strings.Contains(got, frag) {
 			t.Errorf("markdown report missing %q", frag)
+		}
+	}
+}
+
+// TestParallelOutputByteIdentical is the contract of the concurrent
+// runner: `-exp all -quick` renders byte-identically whether experiments
+// run serially or on four workers, on both engines. Run under -race this
+// also exercises the suite cache's concurrency.
+func TestParallelOutputByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick sweep is slow")
+	}
+	for _, engine := range []string{"live", "des"} {
+		serial, err := runOut(t, "-exp", "all", "-quick", "-engine", engine, "-jobs", "1")
+		if err != nil {
+			t.Fatalf("engine %s jobs 1: %v", engine, err)
+		}
+		parallel, err := runOut(t, "-exp", "all", "-quick", "-engine", engine, "-jobs", "4")
+		if err != nil {
+			t.Fatalf("engine %s jobs 4: %v", engine, err)
+		}
+		if serial != parallel {
+			t.Errorf("engine %s: -jobs 4 output differs from -jobs 1", engine)
+		}
+		if len(serial) == 0 {
+			t.Errorf("engine %s: empty output", engine)
 		}
 	}
 }

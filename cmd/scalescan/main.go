@@ -17,10 +17,16 @@
 // Usage:
 //
 //	scalescan -ladder ladder.json -alg ge -target 0.3
+//	scalescan -ladder ladder.json -alg mm -jobs 4 -json
 //	scalescan -example            # print a ladder template and exit
+//
+// Rungs are measured concurrently on a bounded worker pool (-jobs,
+// default: one per CPU); the reported tables are byte-identical for
+// every worker count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -29,10 +35,12 @@ import (
 	"strings"
 
 	"repro/internal/algs"
+	"repro/internal/cli"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mpi"
+	"repro/internal/runner"
 	"repro/internal/simnet"
 )
 
@@ -66,6 +74,8 @@ func run(args []string, out io.Writer) error {
 		target     = fs.Float64("target", 0.3, "speed-efficiency set-point")
 		example    = fs.Bool("example", false, "print a ladder template and exit")
 		csv        = fs.Bool("csv", false, "emit CSV")
+		jsonOut    = fs.Bool("json", false, "emit JSON")
+		jobs       = fs.Int("jobs", cli.DefaultJobs(), "worker-pool size for measuring rungs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,7 +96,40 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	model, err := simnet.NewParamModel("sunwulf-100Mb", simnet.Sunwulf100())
+	model, err := cli.SunwulfModel()
+	if err != nil {
+		return err
+	}
+	format, err := cli.Format(*csv, *jsonOut)
+	if err != nil {
+		return err
+	}
+	renderer, err := experiments.NewRenderer(format)
+	if err != nil {
+		return err
+	}
+
+	// Each rung's sweep is independent: measure them on the worker pool.
+	// Results come back in ladder order regardless of completion order.
+	type rung struct {
+		n int
+		w float64
+	}
+	tasks := make([]runner.Task, len(clusters))
+	for i, cl := range clusters {
+		cl := cl
+		tasks[i] = runner.Task{
+			ID: cl.Name,
+			Run: func(ctx context.Context) (any, error) {
+				n, w, err := requiredSize(cl, model, strings.ToLower(*alg), *target)
+				if err != nil {
+					return nil, err
+				}
+				return rung{n: n, w: w}, nil
+			},
+		}
+	}
+	measured, err := runner.Run(context.Background(), tasks, runner.Options{Jobs: *jobs})
 	if err != nil {
 		return err
 	}
@@ -96,14 +139,11 @@ func run(args []string, out io.Writer) error {
 		Title:   fmt.Sprintf("Isospeed-efficiency scan: %s at E_s = %.2f", strings.ToUpper(*alg), *target),
 		Headers: []string{"Cluster", "p", "Marked speed (Mflops)", "Required N", "Workload W (flops)"},
 	}
-	for _, cl := range clusters {
-		n, w, err := requiredSize(cl, model, strings.ToLower(*alg), *target)
-		if err != nil {
-			return fmt.Errorf("%s: %w", cl.Name, err)
-		}
-		points = append(points, core.ScalePoint{Label: cl.Name, C: cl.MarkedSpeed(), N: n, W: w})
+	for i, cl := range clusters {
+		r := measured[i].Value.(rung)
+		points = append(points, core.ScalePoint{Label: cl.Name, C: cl.MarkedSpeed(), N: r.n, W: r.w})
 		tbl.AddRow(cl.Name, fmt.Sprintf("%d", cl.Size()),
-			fmt.Sprintf("%.1f", cl.MarkedSpeed()), fmt.Sprintf("%d", n), fmt.Sprintf("%.3e", w))
+			fmt.Sprintf("%.1f", cl.MarkedSpeed()), fmt.Sprintf("%d", r.n), fmt.Sprintf("%.3e", r.w))
 	}
 	psis, err := core.PsiChain(points)
 	if err != nil {
@@ -117,14 +157,10 @@ func run(args []string, out io.Writer) error {
 	}
 	psiTbl := &experiments.Table{Title: "Scalability chain", Headers: psiHdr, Rows: [][]string{psiRow}}
 
-	for _, t := range []*experiments.Table{tbl, psiTbl} {
-		if *csv {
-			fmt.Fprint(out, t.CSV())
-		} else {
-			fmt.Fprint(out, t.String())
-		}
-		fmt.Fprintln(out)
+	if err := renderer.Render(out, []experiments.Renderable{tbl, psiTbl}); err != nil {
+		return err
 	}
+	fmt.Fprintln(out)
 	return nil
 }
 

@@ -36,6 +36,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/experiments"
@@ -47,7 +48,7 @@ func ExperimentIDs() []string { return experiments.IDs() }
 
 // ExperimentAbout describes one experiment id.
 func ExperimentAbout(id string) (string, error) {
-	exp, ok := experiments.Registry()[id]
+	exp, ok := experiments.Lookup(id)
 	if !ok {
 		return "", fmt.Errorf("repro: unknown experiment %q", id)
 	}
@@ -74,12 +75,16 @@ func RunExperiment(id string, quick bool) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	results, err := experiments.RunByID(suite, id)
+	ids, err := experiments.Resolve(id)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]string, 0, len(results))
-	for _, r := range results {
+	outcomes, err := experiments.RunSelected(context.Background(), suite, ids, experiments.RunOptions{})
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, r := range experiments.Flatten(outcomes) {
 		out = append(out, r.String())
 	}
 	return out, nil

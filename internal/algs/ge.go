@@ -1,6 +1,7 @@
 package algs
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cluster"
@@ -85,6 +86,12 @@ type GEOutcome struct {
 //     eliminates its own rows below k, and all ranks synchronize;
 //  3. rank 0 collects the upper-triangular system and back-substitutes.
 func RunGE(cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, n int, opts GEOptions) (GEOutcome, error) {
+	return RunGEContext(context.Background(), cl, model, mpiOpts, n, opts)
+}
+
+// RunGEContext is RunGE with cancellation, observed at run boundaries
+// (see mpi.RunContext).
+func RunGEContext(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, n int, opts GEOptions) (GEOutcome, error) {
 	if n < 1 {
 		return GEOutcome{}, fmt.Errorf("algs: GE needs n >= 1, got %d", n)
 	}
@@ -107,7 +114,7 @@ func RunGE(cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, n i
 	}
 
 	var x []float64
-	res, err := mpi.Run(cl, model, mpiOpts, func(c mpi.Comm) error {
+	res, err := mpi.RunContext(ctx, cl, model, mpiOpts, func(c mpi.Comm) error {
 		sol, err := geRank(c, n, asn, a, b, opts)
 		if c.Rank() == 0 {
 			x = sol

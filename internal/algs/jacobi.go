@@ -1,6 +1,7 @@
 package algs
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -104,6 +105,12 @@ type JacobiOutcome struct {
 // CheckEvery sweeps the global residual is all-reduced, and rank 0
 // gathers the final grid.
 func RunJacobi(cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, n int, opts JacobiOptions) (JacobiOutcome, error) {
+	return RunJacobiContext(context.Background(), cl, model, mpiOpts, n, opts)
+}
+
+// RunJacobiContext is RunJacobi with cancellation, observed at run
+// boundaries (see mpi.RunContext).
+func RunJacobiContext(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, n int, opts JacobiOptions) (JacobiOutcome, error) {
 	if n < 3 {
 		return JacobiOutcome{}, fmt.Errorf("algs: Jacobi needs n >= 3, got %d", n)
 	}
@@ -131,7 +138,7 @@ func RunJacobi(cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options,
 
 	var outGrid []float64
 	var resid, sweepMS float64
-	res, err := mpi.Run(cl, model, mpiOpts, func(c mpi.Comm) error {
+	res, err := mpi.RunContext(ctx, cl, model, mpiOpts, func(c mpi.Comm) error {
 		g, r, sw, err := jacobiRank(c, n, ranges, grid, opts)
 		if c.Rank() == 0 {
 			outGrid, resid, sweepMS = g, r, sw

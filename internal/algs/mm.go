@@ -1,6 +1,7 @@
 package algs
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cluster"
@@ -59,6 +60,12 @@ const mmVerifyLimit = 256
 // rank 0 gathers the result bands. This is the HoHe strategy: homogeneous
 // processes, one per processor, heterogeneous data distribution.
 func RunMM(cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, n int, opts MMOptions) (MMOutcome, error) {
+	return RunMMContext(context.Background(), cl, model, mpiOpts, n, opts)
+}
+
+// RunMMContext is RunMM with cancellation, observed at run boundaries
+// (see mpi.RunContext).
+func RunMMContext(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, n int, opts MMOptions) (MMOutcome, error) {
 	if n < 1 {
 		return MMOutcome{}, fmt.Errorf("algs: MM needs n >= 1, got %d", n)
 	}
@@ -81,7 +88,7 @@ func RunMM(cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, n i
 	}
 
 	var cOut *linalg.Matrix
-	res, err := mpi.Run(cl, model, mpiOpts, func(c mpi.Comm) error {
+	res, err := mpi.RunContext(ctx, cl, model, mpiOpts, func(c mpi.Comm) error {
 		prod, err := mmRank(c, n, ranges, a, b, opts)
 		if c.Rank() == 0 {
 			cOut = prod

@@ -1,0 +1,83 @@
+// Package cli holds the flag-handling boilerplate shared by the
+// command-line tools: engine selection, the default calibrated cost
+// model, output-format resolution and progress reporting. The cmds stay
+// thin and agree on spelling ("live"/"des", "-csv"/"-json") because the
+// parsing lives here once.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/runner"
+	"repro/internal/simnet"
+)
+
+// ParseEngine maps an -engine flag value ("live" or "des", case
+// insensitive) to the mpi engine.
+func ParseEngine(name string) (mpi.Engine, error) {
+	switch strings.ToLower(name) {
+	case "live":
+		return mpi.EngineLive, nil
+	case "des":
+		return mpi.EngineDES, nil
+	default:
+		return 0, fmt.Errorf("unknown engine %q (live or des)", name)
+	}
+}
+
+// SunwulfModel returns the default communication cost model every tool
+// measures against: the Sunwulf 100 Mb Ethernet calibration.
+func SunwulfModel() (simnet.CostModel, error) {
+	return simnet.NewParamModel("sunwulf-100Mb", simnet.Sunwulf100())
+}
+
+// Format resolves the mutually exclusive -csv/-json flags to a renderer
+// format name ("text" when neither is set).
+func Format(csv, json bool) (string, error) {
+	switch {
+	case csv && json:
+		return "", fmt.Errorf("-csv and -json are mutually exclusive")
+	case csv:
+		return "csv", nil
+	case json:
+		return "json", nil
+	default:
+		return "text", nil
+	}
+}
+
+// DefaultJobs is the worker-pool size when -jobs is not given: one
+// worker per available CPU.
+func DefaultJobs() int { return runtime.GOMAXPROCS(0) }
+
+// Progress returns runner hooks that narrate experiment starts and
+// finishes on w (conventionally stderr, keeping stdout byte-identical
+// across worker counts). A nil writer or verbose=false disables it.
+func Progress(w io.Writer, verbose bool) runner.Hooks {
+	if w == nil || !verbose {
+		return runner.Hooks{}
+	}
+	var mu sync.Mutex
+	return runner.Hooks{
+		Started: func(id string) {
+			mu.Lock()
+			defer mu.Unlock()
+			fmt.Fprintf(w, "run  %s\n", id)
+		},
+		Finished: func(id string, elapsed time.Duration, err error) {
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				fmt.Fprintf(w, "fail %s (%v): %v\n", id, elapsed.Round(time.Millisecond), err)
+				return
+			}
+			fmt.Fprintf(w, "done %s (%v)\n", id, elapsed.Round(time.Millisecond))
+		},
+	}
+}

@@ -1,0 +1,83 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+func TestParseEngine(t *testing.T) {
+	for name, want := range map[string]mpi.Engine{
+		"live": mpi.EngineLive, "LIVE": mpi.EngineLive,
+		"des": mpi.EngineDES, "Des": mpi.EngineDES,
+	} {
+		got, err := ParseEngine(name)
+		if err != nil || got != want {
+			t.Errorf("ParseEngine(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseEngine("warp"); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
+func TestSunwulfModel(t *testing.T) {
+	m, err := SunwulfModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "sunwulf-100Mb" {
+		t.Errorf("model name %q", m.Name())
+	}
+}
+
+func TestFormat(t *testing.T) {
+	for _, tc := range []struct {
+		csv, json bool
+		want      string
+		err       bool
+	}{
+		{false, false, "text", false},
+		{true, false, "csv", false},
+		{false, true, "json", false},
+		{true, true, "", true},
+	} {
+		got, err := Format(tc.csv, tc.json)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Errorf("Format(%v, %v) = %q, %v", tc.csv, tc.json, got, err)
+		}
+	}
+}
+
+func TestDefaultJobs(t *testing.T) {
+	if DefaultJobs() < 1 {
+		t.Errorf("DefaultJobs() = %d", DefaultJobs())
+	}
+}
+
+func TestProgress(t *testing.T) {
+	var b strings.Builder
+	h := Progress(&b, true)
+	h.Started("table1")
+	h.Finished("table1", 1500*time.Millisecond, nil)
+	h.Finished("table2", time.Second, errTest{})
+	out := b.String()
+	for _, frag := range []string{"run  table1", "done table1 (1.5s)", "fail table2"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("progress output missing %q:\n%s", frag, out)
+		}
+	}
+	quiet := Progress(&b, false)
+	if quiet.Started != nil || quiet.Finished != nil {
+		t.Error("non-verbose progress should be empty hooks")
+	}
+	if nilw := Progress(nil, true); nilw.Started != nil {
+		t.Error("nil writer should disable hooks")
+	}
+}
+
+type errTest struct{}
+
+func (errTest) Error() string { return "boom" }

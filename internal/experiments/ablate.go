@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/algs"
@@ -14,7 +15,7 @@ import (
 // matters: GE and MM on one heterogeneous configuration under the
 // heterogeneous strategy vs the speed-blind baseline, at a fixed problem
 // size.
-func (s *Suite) AblateDistribution() (*Table, error) {
+func (s *Suite) AblateDistribution(ctx context.Context) (*Table, error) {
 	// GE needs a larger N than MM before compute (and hence load balance)
 	// dominates its per-iteration collectives.
 	const (
@@ -36,7 +37,7 @@ func (s *Suite) AblateDistribution() (*Table, error) {
 	geStrats := []dist.Strategy{dist.HetCyclic{}, dist.HomCyclic{}, dist.HomBlock{}}
 	var geBase float64
 	for i, st := range geStrats {
-		out, err := algs.RunGE(geCl, s.Cfg.Model, s.Cfg.mpiOpts(), nGE, algs.GEOptions{
+		out, err := algs.RunGEContext(ctx, geCl, s.Cfg.Model, s.Cfg.mpiOpts(), nGE, algs.GEOptions{
 			Symbolic: true, Strategy: st, Seed: s.Cfg.Seed,
 		})
 		if err != nil {
@@ -61,7 +62,7 @@ func (s *Suite) AblateDistribution() (*Table, error) {
 	mmStrats := []dist.Strategy{dist.HetBlock{}, dist.HomBlock{}}
 	var mmBase float64
 	for i, st := range mmStrats {
-		out, err := algs.RunMM(mmCl, s.Cfg.Model, s.Cfg.mpiOpts(), nMM, algs.MMOptions{
+		out, err := algs.RunMMContext(ctx, mmCl, s.Cfg.Model, s.Cfg.mpiOpts(), nMM, algs.MMOptions{
 			Symbolic: true, Strategy: st, Seed: s.Cfg.Seed,
 		})
 		if err != nil {
@@ -86,7 +87,7 @@ func (s *Suite) AblateDistribution() (*Table, error) {
 // AblateContention compares the analytic (contention-free) network with
 // the DES shared-Ethernet medium, isolating what a single collision domain
 // does to the efficiency curves.
-func (s *Suite) AblateContention() (*Table, error) {
+func (s *Suite) AblateContention(ctx context.Context) (*Table, error) {
 	const n = 300
 	t := &Table{
 		Title:   fmt.Sprintf("Ablation: shared-medium contention (DES engine, N = %d)", n),
@@ -107,14 +108,14 @@ func (s *Suite) AblateContention() (*Table, error) {
 	}
 	runs := []runT{
 		{"GE", func(opts mpi.Options) (float64, float64, error) {
-			out, err := algs.RunGE(geCl, s.Cfg.Model, opts, n, algs.GEOptions{Symbolic: true, Seed: s.Cfg.Seed})
+			out, err := algs.RunGEContext(ctx, geCl, s.Cfg.Model, opts, n, algs.GEOptions{Symbolic: true, Seed: s.Cfg.Seed})
 			if err != nil {
 				return 0, 0, err
 			}
 			return out.Work, out.Res.TimeMS, nil
 		}, geCl},
 		{"MM", func(opts mpi.Options) (float64, float64, error) {
-			out, err := algs.RunMM(mmCl, s.Cfg.Model, opts, n, algs.MMOptions{Symbolic: true, Seed: s.Cfg.Seed})
+			out, err := algs.RunMMContext(ctx, mmCl, s.Cfg.Model, opts, n, algs.MMOptions{Symbolic: true, Seed: s.Cfg.Seed})
 			if err != nil {
 				return 0, 0, err
 			}
@@ -146,7 +147,8 @@ func (s *Suite) AblateContention() (*Table, error) {
 // AblateTiling compares the HoHe row-band MM distribution with the
 // Beaumont-style 2D column tiling communication proxy (half-perimeter),
 // the optimization the paper cites as NP-complete with a good heuristic.
-func (s *Suite) AblateTiling() (*Table, error) {
+func (s *Suite) AblateTiling(ctx context.Context) (*Table, error) {
+	_ = ctx // analytic: no measured runs
 	t := &Table{
 		Title:   "Ablation: 1D row bands vs Beaumont column tiling (communication volume proxy)",
 		Headers: []string{"Cluster", "p", "Σ(w+h) row-band", "Σ(w+h) column tiling", "Tiling gain"},

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/algs"
@@ -15,7 +16,7 @@ import (
 // binomial tree. The tree turns the dominant N·O(p) overhead term into
 // N·O(log p), which the isospeed-efficiency numbers immediately reflect
 // — a 2005-runtime artifact the metric makes visible.
-func (s *Suite) AblateCollectives() (*Table, error) {
+func (s *Suite) AblateCollectives(ctx context.Context) (*Table, error) {
 	const n = 600
 	t := &Table{
 		Title:   fmt.Sprintf("Ablation: pivot broadcast algorithm (GE, N = %d)", n),
@@ -35,7 +36,7 @@ func (s *Suite) AblateCollectives() (*Table, error) {
 			return nil, err
 		}
 		for _, im := range impls {
-			out, err := algs.RunGE(cl, s.Cfg.Model, s.Cfg.mpiOpts(), n, algs.GEOptions{
+			out, err := algs.RunGEContext(ctx, cl, s.Cfg.Model, s.Cfg.mpiOpts(), n, algs.GEOptions{
 				Symbolic: true, Pivot: im.impl, Seed: s.Cfg.Seed,
 			})
 			if err != nil {
@@ -58,7 +59,7 @@ func (s *Suite) AblateCollectives() (*Table, error) {
 // AblateOverlap quantifies communication/computation overlap: the Jacobi
 // relaxation with bulk-synchronous halo exchange vs non-blocking sends
 // that hide the transfers behind the ghost-independent interior update.
-func (s *Suite) AblateOverlap() (*Table, error) {
+func (s *Suite) AblateOverlap(ctx context.Context) (*Table, error) {
 	t := &Table{
 		Title:   "Ablation: communication/computation overlap (Jacobi halo exchange)",
 		Headers: []string{"Cluster", "N", "Variant", "T (ms)", "E_s", "Speedup"},
@@ -71,7 +72,7 @@ func (s *Suite) AblateOverlap() (*Table, error) {
 		n := 120 * p // keep per-rank work roughly constant along the ladder
 		var base float64
 		for _, overlap := range []bool{false, true} {
-			out, err := algs.RunJacobi(cl, s.Cfg.Model, s.Cfg.mpiOpts(), n, algs.JacobiOptions{
+			out, err := algs.RunJacobiContext(ctx, cl, s.Cfg.Model, s.Cfg.mpiOpts(), n, algs.JacobiOptions{
 				Iters: jacIters, CheckEvery: jacCheckEvery,
 				Symbolic: true, Overlap: overlap, Seed: s.Cfg.Seed,
 			})

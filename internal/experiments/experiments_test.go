@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -52,7 +53,7 @@ func TestConfigValidation(t *testing.T) {
 
 func TestTable1MarkedSpeeds(t *testing.T) {
 	s := quickSuite(t)
-	tbl, err := s.Table1()
+	tbl, err := s.Table1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestTable1MarkedSpeeds(t *testing.T) {
 
 func TestGEChainShape(t *testing.T) {
 	s := quickSuite(t)
-	chain, err := s.GEChainMeasured()
+	chain, err := s.GEChainMeasured(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestGEChainShape(t *testing.T) {
 		if !curve.MonotoneOnSamples() {
 			t.Errorf("curve %d not monotone", i)
 		}
-		eff, err := curve.VerifyAt(chain.Points[i].N, s.geRunner(chain.Clusters[i]))
+		eff, err := curve.VerifyAt(chain.Points[i].N, s.geRunner(context.Background(), chain.Clusters[i]))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -110,11 +111,11 @@ func TestGEChainShape(t *testing.T) {
 
 func TestMMChainShapeAndComparison(t *testing.T) {
 	s := quickSuite(t)
-	mm, err := s.MMChainMeasured()
+	mm, err := s.MMChainMeasured(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	ge, err := s.GEChainMeasured()
+	ge, err := s.GEChainMeasured(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestTables2Through5Render(t *testing.T) {
 	s := quickSuite(t)
 	for _, gen := range []struct {
 		name string
-		fn   func() (*Table, error)
+		fn   func(context.Context) (*Table, error)
 	}{
 		{"table2", s.Table2},
 		{"table3", s.Table3},
@@ -146,7 +147,7 @@ func TestTables2Through5Render(t *testing.T) {
 		{"ablate-contention", s.AblateContention},
 		{"ablate-tiling", s.AblateTiling},
 	} {
-		tbl, err := gen.fn()
+		tbl, err := gen.fn(context.Background())
 		if err != nil {
 			t.Fatalf("%s: %v", gen.name, err)
 		}
@@ -164,7 +165,7 @@ func TestTables2Through5Render(t *testing.T) {
 
 func TestFiguresRender(t *testing.T) {
 	s := quickSuite(t)
-	fig1, tbl, err := s.Fig1()
+	fig1, tbl, err := s.Fig1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestFiguresRender(t *testing.T) {
 		t.Errorf("Fig1 CSV header wrong:\n%s", fig1.CSV())
 	}
 
-	fig2, err := s.Fig2()
+	fig2, err := s.Fig2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,11 +195,11 @@ func TestFiguresRender(t *testing.T) {
 
 func TestTable6PredictionsCloseToMeasured(t *testing.T) {
 	s := quickSuite(t)
-	_, preds, err := s.Table6()
+	_, preds, err := s.Table6(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	chain, err := s.GEChainMeasured()
+	chain, err := s.GEChainMeasured(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/algs"
@@ -30,15 +31,21 @@ const (
 // through rank 0 would otherwise dominate the O(n²) sweep work at large
 // system sizes, and real applications keep the field distributed. This
 // is the standard stencil-benchmarking protocol.
-func (s *Suite) jacRunner(cl *cluster.Cluster) core.Runner {
+func (s *Suite) jacRunner(ctx context.Context, cl *cluster.Cluster) core.Runner {
 	return func(n int) (float64, float64, error) {
-		out, err := algs.RunJacobi(cl, s.Cfg.Model, s.Cfg.mpiOpts(), n, algs.JacobiOptions{
-			Iters: jacIters, CheckEvery: jacCheckEvery, Symbolic: true, Seed: s.Cfg.Seed,
+		p, err := s.cachedRun(ctx, "jacobi", cl, n, func(ctx context.Context) (runPoint, error) {
+			out, err := algs.RunJacobiContext(ctx, cl, s.Cfg.Model, s.Cfg.mpiOpts(), n, algs.JacobiOptions{
+				Iters: jacIters, CheckEvery: jacCheckEvery, Symbolic: true, Seed: s.Cfg.Seed,
+			})
+			if err != nil {
+				return runPoint{}, err
+			}
+			return runPoint{Work: out.Work, TimeMS: out.SweepTimeMS}, nil
 		})
 		if err != nil {
 			return 0, 0, err
 		}
-		return out.Work, out.SweepTimeMS, nil
+		return p.Work, p.TimeMS, nil
 	}
 }
 
@@ -65,27 +72,15 @@ func (s *Suite) jacMachine(cl *cluster.Cluster) (core.AnalyticMachine, error) {
 
 // JacChainMeasured returns (memoized) the measured Jacobi ladder on the
 // MM-style mixed configurations.
-func (s *Suite) JacChainMeasured() (*chainResult, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.jacChain != nil {
-		return s.jacChain, nil
-	}
-	var clusters []*cluster.Cluster
-	for _, p := range s.Cfg.Sizes {
-		cl, err := cluster.MMConfig(p)
+func (s *Suite) JacChainMeasured(ctx context.Context) (*chainResult, error) {
+	return s.cachedChain(ctx, "jacobi", JacTarget, func(ctx context.Context) (*chainResult, error) {
+		clusters, err := ladder(s.Cfg.Sizes, cluster.MMConfig)
 		if err != nil {
 			return nil, err
 		}
-		clusters = append(clusters, cl)
-	}
-	chain, err := s.measureChain(clusters, JacTarget, s.jacMachine, s.jacRunner,
-		func(n int) float64 { return algs.WorkJacobi(n, jacIters) })
-	if err != nil {
-		return nil, err
-	}
-	s.jacChain = chain
-	return chain, nil
+		return s.measureChain(ctx, clusters, JacTarget, s.jacMachine, s.jacRunner,
+			func(n int) float64 { return algs.WorkJacobi(n, jacIters) })
+	})
 }
 
 // ThreeWay compares the scalability of all three algorithm-system
@@ -93,16 +88,16 @@ func (s *Suite) JacChainMeasured() (*chainResult, error) {
 // expected ordering — Jacobi ≥ MM ≥ GE — follows from their communication
 // structures (nearest-neighbour < full replication < per-iteration
 // broadcast).
-func (s *Suite) ThreeWay() (*Table, error) {
-	ge, err := s.GEChainMeasured()
+func (s *Suite) ThreeWay(ctx context.Context) (*Table, error) {
+	ge, err := s.GEChainMeasured(ctx)
 	if err != nil {
 		return nil, err
 	}
-	mm, err := s.MMChainMeasured()
+	mm, err := s.MMChainMeasured(ctx)
 	if err != nil {
 		return nil, err
 	}
-	jac, err := s.JacChainMeasured()
+	jac, err := s.JacChainMeasured(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -133,7 +128,8 @@ func (s *Suite) ThreeWay() (*Table, error) {
 //
 // The MM combination is examined because its B-replication makes the
 // 128 MB SunBlades bind early.
-func (s *Suite) MemBound() (*Table, error) {
+func (s *Suite) MemBound(ctx context.Context) (*Table, error) {
+	_ = ctx // analytic: no measured runs
 	t := &Table{
 		Title: fmt.Sprintf("Memory-bounded scalability: MM at E_s = %.1f on Sunwulf memory sizes", s.Cfg.MMTarget),
 		Headers: []string{
@@ -187,7 +183,7 @@ func (s *Suite) MemBound() (*Table, error) {
 // enabled and reports the per-rank time decomposition plus the
 // trace-derived critical overhead — the empirical counterpart of the
 // analytic To(n) models used in Tables 6-7.
-func (s *Suite) TraceDecomposition() (*Table, error) {
+func (s *Suite) TraceDecomposition(ctx context.Context) (*Table, error) {
 	cl, err := cluster.MMConfig(4)
 	if err != nil {
 		return nil, err
@@ -205,7 +201,7 @@ func (s *Suite) TraceDecomposition() (*Table, error) {
 		{"GE", func(tr *trace.Trace) (float64, error) {
 			opts := s.Cfg.mpiOpts()
 			opts.Trace = tr
-			out, err := algs.RunGE(cl, s.Cfg.Model, opts, geN, algs.GEOptions{Symbolic: true, Seed: s.Cfg.Seed})
+			out, err := algs.RunGEContext(ctx, cl, s.Cfg.Model, opts, geN, algs.GEOptions{Symbolic: true, Seed: s.Cfg.Seed})
 			if err != nil {
 				return 0, err
 			}
@@ -214,7 +210,7 @@ func (s *Suite) TraceDecomposition() (*Table, error) {
 		{"Jacobi", func(tr *trace.Trace) (float64, error) {
 			opts := s.Cfg.mpiOpts()
 			opts.Trace = tr
-			out, err := algs.RunJacobi(cl, s.Cfg.Model, opts, jacN, algs.JacobiOptions{
+			out, err := algs.RunJacobiContext(ctx, cl, s.Cfg.Model, opts, jacN, algs.JacobiOptions{
 				Iters: jacIters, CheckEvery: jacCheckEvery, Symbolic: true, Seed: s.Cfg.Seed,
 			})
 			if err != nil {
@@ -252,7 +248,7 @@ func (s *Suite) TraceDecomposition() (*Table, error) {
 // and two traffic patterns: MM (rank-0 hot spot) and Jacobi (disjoint
 // neighbour pairs). The switch helps only the pattern with parallelizable
 // transfers.
-func (s *Suite) AblateNetworks() (*Table, error) {
+func (s *Suite) AblateNetworks(ctx context.Context) (*Table, error) {
 	const n = 300
 	cl, err := cluster.MMConfig(8)
 	if err != nil {
@@ -268,14 +264,14 @@ func (s *Suite) AblateNetworks() (*Table, error) {
 	}
 	for _, a := range []alg{
 		{"MM", func(opts mpi.Options) (float64, float64, error) {
-			out, err := algs.RunMM(cl, s.Cfg.Model, opts, n, algs.MMOptions{Symbolic: true, Seed: s.Cfg.Seed})
+			out, err := algs.RunMMContext(ctx, cl, s.Cfg.Model, opts, n, algs.MMOptions{Symbolic: true, Seed: s.Cfg.Seed})
 			if err != nil {
 				return 0, 0, err
 			}
 			return out.Work, out.Res.TimeMS, nil
 		}},
 		{"Jacobi", func(opts mpi.Options) (float64, float64, error) {
-			out, err := algs.RunJacobi(cl, s.Cfg.Model, opts, n, algs.JacobiOptions{
+			out, err := algs.RunJacobiContext(ctx, cl, s.Cfg.Model, opts, n, algs.JacobiOptions{
 				Iters: jacIters, CheckEvery: jacCheckEvery, Symbolic: true, Seed: s.Cfg.Seed,
 			})
 			if err != nil {
@@ -312,16 +308,16 @@ func (s *Suite) AblateNetworks() (*Table, error) {
 // system grows means solving ever larger problems, whose execution time
 // at the target efficiency is T = W/(E_s·C). The per-step time growth is
 // exactly 1/ψ — scalable-but-slower made visible.
-func (s *Suite) TimeAtScale() (*Table, error) {
-	ge, err := s.GEChainMeasured()
+func (s *Suite) TimeAtScale(ctx context.Context) (*Table, error) {
+	ge, err := s.GEChainMeasured(ctx)
 	if err != nil {
 		return nil, err
 	}
-	mm, err := s.MMChainMeasured()
+	mm, err := s.MMChainMeasured(ctx)
 	if err != nil {
 		return nil, err
 	}
-	jac, err := s.JacChainMeasured()
+	jac, err := s.JacChainMeasured(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strconv"
 	"strings"
@@ -14,15 +15,15 @@ import (
 
 func TestThreeWayOrdering(t *testing.T) {
 	s := quickSuite(t)
-	ge, err := s.GEChainMeasured()
+	ge, err := s.GEChainMeasured(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	jac, err := s.JacChainMeasured()
+	jac, err := s.JacChainMeasured(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	mm, err := s.MMChainMeasured()
+	mm, err := s.MMChainMeasured(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestThreeWayOrdering(t *testing.T) {
 		t.Errorf("last step: Jacobi ψ %g should exceed GE ψ %g", jac.Psis[last], ge.Psis[last])
 	}
 	// Rendering.
-	tbl, err := s.ThreeWay()
+	tbl, err := s.ThreeWay(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestThreeWayOrdering(t *testing.T) {
 
 func TestMemBoundBitesEventually(t *testing.T) {
 	s := quickSuite(t)
-	tbl, err := s.MemBound()
+	tbl, err := s.MemBound(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestMemBoundBitesEventually(t *testing.T) {
 
 func TestTraceDecomposition(t *testing.T) {
 	s := quickSuite(t)
-	tbl, err := s.TraceDecomposition()
+	tbl, err := s.TraceDecomposition(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestTraceDecomposition(t *testing.T) {
 
 func TestAblateNetworksShape(t *testing.T) {
 	s := quickSuite(t)
-	tbl, err := s.AblateNetworks()
+	tbl, err := s.AblateNetworks(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestAblateNetworksShape(t *testing.T) {
 
 func TestGridSeparatesCombinations(t *testing.T) {
 	s := quickSuite(t)
-	tbl, err := s.Grid()
+	tbl, err := s.Grid(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestNewExperimentsRegistered(t *testing.T) {
 
 func TestThreeWayRenderContainsAlgorithms(t *testing.T) {
 	s := quickSuite(t)
-	tbl, err := s.ThreeWay()
+	tbl, err := s.ThreeWay(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

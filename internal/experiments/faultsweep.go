@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -34,7 +35,7 @@ var faultIntensities = []float64{0, 0.25, 0.5, 0.75, 1}
 // quarter of the nodes straggling at 1/3 speed, doubled latency, halved
 // bandwidth and 5% message loss. The ψ column is the isospeed-efficiency
 // of the degraded configuration relative to the fault-free one.
-func (s *Suite) FaultSweep() (*Table, error) {
+func (s *Suite) FaultSweep(ctx context.Context) (*Table, error) {
 	cl, err := cluster.GEConfig(faultSweepP)
 	if err != nil {
 		return nil, err
@@ -63,7 +64,7 @@ func (s *Suite) FaultSweep() (*Table, error) {
 		if !plan.IsZero() {
 			opts.Faults = inj
 		}
-		out, err := algs.RunGE(dcl, dmodel, opts, faultSweepN, algs.GEOptions{
+		out, err := algs.RunGEContext(ctx, dcl, dmodel, opts, faultSweepN, algs.GEOptions{
 			Symbolic: true, Seed: s.Cfg.Seed, Strategy: pinned,
 		})
 		if err != nil {
@@ -97,14 +98,14 @@ func (s *Suite) FaultSweep() (*Table, error) {
 // (survivors abort gracefully when they depend on the dead rank), then the
 // job restarts from scratch on the surviving nodes. Total cost is the
 // wasted time-to-failure plus the rerun on the smaller machine.
-func (s *Suite) CrashRestart() (*Table, error) {
+func (s *Suite) CrashRestart(ctx context.Context) (*Table, error) {
 	cl, err := cluster.GEConfig(faultSweepP)
 	if err != nil {
 		return nil, err
 	}
 	opts := s.Cfg.mpiOpts()
 	geOpts := algs.GEOptions{Symbolic: true, Seed: s.Cfg.Seed}
-	base, err := algs.RunGE(cl, s.Cfg.Model, opts, faultSweepN, geOpts)
+	base, err := algs.RunGEContext(ctx, cl, s.Cfg.Model, opts, faultSweepN, geOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -132,7 +133,7 @@ func (s *Suite) CrashRestart() (*Table, error) {
 		}
 		fopts := opts
 		fopts.Faults = inj
-		_, runErr := algs.RunGE(cl, s.Cfg.Model, fopts, faultSweepN, geOpts)
+		_, runErr := algs.RunGEContext(ctx, cl, s.Cfg.Model, fopts, faultSweepN, geOpts)
 		if runErr == nil {
 			return nil, fmt.Errorf("experiments: crash plan %q did not tear down the run", sc.label)
 		}
@@ -164,7 +165,7 @@ func (s *Suite) CrashRestart() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rerun, err := algs.RunGE(sub, s.Cfg.Model, opts, faultSweepN, geOpts)
+		rerun, err := algs.RunGEContext(ctx, sub, s.Cfg.Model, opts, faultSweepN, geOpts)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: restart of %q: %w", sc.label, err)
 		}

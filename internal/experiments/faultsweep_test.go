@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -8,7 +9,7 @@ import (
 
 func TestFaultSweepDegradesPsi(t *testing.T) {
 	s := quickSuite(t)
-	tbl, err := s.FaultSweep()
+	tbl, err := s.FaultSweep(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestFaultSweepDegradesPsi(t *testing.T) {
 
 func TestCrashRestartPricesFailures(t *testing.T) {
 	s := quickSuite(t)
-	tbl, err := s.CrashRestart()
+	tbl, err := s.CrashRestart(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

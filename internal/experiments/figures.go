@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -12,8 +13,8 @@ import (
 // paper's verification dot — re-running the algorithm at the read-off
 // size and confirming the achieved efficiency (the paper reads N≈310 for
 // E_s=0.3 and measures 0.312 there).
-func (s *Suite) Fig1() (*Figure, *Table, error) {
-	chain, err := s.GEChainMeasured()
+func (s *Suite) Fig1(ctx context.Context) (*Figure, *Table, error) {
+	chain, err := s.GEChainMeasured(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -37,7 +38,7 @@ func (s *Suite) Fig1() (*Figure, *Table, error) {
 		return nil, nil, err
 	}
 	nInt := int(math.Round(nReq))
-	verified, err := curve.VerifyAt(nInt, s.geRunner(cl))
+	verified, err := curve.VerifyAt(nInt, s.geRunner(ctx, cl))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -68,8 +69,8 @@ func (s *Suite) Fig1() (*Figure, *Table, error) {
 
 // Fig2 reproduces "Speed-efficiency of MM on Sunwulf": one measured series
 // plus fitted trend per system configuration (2..32 nodes).
-func (s *Suite) Fig2() (*Figure, error) {
-	chain, err := s.MMChainMeasured()
+func (s *Suite) Fig2(ctx context.Context) (*Figure, error) {
+	chain, err := s.MMChainMeasured(ctx)
 	if err != nil {
 		return nil, err
 	}

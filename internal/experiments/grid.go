@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/algs"
@@ -19,7 +20,7 @@ import (
 // over the WAN; the iterative halo pattern (Jacobi) crosses the WAN on
 // only one pair yet pays its ~30 ms latency every sweep; MM's one-shot
 // bulk transfers amortize the latency and degrade least.
-func (s *Suite) Grid() (*Table, error) {
+func (s *Suite) Grid(ctx context.Context) (*Table, error) {
 	cl, err := cluster.MMConfig(8)
 	if err != nil {
 		return nil, err
@@ -58,21 +59,21 @@ func (s *Suite) Grid() (*Table, error) {
 	}
 	variants := []variant{
 		{"GE", nGE, func(model simnet.CostModel) (float64, float64, error) {
-			out, err := algs.RunGE(cl, model, s.Cfg.mpiOpts(), nGE, algs.GEOptions{Symbolic: true, Seed: s.Cfg.Seed})
+			out, err := algs.RunGEContext(ctx, cl, model, s.Cfg.mpiOpts(), nGE, algs.GEOptions{Symbolic: true, Seed: s.Cfg.Seed})
 			if err != nil {
 				return 0, 0, err
 			}
 			return out.Work, out.Res.TimeMS, nil
 		}},
 		{"MM", nMM, func(model simnet.CostModel) (float64, float64, error) {
-			out, err := algs.RunMM(cl, model, s.Cfg.mpiOpts(), nMM, algs.MMOptions{Symbolic: true, Seed: s.Cfg.Seed})
+			out, err := algs.RunMMContext(ctx, cl, model, s.Cfg.mpiOpts(), nMM, algs.MMOptions{Symbolic: true, Seed: s.Cfg.Seed})
 			if err != nil {
 				return 0, 0, err
 			}
 			return out.Work, out.Res.TimeMS, nil
 		}},
 		{"Jacobi", nJac, func(model simnet.CostModel) (float64, float64, error) {
-			out, err := algs.RunJacobi(cl, model, s.Cfg.mpiOpts(), nJac, algs.JacobiOptions{
+			out, err := algs.RunJacobiContext(ctx, cl, model, s.Cfg.mpiOpts(), nJac, algs.JacobiOptions{
 				Iters: jacIters, CheckEvery: jacCheckEvery, Symbolic: true, Seed: s.Cfg.Seed,
 			})
 			if err != nil {

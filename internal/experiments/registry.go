@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Renderable is anything an experiment can output.
@@ -12,227 +14,197 @@ type Renderable interface {
 	CSV() string
 }
 
+// Group classifies experiments for selection and listing.
+type Group string
+
+// Experiment groups. CLIs select whole groups with "group:<name>".
+const (
+	// GroupPaper holds the reproduction of the paper's own tables and
+	// figures (§4).
+	GroupPaper Group = "paper"
+	// GroupValidation holds internal-consistency checks (homogeneous
+	// special case, ...).
+	GroupValidation Group = "validation"
+	// GroupAblation holds the what-if studies that vary one mechanism.
+	GroupAblation Group = "ablation"
+	// GroupExtension holds studies beyond the paper (third algorithm,
+	// memory bounds, grids, scaling-model comparisons, ...).
+	GroupExtension Group = "extension"
+	// GroupFaults holds the degraded-system experiments.
+	GroupFaults Group = "faults"
+)
+
 // Experiment is a named, runnable reproduction unit.
 type Experiment struct {
-	ID    string
+	// ID is the unique selector (e.g. "table3").
+	ID string
+	// About is the one-line description shown by -list.
 	About string
-	Run   func(s *Suite) ([]Renderable, error)
+	// Group classifies the experiment for group:<name> selection.
+	Group Group
+	// Quick marks experiments that are cheap even on the full paper
+	// ladder (analytic or closed-form; no measured sweeps). The "quick"
+	// selector runs exactly these.
+	Quick bool
+	// Run produces the experiment's renderable outputs. It is invoked by
+	// the runner (possibly concurrently with other experiments) and must
+	// honor ctx cancellation between expensive steps.
+	Run func(ctx context.Context, s *Suite) ([]Renderable, error)
+}
+
+// registry is the ordered, self-registering experiment registry.
+// Registration order is the canonical execution/listing order.
+var registry struct {
+	mu    sync.RWMutex
+	order []string
+	byID  map[string]Experiment
+}
+
+// Register adds an experiment to the registry. It panics on an empty or
+// duplicate ID, a missing Run function, or a missing Group — programmer
+// errors in experiment definitions, caught at init time.
+func Register(e Experiment) {
+	if e.ID == "" || e.Run == nil || e.Group == "" {
+		panic(fmt.Sprintf("experiments: invalid registration %+v", e))
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.byID == nil {
+		registry.byID = make(map[string]Experiment)
+	}
+	if _, dup := registry.byID[e.ID]; dup {
+		panic(fmt.Sprintf("experiments: duplicate experiment id %q", e.ID))
+	}
+	registry.order = append(registry.order, e.ID)
+	registry.byID[e.ID] = e
+}
+
+// All returns every registered experiment in registration order.
+func All() []Experiment {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	out := make([]Experiment, 0, len(registry.order))
+	for _, id := range registry.order {
+		out = append(out, registry.byID[id])
+	}
+	return out
+}
+
+// Lookup returns one experiment by id.
+func Lookup(id string) (Experiment, bool) {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	e, ok := registry.byID[id]
+	return e, ok
+}
+
+// IDs returns the experiment ids in registration order.
+func IDs() []string {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	return append([]string(nil), registry.order...)
+}
+
+// Groups returns the distinct groups in first-registration order.
+func Groups() []Group {
+	seen := make(map[Group]bool)
+	var out []Group
+	for _, e := range All() {
+		if !seen[e.Group] {
+			seen[e.Group] = true
+			out = append(out, e.Group)
+		}
+	}
+	return out
+}
+
+// ByGroup returns the experiments of one group in registration order.
+func ByGroup(g Group) []Experiment {
+	var out []Experiment
+	for _, e := range All() {
+		if e.Group == g {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Resolve expands a selector into experiment ids: an id, "all" (every
+// experiment in registry order), "quick" (the Quick-flagged subset), or
+// "group:<name>".
+func Resolve(selector string) ([]string, error) {
+	switch {
+	case selector == "all":
+		return IDs(), nil
+	case selector == "quick":
+		var ids []string
+		for _, e := range All() {
+			if e.Quick {
+				ids = append(ids, e.ID)
+			}
+		}
+		return ids, nil
+	case strings.HasPrefix(selector, "group:"):
+		g := Group(strings.TrimPrefix(selector, "group:"))
+		exps := ByGroup(g)
+		if len(exps) == 0 {
+			return nil, fmt.Errorf("experiments: unknown group %q (known: %s)",
+				g, joinGroups(Groups()))
+		}
+		ids := make([]string, len(exps))
+		for i, e := range exps {
+			ids[i] = e.ID
+		}
+		return ids, nil
+	default:
+		if _, ok := Lookup(selector); !ok {
+			return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s, all, quick, group:<%s>)",
+				selector, strings.Join(IDs(), ", "), joinGroups(Groups()))
+		}
+		return []string{selector}, nil
+	}
+}
+
+func joinGroups(gs []Group) string {
+	names := make([]string, len(gs))
+	for i, g := range gs {
+		names[i] = string(g)
+	}
+	return strings.Join(names, "|")
 }
 
 // Registry returns all experiments keyed by id.
+//
+// Deprecated: Registry predates the ordered registry and loses the
+// canonical order. Use All, Lookup or IDs; it will be removed after one
+// release.
 func Registry() map[string]Experiment {
-	exps := []Experiment{
-		{
-			ID:    "table1",
-			About: "marked speed of Sunwulf node classes (NPB-style suite)",
-			Run: func(s *Suite) ([]Renderable, error) {
-				t, err := s.Table1()
-				return wrap(t, err)
-			},
-		},
-		{
-			ID:    "table2",
-			About: "GE on two nodes: W, T, achieved speed, speed-efficiency",
-			Run: func(s *Suite) ([]Renderable, error) {
-				t, err := s.Table2()
-				return wrap(t, err)
-			},
-		},
-		{
-			ID:    "fig1",
-			About: "speed-efficiency curve on two nodes + trend + verification",
-			Run: func(s *Suite) ([]Renderable, error) {
-				fig, tbl, err := s.Fig1()
-				if err != nil {
-					return nil, err
-				}
-				return []Renderable{fig, tbl}, nil
-			},
-		},
-		{
-			ID:    "table3",
-			About: "required rank for target speed-efficiency per GE config",
-			Run: func(s *Suite) ([]Renderable, error) {
-				t, err := s.Table3()
-				return wrap(t, err)
-			},
-		},
-		{
-			ID:    "table4",
-			About: "measured scalability chain of GE",
-			Run: func(s *Suite) ([]Renderable, error) {
-				t, err := s.Table4()
-				return wrap(t, err)
-			},
-		},
-		{
-			ID:    "fig2",
-			About: "speed-efficiency of MM at all system configurations",
-			Run: func(s *Suite) ([]Renderable, error) {
-				fig, err := s.Fig2()
-				return wrap(fig, err)
-			},
-		},
-		{
-			ID:    "table5",
-			About: "measured scalability chain of MM",
-			Run: func(s *Suite) ([]Renderable, error) {
-				t, err := s.Table5()
-				return wrap(t, err)
-			},
-		},
-		{
-			ID:    "compare",
-			About: "§4.4.3 GE vs MM scalability comparison",
-			Run: func(s *Suite) ([]Renderable, error) {
-				t, err := s.CompareGEMM()
-				return wrap(t, err)
-			},
-		},
-		{
-			ID:    "table6",
-			About: "predicted required rank from the analytic overhead model",
-			Run: func(s *Suite) ([]Renderable, error) {
-				t, _, err := s.Table6()
-				return wrap(t, err)
-			},
-		},
-		{
-			ID:    "table7",
-			About: "predicted vs measured scalability of GE",
-			Run: func(s *Suite) ([]Renderable, error) {
-				t, err := s.Table7()
-				return wrap(t, err)
-			},
-		},
-		{
-			ID:    "homog",
-			About: "validation: homogeneous special case reduces to isospeed",
-			Run: func(s *Suite) ([]Renderable, error) {
-				t, err := s.HomogeneousCheck()
-				return wrap(t, err)
-			},
-		},
-		{
-			ID:    "ablate-dist",
-			About: "ablation: heterogeneous vs homogeneous distribution",
-			Run: func(s *Suite) ([]Renderable, error) {
-				t, err := s.AblateDistribution()
-				return wrap(t, err)
-			},
-		},
-		{
-			ID:    "ablate-contention",
-			About: "ablation: ideal vs contended shared Ethernet",
-			Run: func(s *Suite) ([]Renderable, error) {
-				t, err := s.AblateContention()
-				return wrap(t, err)
-			},
-		},
-		{
-			ID:    "ablate-tiling",
-			About: "ablation: row bands vs Beaumont column tiling",
-			Run: func(s *Suite) ([]Renderable, error) {
-				t, err := s.AblateTiling()
-				return wrap(t, err)
-			},
-		},
-		{
-			ID:    "threeway",
-			About: "extension: GE vs MM vs Jacobi scalability (3 combinations)",
-			Run: func(s *Suite) ([]Renderable, error) {
-				t, err := s.ThreeWay()
-				return wrap(t, err)
-			},
-		},
-		{
-			ID:    "membound",
-			About: "extension: memory-bounded scalability (Sun & Ni [9] folded in)",
-			Run: func(s *Suite) ([]Renderable, error) {
-				t, err := s.MemBound()
-				return wrap(t, err)
-			},
-		},
-		{
-			ID:    "tracedecomp",
-			About: "extension: trace-derived per-rank time decomposition",
-			Run: func(s *Suite) ([]Renderable, error) {
-				t, err := s.TraceDecomposition()
-				return wrap(t, err)
-			},
-		},
-		{
-			ID:    "ablate-network",
-			About: "ablation: ideal vs switched vs shared network",
-			Run: func(s *Suite) ([]Renderable, error) {
-				t, err := s.AblateNetworks()
-				return wrap(t, err)
-			},
-		},
-		{
-			ID:    "grid",
-			About: "extension: widely distributed (two WAN-linked sites)",
-			Run: func(s *Suite) ([]Renderable, error) {
-				t, err := s.Grid()
-				return wrap(t, err)
-			},
-		},
-		{
-			ID:    "ablate-collectives",
-			About: "ablation: pivot broadcast algorithm (model vs flat vs tree)",
-			Run: func(s *Suite) ([]Renderable, error) {
-				t, err := s.AblateCollectives()
-				return wrap(t, err)
-			},
-		},
-		{
-			ID:    "ablate-overlap",
-			About: "ablation: bulk-synchronous vs overlapped halo exchange",
-			Run: func(s *Suite) ([]Renderable, error) {
-				t, err := s.AblateOverlap()
-				return wrap(t, err)
-			},
-		},
-		{
-			ID:    "time-at-scale",
-			About: "extension: execution time at constant E_s (ref [8])",
-			Run: func(s *Suite) ([]Renderable, error) {
-				t, err := s.TimeAtScale()
-				return wrap(t, err)
-			},
-		},
-		{
-			ID:    "fault-sweep",
-			About: "extension: speed-efficiency degradation under injected faults (ψ vs fault-free)",
-			Run: func(s *Suite) ([]Renderable, error) {
-				t, err := s.FaultSweep()
-				return wrap(t, err)
-			},
-		},
-		{
-			ID:    "crash-restart",
-			About: "extension: fail-stop crashes priced with the restart-on-survivors model",
-			Run: func(s *Suite) ([]Renderable, error) {
-				t, err := s.CrashRestart()
-				return wrap(t, err)
-			},
-		},
-		{
-			ID:    "scaling-models",
-			About: "extension: Amdahl/Gustafson/Sun-Ni vs isospeed-efficiency",
-			Run: func(s *Suite) ([]Renderable, error) {
-				t, err := s.ScalingModels()
-				return wrap(t, err)
-			},
-		},
-	}
-	out := make(map[string]Experiment, len(exps))
-	for _, e := range exps {
+	out := make(map[string]Experiment)
+	for _, e := range All() {
 		out[e.ID] = e
 	}
 	return out
 }
 
+// RunByID runs one experiment (or "all") against the suite, serially.
+//
+// Deprecated: RunByID predates the concurrent runner. Use RunSelected
+// (run.go), which schedules experiments on the worker pool and shares
+// sweep points through the suite's memo cache; it will be removed after
+// one release.
+func RunByID(s *Suite, id string) ([]Renderable, error) {
+	ids, err := Resolve(id)
+	if err != nil {
+		return nil, err
+	}
+	outcomes, err := RunSelected(context.Background(), s, ids, RunOptions{Jobs: 1})
+	if err != nil {
+		return nil, err
+	}
+	return Flatten(outcomes), nil
+}
+
+// wrap lifts a single renderable (plus error) into the Run result shape.
 func wrap(r Renderable, err error) ([]Renderable, error) {
 	if err != nil {
 		return nil, err
@@ -240,34 +212,228 @@ func wrap(r Renderable, err error) ([]Renderable, error) {
 	return []Renderable{r}, nil
 }
 
-// IDs returns the experiment ids in stable order.
-func IDs() []string {
-	reg := Registry()
-	ids := make([]string, 0, len(reg))
-	for id := range reg {
-		ids = append(ids, id)
+// init registers the built-in experiments. Registration order is the
+// canonical "all" order; it matches the historical (sorted) order so
+// reports stay byte-stable across the registry redesign.
+func init() {
+	for _, e := range []Experiment{
+		{
+			ID:    "ablate-collectives",
+			About: "ablation: pivot broadcast algorithm (model vs flat vs tree)",
+			Group: GroupAblation,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				return wrap(s.AblateCollectives(ctx))
+			},
+		},
+		{
+			ID:    "ablate-contention",
+			About: "ablation: ideal vs contended shared Ethernet",
+			Group: GroupAblation,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				return wrap(s.AblateContention(ctx))
+			},
+		},
+		{
+			ID:    "ablate-dist",
+			About: "ablation: heterogeneous vs homogeneous distribution",
+			Group: GroupAblation,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				return wrap(s.AblateDistribution(ctx))
+			},
+		},
+		{
+			ID:    "ablate-network",
+			About: "ablation: ideal vs switched vs shared network",
+			Group: GroupAblation,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				return wrap(s.AblateNetworks(ctx))
+			},
+		},
+		{
+			ID:    "ablate-overlap",
+			About: "ablation: bulk-synchronous vs overlapped halo exchange",
+			Group: GroupAblation,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				return wrap(s.AblateOverlap(ctx))
+			},
+		},
+		{
+			ID:    "ablate-tiling",
+			About: "ablation: row bands vs Beaumont column tiling",
+			Group: GroupAblation,
+			Quick: true,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				return wrap(s.AblateTiling(ctx))
+			},
+		},
+		{
+			ID:    "compare",
+			About: "§4.4.3 GE vs MM scalability comparison",
+			Group: GroupPaper,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				return wrap(s.CompareGEMM(ctx))
+			},
+		},
+		{
+			ID:    "crash-restart",
+			About: "extension: fail-stop crashes priced with the restart-on-survivors model",
+			Group: GroupFaults,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				return wrap(s.CrashRestart(ctx))
+			},
+		},
+		{
+			ID:    "fault-sweep",
+			About: "extension: speed-efficiency degradation under injected faults (ψ vs fault-free)",
+			Group: GroupFaults,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				return wrap(s.FaultSweep(ctx))
+			},
+		},
+		{
+			ID:    "fig1",
+			About: "speed-efficiency curve on two nodes + trend + verification",
+			Group: GroupPaper,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				fig, tbl, err := s.Fig1(ctx)
+				if err != nil {
+					return nil, err
+				}
+				return []Renderable{fig, tbl}, nil
+			},
+		},
+		{
+			ID:    "fig2",
+			About: "speed-efficiency of MM at all system configurations",
+			Group: GroupPaper,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				return wrap(s.Fig2(ctx))
+			},
+		},
+		{
+			ID:    "grid",
+			About: "extension: widely distributed (two WAN-linked sites)",
+			Group: GroupExtension,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				return wrap(s.Grid(ctx))
+			},
+		},
+		{
+			ID:    "homog",
+			About: "validation: homogeneous special case reduces to isospeed",
+			Group: GroupValidation,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				return wrap(s.HomogeneousCheck(ctx))
+			},
+		},
+		{
+			ID:    "membound",
+			About: "extension: memory-bounded scalability (Sun & Ni [9] folded in)",
+			Group: GroupExtension,
+			Quick: true,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				return wrap(s.MemBound(ctx))
+			},
+		},
+		{
+			ID:    "scaling-models",
+			About: "extension: Amdahl/Gustafson/Sun-Ni vs isospeed-efficiency",
+			Group: GroupExtension,
+			Quick: true,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				return wrap(s.ScalingModels(ctx))
+			},
+		},
+		{
+			ID:    "table1",
+			About: "marked speed of Sunwulf node classes (NPB-style suite)",
+			Group: GroupPaper,
+			Quick: true,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				return wrap(s.Table1(ctx))
+			},
+		},
+		{
+			ID:    "table2",
+			About: "GE on two nodes: W, T, achieved speed, speed-efficiency",
+			Group: GroupPaper,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				return wrap(s.Table2(ctx))
+			},
+		},
+		{
+			ID:    "table3",
+			About: "required rank for target speed-efficiency per GE config",
+			Group: GroupPaper,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				return wrap(s.Table3(ctx))
+			},
+		},
+		{
+			ID:    "table4",
+			About: "measured scalability chain of GE",
+			Group: GroupPaper,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				return wrap(s.Table4(ctx))
+			},
+		},
+		{
+			ID:    "table5",
+			About: "measured scalability chain of MM",
+			Group: GroupPaper,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				return wrap(s.Table5(ctx))
+			},
+		},
+		{
+			ID:    "table6",
+			About: "predicted required rank from the analytic overhead model",
+			Group: GroupPaper,
+			Quick: true,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				t, _, err := s.Table6(ctx)
+				return wrap(t, err)
+			},
+		},
+		{
+			ID:    "table7",
+			About: "predicted vs measured scalability of GE",
+			Group: GroupPaper,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				return wrap(s.Table7(ctx))
+			},
+		},
+		{
+			ID:    "threeway",
+			About: "extension: GE vs MM vs Jacobi scalability (3 combinations)",
+			Group: GroupExtension,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				return wrap(s.ThreeWay(ctx))
+			},
+		},
+		{
+			ID:    "time-at-scale",
+			About: "extension: execution time at constant E_s (ref [8])",
+			Group: GroupExtension,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				return wrap(s.TimeAtScale(ctx))
+			},
+		},
+		{
+			ID:    "tracedecomp",
+			About: "extension: trace-derived per-rank time decomposition",
+			Group: GroupExtension,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				return wrap(s.TraceDecomposition(ctx))
+			},
+		},
+	} {
+		Register(e)
 	}
-	sort.Strings(ids)
-	return ids
-}
-
-// RunByID runs one experiment (or "all") against the suite.
-func RunByID(s *Suite, id string) ([]Renderable, error) {
-	if id == "all" {
-		var out []Renderable
-		for _, eid := range IDs() {
-			rs, err := RunByID(s, eid)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s: %w", eid, err)
-			}
-			out = append(out, rs...)
-		}
-		return out, nil
+	// The historical order contract: ids register sorted. Guarded here so
+	// a future registration landing out of place fails loudly at init.
+	ids := IDs()
+	if !sort.StringsAreSorted(ids) {
+		panic("experiments: built-in registration order must stay sorted (historical report order)")
 	}
-	exp, ok := Registry()[id]
-	if !ok {
-		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s, all)",
-			id, strings.Join(IDs(), ", "))
-	}
-	return exp.Run(s)
 }

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Renderer turns a batch of renderable results into one output stream.
+// Implementations are pluggable: adding an output format touches no
+// experiment — Table and Figure carry enough structure for any encoder.
+type Renderer interface {
+	// Render writes every result to w.
+	Render(w io.Writer, results []Renderable) error
+}
+
+// NewRenderer returns the renderer for a format name: "text" (aligned
+// tables and ASCII figures), "csv", or "json" (one document holding
+// every result with its full structure).
+func NewRenderer(format string) (Renderer, error) {
+	switch format {
+	case "text", "":
+		return textRenderer{}, nil
+	case "csv":
+		return csvRenderer{}, nil
+	case "json":
+		return jsonRenderer{}, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown output format %q (text, csv, json)", format)
+	}
+}
+
+// textRenderer writes each result's aligned-text form, blank-line
+// separated (the historical hetsim output, byte for byte).
+type textRenderer struct{}
+
+func (textRenderer) Render(w io.Writer, results []Renderable) error {
+	for i, r := range results {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprint(w, r.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvRenderer writes each result's CSV form, blank-line separated.
+type csvRenderer struct{}
+
+func (csvRenderer) Render(w io.Writer, results []Renderable) error {
+	for i, r := range results {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprint(w, r.CSV()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonRenderer writes one indented JSON array with a typed object per
+// result. Tables and figures keep their full structure; an unknown
+// Renderable degrades to its text form.
+type jsonRenderer struct{}
+
+type jsonTable struct {
+	Type    string     `json:"type"`
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+type jsonSeries struct {
+	Name string    `json:"name"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
+}
+
+type jsonFigure struct {
+	Type   string       `json:"type"`
+	Title  string       `json:"title"`
+	XLabel string       `json:"xLabel"`
+	YLabel string       `json:"yLabel"`
+	Series []jsonSeries `json:"series"`
+	Notes  []string     `json:"notes,omitempty"`
+}
+
+func (jsonRenderer) Render(w io.Writer, results []Renderable) error {
+	docs := make([]any, 0, len(results))
+	for _, r := range results {
+		switch t := r.(type) {
+		case *Table:
+			docs = append(docs, jsonTable{
+				Type: "table", Title: t.Title, Headers: t.Headers, Rows: t.Rows, Notes: t.Notes,
+			})
+		case *Figure:
+			fig := jsonFigure{Type: "figure", Title: t.Title, XLabel: t.XLabel, YLabel: t.YLabel, Notes: t.Notes}
+			for _, s := range t.Series {
+				fig.Series = append(fig.Series, jsonSeries{Name: s.Name, X: s.X, Y: s.Y})
+			}
+			docs = append(docs, fig)
+		default:
+			docs = append(docs, map[string]string{"type": "text", "text": r.String()})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(docs)
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -9,7 +10,7 @@ import (
 func TestWriteMarkdownReport(t *testing.T) {
 	s := quickSuite(t)
 	var out strings.Builder
-	if err := WriteMarkdownReport(s, &out, []string{"table1", "ablate-tiling"}, time.Unix(0, 0).UTC()); err != nil {
+	if err := WriteMarkdownReport(context.Background(), s, &out, []string{"table1", "ablate-tiling"}, time.Unix(0, 0).UTC(), RunOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -25,7 +26,7 @@ func TestWriteMarkdownReport(t *testing.T) {
 			t.Errorf("report missing %q", frag)
 		}
 	}
-	if err := WriteMarkdownReport(s, &out, []string{"bogus"}, time.Now()); err == nil {
+	if err := WriteMarkdownReport(context.Background(), s, &out, []string{"bogus"}, time.Now(), RunOptions{}); err == nil {
 		t.Error("unknown id accepted")
 	}
 }

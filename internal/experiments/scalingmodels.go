@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -11,7 +12,8 @@ import (
 // Gustafson fixed-time, Sun & Ni memory-bounded — reference [9]) on the
 // GE ladder: predicted speedups under each model, and the work growth the
 // isospeed-efficiency condition demands with the resulting ψ.
-func (s *Suite) ScalingModels() (*Table, error) {
+func (s *Suite) ScalingModels(ctx context.Context) (*Table, error) {
+	_ = ctx // analytic: prediction only, no measured runs
 	machines, err := s.geMachines()
 	if err != nil {
 		return nil, err

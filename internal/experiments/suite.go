@@ -1,14 +1,17 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"sync"
+	"strconv"
+	"strings"
 
 	"repro/internal/algs"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/mpi"
+	"repro/internal/runner"
 	"repro/internal/simnet"
 )
 
@@ -83,15 +86,17 @@ func (c Config) mpiOpts() mpi.Options {
 	return mpi.Options{Engine: c.Engine, Contended: c.Contended}
 }
 
-// Suite memoizes the expensive measured chains so Table 2/3/4 and Fig 1
-// (which share data) run the sweeps once.
+// Suite is the execution context shared by all experiments of one
+// configuration. Expensive work — the measured scalability chains and
+// every individual algorithm run point behind them — flows through a
+// content-addressed memo cache with single-flight semantics, so
+// experiments scheduled concurrently by the runner compute each shared
+// (cluster, model, W) point exactly once and everything downstream is
+// safe for concurrent use.
 type Suite struct {
 	Cfg Config
 
-	mu       sync.Mutex
-	geChain  *chainResult
-	mmChain  *chainResult
-	jacChain *chainResult
+	cache *runner.Cache
 }
 
 // chainResult is a measured scalability ladder for one algorithm.
@@ -107,34 +112,112 @@ func NewSuite(cfg Config) (*Suite, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Suite{Cfg: cfg}, nil
+	return &Suite{Cfg: cfg, cache: runner.NewCache()}, nil
+}
+
+// CacheStats exposes the memo cache's hit/miss counters: how much work
+// the current batch shared instead of recomputing.
+func (s *Suite) CacheStats() runner.Stats { return s.cache.Stats() }
+
+// baseSig seeds a signature with every config field that can change a
+// measurement outcome.
+func (s *Suite) baseSig(kind string) *runner.Signature {
+	return runner.Sig(kind).
+		Add("model", s.Cfg.Model.Name()).
+		Add("engine", s.Cfg.Engine).
+		Add("contended", s.Cfg.Contended).
+		Add("seed", s.Cfg.Seed)
+}
+
+// clusterSig canonicalizes a cluster's content: name plus every node's
+// class, marked speed and memory (rank order matters — rank i runs on
+// Nodes[i]).
+func clusterSig(cl *cluster.Cluster) string {
+	var b strings.Builder
+	b.WriteString(cl.Name)
+	for _, n := range cl.Nodes {
+		b.WriteByte('/')
+		b.WriteString(n.Class)
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatFloat(n.SpeedMflops, 'g', -1, 64))
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(n.MemMB))
+	}
+	return b.String()
+}
+
+// runPoint is one memoized algorithm execution: the workload performed
+// and the virtual makespan — everything a core.Runner reports.
+type runPoint struct {
+	Work   float64
+	TimeMS float64
+}
+
+// cachedRun executes one algorithm run point through the memo cache. The
+// signature is the canonical run identity: algorithm, cluster content,
+// cost model, engine + options, seed, and problem size (the workload W
+// is a function of alg and n). extra carries any per-call variation
+// (distribution strategy, fault plan, ...) that callers layer on top.
+func (s *Suite) cachedRun(ctx context.Context, alg string, cl *cluster.Cluster, n int,
+	run func(ctx context.Context) (runPoint, error), extra ...string) (runPoint, error) {
+	sig := s.baseSig("run").
+		Add("alg", alg).
+		Add("cluster", clusterSig(cl)).
+		Add("n", n)
+	for _, e := range extra {
+		sig.Add("extra", e)
+	}
+	v, err := s.cache.Do(ctx, sig.Key(), func() (any, error) {
+		p, err := run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return p, nil
+	})
+	if err != nil {
+		return runPoint{}, err
+	}
+	return v.(runPoint), nil
 }
 
 // geRunner builds a core.Runner for the GE algorithm on one cluster.
-func (s *Suite) geRunner(cl *cluster.Cluster) core.Runner {
+// Every point goes through the memo cache.
+func (s *Suite) geRunner(ctx context.Context, cl *cluster.Cluster) core.Runner {
 	return func(n int) (float64, float64, error) {
-		out, err := algs.RunGE(cl, s.Cfg.Model, s.Cfg.mpiOpts(), n, algs.GEOptions{
-			Symbolic: true,
-			Seed:     s.Cfg.Seed,
+		p, err := s.cachedRun(ctx, "ge", cl, n, func(ctx context.Context) (runPoint, error) {
+			out, err := algs.RunGEContext(ctx, cl, s.Cfg.Model, s.Cfg.mpiOpts(), n, algs.GEOptions{
+				Symbolic: true,
+				Seed:     s.Cfg.Seed,
+			})
+			if err != nil {
+				return runPoint{}, err
+			}
+			return runPoint{Work: out.Work, TimeMS: out.Res.TimeMS}, nil
 		})
 		if err != nil {
 			return 0, 0, err
 		}
-		return out.Work, out.Res.TimeMS, nil
+		return p.Work, p.TimeMS, nil
 	}
 }
 
 // mmRunner builds a core.Runner for the MM algorithm on one cluster.
-func (s *Suite) mmRunner(cl *cluster.Cluster) core.Runner {
+func (s *Suite) mmRunner(ctx context.Context, cl *cluster.Cluster) core.Runner {
 	return func(n int) (float64, float64, error) {
-		out, err := algs.RunMM(cl, s.Cfg.Model, s.Cfg.mpiOpts(), n, algs.MMOptions{
-			Symbolic: true,
-			Seed:     s.Cfg.Seed,
+		p, err := s.cachedRun(ctx, "mm", cl, n, func(ctx context.Context) (runPoint, error) {
+			out, err := algs.RunMMContext(ctx, cl, s.Cfg.Model, s.Cfg.mpiOpts(), n, algs.MMOptions{
+				Symbolic: true,
+				Seed:     s.Cfg.Seed,
+			})
+			if err != nil {
+				return runPoint{}, err
+			}
+			return runPoint{Work: out.Work, TimeMS: out.Res.TimeMS}, nil
 		})
 		if err != nil {
 			return 0, 0, err
 		}
-		return out.Work, out.Res.TimeMS, nil
+		return p.Work, p.TimeMS, nil
 	}
 }
 
@@ -185,10 +268,11 @@ func (s *Suite) studyOpts(target float64) core.StudyOptions {
 // fit the trend, read off the required N at the target efficiency, and
 // assemble the ψ chain.
 func (s *Suite) measureChain(
+	ctx context.Context,
 	clusters []*cluster.Cluster,
 	target float64,
 	machine func(*cluster.Cluster) (core.AnalyticMachine, error),
-	runner func(*cluster.Cluster) core.Runner,
+	runner func(context.Context, *cluster.Cluster) core.Runner,
 	workAt func(n int) float64,
 ) (*chainResult, error) {
 	targets := make([]core.StudyTarget, 0, len(clusters))
@@ -201,7 +285,7 @@ func (s *Suite) measureChain(
 			Label:   cl.Name,
 			C:       cl.MarkedSpeed(),
 			Machine: m,
-			Run:     runner(cl),
+			Run:     runner(ctx, cl),
 			WorkAt:  workAt,
 		})
 	}
@@ -225,50 +309,59 @@ func (s *Suite) readOff(label string, c, target, guess float64, run core.Runner)
 	return core.ReadOffRequiredSize(label, c, target, guess, run, s.studyOpts(target))
 }
 
-// GEChainMeasured returns (memoized) the measured GE ladder: curves per
-// configuration, required-N points at the GE target, and the ψ chain.
-func (s *Suite) GEChainMeasured() (*chainResult, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.geChain != nil {
-		return s.geChain, nil
+// cachedChain memoizes one whole measured ladder under the memo cache:
+// the first requester computes it, concurrent requesters wait and share
+// it (a cache hit). This is how fig1/table2/table3/table4 scheduled in
+// parallel run the GE sweep once.
+func (s *Suite) cachedChain(ctx context.Context, alg string, target float64,
+	build func(ctx context.Context) (*chainResult, error)) (*chainResult, error) {
+	sig := s.baseSig("chain").
+		Add("alg", alg).
+		Add("target", target).
+		Add("sizes", fmt.Sprint(s.Cfg.Sizes)).
+		Add("sweepPoints", s.Cfg.SweepPoints)
+	v, err := s.cache.Do(ctx, sig.Key(), func() (any, error) {
+		return build(ctx)
+	})
+	if err != nil {
+		return nil, err
 	}
-	var clusters []*cluster.Cluster
-	for _, p := range s.Cfg.Sizes {
-		cl, err := cluster.GEConfig(p)
+	return v.(*chainResult), nil
+}
+
+// ladder builds one cluster per configured size with the given profile.
+func ladder(sizes []int, config func(int) (*cluster.Cluster, error)) ([]*cluster.Cluster, error) {
+	clusters := make([]*cluster.Cluster, 0, len(sizes))
+	for _, p := range sizes {
+		cl, err := config(p)
 		if err != nil {
 			return nil, err
 		}
 		clusters = append(clusters, cl)
 	}
-	chain, err := s.measureChain(clusters, s.Cfg.GETarget, s.geMachine, s.geRunner, algs.WorkGE)
-	if err != nil {
-		return nil, err
-	}
-	s.geChain = chain
-	return chain, nil
+	return clusters, nil
+}
+
+// GEChainMeasured returns (memoized) the measured GE ladder: curves per
+// configuration, required-N points at the GE target, and the ψ chain.
+func (s *Suite) GEChainMeasured(ctx context.Context) (*chainResult, error) {
+	return s.cachedChain(ctx, "ge", s.Cfg.GETarget, func(ctx context.Context) (*chainResult, error) {
+		clusters, err := ladder(s.Cfg.Sizes, cluster.GEConfig)
+		if err != nil {
+			return nil, err
+		}
+		return s.measureChain(ctx, clusters, s.Cfg.GETarget, s.geMachine, s.geRunner, algs.WorkGE)
+	})
 }
 
 // MMChainMeasured returns (memoized) the measured MM ladder at the MM
 // target.
-func (s *Suite) MMChainMeasured() (*chainResult, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.mmChain != nil {
-		return s.mmChain, nil
-	}
-	var clusters []*cluster.Cluster
-	for _, p := range s.Cfg.Sizes {
-		cl, err := cluster.MMConfig(p)
+func (s *Suite) MMChainMeasured(ctx context.Context) (*chainResult, error) {
+	return s.cachedChain(ctx, "mm", s.Cfg.MMTarget, func(ctx context.Context) (*chainResult, error) {
+		clusters, err := ladder(s.Cfg.Sizes, cluster.MMConfig)
 		if err != nil {
 			return nil, err
 		}
-		clusters = append(clusters, cl)
-	}
-	chain, err := s.measureChain(clusters, s.Cfg.MMTarget, s.mmMachine, s.mmRunner, algs.WorkMM)
-	if err != nil {
-		return nil, err
-	}
-	s.mmChain = chain
-	return chain, nil
+		return s.measureChain(ctx, clusters, s.Cfg.MMTarget, s.mmMachine, s.mmRunner, algs.WorkMM)
+	})
 }

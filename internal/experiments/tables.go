@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -12,7 +13,8 @@ import (
 
 // Table1 reproduces "Marked speed of Sunwulf nodes (Mflops)": the NPB-style
 // suite is run (on the node models) for each node class and averaged.
-func (s *Suite) Table1() (*Table, error) {
+func (s *Suite) Table1(ctx context.Context) (*Table, error) {
+	_ = ctx // analytic: node-model calibration only
 	nodes := []cluster.Node{
 		cluster.ServerNode(0),
 		cluster.V210Node(65, 0),
@@ -51,8 +53,8 @@ func (s *Suite) Table1() (*Table, error) {
 // Table2 reproduces "Experimental results on two nodes": GE on the C2
 // configuration at increasing matrix sizes, reporting workload, execution
 // time, achieved speed and speed-efficiency (paper Table 2).
-func (s *Suite) Table2() (*Table, error) {
-	chain, err := s.GEChainMeasured()
+func (s *Suite) Table2(ctx context.Context) (*Table, error) {
+	chain, err := s.GEChainMeasured(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -84,8 +86,8 @@ func (s *Suite) Table2() (*Table, error) {
 // Table3 reproduces "Required rank to obtain 0.3 speed-efficiency":
 // for every GE configuration, the matrix size read off the fitted trend
 // line, the corresponding workload, and the configuration's marked speed.
-func (s *Suite) Table3() (*Table, error) {
-	chain, err := s.GEChainMeasured()
+func (s *Suite) Table3(ctx context.Context) (*Table, error) {
+	chain, err := s.GEChainMeasured(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -109,8 +111,8 @@ func (s *Suite) Table3() (*Table, error) {
 
 // Table4 reproduces "Measured scalability of GE on Sunwulf": the ψ chain
 // over consecutive configurations.
-func (s *Suite) Table4() (*Table, error) {
-	chain, err := s.GEChainMeasured()
+func (s *Suite) Table4(ctx context.Context) (*Table, error) {
+	chain, err := s.GEChainMeasured(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -118,8 +120,8 @@ func (s *Suite) Table4() (*Table, error) {
 }
 
 // Table5 reproduces "Scalability of MM on Sunwulf" at the MM target.
-func (s *Suite) Table5() (*Table, error) {
-	chain, err := s.MMChainMeasured()
+func (s *Suite) Table5(ctx context.Context) (*Table, error) {
+	chain, err := s.MMChainMeasured(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -145,12 +147,12 @@ func psiChainTable(title string, chain *chainResult) *Table {
 // CompareGEMM reproduces §4.4.3: the two algorithm–system combinations'
 // ψ chains side by side, showing MM–Sunwulf is the more scalable
 // combination.
-func (s *Suite) CompareGEMM() (*Table, error) {
-	ge, err := s.GEChainMeasured()
+func (s *Suite) CompareGEMM(ctx context.Context) (*Table, error) {
+	ge, err := s.GEChainMeasured(ctx)
 	if err != nil {
 		return nil, err
 	}
-	mm, err := s.MMChainMeasured()
+	mm, err := s.MMChainMeasured(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -182,7 +184,8 @@ func (s *Suite) CompareGEMM() (*Table, error) {
 // (calibrated communication constants + workload polynomial) solves the
 // isospeed-efficiency condition for each GE configuration without running
 // it.
-func (s *Suite) Table6() (*Table, []core.Prediction, error) {
+func (s *Suite) Table6(ctx context.Context) (*Table, []core.Prediction, error) {
+	_ = ctx // analytic: prediction only, no measured runs
 	machines, err := s.geMachines()
 	if err != nil {
 		return nil, nil, err
@@ -204,7 +207,7 @@ func (s *Suite) Table6() (*Table, []core.Prediction, error) {
 // Table7 reproduces "Predicted scalability of GE on Sunwulf" and sets it
 // against the measured chain (the paper: "the predicted scalability is
 // close to our measured scalability").
-func (s *Suite) Table7() (*Table, error) {
+func (s *Suite) Table7(ctx context.Context) (*Table, error) {
 	machines, err := s.geMachines()
 	if err != nil {
 		return nil, err
@@ -213,7 +216,7 @@ func (s *Suite) Table7() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	chain, err := s.GEChainMeasured()
+	chain, err := s.GEChainMeasured(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -252,7 +255,7 @@ func (s *Suite) geMachines() ([]core.AnalyticMachine, error) {
 // HomogeneousCheck is an extra validation experiment (not a paper table):
 // on a homogeneous cluster the isospeed-efficiency ψ must coincide with
 // the classical isospeed ψ(p, p').
-func (s *Suite) HomogeneousCheck() (*Table, error) {
+func (s *Suite) HomogeneousCheck(ctx context.Context) (*Table, error) {
 	sizes := []int{2, 4, 8}
 	var points []core.ScalePoint
 	var ps []int
@@ -269,7 +272,7 @@ func (s *Suite) HomogeneousCheck() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		curve, nReq, err := s.readOff(cl.Name, cl.MarkedSpeed(), s.Cfg.GETarget, guess, s.geRunner(cl))
+		curve, nReq, err := s.readOff(cl.Name, cl.MarkedSpeed(), s.Cfg.GETarget, guess, s.geRunner(ctx, cl))
 		if err != nil {
 			return nil, err
 		}

@@ -33,8 +33,8 @@ func testModel(t *testing.T) simnet.CostModel {
 
 func TestPlanValidate(t *testing.T) {
 	bad := []Plan{
-		{Stragglers: []Straggler{{Rank: 5, Factor: 2}}},                    // rank out of range
-		{Stragglers: []Straggler{{Rank: 0, Factor: 0.5}}},                  // factor < 1
+		{Stragglers: []Straggler{{Rank: 5, Factor: 2}}},                       // rank out of range
+		{Stragglers: []Straggler{{Rank: 0, Factor: 0.5}}},                     // factor < 1
 		{Stragglers: []Straggler{{Rank: 0, Factor: 2}, {Rank: 0, Factor: 3}}}, // duplicate
 		{LatencyFactor: 0.5},
 		{BandwidthFactor: 1.5},

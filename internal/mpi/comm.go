@@ -37,6 +37,7 @@
 package mpi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -260,15 +261,37 @@ func validateRun(cl *cluster.Cluster, model simnet.CostModel, opts Options, prog
 // returns the virtual-time result. Program errors from any rank are joined
 // and returned.
 func Run(cl *cluster.Cluster, model simnet.CostModel, opts Options, program Program) (Result, error) {
+	return RunContext(context.Background(), cl, model, opts, program)
+}
+
+// RunContext is Run with cancellation. Cancellation is observed at run
+// boundaries: a canceled context prevents the program from starting, and
+// a cancellation arriving mid-run surfaces after the engine drains. A
+// started program always runs to completion — tearing ranks down
+// mid-protocol would leak goroutines blocked on message channels — so
+// callers running sweeps get cancellation granularity of one program
+// execution, which is milliseconds of real time.
+func RunContext(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, opts Options, program Program) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("mpi: run canceled before start: %w", err)
+	}
 	if err := validateRun(cl, model, opts, program); err != nil {
 		return Result{}, err
 	}
+	var res Result
+	var err error
 	switch opts.Engine {
 	case EngineDES:
-		return runDES(cl, model, opts, program)
+		res, err = runDES(cl, model, opts, program)
 	default:
-		return runLive(cl, model, opts, program)
+		res, err = runLive(cl, model, opts, program)
 	}
+	if err == nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return Result{}, fmt.Errorf("mpi: run canceled: %w", cerr)
+		}
+	}
+	return res, err
 }
 
 func payloadBytes(data []float64) int { return simnet.WordBytes * len(data) }

@@ -1,0 +1,147 @@
+package runner
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats is a cache hit/miss snapshot.
+type Stats struct {
+	// Hits counts Do calls served from a completed or in-flight
+	// computation (waiting on another caller's computation counts: the
+	// work was shared).
+	Hits int64
+	// Misses counts Do calls that ran the computation.
+	Misses int64
+}
+
+// String renders the snapshot for progress output.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d hits, %d misses", s.Hits, s.Misses)
+}
+
+// Cache is a content-addressed memo table with single-flight semantics:
+// concurrent Do calls for the same key run the computation once and share
+// the outcome. Errors are cached too — the experiment substrate is
+// deterministic, so a failed computation would fail identically on
+// retry.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+type cacheEntry struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]*cacheEntry)}
+}
+
+// Do returns the cached value for key, computing it with compute on the
+// first request. Concurrent callers with the same key block until the
+// first caller's computation finishes. A caller whose ctx is canceled
+// while waiting returns ctx.Err() without disturbing the computation.
+func (c *Cache) Do(ctx context.Context, key string, compute func() (any, error)) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			c.hits.Add(1)
+			return e.val, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	e.val, e.err = compute()
+	close(e.done)
+	return e.val, e.err
+}
+
+// Stats returns the current hit/miss counters.
+func (c *Cache) Stats() Stats {
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// Len returns the number of distinct keys ever computed (or in flight).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Signature builds a canonical run signature for content addressing:
+// an ordered sequence of field=value pairs with unambiguous value
+// rendering, hashed to a fixed-size key. Two runs share a cache slot iff
+// every input that can change their outcome renders identically.
+type Signature struct {
+	b strings.Builder
+}
+
+// Sig starts a signature of the given kind ("run", "chain", ...).
+func Sig(kind string) *Signature {
+	s := &Signature{}
+	s.b.WriteString(kind)
+	return s
+}
+
+// Add appends one named field. Values render canonically: floats via
+// strconv 'g' (shortest round-trip form), strings quoted (so separators
+// inside values cannot collide with the signature's own), fmt.Stringer
+// through String, other types via %v.
+func (s *Signature) Add(field string, values ...any) *Signature {
+	s.b.WriteByte('|')
+	s.b.WriteString(field)
+	s.b.WriteByte('=')
+	for i, v := range values {
+		if i > 0 {
+			s.b.WriteByte(',')
+		}
+		s.b.WriteString(canonical(v))
+	}
+	return s
+}
+
+func canonical(v any) string {
+	switch x := v.(type) {
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case float32:
+		return strconv.FormatFloat(float64(x), 'g', -1, 32)
+	case string:
+		return strconv.Quote(x)
+	case fmt.Stringer:
+		return strconv.Quote(x.String())
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// String returns the canonical (human-readable) form.
+func (s *Signature) String() string { return s.b.String() }
+
+// Key returns the content address: the hex SHA-256 of the canonical form.
+func (s *Signature) Key() string {
+	sum := sha256.Sum256([]byte(s.b.String()))
+	return hex.EncodeToString(sum[:])
+}

@@ -13,11 +13,21 @@ FUZZTIME="${FUZZTIME:-10s}"
 echo "==> go vet ./..."
 go vet ./...
 
+echo "==> go vet ./cmd/..."
+go vet ./cmd/...
+
 echo "==> go build ./..."
 go build ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+# Parallel-runner smoke: the full quick batch on four race-instrumented
+# workers must run clean and byte-identical to serial (the identity itself
+# is asserted by TestParallelOutputByteIdentical above; this exercises the
+# real binary end to end).
+echo "==> hetsim -exp all -quick -jobs 4 (race smoke)"
+go run -race ./cmd/hetsim -exp all -quick -jobs 4 -v > /dev/null
 
 # Fuzz smoke: each target runs for a short budget; any crasher fails the
 # pass. Go only allows one fuzz target per invocation, so enumerate them.
