@@ -10,12 +10,18 @@
 //	hetsim -exp fig2 -csv
 //	hetsim -exp all -quick -json
 //	hetsim -exp table3 -engine des -contended
+//	hetsim -exp table2 -quick -trace table2.json
 //
 // -exp accepts an experiment id (see -list), "all", "quick" (the
 // analytic-only subset), or "group:<name>" (paper, validation, ablation,
 // extension, faults). Experiments are scheduled on a bounded worker pool
 // (-jobs, default: one per CPU); shared measurement sweeps are computed
 // once and stdout is byte-identical for every worker count.
+//
+// -trace <file> additionally records the virtual timeline of every
+// algorithm run the selected experiments execute and writes it as Chrome
+// trace-event JSON — open the file in chrome://tracing or
+// https://ui.perfetto.dev.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/experiments"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -51,6 +58,7 @@ func run(args []string, out, errw io.Writer) error {
 		geTarget  = fs.Float64("ge-target", 0.3, "speed-efficiency set-point for GE read-offs")
 		mmTarget  = fs.Float64("mm-target", 0.2, "speed-efficiency set-point for MM read-offs")
 		jobs      = fs.Int("jobs", cli.DefaultJobs(), "worker-pool size for running experiments")
+		traceOut  = fs.String("trace", "", "write a Chrome trace of the selected experiments' runs to this file")
 		verbose   = fs.Bool("v", false, "narrate per-experiment progress and cache stats on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -101,6 +109,17 @@ func run(args []string, out, errw io.Writer) error {
 	cfg.Contended = *contended
 	cfg.GETarget = *geTarget
 	cfg.MMTarget = *mmTarget
+	var traceFile *os.File
+	if *traceOut != "" {
+		// Created before the (possibly long) run so an unwritable path
+		// fails immediately.
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("trace output: %w", err)
+		}
+		defer traceFile.Close()
+		cfg.Trace = trace.New()
+	}
 
 	suite, err := experiments.NewSuite(cfg)
 	if err != nil {
@@ -124,6 +143,15 @@ func run(args []string, out, errw io.Writer) error {
 		if err := renderer.Render(out, experiments.Flatten(outcomes)); err != nil {
 			return err
 		}
+	}
+	if traceFile != nil {
+		if err := cfg.Trace.WriteChromeTrace(traceFile); err != nil {
+			return fmt.Errorf("trace output: %w", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			return fmt.Errorf("trace output: %w", err)
+		}
+		fmt.Fprintf(errw, "trace: wrote %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
 	}
 	if *verbose {
 		fmt.Fprintf(errw, "cache: %s\n", suite.CacheStats())

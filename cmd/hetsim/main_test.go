@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"io"
+	"os"
 	"strings"
 	"testing"
 
@@ -88,6 +89,48 @@ func TestRunDESEngine(t *testing.T) {
 	}
 	if !strings.Contains(got, "tiling") {
 		t.Error("des engine run produced no tiling output")
+	}
+}
+
+func TestRunTraceFlag(t *testing.T) {
+	path := t.TempDir() + "/run.json"
+	// table2 performs measured GE runs (ablate-tiling & co are analytic
+	// and would leave the trace empty).
+	if _, err := runOut(t, "-exp", "table2", "-quick", "-trace", path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace file has no events")
+	}
+	kinds := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" || e.Dur <= 0 {
+			t.Fatalf("bad event %+v", e)
+		}
+		kinds[e.Name] = true
+	}
+	if !kinds["compute"] || !kinds["send"] {
+		t.Errorf("trace lacks expected span kinds, got %v", kinds)
+	}
+}
+
+func TestRunTraceFlagBadPath(t *testing.T) {
+	if _, err := runOut(t, "-exp", "ablate-tiling", "-quick", "-trace", t.TempDir()+"/no/such/dir/x.json"); err == nil {
+		t.Error("unwritable trace path accepted")
 	}
 }
 

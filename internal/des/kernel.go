@@ -54,7 +54,6 @@ type Kernel struct {
 	events  eventHeap
 	yield   chan struct{} // processes signal the kernel here when they block/finish
 	procs   int           // live (not finished) processes
-	blocked int           // processes currently suspended with no scheduled resume
 	running bool
 }
 

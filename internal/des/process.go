@@ -53,9 +53,7 @@ func (p *Proc) Delay(dt float64) {
 // suspend parks the process with no scheduled wake-up. Something else must
 // call p.wake() or the kernel will report deadlock.
 func (p *Proc) suspend() {
-	p.k.blocked++
 	p.yieldAndWait()
-	p.k.blocked--
 }
 
 // wake schedules the process to resume at the current virtual time. It must

@@ -226,19 +226,19 @@ func TestRegistryRunsEverything(t *testing.T) {
 	}
 	s := quickSuite(t)
 	ids := IDs()
-	if len(ids) != len(Registry()) {
-		t.Fatal("IDs/Registry mismatch")
+	if len(ids) != len(All()) {
+		t.Fatal("IDs/All mismatch")
 	}
 	for _, id := range ids {
-		rs, err := RunByID(s, id)
+		outcomes, err := RunSelected(context.Background(), s, []string{id}, RunOptions{Jobs: 1})
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
-		if len(rs) == 0 {
+		if len(Flatten(outcomes)) == 0 {
 			t.Errorf("%s: no output", id)
 		}
 	}
-	if _, err := RunByID(s, "nope"); err == nil {
+	if _, err := Resolve("nope"); err == nil {
 		t.Error("unknown id accepted")
 	}
 }

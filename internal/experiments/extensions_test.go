@@ -193,9 +193,8 @@ func TestGridSeparatesCombinations(t *testing.T) {
 }
 
 func TestNewExperimentsRegistered(t *testing.T) {
-	reg := Registry()
 	for _, id := range []string{"threeway", "membound", "tracedecomp", "ablate-network", "grid"} {
-		if _, ok := reg[id]; !ok {
+		if _, ok := Lookup(id); !ok {
 			t.Errorf("experiment %s not registered", id)
 		}
 	}

@@ -85,10 +85,11 @@ func TestFaultExperimentsDeterministic(t *testing.T) {
 		s := quickSuite(t)
 		out := map[string]string{}
 		for _, id := range []string{"fault-sweep", "crash-restart", "table2"} {
-			rs, err := RunByID(s, id)
+			outcomes, err := RunSelected(context.Background(), s, []string{id}, RunOptions{Jobs: 1})
 			if err != nil {
 				t.Fatalf("%s: %v", id, err)
 			}
+			rs := Flatten(outcomes)
 			var b strings.Builder
 			for _, r := range rs {
 				b.WriteString(r.String())

@@ -173,37 +173,6 @@ func joinGroups(gs []Group) string {
 	return strings.Join(names, "|")
 }
 
-// Registry returns all experiments keyed by id.
-//
-// Deprecated: Registry predates the ordered registry and loses the
-// canonical order. Use All, Lookup or IDs; it will be removed after one
-// release.
-func Registry() map[string]Experiment {
-	out := make(map[string]Experiment)
-	for _, e := range All() {
-		out[e.ID] = e
-	}
-	return out
-}
-
-// RunByID runs one experiment (or "all") against the suite, serially.
-//
-// Deprecated: RunByID predates the concurrent runner. Use RunSelected
-// (run.go), which schedules experiments on the worker pool and shares
-// sweep points through the suite's memo cache; it will be removed after
-// one release.
-func RunByID(s *Suite, id string) ([]Renderable, error) {
-	ids, err := Resolve(id)
-	if err != nil {
-		return nil, err
-	}
-	outcomes, err := RunSelected(context.Background(), s, ids, RunOptions{Jobs: 1})
-	if err != nil {
-		return nil, err
-	}
-	return Flatten(outcomes), nil
-}
-
 // wrap lifts a single renderable (plus error) into the Run result shape.
 func wrap(r Renderable, err error) ([]Renderable, error) {
 	if err != nil {

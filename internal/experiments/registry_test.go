@@ -124,25 +124,25 @@ func TestRegisterPanicsOnBadRegistration(t *testing.T) {
 	mustPanic("duplicate", Experiment{ID: "table1", About: "x", Group: GroupPaper, Run: run})
 }
 
-func TestDeprecatedShims(t *testing.T) {
-	reg := Registry()
-	if len(reg) != len(IDs()) {
-		t.Fatalf("Registry() has %d entries, want %d", len(reg), len(IDs()))
+func TestLookupMatchesAll(t *testing.T) {
+	if len(All()) != len(IDs()) {
+		t.Fatalf("All() has %d entries, want %d", len(All()), len(IDs()))
 	}
 	for _, id := range IDs() {
-		if _, ok := reg[id]; !ok {
-			t.Errorf("Registry() missing %s", id)
+		e, ok := Lookup(id)
+		if !ok {
+			t.Errorf("Lookup(%s) missing", id)
+		} else if e.ID != id {
+			t.Errorf("Lookup(%s) returned %s", id, e.ID)
 		}
 	}
 	s := quickSuite(t)
-	rs, err := RunByID(s, "table1")
+	outcomes, err := RunSelected(context.Background(), s, []string{"table1"}, RunOptions{Jobs: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
+	rs := Flatten(outcomes)
 	if len(rs) != 1 || !strings.Contains(rs[0].String(), "Marked speed") {
-		t.Errorf("RunByID(table1) = %v", rs)
-	}
-	if _, err := RunByID(s, "nope"); err == nil {
-		t.Error("RunByID accepted unknown id")
+		t.Errorf("RunSelected(table1) = %v", rs)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/runner"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 )
 
 // Config controls how the experiments run.
@@ -35,6 +36,12 @@ type Config struct {
 	SweepPoints int
 	// Seed drives all synthetic inputs.
 	Seed int64
+	// Trace, when non-nil, collects the virtual timeline of every
+	// algorithm run the experiments execute under the configured engine
+	// (ablations that force their own engine are excluded). The memo
+	// cache executes each shared run point exactly once, so the collected
+	// spans are deterministic regardless of the worker-pool size.
+	Trace *trace.Trace
 }
 
 // Default returns the full-paper configuration.
@@ -83,7 +90,7 @@ func (c Config) validate() error {
 }
 
 func (c Config) mpiOpts() mpi.Options {
-	return mpi.Options{Engine: c.Engine, Contended: c.Contended}
+	return mpi.Options{Engine: c.Engine, Contended: c.Contended, Trace: c.Trace}
 }
 
 // Suite is the execution context shared by all experiments of one

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/des"
 	"repro/internal/simnet"
 )
 
@@ -100,6 +101,67 @@ func BenchmarkPingPongLive(b *testing.B) {
 		return nil
 	}); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// benchTransports enumerates fresh-transport constructors for the two
+// built-in substrates, so the same program can be benchmarked on both via
+// RunTransport (sub-benchmark names: /channel, /des).
+func benchTransports(m simnet.CostModel, size int) map[string]func() Transport {
+	return map[string]func() Transport{
+		"channel": func() Transport { return NewChannelTransport(size, 0) },
+		"des": func() Transport {
+			k := des.NewKernel()
+			return NewDESTransport(k, simnet.NewWireMode(k, m, simnet.WireIdeal, size), size)
+		},
+	}
+}
+
+// BenchmarkTransportPingPong measures the per-message substrate cost —
+// Post/Take/clock bookkeeping with no collective machinery — on both
+// built-in transports running the identical program.
+func BenchmarkTransportPingPong(b *testing.B) {
+	cl, m := benchWorld(b, 2)
+	payload := make([]float64, 128)
+	for name, mk := range benchTransports(m, cl.Size()) {
+		b.Run(name, func(b *testing.B) {
+			iters := b.N
+			b.ResetTimer()
+			if _, err := RunTransport(cl, m, Options{}, func(c Comm) error {
+				for i := 0; i < iters; i++ {
+					if c.Rank() == 0 {
+						c.Send(1, 0, payload)
+						c.Recv(1, 1)
+					} else {
+						c.Recv(0, 0)
+						c.Send(0, 1, payload)
+					}
+				}
+				return nil
+			}, mk()); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkTransportBarrier measures the Park/Unpark path of the shared
+// max-reduction barrier on both transports.
+func BenchmarkTransportBarrier(b *testing.B) {
+	cl, m := benchWorld(b, 8)
+	for name, mk := range benchTransports(m, cl.Size()) {
+		b.Run(name, func(b *testing.B) {
+			iters := b.N
+			b.ResetTimer()
+			if _, err := RunTransport(cl, m, Options{}, func(c Comm) error {
+				for i := 0; i < iters; i++ {
+					c.Barrier()
+				}
+				return nil
+			}, mk()); err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }
 

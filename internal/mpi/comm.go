@@ -13,20 +13,30 @@
 // internal/algs perform genuine numerics, so their results can be verified
 // against sequential solvers while their timing comes from the model.
 //
-// Two engines execute programs:
+// Architecturally the package is a single rank runtime over pluggable
+// transports. The runtime (runtime.go + ops.go) owns everything that
+// defines the model's semantics: clock charging policy, message matching,
+// the max-reduction barrier, the crash/tombstone fault protocol, traffic
+// accounting and trace emission. A Transport (transport.go) supplies only
+// the execution substrate — how ranks run and block, how payloads move,
+// how a dying rank interrupts blocked peers. Two transports ship with the
+// package, selected by Options.Engine:
 //
-//   - the live engine (EngineLive): one goroutine per rank, channels for
-//     messages, a max-reduction barrier for collectives. Virtual time is
-//     computed from message timestamps, so results are bit-deterministic
-//     regardless of Go scheduling.
-//   - the DES engine (EngineDES): ranks are processes of a
-//     discrete-event kernel (internal/des), optionally sharing a contended
-//     Ethernet wire (internal/simnet.Wire) so point-to-point transfers
-//     queue for the medium like frames on a hub.
+//   - EngineLive -> the channel transport (NewChannelTransport): one
+//     goroutine per rank, buffered channels for message streams. Virtual
+//     time is computed from message timestamps, so results are
+//     bit-deterministic regardless of Go scheduling.
+//   - EngineDES -> the DES transport (NewDESTransport): ranks are
+//     processes of a discrete-event kernel (internal/des), optionally
+//     sharing a contended Ethernet wire (internal/simnet.Wire) so
+//     point-to-point transfers queue for the medium like frames on a hub.
 //
-// With contention disabled the two engines produce identical virtual times
-// (verified by tests); the DES engine with contention enabled is the
-// ablation that quantifies what shared Ethernet does to scalability.
+// Because all time-charging logic is shared, the two transports produce
+// identical virtual times and identical trace span sequences by
+// construction when contention is disabled (verified by tests); the DES
+// transport with contention enabled is the ablation that quantifies what
+// shared Ethernet does to scalability. Custom backends plug in via
+// RunTransport.
 //
 // Send semantics are blocking-by-cost: a sender is busy for
 // SendTime+TransferTime (it drives the payload onto the wire), and the
@@ -53,9 +63,9 @@ const (
 	tagGather  = -2
 	tagScatter = -3
 	tagReduce  = -4
-	// tagCrashed is an engine-internal tombstone: the DES engine posts it
-	// on every outgoing queue of a dying rank so blocked receivers learn
-	// the peer is gone. It never reaches user programs.
+	// tagCrashed is a runtime-internal tombstone: the DES transport posts
+	// it on every outgoing queue of a dying rank so blocked receivers
+	// learn the peer is gone. It never reaches user programs.
 	tagCrashed = -5
 )
 
@@ -230,8 +240,10 @@ func (r Result) MaxCommMS() float64 {
 // rank aborts the Run (after all ranks finish, to keep engines simple).
 type Program func(c Comm) error
 
-// validateRun checks arguments common to both engines.
-func validateRun(cl *cluster.Cluster, model simnet.CostModel, opts Options, program Program) error {
+// validateCommon checks the arguments every execution path needs —
+// including caller-supplied transports via RunTransport, which skips the
+// engine-selection checks below.
+func validateCommon(cl *cluster.Cluster, model simnet.CostModel, opts Options, program Program) error {
 	if cl == nil || cl.Size() == 0 {
 		return errors.New("mpi: nil or empty cluster")
 	}
@@ -241,18 +253,26 @@ func validateRun(cl *cluster.Cluster, model simnet.CostModel, opts Options, prog
 	if program == nil {
 		return errors.New("mpi: nil program")
 	}
-	if opts.Engine == EngineLive && (opts.Contended || opts.Network != simnet.WireIdeal) {
-		return errors.New("mpi: network contention requires the DES engine")
-	}
-	if opts.Engine != EngineLive && opts.Engine != EngineDES {
-		return fmt.Errorf("mpi: unknown engine %v", opts.Engine)
-	}
 	if opts.Jitter < 0 || opts.Jitter >= 1 {
 		return fmt.Errorf("mpi: jitter %g out of [0, 1)", opts.Jitter)
 	}
 	if opts.Faults != nil && opts.Faults.MaxSendAttempts() < 1 {
 		return fmt.Errorf("mpi: fault injector allows %d send attempts, need >= 1",
 			opts.Faults.MaxSendAttempts())
+	}
+	return nil
+}
+
+// validateRun additionally checks the built-in engine selection.
+func validateRun(cl *cluster.Cluster, model simnet.CostModel, opts Options, program Program) error {
+	if err := validateCommon(cl, model, opts, program); err != nil {
+		return err
+	}
+	if opts.Engine == EngineLive && (opts.Contended || opts.Network != simnet.WireIdeal) {
+		return errors.New("mpi: network contention requires the DES engine")
+	}
+	if opts.Engine != EngineLive && opts.Engine != EngineDES {
+		return fmt.Errorf("mpi: unknown engine %v", opts.Engine)
 	}
 	return nil
 }

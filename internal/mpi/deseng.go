@@ -1,7 +1,6 @@
 package mpi
 
 import (
-	"errors"
 	"fmt"
 
 	"repro/internal/cluster"
@@ -9,128 +8,95 @@ import (
 	"repro/internal/simnet"
 )
 
-// desWorld is the shared state of a DES-engine run.
-type desWorld struct {
-	cl     *cluster.Cluster
-	model  simnet.CostModel
-	kernel *des.Kernel
-	queues [][]*des.Queue // queues[from][to]
+// desTransport is the discrete-event substrate: ranks are processes of a
+// des.Kernel observing one monotonic virtual clock, message streams are
+// kernel queues, and transfers optionally queue for a contended
+// simnet.Wire like frames on a hub.
+type desTransport struct {
+	k      *des.Kernel
 	wire   *simnet.Wire
-	bar    *desBarrier
-	dead   []bool    // fault deaths, per rank
-	deadAt []float64 // death times, valid where dead[r]
-	msgs   int64
-	bytes  int64
+	size   int
+	procs  []*des.Proc
+	queues [][]*des.Queue // queues[from][to]
 }
 
-// die announces a fault death inside the kernel: a tombstone message goes
-// on every outgoing queue so blocked receivers wake and learn the peer is
-// gone (each queue has exactly one consumer, and consuming a tombstone is
-// fatal, so one tombstone per queue suffices), and the barrier stops
-// counting the rank. Runs in the dying rank's process context.
-func (w *desWorld) die(rank int, atMS float64) {
-	w.dead[rank] = true
-	w.deadAt[rank] = atMS
-	for to := range w.queues[rank] {
-		if to != rank {
-			w.queues[rank][to].Put(message{tag: tagCrashed, avail: atMS}, 0)
+// NewDESTransport returns the DES-engine Transport for size ranks as
+// processes of kernel k, with medium occupancy charged against wire.
+func NewDESTransport(k *des.Kernel, wire *simnet.Wire, size int) Transport {
+	t := &desTransport{
+		k:      k,
+		wire:   wire,
+		size:   size,
+		procs:  make([]*des.Proc, size),
+		queues: make([][]*des.Queue, size),
+	}
+	for i := range t.queues {
+		t.queues[i] = make([]*des.Queue, size)
+		for j := range t.queues[i] {
+			t.queues[i][j] = k.NewQueue(fmt.Sprintf("q%d-%d", i, j))
 		}
 	}
-	w.bar.leave(atMS)
+	return t
 }
 
-// desBarrier synchronizes all ranks inside the event kernel. The last
-// arrival is necessarily at the maximum virtual time, so waking everyone at
-// that instant realizes the max-sync.
-type desBarrier struct {
-	n       int
-	arrived int
-	waiters []*des.Proc
-}
-
-func (b *desBarrier) wait(p *des.Proc) {
-	b.arrived++
-	if b.arrived == b.n {
-		b.arrived = 0
-		ws := b.waiters
-		b.waiters = nil
-		for _, w := range ws {
-			w.Wake()
-		}
-		return
+// Run implements Transport: spawn every rank as a kernel process, then
+// drive the event loop to completion.
+func (t *desTransport) Run(body func(rank int)) error {
+	for r := 0; r < t.size; r++ {
+		r := r
+		t.procs[r] = t.k.Spawn(fmt.Sprintf("rank%d", r), func(*des.Proc) { body(r) })
 	}
-	b.waiters = append(b.waiters, p)
-	p.Suspend()
+	return t.k.Run()
 }
 
-// leave removes a dead participant, releasing the current generation if it
-// was the last one being waited for. Waiters wake at the kernel's current
-// time — the death instant — which matches the live engine's max-reduction
-// including the death time (kernel time is monotonic, so all earlier
-// arrivals are below it). The atMS argument documents intent; the kernel
-// clock supplies the value.
-func (b *desBarrier) leave(atMS float64) {
-	_ = atMS
-	b.n--
-	if b.n > 0 && b.arrived == b.n {
-		b.arrived = 0
-		ws := b.waiters
-		b.waiters = nil
-		for _, w := range ws {
-			w.Wake()
-		}
+func (t *desTransport) Now(rank int) float64         { return t.procs[rank].Now() }
+func (t *desTransport) Advance(rank int, dt float64) { t.procs[rank].Delay(dt) }
+
+func (t *desTransport) WaitUntil(rank int, ts float64) {
+	p := t.procs[rank]
+	if now := p.Now(); ts > now {
+		p.Delay(ts - now)
 	}
 }
 
-// desOps implements engineOps for the discrete-event engine; the rank's
-// virtual clock is the kernel clock observed from its process.
-type desOps struct {
-	w    *desWorld
-	rank int
-	p    *des.Proc
+func (t *desTransport) Occupy(rank int, durMS float64, to int) {
+	t.wire.OccupyFor(t.procs[rank], durMS, rank, to)
 }
 
-func (o *desOps) rankID() int                 { return o.rank }
-func (o *desOps) worldSize() int              { return o.w.cl.Size() }
-func (o *desOps) nodeInfo() cluster.Node      { return o.w.cl.Nodes[o.rank] }
-func (o *desOps) costModel() simnet.CostModel { return o.w.model }
-func (o *desOps) clockNow() float64           { return o.p.Now() }
-func (o *desOps) advance(dt float64)          { o.p.Delay(dt) }
+func (t *desTransport) Post(from, to int, m Message) { t.queues[from][to].Put(m, 0) }
 
-func (o *desOps) waitUntil(t float64) {
-	if now := o.p.Now(); t > now {
-		o.p.Delay(t - now)
-	}
-}
-
-func (o *desOps) transfer(durMS float64, to int) { o.w.wire.OccupyFor(o.p, durMS, o.rank, to) }
-
-func (o *desOps) post(to int, m message) { o.w.queues[o.rank][to].Put(m, 0) }
-
-func (o *desOps) take(from int) (message, bool) {
-	// Death is detected solely via the tombstone, never via w.dead: a
-	// peer's final payload may still be an in-flight delivery event when
-	// it dies, and the FIFO event heap guarantees the tombstone (posted
-	// last, at the latest time) arrives after every real message.
-	m := o.w.queues[from][o.rank].Get(o.p).(message)
-	if m.tag == tagCrashed {
-		return message{}, false
+func (t *desTransport) Take(from, to int) (Message, bool) {
+	// Death is detected solely via the tombstone, never via a shared dead
+	// flag: a peer's final payload may still be an in-flight delivery
+	// event when it dies, and the FIFO event heap guarantees the tombstone
+	// (posted last, at the latest time) arrives after every real message.
+	m := t.queues[from][to].Get(t.procs[to]).(Message)
+	if m.Tag == tagCrashed {
+		return Message{}, false
 	}
 	return m, true
 }
 
-func (o *desOps) peerDeathTime(from int) float64 { return o.w.deadAt[from] }
+func (t *desTransport) Park(rank int)   { t.procs[rank].Suspend() }
+func (t *desTransport) Unpark(rank int) { t.procs[rank].Wake() }
 
-func (o *desOps) syncMax(myClock float64) float64 {
-	o.w.bar.wait(o.p)
-	return o.p.Now()
+// BroadcastDeath posts a tombstone message on every outgoing queue of the
+// dying rank so blocked receivers wake and learn the peer is gone. Each
+// queue has exactly one consumer, and consuming a tombstone is terminal,
+// so one tombstone per queue suffices. Runs in the dying rank's process
+// context.
+func (t *desTransport) BroadcastDeath(rank int, atMS float64) {
+	for to := range t.queues[rank] {
+		if to != rank {
+			t.queues[rank][to].Put(Message{Tag: tagCrashed, Avail: atMS}, 0)
+		}
+	}
 }
 
-func (o *desOps) countMsg(bytes int) {
-	// Single-threaded under the kernel: plain counters suffice.
-	o.w.msgs++
-	o.w.bytes += int64(bytes)
-}
+// Abort is a no-op: a failed rank strands its peers on empty queues, and
+// the kernel reports the stall as deadlock, which runWorld surfaces
+// alongside the rank's own error.
+func (t *desTransport) Abort() {}
 
 // wireMode normalizes the Options network selection.
 func wireMode(opts Options) simnet.WireMode {
@@ -143,74 +109,10 @@ func wireMode(opts Options) simnet.WireMode {
 	return simnet.WireIdeal
 }
 
-// runDES executes program as processes of a discrete-event kernel,
-// optionally with a contended shared wire.
+// runDES executes program on the DES transport, optionally with a
+// contended wire.
 func runDES(cl *cluster.Cluster, model simnet.CostModel, opts Options, program Program) (Result, error) {
-	p := cl.Size()
 	k := des.NewKernel()
-	w := &desWorld{
-		cl:     cl,
-		model:  model,
-		kernel: k,
-		queues: make([][]*des.Queue, p),
-		wire:   simnet.NewWireMode(k, model, wireMode(opts), p),
-		bar:    &desBarrier{n: p},
-		dead:   make([]bool, p),
-		deadAt: make([]float64, p),
-	}
-	for i := range w.queues {
-		w.queues[i] = make([]*des.Queue, p)
-		for j := range w.queues[i] {
-			w.queues[i][j] = k.NewQueue(fmt.Sprintf("q%d-%d", i, j))
-		}
-	}
-
-	comms := make([]*comm, p)
-	errs := make([]error, p)
-	clocks := make([]float64, p)
-	for r := 0; r < p; r++ {
-		r := r
-		ops := &desOps{w: w, rank: r}
-		c := newComm(ops, opts)
-		comms[r] = c
-		proc := k.Spawn(fmt.Sprintf("rank%d", r), func(pr *des.Proc) {
-			defer func() {
-				clocks[r] = pr.Now()
-				if rec := recover(); rec != nil {
-					if d, ok := asRankDeath(rec); ok {
-						errs[r] = fmt.Errorf("mpi: rank %d: %w", r, d)
-						w.die(r, d.deathTime())
-						return
-					}
-					errs[r] = fmt.Errorf("mpi: rank %d panicked: %v", r, rec)
-				}
-			}()
-			if err := program(c); err != nil {
-				errs[r] = fmt.Errorf("mpi: rank %d: %w", r, err)
-			}
-		})
-		ops.p = proc
-	}
-	runErr := k.Run()
-	if runErr != nil {
-		// A failed rank typically strands its peers on empty queues; the
-		// kernel reports that as deadlock. Surface both causes.
-		errs = append(errs, runErr)
-	}
-
-	res := Result{
-		RankClocks: clocks,
-		ComputeMS:  make([]float64, p),
-		CommMS:     make([]float64, p),
-		Messages:   w.msgs,
-		BytesMoved: w.bytes,
-	}
-	for r, c := range comms {
-		res.ComputeMS[r] = c.compMS
-		res.CommMS[r] = c.commMS
-		if clocks[r] > res.TimeMS {
-			res.TimeMS = clocks[r]
-		}
-	}
-	return res, errors.Join(errs...)
+	wire := simnet.NewWireMode(k, model, wireMode(opts), cl.Size())
+	return runWorld(cl, model, opts, program, NewDESTransport(k, wire, cl.Size()))
 }

@@ -1,259 +1,141 @@
 package mpi
 
 import (
-	"errors"
-	"fmt"
-	"math"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/simnet"
 )
 
-// errAborted is the sentinel panic value used to unwind ranks blocked on a
-// world whose sibling rank has failed.
-var errAborted = errors.New("mpi: run aborted by another rank's failure")
+// chanTransport is the live-engine substrate: one goroutine per rank,
+// buffered channels for message streams, and rank-local clocks. Virtual
+// time is computed from message timestamps, so results are
+// bit-deterministic regardless of Go scheduling.
+type chanTransport struct {
+	size  int
+	chans [][]chan Message // chans[from][to]
 
-// liveWorld is the shared state of a live-engine run.
-type liveWorld struct {
-	cl    *cluster.Cluster
-	model simnet.CostModel
-	chans [][]chan message // chans[from][to]
-	bar   *maxBarrier
+	// clocks[r] is touched only from rank r's goroutine; cross-rank
+	// reads happen only after Run's WaitGroup edge.
+	clocks []float64
+
+	// parked[r] carries the barrier release token for rank r. Capacity 1:
+	// at most one Park per rank is outstanding, and a token sent to a rank
+	// that unwound via abort must not block the sender.
+	parked []chan struct{}
 
 	abortOnce sync.Once
 	aborted   chan struct{}
 
-	// crashNotify[r] is closed when rank r dies a fault death; deadAt[r]
-	// (Float64bits of the death time) is stored before the close, so the
-	// close's happens-before edge publishes it to observers.
+	// crashNotify[r] is closed when rank r dies a fault death, unblocking
+	// peers parked on its streams.
 	crashNotify []chan struct{}
-	deadAt      []atomic.Uint64
-
-	msgs  atomic.Int64
-	bytes atomic.Int64
 }
 
-func (w *liveWorld) abort() {
-	w.abortOnce.Do(func() { close(w.aborted) })
+// NewChannelTransport returns the live-engine Transport for size ranks.
+// chanCap is the per-rank-pair message buffer (<= 0 selects the default
+// 1024): programs that send more than chanCap messages to a rank between
+// its receives would block the real goroutine (virtual time is
+// unaffected).
+func NewChannelTransport(size, chanCap int) Transport {
+	if chanCap <= 0 {
+		chanCap = 1024
+	}
+	t := &chanTransport{
+		size:        size,
+		chans:       make([][]chan Message, size),
+		clocks:      make([]float64, size),
+		parked:      make([]chan struct{}, size),
+		aborted:     make(chan struct{}),
+		crashNotify: make([]chan struct{}, size),
+	}
+	for i := range t.chans {
+		t.chans[i] = make([]chan Message, size)
+		for j := range t.chans[i] {
+			t.chans[i][j] = make(chan Message, chanCap)
+		}
+		t.parked[i] = make(chan struct{}, 1)
+		t.crashNotify[i] = make(chan struct{})
+	}
+	return t
 }
 
-// die announces a fault death: peers blocked on (or about to depend on)
-// this rank learn about it, and the barrier stops counting it. Called at
-// most once per rank, from that rank's own goroutine as it unwinds.
-func (w *liveWorld) die(rank int, atMS float64) {
-	w.deadAt[rank].Store(math.Float64bits(atMS))
-	close(w.crashNotify[rank])
-	w.bar.leave(atMS)
+// Run implements Transport: one goroutine per rank.
+func (t *chanTransport) Run(body func(rank int)) error {
+	var wg sync.WaitGroup
+	for r := 0; r < t.size; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body(r)
+		}()
+	}
+	wg.Wait()
+	return nil
 }
 
-// maxBarrier is a reusable all-rank barrier that additionally computes the
-// maximum of the values contributed by the participants (the ranks' virtual
-// clocks). Generations make it safely reusable back-to-back.
-type maxBarrier struct {
-	mu      sync.Mutex
-	n       int
-	arrived int
-	cur     *barrierGen
-	aborted chan struct{}
-}
+func (t *chanTransport) Now(rank int) float64              { return t.clocks[rank] }
+func (t *chanTransport) Advance(rank int, dt float64)      { t.clocks[rank] += dt }
+func (t *chanTransport) Occupy(rank int, d float64, _ int) { t.clocks[rank] += d }
 
-type barrierGen struct {
-	release chan struct{}
-	max     float64
-}
-
-func newMaxBarrier(n int, aborted chan struct{}) *maxBarrier {
-	return &maxBarrier{
-		n:       n,
-		cur:     &barrierGen{release: make(chan struct{}), max: math.Inf(-1)},
-		aborted: aborted,
+func (t *chanTransport) WaitUntil(rank int, ts float64) {
+	if ts > t.clocks[rank] {
+		t.clocks[rank] = ts
 	}
 }
 
-// wait blocks until all n participants arrive and returns the maximum
-// contributed value. It panics with errAborted if the world aborts.
-func (b *maxBarrier) wait(v float64) float64 {
-	b.mu.Lock()
-	g := b.cur
-	if v > g.max {
-		g.max = v
-	}
-	b.arrived++
-	if b.arrived == b.n {
-		b.arrived = 0
-		b.cur = &barrierGen{release: make(chan struct{}), max: math.Inf(-1)}
-		close(g.release)
-	}
-	b.mu.Unlock()
+func (t *chanTransport) Post(from, to int, m Message) {
 	select {
-	case <-g.release:
-		return g.max
-	case <-b.aborted:
-		panic(errAborted)
-	}
-}
-
-// leave removes a dead participant. Its death time still bounds the
-// release of the current (oldest incomplete) generation — survivors were,
-// or would have been, waiting for it there — and later generations
-// synchronize among the survivors only. Correct regardless of real
-// scheduling: a generation cannot complete while the dead rank is still
-// counted, so the contribution always lands in the first barrier the rank
-// failed to reach.
-func (b *maxBarrier) leave(v float64) {
-	b.mu.Lock()
-	g := b.cur
-	if v > g.max {
-		g.max = v
-	}
-	b.n--
-	if b.n > 0 && b.arrived == b.n {
-		b.arrived = 0
-		b.cur = &barrierGen{release: make(chan struct{}), max: math.Inf(-1)}
-		close(g.release)
-	}
-	b.mu.Unlock()
-}
-
-// liveOps implements engineOps for the goroutine engine. The virtual clock
-// is plain rank-local state: correctness never depends on Go scheduling,
-// only on message timestamps and per-pair FIFO order.
-type liveOps struct {
-	w     *liveWorld
-	rank  int
-	clock float64
-}
-
-func (o *liveOps) rankID() int                   { return o.rank }
-func (o *liveOps) worldSize() int                { return o.w.cl.Size() }
-func (o *liveOps) nodeInfo() cluster.Node        { return o.w.cl.Nodes[o.rank] }
-func (o *liveOps) costModel() simnet.CostModel   { return o.w.model }
-func (o *liveOps) clockNow() float64             { return o.clock }
-func (o *liveOps) advance(dt float64)            { o.clock += dt }
-func (o *liveOps) transfer(durMS float64, _ int) { o.clock += durMS }
-
-func (o *liveOps) waitUntil(t float64) {
-	if t > o.clock {
-		o.clock = t
-	}
-}
-
-func (o *liveOps) post(to int, m message) {
-	select {
-	case o.w.chans[o.rank][to] <- m:
-	case <-o.w.crashNotify[to]:
+	case t.chans[from][to] <- m:
+	case <-t.crashNotify[to]:
 		// Receiver is dead: drop the payload instead of risking a block on
 		// a full buffer nobody will ever drain.
-	case <-o.w.aborted:
+	case <-t.aborted:
 		panic(errAborted)
 	}
 }
 
-func (o *liveOps) take(from int) (message, bool) {
+func (t *chanTransport) Take(from, to int) (Message, bool) {
 	select {
-	case m := <-o.w.chans[from][o.rank]:
+	case m := <-t.chans[from][to]:
 		return m, true
-	case <-o.w.crashNotify[from]:
+	case <-t.crashNotify[from]:
 		// The peer died — but messages it posted before dying may still be
 		// buffered, and select chooses arbitrarily among ready cases, so
 		// re-check the channel before declaring the stream over.
 		select {
-		case m := <-o.w.chans[from][o.rank]:
+		case m := <-t.chans[from][to]:
 			return m, true
 		default:
-			return message{}, false
+			return Message{}, false
 		}
-	case <-o.w.aborted:
+	case <-t.aborted:
 		panic(errAborted)
 	}
 }
 
-func (o *liveOps) peerDeathTime(from int) float64 {
-	return math.Float64frombits(o.w.deadAt[from].Load())
+func (t *chanTransport) Park(rank int) {
+	select {
+	case <-t.parked[rank]:
+	case <-t.aborted:
+		panic(errAborted)
+	}
 }
 
-func (o *liveOps) syncMax(myClock float64) float64 { return o.w.bar.wait(myClock) }
+func (t *chanTransport) Unpark(rank int) { t.parked[rank] <- struct{}{} }
 
-func (o *liveOps) countMsg(bytes int) {
-	o.w.msgs.Add(1)
-	o.w.bytes.Add(int64(bytes))
+// BroadcastDeath closes the rank's notify channel: parked receivers wake,
+// drain what the rank posted before dying, and then observe the death.
+func (t *chanTransport) BroadcastDeath(rank int, _ float64) {
+	close(t.crashNotify[rank])
 }
 
-// runLive executes program on one goroutine per rank.
+func (t *chanTransport) Abort() {
+	t.abortOnce.Do(func() { close(t.aborted) })
+}
+
+// runLive executes program on the channel transport.
 func runLive(cl *cluster.Cluster, model simnet.CostModel, opts Options, program Program) (Result, error) {
-	p := cl.Size()
-	cap := opts.ChanCap
-	if cap <= 0 {
-		cap = 1024
-	}
-	w := &liveWorld{
-		cl:          cl,
-		model:       model,
-		chans:       make([][]chan message, p),
-		aborted:     make(chan struct{}),
-		crashNotify: make([]chan struct{}, p),
-		deadAt:      make([]atomic.Uint64, p),
-	}
-	for i := range w.chans {
-		w.chans[i] = make([]chan message, p)
-		for j := range w.chans[i] {
-			w.chans[i][j] = make(chan message, cap)
-		}
-		w.crashNotify[i] = make(chan struct{})
-	}
-	w.bar = newMaxBarrier(p, w.aborted)
-
-	comms := make([]*comm, p)
-	errs := make([]error, p)
-	var wg sync.WaitGroup
-	for r := 0; r < p; r++ {
-		r := r
-		c := newComm(&liveOps{w: w, rank: r}, opts)
-		comms[r] = c
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer func() {
-				if rec := recover(); rec != nil {
-					if d, ok := asRankDeath(rec); ok {
-						// A fault death excludes this rank gracefully; the
-						// world keeps running on the survivors.
-						errs[r] = fmt.Errorf("mpi: rank %d: %w", r, d)
-						w.die(r, d.deathTime())
-						return
-					}
-					if rec == errAborted { //nolint:errorlint // sentinel identity
-						errs[r] = fmt.Errorf("mpi: rank %d: %w", r, errAborted)
-					} else {
-						errs[r] = fmt.Errorf("mpi: rank %d panicked: %v", r, rec)
-					}
-					w.abort()
-				}
-			}()
-			if err := program(c); err != nil {
-				errs[r] = fmt.Errorf("mpi: rank %d: %w", r, err)
-				w.abort()
-			}
-		}()
-	}
-	wg.Wait()
-
-	res := Result{
-		RankClocks: make([]float64, p),
-		ComputeMS:  make([]float64, p),
-		CommMS:     make([]float64, p),
-		Messages:   w.msgs.Load(),
-		BytesMoved: w.bytes.Load(),
-	}
-	for r, c := range comms {
-		res.RankClocks[r] = c.ops.clockNow()
-		res.ComputeMS[r] = c.compMS
-		res.CommMS[r] = c.commMS
-		if res.RankClocks[r] > res.TimeMS {
-			res.TimeMS = res.RankClocks[r]
-		}
-	}
-	return res, errors.Join(errs...)
+	return runWorld(cl, model, opts, program, NewChannelTransport(cl.Size(), opts.ChanCap))
 }

@@ -10,56 +10,15 @@ import (
 	"repro/internal/trace"
 )
 
-// message is the unit of transport between ranks. avail is the virtual
-// instant at which the payload is fully usable at the receiver (transfer
-// complete; receive-side overhead not yet charged).
-type message struct {
-	tag   int
-	avail float64
-	data  []float64
-}
-
-// engineOps is the narrow per-engine interface the shared Comm
-// implementation is built on. Implementations: liveOps (goroutines) and
-// desOps (discrete-event processes).
-type engineOps interface {
-	rankID() int
-	worldSize() int
-	nodeInfo() cluster.Node
-	costModel() simnet.CostModel
-
-	// clockNow returns this rank's virtual time (ms).
-	clockNow() float64
-	// advance moves this rank's virtual time forward by dt >= 0.
-	advance(dt float64)
-	// waitUntil moves this rank's virtual time to at least t.
-	waitUntil(t float64)
-	// transfer charges the medium-occupancy time durMS of moving a
-	// payload across the network to rank `to` (queueing for a contended
-	// wire included on top).
-	transfer(durMS float64, to int)
-	// post enqueues m for rank to, stamped at the current instant. Posting
-	// to a dead rank is a silent no-op.
-	post(to int, m message)
-	// take dequeues the oldest message from rank from, blocking as needed.
-	// On return the virtual clock is >= the instant m was posted; callers
-	// still must waitUntil(m.avail). ok is false when the peer died and
-	// every message it posted before dying has been consumed: nothing more
-	// will ever arrive, and peerDeathTime(from) is valid.
-	take(from int) (m message, ok bool)
-	// peerDeathTime returns the virtual instant at which rank from died.
-	// Only meaningful after take(from) returned ok == false.
-	peerDeathTime(from int) float64
-	// syncMax blocks until all ranks call it, then returns the maximum
-	// clock among them.
-	syncMax(myClock float64) float64
-	// countMsg records one payload of the given size in the run totals.
-	countMsg(bytes int)
-}
-
-// comm implements Comm generically over engineOps.
+// comm implements Comm for one rank of a world. All cost policy lives
+// here — what an operation charges, when a rank dies, what gets traced —
+// while the world's Transport supplies execution, blocking and delivery.
+// Because this file is the only place that charges virtual time, both
+// built-in transports (and any future one) produce identical clocks and
+// identical trace span sequences by construction.
 type comm struct {
-	ops    engineOps
+	w      *world
+	rank   int
 	compMS float64
 	commMS float64
 
@@ -76,84 +35,89 @@ type comm struct {
 var _ Comm = (*comm)(nil)
 
 // newComm wires the per-run options into a rank's comm.
-func newComm(ops engineOps, opts Options) *comm {
-	c := &comm{ops: ops, tr: opts.Trace, jitter: opts.Jitter, crashAt: math.Inf(1)}
-	c.pair, _ = ops.costModel().(simnet.PairModel)
+func newComm(w *world, rank int, opts Options) *comm {
+	c := &comm{w: w, rank: rank, tr: opts.Trace, jitter: opts.Jitter, crashAt: math.Inf(1)}
+	c.pair, _ = w.model.(simnet.PairModel)
 	if c.jitter > 0 {
-		c.rng = rand.New(rand.NewSource(opts.JitterSeed + int64(ops.rankID())*7919))
+		c.rng = rand.New(rand.NewSource(opts.JitterSeed + int64(rank)*7919))
 	}
 	if opts.Faults != nil {
 		c.inj = opts.Faults
-		if t, ok := c.inj.CrashTimeMS(ops.rankID()); ok {
+		if t, ok := c.inj.CrashTimeMS(rank); ok {
 			c.crashAt = t
 		}
-		c.sendSeq = make([]int, ops.worldSize())
+		c.sendSeq = make([]int, w.cl.Size())
 	}
 	return c
 }
 
+// Clock primitives, delegated to the world's transport.
+func (c *comm) now() float64           { return c.w.t.Now(c.rank) }
+func (c *comm) waitUntil(t float64)    { c.w.t.WaitUntil(c.rank, t) }
+func (c *comm) post(to int, m Message) { c.w.t.Post(c.rank, to, m) }
+
 // Fault plumbing. Death is always raised by panicking a rankDeath value;
-// the engine's recover handler records the error and announces the death
-// to surviving ranks, so the announcement code is engine-specific while
-// the decision to die lives here.
+// the runtime's recover handler records the error and announces the death
+// to surviving ranks, so the announcement mechanics are the transport's
+// while the decision to die lives here.
 //
 // Determinism: every death time below is a pure function of virtual time,
-// and both engines agree on the virtual clock at op boundaries, so a
+// and all transports agree on the virtual clock at op boundaries, so a
 // given program + fault injector yields identical deaths, message counts
-// and final clocks on the live and DES engines regardless of real
-// scheduling.
+// and final clocks on every transport regardless of real scheduling.
 
 // checkCrash kills the rank at an operation boundary once its plan crash
 // time has passed.
 func (c *comm) checkCrash() {
-	if c.ops.clockNow() >= c.crashAt {
+	if c.now() >= c.crashAt {
 		at := c.crashAt
-		if now := c.ops.clockNow(); now > at {
+		if now := c.now(); now > at {
 			at = now
 		}
-		panic(&CrashError{Rank: c.Rank(), AtMS: at})
+		panic(&CrashError{Rank: c.rank, AtMS: at})
 	}
 }
 
-// adv advances charged virtual time like ops.advance, but truncates at the
-// crash instant: a rank scheduled to die mid-interval stops exactly there.
+// adv advances charged virtual time like Transport.Advance, but truncates
+// at the crash instant: a rank scheduled to die mid-interval stops exactly
+// there.
 func (c *comm) adv(dt float64) {
-	if c.ops.clockNow()+dt > c.crashAt {
-		c.ops.waitUntil(c.crashAt) // no-op if the clock already passed it
+	if c.now()+dt > c.crashAt {
+		c.waitUntil(c.crashAt) // no-op if the clock already passed it
 		at := c.crashAt
-		if now := c.ops.clockNow(); now > at {
+		if now := c.now(); now > at {
 			at = now
 		}
-		panic(&CrashError{Rank: c.Rank(), AtMS: at})
+		panic(&CrashError{Rank: c.rank, AtMS: at})
 	}
-	c.ops.advance(dt)
+	c.w.t.Advance(c.rank, dt)
 }
 
-// xfer charges a network occupancy like ops.transfer, but a sender whose
-// crash lands mid-transfer dies at the crash instant and the payload is
-// never delivered.
+// xfer charges a network occupancy like Transport.Occupy, but a sender
+// whose crash lands mid-transfer dies at the crash instant and the
+// payload is never delivered.
 func (c *comm) xfer(durMS float64, to int) {
-	if c.ops.clockNow()+durMS > c.crashAt {
-		c.ops.waitUntil(c.crashAt)
+	if c.now()+durMS > c.crashAt {
+		c.waitUntil(c.crashAt)
 		at := c.crashAt
-		if now := c.ops.clockNow(); now > at {
+		if now := c.now(); now > at {
 			at = now
 		}
-		panic(&CrashError{Rank: c.Rank(), AtMS: at})
+		panic(&CrashError{Rank: c.rank, AtMS: at})
 	}
-	c.ops.transfer(durMS, to)
+	c.w.t.Occupy(c.rank, durMS, to)
 }
 
 // peerDown aborts this rank because a peer it depends on died: the abort
 // instant is when the dependence became unsatisfiable — the later of the
 // peer's death and this rank's own clock.
 func (c *comm) peerDown(peer int) {
-	at := c.ops.peerDeathTime(peer)
-	if now := c.ops.clockNow(); now > at {
+	at := c.w.peerDeathTime(peer)
+	if now := c.now(); now > at {
 		at = now
 	}
-	c.ops.waitUntil(at)
-	panic(&PeerCrashError{Rank: c.Rank(), Peer: peer, AtMS: at})
+	c.waitUntil(at)
+	panic(&PeerCrashError{Rank: c.rank, Peer: peer, AtMS: at})
 }
 
 // stretch applies the configured measurement jitter to a charged duration.
@@ -172,22 +136,22 @@ func (c *comm) span(kind trace.Kind, start, end float64, bytes, peer int) {
 		return
 	}
 	c.tr.Add(trace.Span{
-		Rank: c.ops.rankID(), Kind: kind,
+		Rank: c.rank, Kind: kind,
 		StartMS: start, EndMS: end, Bytes: bytes, Peer: peer,
 	})
 }
 
 // Rank implements Comm.
-func (c *comm) Rank() int { return c.ops.rankID() }
+func (c *comm) Rank() int { return c.rank }
 
 // Size implements Comm.
-func (c *comm) Size() int { return c.ops.worldSize() }
+func (c *comm) Size() int { return c.w.cl.Size() }
 
 // Node implements Comm.
-func (c *comm) Node() cluster.Node { return c.ops.nodeInfo() }
+func (c *comm) Node() cluster.Node { return c.w.cl.Nodes[c.rank] }
 
 // Clock implements Comm.
-func (c *comm) Clock() float64 { return c.ops.clockNow() }
+func (c *comm) Clock() float64 { return c.now() }
 
 // ComputeMS implements Comm.
 func (c *comm) ComputeMS() float64 { return c.compMS }
@@ -198,30 +162,30 @@ func (c *comm) CommMS() float64 { return c.commMS }
 // Compute implements Comm. Marked speed is in Mflops = 1e3 flops per ms.
 func (c *comm) Compute(flops float64) {
 	if flops < 0 {
-		panic(fmt.Sprintf("mpi: rank %d: negative flops %g", c.Rank(), flops))
+		panic(fmt.Sprintf("mpi: rank %d: negative flops %g", c.rank, flops))
 	}
 	c.checkCrash()
-	start := c.ops.clockNow()
-	dt := c.stretch(flops / (c.ops.nodeInfo().SpeedMflops * 1e3))
+	start := c.now()
+	dt := c.stretch(flops / (c.Node().SpeedMflops * 1e3))
 	c.adv(dt)
 	c.compMS += dt
-	c.span(trace.KindCompute, start, c.ops.clockNow(), 0, -1)
+	c.span(trace.KindCompute, start, c.now(), 0, -1)
 }
 
 // Sleep implements Comm.
 func (c *comm) Sleep(ms float64) {
 	if ms < 0 {
-		panic(fmt.Sprintf("mpi: rank %d: negative sleep %g", c.Rank(), ms))
+		panic(fmt.Sprintf("mpi: rank %d: negative sleep %g", c.rank, ms))
 	}
 	c.checkCrash()
-	start := c.ops.clockNow()
+	start := c.now()
 	c.adv(ms)
-	c.span(trace.KindSleep, start, c.ops.clockNow(), 0, -1)
+	c.span(trace.KindSleep, start, c.now(), 0, -1)
 }
 
 func (c *comm) checkPeer(r int, what string) {
 	if r < 0 || r >= c.Size() {
-		panic(fmt.Sprintf("mpi: rank %d: %s peer %d out of range [0,%d)", c.Rank(), what, r, c.Size()))
+		panic(fmt.Sprintf("mpi: rank %d: %s peer %d out of range [0,%d)", c.rank, what, r, c.Size()))
 	}
 }
 
@@ -229,17 +193,17 @@ func (c *comm) checkPeer(r int, what string) {
 // costs of a point-to-point message.
 func (c *comm) sendCost(to, bytes int) (send, xfer float64) {
 	if c.pair != nil {
-		return c.pair.PairSendTime(c.Rank(), to, bytes), c.pair.PairTransferTime(c.Rank(), to, bytes)
+		return c.pair.PairSendTime(c.rank, to, bytes), c.pair.PairTransferTime(c.rank, to, bytes)
 	}
-	m := c.ops.costModel()
+	m := c.w.model
 	return m.SendTime(bytes), m.TransferTime(bytes)
 }
 
 func (c *comm) recvCost(from, bytes int) float64 {
 	if c.pair != nil {
-		return c.pair.PairRecvTime(from, c.Rank(), bytes)
+		return c.pair.PairRecvTime(from, c.rank, bytes)
 	}
-	return c.ops.costModel().RecvTime(bytes)
+	return c.w.model.RecvTime(bytes)
 }
 
 // Send implements Comm. Under fault injection the send is a stop-and-wait
@@ -252,19 +216,19 @@ func (c *comm) recvCost(from, bytes int) float64 {
 func (c *comm) Send(to, tag int, data []float64) {
 	c.checkPeer(to, "Send")
 	c.checkCrash()
-	start := c.ops.clockNow()
+	start := c.now()
 	b := payloadBytes(data)
 	send, xfer := c.sendCost(to, b)
 	if c.inj == nil {
 		c.adv(c.stretch(send))
 		c.xfer(xfer, to)
-		c.ops.post(to, message{tag: tag, avail: c.ops.clockNow(), data: copySlice(data)})
-		c.ops.countMsg(b)
+		c.post(to, Message{Tag: tag, Avail: c.now(), Data: copySlice(data)})
+		c.w.countMsg(b)
 	} else {
 		c.sendReliable(to, tag, b, send, xfer, data)
 	}
-	c.commMS += c.ops.clockNow() - start
-	c.span(trace.KindSend, start, c.ops.clockNow(), b, to)
+	c.commMS += c.now() - start
+	c.span(trace.KindSend, start, c.now(), b, to)
 }
 
 // sendReliable is the lossy-link Send path: transmit, and on a drop wait
@@ -274,15 +238,15 @@ func (c *comm) sendReliable(to, tag, b int, send, xfer float64, data []float64) 
 	for attempt := 0; ; attempt++ {
 		c.adv(c.stretch(send))
 		c.xfer(xfer, to)
-		c.ops.countMsg(b)
+		c.w.countMsg(b)
 		seq := c.sendSeq[to]
 		c.sendSeq[to]++
-		if !c.inj.DropSend(c.Rank(), to, seq) {
-			c.ops.post(to, message{tag: tag, avail: c.ops.clockNow(), data: copySlice(data)})
+		if !c.inj.DropSend(c.rank, to, seq) {
+			c.post(to, Message{Tag: tag, Avail: c.now(), Data: copySlice(data)})
 			return
 		}
 		if attempt+1 >= maxAttempts {
-			panic(&DropStormError{Rank: c.Rank(), Peer: to, Attempts: attempt + 1, AtMS: c.ops.clockNow()})
+			panic(&DropStormError{Rank: c.rank, Peer: to, Attempts: attempt + 1, AtMS: c.now()})
 		}
 		c.adv(c.stretch(c.inj.RetryDelayMS(attempt)))
 	}
@@ -290,42 +254,42 @@ func (c *comm) sendReliable(to, tag, b int, send, xfer float64, data []float64) 
 
 // ISend implements Comm: the sender pays only its software overhead; the
 // payload becomes available at sender-clock + transfer time, overlapping
-// whatever the sender does next. The contended-wire queueing of the DES
-// engine does not apply (the transfer is modeled as offloaded).
+// whatever the sender does next. Contended-wire queueing does not apply
+// (the transfer is modeled as offloaded).
 func (c *comm) ISend(to, tag int, data []float64) {
 	c.checkPeer(to, "ISend")
 	c.checkCrash()
-	start := c.ops.clockNow()
+	start := c.now()
 	b := payloadBytes(data)
 	send, xfer := c.sendCost(to, b)
 	c.adv(c.stretch(send))
 	if c.inj == nil {
-		c.ops.post(to, message{tag: tag, avail: c.ops.clockNow() + xfer, data: copySlice(data)})
-		c.ops.countMsg(b)
+		c.post(to, Message{Tag: tag, Avail: c.now() + xfer, Data: copySlice(data)})
+		c.w.countMsg(b)
 	} else {
 		// The offloaded NIC retransmits in the background: each lost
 		// attempt pushes availability out by a transfer plus the ack
 		// timeout, while the sender's own clock stays put. Exhausting the
 		// budget still kills the sender — at the instant the NIC gives up.
-		avail := c.ops.clockNow()
+		avail := c.now()
 		maxAttempts := c.inj.MaxSendAttempts()
 		for attempt := 0; ; attempt++ {
 			avail += xfer
-			c.ops.countMsg(b)
+			c.w.countMsg(b)
 			seq := c.sendSeq[to]
 			c.sendSeq[to]++
-			if !c.inj.DropSend(c.Rank(), to, seq) {
-				c.ops.post(to, message{tag: tag, avail: avail, data: copySlice(data)})
+			if !c.inj.DropSend(c.rank, to, seq) {
+				c.post(to, Message{Tag: tag, Avail: avail, Data: copySlice(data)})
 				break
 			}
 			if attempt+1 >= maxAttempts {
-				panic(&DropStormError{Rank: c.Rank(), Peer: to, Attempts: attempt + 1, AtMS: avail})
+				panic(&DropStormError{Rank: c.rank, Peer: to, Attempts: attempt + 1, AtMS: avail})
 			}
 			avail += c.inj.RetryDelayMS(attempt)
 		}
 	}
-	c.commMS += c.ops.clockNow() - start
-	c.span(trace.KindSend, start, c.ops.clockNow(), b, to)
+	c.commMS += c.now() - start
+	c.span(trace.KindSend, start, c.now(), b, to)
 }
 
 // Recv implements Comm. A receive from a rank that died before posting
@@ -334,23 +298,23 @@ func (c *comm) ISend(to, tag int, data []float64) {
 func (c *comm) Recv(from, tag int) []float64 {
 	c.checkPeer(from, "Recv")
 	c.checkCrash()
-	start := c.ops.clockNow()
-	msg, ok := c.ops.take(from)
+	start := c.now()
+	msg, ok := c.w.t.Take(from, c.rank)
 	if !ok {
 		c.peerDown(from)
 	}
-	if msg.tag != tag {
+	if msg.Tag != tag {
 		panic(fmt.Sprintf("mpi: rank %d: Recv(from=%d) tag mismatch: got %d, want %d",
-			c.Rank(), from, msg.tag, tag))
+			c.rank, from, msg.Tag, tag))
 	}
-	c.ops.waitUntil(msg.avail)
-	waited := c.ops.clockNow()
+	c.waitUntil(msg.Avail)
+	waited := c.now()
 	c.span(trace.KindWait, start, waited, 0, from)
-	b := payloadBytes(msg.data)
+	b := payloadBytes(msg.Data)
 	c.adv(c.stretch(c.recvCost(from, b)))
-	c.commMS += c.ops.clockNow() - start
-	c.span(trace.KindRecv, waited, c.ops.clockNow(), b, from)
-	return msg.data
+	c.commMS += c.now() - start
+	c.span(trace.KindRecv, waited, c.now(), b, from)
+	return msg.Data
 }
 
 // Bcast implements Comm. The cost model's aggregate BcastTime(p, bytes)
@@ -363,36 +327,36 @@ func (c *comm) Recv(from, tag int) []float64 {
 func (c *comm) Bcast(root int, data []float64) []float64 {
 	c.checkPeer(root, "Bcast")
 	c.checkCrash()
-	start := c.ops.clockNow()
+	start := c.now()
 	p := c.Size()
 	var out []float64
-	if c.Rank() == root {
+	if c.rank == root {
 		b := payloadBytes(data)
-		done := c.ops.clockNow() + c.stretch(c.ops.costModel().BcastTime(p, b))
+		done := c.now() + c.stretch(c.w.model.BcastTime(p, b))
 		shared := copySlice(data)
 		for r := 0; r < p; r++ {
 			if r == root {
 				continue
 			}
-			c.ops.post(r, message{tag: tagBcast, avail: done, data: shared})
-			c.ops.countMsg(b)
+			c.post(r, Message{Tag: tagBcast, Avail: done, Data: shared})
+			c.w.countMsg(b)
 		}
-		c.ops.waitUntil(done)
+		c.waitUntil(done)
 		out = shared
-		c.span(trace.KindBcast, start, c.ops.clockNow(), b, root)
+		c.span(trace.KindBcast, start, c.now(), b, root)
 	} else {
-		msg, ok := c.ops.take(root)
+		msg, ok := c.w.t.Take(root, c.rank)
 		if !ok {
 			c.peerDown(root)
 		}
-		if msg.tag != tagBcast {
-			panic(fmt.Sprintf("mpi: rank %d: Bcast collective mismatch (tag %d)", c.Rank(), msg.tag))
+		if msg.Tag != tagBcast {
+			panic(fmt.Sprintf("mpi: rank %d: Bcast collective mismatch (tag %d)", c.rank, msg.Tag))
 		}
-		c.ops.waitUntil(msg.avail)
-		out = msg.data
-		c.span(trace.KindWait, start, c.ops.clockNow(), payloadBytes(out), root)
+		c.waitUntil(msg.Avail)
+		out = msg.Data
+		c.span(trace.KindWait, start, c.now(), payloadBytes(out), root)
 	}
-	c.commMS += c.ops.clockNow() - start
+	c.commMS += c.now() - start
 	return out
 }
 
@@ -402,20 +366,20 @@ func (c *comm) Bcast(root int, data []float64) []float64 {
 // which it was expected (modeling failure detection).
 func (c *comm) Barrier() {
 	c.checkCrash()
-	start := c.ops.clockNow()
-	mx := c.ops.syncMax(start)
-	c.ops.waitUntil(mx)
-	waited := c.ops.clockNow()
+	start := c.now()
+	mx := c.w.bar.wait(c.rank, start)
+	c.waitUntil(mx)
+	waited := c.now()
 	c.span(trace.KindWait, start, waited, 0, -1)
-	c.adv(c.stretch(c.ops.costModel().BarrierTime(c.Size())))
-	c.commMS += c.ops.clockNow() - start
-	c.span(trace.KindBarrier, waited, c.ops.clockNow(), 0, -1)
+	c.adv(c.stretch(c.w.model.BarrierTime(c.Size())))
+	c.commMS += c.now() - start
+	c.span(trace.KindBarrier, waited, c.now(), 0, -1)
 }
 
 // Gatherv implements Comm.
 func (c *comm) Gatherv(root int, data []float64) [][]float64 {
 	c.checkPeer(root, "Gatherv")
-	if c.Rank() != root {
+	if c.rank != root {
 		c.Send(root, tagGather, data)
 		return nil
 	}
@@ -432,11 +396,11 @@ func (c *comm) Gatherv(root int, data []float64) [][]float64 {
 // Scatterv implements Comm.
 func (c *comm) Scatterv(root int, parts [][]float64) []float64 {
 	c.checkPeer(root, "Scatterv")
-	if c.Rank() != root {
+	if c.rank != root {
 		return c.Recv(root, tagScatter)
 	}
 	if len(parts) != c.Size() {
-		panic(fmt.Sprintf("mpi: rank %d: Scatterv needs %d parts, got %d", c.Rank(), c.Size(), len(parts)))
+		panic(fmt.Sprintf("mpi: rank %d: Scatterv needs %d parts, got %d", c.rank, c.Size(), len(parts)))
 	}
 	for r := 0; r < c.Size(); r++ {
 		if r != root {
@@ -450,9 +414,9 @@ func (c *comm) Scatterv(root int, parts [][]float64) []float64 {
 func (c *comm) Reduce(root int, value float64, op ReduceOp) float64 {
 	c.checkPeer(root, "Reduce")
 	if op == nil {
-		panic(fmt.Sprintf("mpi: rank %d: nil ReduceOp", c.Rank()))
+		panic(fmt.Sprintf("mpi: rank %d: nil ReduceOp", c.rank))
 	}
-	if c.Rank() != root {
+	if c.rank != root {
 		c.Send(root, tagReduce, []float64{value})
 		return 0
 	}

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"bytes"
 	"math"
 	"strings"
 	"testing"
@@ -100,6 +101,55 @@ func TestTracingDeterministicAcrossRuns(t *testing.T) {
 				t.Fatalf("span %d differs: %+v vs %+v", i, spans[i], first[i])
 			}
 		}
+	}
+}
+
+// TestTraceIdenticalAcrossEngines is the trace-level differential test:
+// because spans are emitted only by the shared runtime, the channel and
+// DES transports must record the *same span sequence* — and therefore
+// serialize to byte-identical Chrome trace JSON.
+func TestTraceIdenticalAcrossEngines(t *testing.T) {
+	cl := testCluster(t, 40, 80, 60, 50)
+	m := testModel(t)
+	prog := func(c Comm) error {
+		c.Compute(3e5)
+		c.Bcast(1, []float64{1, 2, 3})
+		next := (c.Rank() + 1) % c.Size()
+		prev := (c.Rank() + c.Size() - 1) % c.Size()
+		c.ISend(next, 7, []float64{float64(c.Rank())})
+		c.Recv(prev, 7)
+		c.Barrier()
+		c.Gatherv(0, []float64{float64(c.Rank()), 1})
+		c.Allreduce(float64(c.Rank()), OpSum)
+		c.Sleep(2)
+		return nil
+	}
+	run := func(opts Options) (*trace.Trace, []byte) {
+		tr := trace.New()
+		opts.Trace = tr
+		if _, err := Run(cl, m, opts, prog); err != nil {
+			t.Fatalf("%v: %v", opts.Engine, err)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return tr, buf.Bytes()
+	}
+	liveTr, liveJSON := run(Options{Engine: EngineLive})
+	desTr, desJSON := run(Options{Engine: EngineDES})
+
+	ls, ds := liveTr.Spans(), desTr.Spans()
+	if len(ls) != len(ds) {
+		t.Fatalf("span counts differ: live %d vs des %d", len(ls), len(ds))
+	}
+	for i := range ls {
+		if ls[i] != ds[i] {
+			t.Fatalf("span %d differs: live %+v vs des %+v", i, ls[i], ds[i])
+		}
+	}
+	if !bytes.Equal(liveJSON, desJSON) {
+		t.Errorf("Chrome trace JSON differs across engines:\nlive: %s\ndes:  %s", liveJSON, desJSON)
 	}
 }
 

@@ -93,7 +93,7 @@ func TestCollectiveScaling(t *testing.T) {
 func TestWireUncontendedMatchesModel(t *testing.T) {
 	m := mustModel(t)
 	k := des.NewKernel()
-	w := NewWire(k, m, false)
+	w := NewWireMode(k, m, WireIdeal, 0)
 	var done float64
 	k.Spawn("tx", func(p *des.Proc) {
 		done = w.Transmit(p, 1000)
@@ -113,9 +113,9 @@ func TestWireUncontendedMatchesModel(t *testing.T) {
 func TestWireContentionSerializes(t *testing.T) {
 	m := mustModel(t)
 	const nTx, bytes = 4, 100000
-	run := func(contended bool) (makespan float64, ends []float64) {
+	run := func(mode WireMode) (makespan float64, ends []float64) {
 		k := des.NewKernel()
-		w := NewWire(k, m, contended)
+		w := NewWireMode(k, m, mode, 0)
 		for i := 0; i < nTx; i++ {
 			k.Spawn("tx", func(p *des.Proc) {
 				ends = append(ends, w.Transmit(p, bytes))
@@ -126,8 +126,8 @@ func TestWireContentionSerializes(t *testing.T) {
 		}
 		return k.Now(), ends
 	}
-	free, _ := run(false)
-	busy, ends := run(true)
+	free, _ := run(WireIdeal)
+	busy, ends := run(WireShared)
 	if busy <= free {
 		t.Errorf("contended makespan %g should exceed uncontended %g", busy, free)
 	}

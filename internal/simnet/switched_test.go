@@ -16,14 +16,17 @@ func TestWireModeString(t *testing.T) {
 	}
 }
 
-func TestNewWireLegacyMapping(t *testing.T) {
+func TestWireModeContended(t *testing.T) {
 	k := des.NewKernel()
 	m := mustModel(t)
-	if w := NewWire(k, m, false); w.Mode != WireIdeal || w.Contended() {
-		t.Error("legacy uncontended mapping wrong")
+	if w := NewWireMode(k, m, WireIdeal, 0); w.Contended() {
+		t.Error("ideal wire reports contended")
 	}
-	if w := NewWire(k, m, true); w.Mode != WireShared || !w.Contended() {
-		t.Error("legacy contended mapping wrong")
+	if w := NewWireMode(k, m, WireShared, 0); !w.Contended() {
+		t.Error("shared wire reports uncontended")
+	}
+	if w := NewWireMode(k, m, WireSwitched, 4); !w.Contended() {
+		t.Error("switched wire reports uncontended")
 	}
 }
 

@@ -45,16 +45,6 @@ type Wire struct {
 	ports []*des.Resource // WireSwitched: one per endpoint
 }
 
-// NewWire attaches a shared-or-ideal wire to kernel k (legacy two-mode
-// constructor kept for its many call sites).
-func NewWire(k *des.Kernel, model CostModel, contended bool) *Wire {
-	mode := WireIdeal
-	if contended {
-		mode = WireShared
-	}
-	return NewWireMode(k, model, mode, 0)
-}
-
 // NewWireMode attaches a wire with an explicit mode. endpoints is the
 // number of switch ports (required > 0 for WireSwitched, ignored
 // otherwise).

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWriteChromeTraceGolden pins the exact bytes of the Chrome trace-event
+// serialization. The format is consumed by external tools
+// (chrome://tracing, Perfetto) and compared byte-for-byte across engines,
+// so accidental drift — field order, units, arg spelling — should fail
+// loudly here.
+func TestWriteChromeTraceGolden(t *testing.T) {
+	tr := New()
+	// Added out of order on purpose: Spans() normalizes.
+	tr.Add(Span{Rank: 1, Kind: KindSend, StartMS: 2, EndMS: 3.5, Bytes: 16, Peer: 0})
+	tr.Add(Span{Rank: 0, Kind: KindCompute, StartMS: 0, EndMS: 2.25, Peer: -1})
+	tr.Add(Span{Rank: 0, Kind: KindWait, StartMS: 2.25, EndMS: 3.5, Peer: 1})
+	tr.Add(Span{Rank: 0, Kind: KindRecv, StartMS: 3.5, EndMS: 4, Bytes: 16, Peer: 1})
+	tr.Add(Span{Rank: 1, Kind: KindBarrier, StartMS: 4, EndMS: 4.5, Peer: -1})
+
+	const golden = `{"traceEvents":[` +
+		`{"name":"compute","cat":"virtual","ph":"X","ts":0,"dur":2250,"pid":1,"tid":0},` +
+		`{"name":"wait","cat":"virtual","ph":"X","ts":2250,"dur":1250,"pid":1,"tid":0,"args":{"peer":"rank 1"}},` +
+		`{"name":"recv","cat":"virtual","ph":"X","ts":3500,"dur":500,"pid":1,"tid":0,"args":{"bytes":"16","peer":"rank 1"}},` +
+		`{"name":"send","cat":"virtual","ph":"X","ts":2000,"dur":1500,"pid":1,"tid":1,"args":{"bytes":"16","peer":"rank 0"}},` +
+		`{"name":"barrier","cat":"virtual","ph":"X","ts":4000,"dur":500,"pid":1,"tid":1}` +
+		`],"displayTimeUnit":"ms"}` + "\n"
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != golden {
+		t.Errorf("Chrome trace drifted from golden output:\ngot:  %s\nwant: %s", got, golden)
+	}
+
+	// The golden bytes are also well-formed JSON with the expected shape.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		DisplayUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 5 || doc.DisplayUnit != "ms" {
+		t.Errorf("parsed %d events, unit %q", len(doc.TraceEvents), doc.DisplayUnit)
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents":[]`) {
+		t.Errorf("empty trace output: %s", buf.String())
+	}
+}

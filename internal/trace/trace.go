@@ -111,21 +111,32 @@ func (t *Trace) Add(s Span) {
 	t.mu.Unlock()
 }
 
-// Spans returns the recorded spans sorted by (rank, start, kind) — a
-// deterministic order independent of goroutine scheduling.
+// Spans returns the recorded spans sorted by
+// (rank, start, end, kind, peer, bytes) — a total order over every field,
+// so the reported sequence is deterministic regardless of goroutine
+// scheduling and identical across execution engines that record the same
+// spans.
 func (t *Trace) Spans() []Span {
 	t.mu.Lock()
 	out := make([]Span, len(t.spans))
 	copy(out, t.spans)
 	t.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Rank != out[j].Rank {
-			return out[i].Rank < out[j].Rank
+		a, b := out[i], out[j]
+		switch {
+		case a.Rank != b.Rank:
+			return a.Rank < b.Rank
+		case a.StartMS != b.StartMS:
+			return a.StartMS < b.StartMS
+		case a.EndMS != b.EndMS:
+			return a.EndMS < b.EndMS
+		case a.Kind != b.Kind:
+			return a.Kind < b.Kind
+		case a.Peer != b.Peer:
+			return a.Peer < b.Peer
+		default:
+			return a.Bytes < b.Bytes
 		}
-		if out[i].StartMS != out[j].StartMS {
-			return out[i].StartMS < out[j].StartMS
-		}
-		return out[i].Kind < out[j].Kind
 	})
 	return out
 }
