@@ -1,6 +1,7 @@
 package main
 
 import (
+	"flag"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -126,6 +127,63 @@ func TestScanCrashReportsOutcome(t *testing.T) {
 	got := out.String()
 	if !strings.Contains(got, "DNF") || !strings.Contains(got, "crashed 1@") {
 		t.Errorf("crash outcome not reported:\n%s", got)
+	}
+}
+
+var update = flag.Bool("update", false, "rewrite the golden files from current output")
+
+// TestScanJSONGolden pins the -json document byte for byte, for the
+// plain crash (DNF) and the checkpoint/rollback (-recover) variants.
+func TestScanJSONGolden(t *testing.T) {
+	for _, tc := range []struct {
+		golden string
+		args   []string
+	}{
+		{"scan_crash.golden.json", []string{"-spec", "testdata/crashplan.json", "-alg", "ge", "-p", "4", "-n", "100", "-json"}},
+		{"scan_recovered.golden.json", []string{"-spec", "testdata/crashplan.json", "-alg", "ge", "-p", "4", "-n", "100", "-recover", "-json"}},
+	} {
+		t.Run(tc.golden, func(t *testing.T) {
+			var out strings.Builder
+			if err := run(tc.args, &out); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", tc.golden)
+			if *update {
+				if err := os.WriteFile(path, []byte(out.String()), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.String() != string(want) {
+				t.Errorf("output drifted from %s (rerun with -update to accept):\n--- got ---\n%s--- want ---\n%s",
+					path, out.String(), want)
+			}
+		})
+	}
+}
+
+// TestScanRecoveredBothEnginesAgree asserts a recovered run reports the
+// same table — recovered T, ψ, and the full rollback history notes — on
+// the channel and the DES transport.
+func TestScanRecoveredBothEnginesAgree(t *testing.T) {
+	var live, des strings.Builder
+	base := []string{"-spec", "testdata/crashplan.json", "-alg", "ge", "-p", "4", "-n", "100", "-recover", "-csv"}
+	if err := run(append(base, "-engine", "live"), &live); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(base, "-engine", "des"), &des); err != nil {
+		t.Fatal(err)
+	}
+	trim := func(s string) string {
+		lines := strings.Split(strings.TrimSpace(s), "\n")
+		return strings.Join(lines[1:], "\n")
+	}
+	if trim(live.String()) != trim(des.String()) {
+		t.Errorf("engines disagree on the recovered run:\n--- live ---\n%s\n--- des ---\n%s", live.String(), des.String())
 	}
 }
 

@@ -115,7 +115,7 @@ func RunGEContext(ctx context.Context, cl *cluster.Cluster, model simnet.CostMod
 
 	var x []float64
 	res, err := mpi.RunContext(ctx, cl, model, mpiOpts, func(c mpi.Comm) error {
-		sol, err := geRank(c, n, asn, a, b, opts)
+		sol, err := geRank(c, n, asn, a, b, opts, nil)
 		if c.Rank() == 0 {
 			x = sol
 		}
@@ -136,8 +136,17 @@ func RunGEContext(ctx context.Context, cl *cluster.Cluster, model simnet.CostMod
 	return out, nil
 }
 
+// geRecover carries the recovery hooks into geRank: resume the
+// elimination at pivot k0 and checkpoint the row state every interval
+// pivots (see RunGERecovered). nil means a plain, non-checkpointing run.
+type geRecover struct {
+	k0       int
+	interval int
+	ck       *mpi.Checkpointer
+}
+
 // geRank is the per-rank program body.
-func geRank(c mpi.Comm, n int, asn dist.Assignment, a *linalg.Matrix, b []float64, opts GEOptions) ([]float64, error) {
+func geRank(c mpi.Comm, n int, asn dist.Assignment, a *linalg.Matrix, b []float64, opts GEOptions, rec *geRecover) ([]float64, error) {
 	rank, p := c.Rank(), c.Size()
 	myRowIdx := asn.Rows(rank) // sorted ascending
 	symbolic := opts.Symbolic
@@ -179,8 +188,12 @@ func geRank(c mpi.Comm, n int, asn dist.Assignment, a *linalg.Matrix, b []float6
 	// --- Phase 2: elimination (paper step 2) ------------------------------
 	// next indexes the first owned row with index > k.
 	next := 0
+	k0 := 0
+	if rec != nil {
+		k0 = rec.k0
+	}
 	pivBuf := make([]float64, n+1)
-	for k := 0; k < n-1; k++ {
+	for k := k0; k < n-1; k++ {
 		for next < len(myRowIdx) && myRowIdx[next] <= k {
 			next++
 		}
@@ -219,6 +232,9 @@ func geRank(c mpi.Comm, n int, asn dist.Assignment, a *linalg.Matrix, b []float6
 			}
 		}
 		c.Barrier() // paper step 2.2: synchronize due to data dependence
+		if rec != nil && rec.interval > 0 && (k+1)%rec.interval == 0 && k+1 < n-1 {
+			rec.ck.Save(c, packGEState(k+1, n, myRowIdx, myRows, myRhs))
+		}
 	}
 
 	// --- Phase 3: collection + back substitution (paper step 3) -----------

@@ -139,7 +139,7 @@ func RunJacobiContext(ctx context.Context, cl *cluster.Cluster, model simnet.Cos
 	var outGrid []float64
 	var resid, sweepMS float64
 	res, err := mpi.RunContext(ctx, cl, model, mpiOpts, func(c mpi.Comm) error {
-		g, r, sw, err := jacobiRank(c, n, ranges, grid, opts)
+		g, r, sw, err := jacobiRank(c, n, ranges, grid, opts, nil)
 		if c.Rank() == 0 {
 			outGrid, resid, sweepMS = g, r, sw
 		}
@@ -169,9 +169,18 @@ func jacobiInitialGrid(n int, seed int64) []float64 {
 	return g
 }
 
+// jacRecover carries the recovery hooks into jacobiRank: resume the
+// relaxation at sweep start and checkpoint the band state every interval
+// sweeps (see RunJacobiRecovered). nil means a plain run.
+type jacRecover struct {
+	start    int
+	interval int
+	ck       *mpi.Checkpointer
+}
+
 // jacobiRank is the per-rank program body. It returns (grid, residual,
 // sweepTimeMS) at rank 0.
-func jacobiRank(c mpi.Comm, n int, ranges [][2]int, grid []float64, opts JacobiOptions) ([]float64, float64, float64, error) {
+func jacobiRank(c mpi.Comm, n int, ranges [][2]int, grid []float64, opts JacobiOptions, rec *jacRecover) ([]float64, float64, float64, error) {
 	rank, p := c.Rank(), c.Size()
 	symbolic := opts.Symbolic
 	frac := opts.SustainedFraction
@@ -242,7 +251,11 @@ func jacobiRank(c mpi.Comm, n int, ranges [][2]int, grid []float64, opts JacobiO
 		}
 	}
 
-	for it := 0; it < opts.Iters; it++ {
+	startIt := 0
+	if rec != nil {
+		startIt = rec.start
+	}
+	for it := startIt; it < opts.Iters; it++ {
 		if !symbolic {
 			localResid = 0
 		}
@@ -330,6 +343,9 @@ func jacobiRank(c mpi.Comm, n int, ranges [][2]int, grid []float64, opts JacobiO
 		// count is fixed so results stay a pure function of inputs).
 		if opts.CheckEvery > 0 && (it+1)%opts.CheckEvery == 0 {
 			c.Allreduce(localResid, mpi.OpMax)
+		}
+		if rec != nil && rec.interval > 0 && (it+1)%rec.interval == 0 && it+1 < opts.Iters {
+			rec.ck.Save(c, packJacobiState(it+1, lo, rows, n, cur))
 		}
 	}
 

@@ -1,0 +1,519 @@
+// Checkpoint/rollback variants of the three algorithm–system
+// combinations, built on mpi.RunRecoverable. Each algorithm checkpoints
+// at its natural phase boundary — GE after a pivot's closing barrier, MM
+// between row-chunk multiplies, Jacobi between sweeps — and on a crash
+// the supervisor replays the program on the survivor set with the dead
+// rank's rows redistributed proportional to the surviving marked speeds
+// (a dist.Pinned strategy is subset to the survivors, so blind nominal
+// distribution stays blind). The numerics are replay-exact: row updates
+// depend only on row content, never on ownership, so a recovered run
+// produces bit-identical solutions to an undisturbed one.
+package algs
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/dist"
+	"repro/internal/linalg"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+// RecoveryConfig configures a recovered algorithm run.
+type RecoveryConfig struct {
+	mpi.RecoveryOptions
+	// IntervalSteps is the checkpoint cadence in algorithm steps: GE
+	// pivots, MM rows per chunk, Jacobi sweeps. 0 disables
+	// checkpointing — recovery then restarts the computation from
+	// scratch on the survivors.
+	IntervalSteps int
+}
+
+func (c RecoveryConfig) validate() error {
+	if c.IntervalSteps < 0 {
+		return fmt.Errorf("algs: negative checkpoint interval %d", c.IntervalSteps)
+	}
+	return nil
+}
+
+// survivorStrategy restricts a distribution strategy to the surviving
+// original ranks: a Pinned strategy keeps distributing by the survivors'
+// nominal marked speeds (the dead rank's share is split proportionally),
+// any other strategy re-assigns from the observed survivor speeds as-is.
+func survivorStrategy(st dist.Strategy, ranks []int) dist.Strategy {
+	p, ok := st.(dist.Pinned)
+	if !ok {
+		return st
+	}
+	speeds := make([]float64, 0, len(ranks))
+	for _, r := range ranks {
+		if r < 0 || r >= len(p.Speeds) {
+			return st // let Assign report the mismatch
+		}
+		speeds = append(speeds, p.Speeds[r])
+	}
+	return dist.Pinned{Speeds: speeds, Inner: p.Inner}
+}
+
+// --- GE state codec ------------------------------------------------------
+
+// packGEState encodes one rank's cumulative elimination state:
+// [pivots done, row count, then per owned row: index, n row values, rhs].
+// Symbolic runs carry zero values in the same shape.
+func packGEState(steps, n int, rowIdx []int, rows map[int][]float64, rhs map[int]float64) []float64 {
+	out := make([]float64, 2, 2+len(rowIdx)*(n+2))
+	out[0] = float64(steps)
+	out[1] = float64(len(rowIdx))
+	for _, i := range rowIdx {
+		out = append(out, float64(i))
+		out = append(out, rows[i]...)
+		out = append(out, rhs[i])
+	}
+	return out
+}
+
+// decodeGESnapshot rebuilds the partially-eliminated global system from a
+// committed checkpoint. In symbolic mode only the pivot count matters.
+func decodeGESnapshot(n int, snap *mpi.Snapshot, symbolic bool) (k0 int, a *linalg.Matrix, b []float64, err error) {
+	if len(snap.Parts) == 0 || len(snap.Parts[0]) < 2 {
+		return 0, nil, nil, fmt.Errorf("algs: GE snapshot %d malformed", snap.Seq)
+	}
+	k0 = int(snap.Parts[0][0])
+	if !symbolic {
+		a = linalg.NewMatrix(n, n)
+		b = make([]float64, n)
+	}
+	for pi, part := range snap.Parts {
+		if len(part) < 2 || int(part[0]) != k0 {
+			return 0, nil, nil, fmt.Errorf("algs: GE snapshot %d part %d inconsistent", snap.Seq, pi)
+		}
+		count := int(part[1])
+		if len(part) != 2+count*(n+2) {
+			return 0, nil, nil, fmt.Errorf("algs: GE snapshot %d part %d has %d values, want %d",
+				snap.Seq, pi, len(part), 2+count*(n+2))
+		}
+		if symbolic {
+			continue
+		}
+		off := 2
+		for j := 0; j < count; j++ {
+			idx := int(part[off])
+			if idx < 0 || idx >= n {
+				return 0, nil, nil, fmt.Errorf("algs: GE snapshot %d row index %d out of range", snap.Seq, idx)
+			}
+			copy(a.Row(idx), part[off+1:off+1+n])
+			b[idx] = part[off+1+n]
+			off += n + 2
+		}
+	}
+	return k0, a, b, nil
+}
+
+// RunGERecovered executes the parallel GE with coordinated checkpoints
+// and rollback recovery: a rank crash rolls the run back to the last
+// committed checkpoint and replays it on the survivors, with the dead
+// rank's rows redistributed proportional to surviving marked speeds. The
+// returned outcome's Res is the recovered result indexed by original
+// rank; the RecoveredResult carries the attempt/checkpoint bookkeeping.
+func RunGERecovered(cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, n int, opts GEOptions, rcfg RecoveryConfig) (GEOutcome, mpi.RecoveredResult, error) {
+	return RunGERecoveredContext(context.Background(), cl, model, mpiOpts, n, opts, rcfg)
+}
+
+// RunGERecoveredContext is RunGERecovered with cancellation.
+func RunGERecoveredContext(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, n int, opts GEOptions, rcfg RecoveryConfig) (GEOutcome, mpi.RecoveredResult, error) {
+	if n < 1 {
+		return GEOutcome{}, mpi.RecoveredResult{}, fmt.Errorf("algs: GE needs n >= 1, got %d", n)
+	}
+	if err := opts.setDefaults(); err != nil {
+		return GEOutcome{}, mpi.RecoveredResult{}, err
+	}
+	if err := rcfg.validate(); err != nil {
+		return GEOutcome{}, mpi.RecoveredResult{}, err
+	}
+
+	var a *linalg.Matrix
+	var b []float64
+	if !opts.Symbolic {
+		a = linalg.RandomDiagDominant(n, opts.Seed)
+		b = linalg.RandomVector(n, opts.Seed+1)
+	}
+
+	var x []float64
+	factory := func(inst mpi.Instance) (mpi.RecoverableProgram, error) {
+		strat := survivorStrategy(opts.Strategy, inst.Ranks)
+		asn, err := strat.Assign(n, inst.Cluster.Speeds())
+		if err != nil {
+			return nil, fmt.Errorf("algs: GE redistribution: %w", err)
+		}
+		k0, aCur, bCur := 0, a, b
+		if inst.Resume != nil {
+			k0, aCur, bCur, err = decodeGESnapshot(n, inst.Resume, opts.Symbolic)
+			if err != nil {
+				return nil, err
+			}
+			if opts.Symbolic {
+				aCur, bCur = a, b
+			}
+		}
+		return func(c mpi.Comm, ck *mpi.Checkpointer) error {
+			rec := &geRecover{k0: k0, interval: rcfg.IntervalSteps, ck: ck}
+			sol, err := geRank(c, n, asn, aCur, bCur, opts, rec)
+			if c.Rank() == 0 {
+				x = sol
+			}
+			return err
+		}, nil
+	}
+
+	rec, err := mpi.RunRecoverableContext(ctx, cl, model, mpiOpts, rcfg.RecoveryOptions, factory)
+	if err != nil {
+		return GEOutcome{}, rec, err
+	}
+	out := GEOutcome{N: n, Work: WorkGE(n), Res: rec.Result, X: x}
+	if !opts.Symbolic {
+		r, err := linalg.ResidualInf(a, x, b)
+		if err != nil {
+			return GEOutcome{}, rec, err
+		}
+		out.Residual = r
+	}
+	return out, rec, nil
+}
+
+// --- MM ------------------------------------------------------------------
+
+// packMMChunk encodes the result rows a rank finished in one chunk:
+// [row count, then per row: index, n values]. MM checkpoints are
+// incremental — committed rows never need recomputation, so recovery
+// gathers the done-set from the entire snapshot history.
+func packMMChunk(rowIdx []int, values []float64, n int) []float64 {
+	out := make([]float64, 1, 1+len(rowIdx)*(n+1))
+	out[0] = float64(len(rowIdx))
+	for j, idx := range rowIdx {
+		out = append(out, float64(idx))
+		out = append(out, values[j*n:(j+1)*n]...)
+	}
+	return out
+}
+
+// decodeMMHistory walks every committed snapshot and returns the rows
+// already multiplied (and, in real mode, their values).
+func decodeMMHistory(n int, history []mpi.Snapshot, symbolic bool) (map[int][]float64, error) {
+	done := map[int][]float64{}
+	for _, snap := range history {
+		for pi, part := range snap.Parts {
+			if len(part) < 1 {
+				return nil, fmt.Errorf("algs: MM snapshot %d part %d malformed", snap.Seq, pi)
+			}
+			count := int(part[0])
+			if len(part) != 1+count*(n+1) {
+				return nil, fmt.Errorf("algs: MM snapshot %d part %d has %d values, want %d",
+					snap.Seq, pi, len(part), 1+count*(n+1))
+			}
+			off := 1
+			for j := 0; j < count; j++ {
+				idx := int(part[off])
+				if idx < 0 || idx >= n {
+					return nil, fmt.Errorf("algs: MM snapshot %d row index %d out of range", snap.Seq, idx)
+				}
+				if symbolic {
+					done[idx] = nil
+				} else {
+					done[idx] = append([]float64(nil), part[off+1:off+1+n]...)
+				}
+				off += n + 1
+			}
+		}
+	}
+	return done, nil
+}
+
+// RunMMRecovered executes the parallel MM with incremental checkpoints
+// and rollback recovery: finished result rows are checkpointed every
+// IntervalSteps rows, and after a crash only the missing rows are
+// redistributed (proportional to surviving marked speeds) and recomputed.
+func RunMMRecovered(cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, n int, opts MMOptions, rcfg RecoveryConfig) (MMOutcome, mpi.RecoveredResult, error) {
+	return RunMMRecoveredContext(context.Background(), cl, model, mpiOpts, n, opts, rcfg)
+}
+
+// RunMMRecoveredContext is RunMMRecovered with cancellation.
+func RunMMRecoveredContext(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, n int, opts MMOptions, rcfg RecoveryConfig) (MMOutcome, mpi.RecoveredResult, error) {
+	if n < 1 {
+		return MMOutcome{}, mpi.RecoveredResult{}, fmt.Errorf("algs: MM needs n >= 1, got %d", n)
+	}
+	if err := opts.setDefaults(); err != nil {
+		return MMOutcome{}, mpi.RecoveredResult{}, err
+	}
+	if err := rcfg.validate(); err != nil {
+		return MMOutcome{}, mpi.RecoveredResult{}, err
+	}
+
+	var a, b *linalg.Matrix
+	if !opts.Symbolic {
+		a = linalg.RandomMatrix(n, opts.Seed)
+		b = linalg.RandomMatrix(n, opts.Seed+1)
+	}
+
+	var cOut *linalg.Matrix
+	factory := func(inst mpi.Instance) (mpi.RecoverableProgram, error) {
+		done, err := decodeMMHistory(n, inst.History, opts.Symbolic)
+		if err != nil {
+			return nil, err
+		}
+		remaining := make([]int, 0, n-len(done))
+		for row := 0; row < n; row++ {
+			if _, ok := done[row]; !ok {
+				remaining = append(remaining, row)
+			}
+		}
+		strat := survivorStrategy(opts.Strategy, inst.Ranks)
+		asn, err := strat.Assign(len(remaining), inst.Cluster.Speeds())
+		if err != nil {
+			return nil, fmt.Errorf("algs: MM redistribution: %w", err)
+		}
+		if !isBlockAssignment(asn) {
+			return nil, fmt.Errorf("algs: MM requires a contiguous block distribution, %q is not", strat.Name())
+		}
+		ranges := dist.BlockRanges(asn.Counts)
+		return func(c mpi.Comm, ck *mpi.Checkpointer) error {
+			prod, err := mmRecoverRank(c, n, remaining, ranges, done, a, b, opts, rcfg.IntervalSteps, ck)
+			if c.Rank() == 0 {
+				cOut = prod
+			}
+			return err
+		}, nil
+	}
+
+	rec, err := mpi.RunRecoverableContext(ctx, cl, model, mpiOpts, rcfg.RecoveryOptions, factory)
+	if err != nil {
+		return MMOutcome{}, rec, err
+	}
+	out := MMOutcome{N: n, Work: WorkMM(n), Res: rec.Result, C: cOut}
+	if !opts.Symbolic && n <= mmVerifyLimit {
+		ref, err := linalg.MatMul(a, b)
+		if err != nil {
+			return MMOutcome{}, rec, err
+		}
+		var worst float64
+		for i := range ref.Data {
+			d := ref.Data[i] - cOut.Data[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+		out.MaxError = worst
+	}
+	return out, rec, nil
+}
+
+// mmRecoverRank is the per-rank body of the recoverable MM: scatter the
+// not-yet-done rows of A, broadcast B, multiply in chunks of interval
+// rows with a coordinated checkpoint after each round, gather the fresh
+// rows, and assemble the result at rank 0 from history + gathered bands.
+func mmRecoverRank(c mpi.Comm, n int, remaining []int, ranges [][2]int, done map[int][]float64, a, b *linalg.Matrix, opts MMOptions, interval int, ck *mpi.Checkpointer) (*linalg.Matrix, error) {
+	rank, p := c.Rank(), c.Size()
+	myList := remaining[ranges[rank][0]:ranges[rank][1]]
+	myCount := len(myList)
+	symbolic := opts.Symbolic
+	frac := opts.SustainedFraction
+
+	var parts [][]float64
+	if rank == 0 {
+		parts = make([][]float64, p)
+		for r := 0; r < p; r++ {
+			list := remaining[ranges[r][0]:ranges[r][1]]
+			flat := make([]float64, len(list)*n)
+			if !symbolic {
+				for j, idx := range list {
+					copy(flat[j*n:(j+1)*n], a.Row(idx))
+				}
+			}
+			parts[r] = flat
+		}
+	}
+	myA := c.Scatterv(0, parts)
+	if len(myA) != myCount*n {
+		return nil, fmt.Errorf("algs: rank %d band size %d, want %d", rank, len(myA), myCount*n)
+	}
+
+	var bFlat []float64
+	if rank == 0 {
+		if symbolic {
+			bFlat = make([]float64, n*n)
+		} else {
+			bFlat = b.Data
+		}
+	}
+	bFlat = c.Bcast(0, bFlat)
+	bm := &linalg.Matrix{Rows: n, Cols: n, Data: bFlat}
+
+	// Multiply in rounds. Every rank runs the same number of rounds — the
+	// Save collective requires it — so a rank that finishes its rows early
+	// still checkpoints (an empty chunk) with the others.
+	myC := make([]float64, myCount*n)
+	rounds := 1
+	if interval > 0 {
+		maxCount := 0
+		for r := 0; r < p; r++ {
+			if c := ranges[r][1] - ranges[r][0]; c > maxCount {
+				maxCount = c
+			}
+		}
+		rounds = (maxCount + interval - 1) / interval
+		if rounds < 1 {
+			rounds = 1
+		}
+	}
+	for round := 0; round < rounds; round++ {
+		lo, hi := 0, myCount
+		if interval > 0 {
+			lo = round * interval
+			if lo > myCount {
+				lo = myCount
+			}
+			hi = lo + interval
+			if hi > myCount {
+				hi = myCount
+			}
+		}
+		if hi > lo {
+			c.Compute(2 * float64(n) * float64(n) * float64(hi-lo) / frac)
+			if !symbolic {
+				band := &linalg.Matrix{Rows: hi - lo, Cols: n, Data: myA[lo*n : hi*n]}
+				prod, err := linalg.MulRowsInto(band, bm)
+				if err != nil {
+					return nil, fmt.Errorf("algs: rank %d multiply: %w", rank, err)
+				}
+				copy(myC[lo*n:hi*n], prod.Data)
+			}
+		}
+		if interval > 0 {
+			ck.Save(c, packMMChunk(myList[lo:hi], myC[lo*n:hi*n], n))
+		}
+	}
+
+	gathered := c.Gatherv(0, myC)
+	if rank != 0 || symbolic {
+		return nil, nil
+	}
+	out := linalg.NewMatrix(n, n)
+	for idx, vals := range done {
+		copy(out.Row(idx), vals)
+	}
+	for r := 0; r < p; r++ {
+		list := remaining[ranges[r][0]:ranges[r][1]]
+		for j, idx := range list {
+			copy(out.Row(idx), gathered[r][j*n:(j+1)*n])
+		}
+	}
+	return out, nil
+}
+
+// --- Jacobi --------------------------------------------------------------
+
+// packJacobiState encodes one rank's band after a sweep:
+// [sweeps done, first interior row, row count, then count*n grid values].
+func packJacobiState(sweeps, lo, rows, n int, cur []float64) []float64 {
+	out := make([]float64, 3, 3+rows*n)
+	out[0] = float64(sweeps)
+	out[1] = float64(lo)
+	out[2] = float64(rows)
+	return append(out, cur[n:(rows+1)*n]...)
+}
+
+// decodeJacobiSnapshot rebuilds the full grid (boundary from the
+// deterministic initial profile, interior from the checkpointed bands)
+// and the completed sweep count.
+func decodeJacobiSnapshot(n int, seed int64, snap *mpi.Snapshot, symbolic bool) (int, []float64, error) {
+	if len(snap.Parts) == 0 || len(snap.Parts[0]) < 3 {
+		return 0, nil, fmt.Errorf("algs: Jacobi snapshot %d malformed", snap.Seq)
+	}
+	k0 := int(snap.Parts[0][0])
+	var grid []float64
+	if !symbolic {
+		grid = jacobiInitialGrid(n, seed)
+	}
+	for pi, part := range snap.Parts {
+		if len(part) < 3 || int(part[0]) != k0 {
+			return 0, nil, fmt.Errorf("algs: Jacobi snapshot %d part %d inconsistent", snap.Seq, pi)
+		}
+		lo, rows := int(part[1]), int(part[2])
+		if len(part) != 3+rows*n || lo < 1 || lo+rows > n-1 {
+			return 0, nil, fmt.Errorf("algs: Jacobi snapshot %d part %d shape invalid", snap.Seq, pi)
+		}
+		if symbolic {
+			continue
+		}
+		copy(grid[lo*n:(lo+rows)*n], part[3:])
+	}
+	return k0, grid, nil
+}
+
+// RunJacobiRecovered executes the heterogeneous Jacobi relaxation with
+// per-sweep checkpoints and rollback recovery.
+func RunJacobiRecovered(cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, n int, opts JacobiOptions, rcfg RecoveryConfig) (JacobiOutcome, mpi.RecoveredResult, error) {
+	return RunJacobiRecoveredContext(context.Background(), cl, model, mpiOpts, n, opts, rcfg)
+}
+
+// RunJacobiRecoveredContext is RunJacobiRecovered with cancellation.
+func RunJacobiRecoveredContext(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, n int, opts JacobiOptions, rcfg RecoveryConfig) (JacobiOutcome, mpi.RecoveredResult, error) {
+	if n < 3 {
+		return JacobiOutcome{}, mpi.RecoveredResult{}, fmt.Errorf("algs: Jacobi needs n >= 3, got %d", n)
+	}
+	if err := opts.setDefaults(); err != nil {
+		return JacobiOutcome{}, mpi.RecoveredResult{}, err
+	}
+	if err := rcfg.validate(); err != nil {
+		return JacobiOutcome{}, mpi.RecoveredResult{}, err
+	}
+
+	var initial []float64
+	if !opts.Symbolic {
+		initial = jacobiInitialGrid(n, opts.Seed)
+	}
+
+	var outGrid []float64
+	var resid, sweepMS float64
+	factory := func(inst mpi.Instance) (mpi.RecoverableProgram, error) {
+		asn, err := dist.HetBlock{}.Assign(n-2, inst.Cluster.Speeds())
+		if err != nil {
+			return nil, fmt.Errorf("algs: Jacobi redistribution: %w", err)
+		}
+		for r, cnt := range asn.Counts {
+			if cnt == 0 {
+				return nil, fmt.Errorf("algs: Jacobi grid too small after recovery: rank %d owns 0 rows (n=%d, p=%d)",
+					r, n, inst.Cluster.Size())
+			}
+		}
+		ranges := dist.BlockRanges(asn.Counts)
+		k0, grid := 0, initial
+		if inst.Resume != nil {
+			k0, grid, err = decodeJacobiSnapshot(n, opts.Seed, inst.Resume, opts.Symbolic)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return func(c mpi.Comm, ck *mpi.Checkpointer) error {
+			rec := &jacRecover{start: k0, interval: rcfg.IntervalSteps, ck: ck}
+			g, r, sw, err := jacobiRank(c, n, ranges, grid, opts, rec)
+			if c.Rank() == 0 {
+				outGrid, resid, sweepMS = g, r, sw
+			}
+			return err
+		}, nil
+	}
+
+	rec, err := mpi.RunRecoverableContext(ctx, cl, model, mpiOpts, rcfg.RecoveryOptions, factory)
+	if err != nil {
+		return JacobiOutcome{}, rec, err
+	}
+	return JacobiOutcome{
+		N: n, Iters: opts.Iters, Work: WorkJacobi(n, opts.Iters),
+		Res: rec.Result, SweepTimeMS: sweepMS, Grid: outGrid, Residual: resid,
+	}, rec, nil
+}

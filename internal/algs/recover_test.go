@@ -1,0 +1,236 @@
+package algs
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/linalg"
+	"repro/internal/mpi"
+)
+
+// crashInjector is a minimal mpi.FaultInjector that only crashes ranks.
+type crashInjector struct{ at map[int]float64 }
+
+func (in crashInjector) CrashTimeMS(r int) (float64, bool) { t, ok := in.at[r]; return t, ok }
+func (in crashInjector) DropSend(int, int, int) bool       { return false }
+func (in crashInjector) RetryDelayMS(int) float64          { return 1 }
+func (in crashInjector) MaxSendAttempts() int              { return 8 }
+
+var recoverEngines = []struct {
+	name string
+	opts mpi.Options
+}{
+	{"live", mpi.Options{Engine: mpi.EngineLive}},
+	{"des", mpi.Options{Engine: mpi.EngineDES}},
+}
+
+func TestGERecoveredHealthyMatchesPlain(t *testing.T) {
+	cl := geCluster(t)
+	m := testModel(t)
+	const n = 40
+	opts := GEOptions{Seed: 3}
+	plain, err := RunGE(cl, m, mpi.Options{}, n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, rec, err := RunGERecovered(cl, m, mpi.Options{}, n, opts, RecoveryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Recovered || rec.Attempts != 1 || rec.Checkpoints != 0 {
+		t.Errorf("healthy run shows recovery bookkeeping: %+v", rec)
+	}
+	if out.Res.TimeMS != plain.Res.TimeMS {
+		t.Errorf("healthy recovered TimeMS %.9f != plain %.9f", out.Res.TimeMS, plain.Res.TimeMS)
+	}
+	if !reflect.DeepEqual(out.X, plain.X) {
+		t.Error("healthy recovered solution differs from the plain run")
+	}
+}
+
+// TestGERecoveredCrashCompletes is the PR's acceptance scenario: a GE run
+// with a mid-run crash from the fault plan completes with the correct
+// numerical result on both engines, with bit-identical virtual times.
+func TestGERecoveredCrashCompletes(t *testing.T) {
+	cl := geCluster(t)
+	m := testModel(t)
+	const n = 60
+	opts := GEOptions{
+		Seed:     7,
+		Strategy: dist.Pinned{Speeds: cl.Speeds(), Inner: dist.HetCyclic{}},
+	}
+	plain, err := RunGE(cl, m, mpi.Options{}, n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := crashInjector{at: map[int]float64{2: 0.45 * plain.Res.TimeMS}}
+	rcfg := RecoveryConfig{IntervalSteps: 10}
+
+	var recs []mpi.RecoveredResult
+	var outs []GEOutcome
+	for _, e := range recoverEngines {
+		mo := e.opts
+		mo.Faults = inj
+		out, rec, err := RunGERecovered(cl, m, mo, n, opts, rcfg)
+		if err != nil {
+			t.Fatalf("%s: recovered GE failed: %v", e.name, err)
+		}
+		if !rec.Recovered {
+			t.Fatalf("%s: crash at %.3f ms did not trigger recovery (T=%.3f)", e.name, 0.45*plain.Res.TimeMS, rec.TimeMS)
+		}
+		outs = append(outs, out)
+		recs = append(recs, rec)
+	}
+	if !reflect.DeepEqual(recs[0], recs[1]) {
+		t.Errorf("recovered results differ across engines:\nlive: %+v\ndes:  %+v", recs[0], recs[1])
+	}
+
+	out := outs[0]
+	// Replay-exact numerics: the recovered solution is bit-identical to
+	// the undisturbed run's, and solves the system.
+	if !reflect.DeepEqual(out.X, plain.X) {
+		t.Error("recovered solution differs from the undisturbed run")
+	}
+	if out.Residual > 1e-8*n {
+		t.Errorf("recovered residual %g too large", out.Residual)
+	}
+	ref, err := linalg.SolveGaussNoPivot(linalg.RandomDiagDominant(n, 7), linalg.RandomVector(n, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if math.Abs(ref[i]-out.X[i]) > 1e-8 {
+			t.Fatalf("x[%d] = %g, sequential reference %g", i, out.X[i], ref[i])
+		}
+	}
+	// Recovery costs time: the recovered run is slower than undisturbed.
+	if out.Res.TimeMS <= plain.Res.TimeMS {
+		t.Errorf("recovered makespan %.3f not beyond undisturbed %.3f", out.Res.TimeMS, plain.Res.TimeMS)
+	}
+	if recs[0].Checkpoints == 0 {
+		t.Error("no checkpoint committed despite IntervalSteps=10")
+	}
+}
+
+func TestGERecoveredScratchRestartCompletes(t *testing.T) {
+	cl := geCluster(t)
+	m := testModel(t)
+	const n = 30
+	opts := GEOptions{Seed: 11}
+	plain, err := RunGE(cl, m, mpi.Options{}, n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo := mpi.Options{Faults: crashInjector{at: map[int]float64{0: 0.5 * plain.Res.TimeMS}}}
+	out, rec, err := RunGERecovered(cl, m, mo, n, opts, RecoveryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Recovered || rec.Checkpoints != 0 {
+		t.Fatalf("want checkpoint-free recovery, got %+v", rec)
+	}
+	// Rank 0 died; the survivors redid everything and still got the
+	// exact solution.
+	if !reflect.DeepEqual(out.X, plain.X) {
+		t.Error("scratch-restarted solution differs from the undisturbed run")
+	}
+}
+
+func TestMMRecoveredCrashComputesProduct(t *testing.T) {
+	cl := mmCluster(t)
+	m := testModel(t)
+	const n = 48
+	opts := MMOptions{
+		Seed:     5,
+		Strategy: dist.Pinned{Speeds: cl.Speeds(), Inner: dist.HetBlock{}},
+	}
+	plain, err := RunMM(cl, m, mpi.Options{}, n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := crashInjector{at: map[int]float64{1: 0.5 * plain.Res.TimeMS}}
+	rcfg := RecoveryConfig{IntervalSteps: 4}
+
+	var recs []mpi.RecoveredResult
+	var outs []MMOutcome
+	for _, e := range recoverEngines {
+		mo := e.opts
+		mo.Faults = inj
+		out, rec, err := RunMMRecovered(cl, m, mo, n, opts, rcfg)
+		if err != nil {
+			t.Fatalf("%s: recovered MM failed: %v", e.name, err)
+		}
+		if !rec.Recovered {
+			t.Fatalf("%s: crash did not trigger recovery", e.name)
+		}
+		outs = append(outs, out)
+		recs = append(recs, rec)
+	}
+	if !reflect.DeepEqual(recs[0], recs[1]) {
+		t.Errorf("recovered results differ across engines:\nlive: %+v\ndes:  %+v", recs[0], recs[1])
+	}
+	out := outs[0]
+	if out.MaxError != plain.MaxError {
+		t.Errorf("recovered MaxError %g, undisturbed %g", out.MaxError, plain.MaxError)
+	}
+	if !reflect.DeepEqual(out.C.Data, plain.C.Data) {
+		t.Error("recovered product differs from the undisturbed run")
+	}
+}
+
+func TestJacobiRecoveredCrashMatchesSequential(t *testing.T) {
+	cl := mmCluster(t)
+	m := testModel(t)
+	const n, iters = 32, 20
+	opts := JacobiOptions{Iters: iters, CheckEvery: 5, Seed: 9}
+	plain, err := RunJacobi(cl, m, mpi.Options{}, n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := crashInjector{at: map[int]float64{3: 0.5 * plain.Res.TimeMS}}
+	rcfg := RecoveryConfig{IntervalSteps: 4}
+
+	var recs []mpi.RecoveredResult
+	var outs []JacobiOutcome
+	for _, e := range recoverEngines {
+		mo := e.opts
+		mo.Faults = inj
+		out, rec, err := RunJacobiRecovered(cl, m, mo, n, opts, rcfg)
+		if err != nil {
+			t.Fatalf("%s: recovered Jacobi failed: %v", e.name, err)
+		}
+		if !rec.Recovered {
+			t.Fatalf("%s: crash did not trigger recovery", e.name)
+		}
+		outs = append(outs, out)
+		recs = append(recs, rec)
+	}
+	if !reflect.DeepEqual(recs[0], recs[1]) {
+		t.Errorf("recovered results differ across engines:\nlive: %+v\ndes:  %+v", recs[0], recs[1])
+	}
+	ref, err := JacobiSequential(n, iters, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(outs[0].Grid, ref) {
+		t.Error("recovered grid differs from the sequential reference")
+	}
+}
+
+func TestSurvivorStrategyPinnedSubset(t *testing.T) {
+	p := dist.Pinned{Speeds: []float64{10, 20, 30, 40}, Inner: dist.HetBlock{}}
+	got := survivorStrategy(p, []int{0, 2, 3})
+	sub, ok := got.(dist.Pinned)
+	if !ok {
+		t.Fatalf("survivorStrategy returned %T, want dist.Pinned", got)
+	}
+	if !reflect.DeepEqual(sub.Speeds, []float64{10, 30, 40}) {
+		t.Errorf("subset speeds %v, want [10 30 40]", sub.Speeds)
+	}
+	// Non-pinned strategies pass through untouched.
+	if _, ok := survivorStrategy(dist.HetCyclic{}, []int{0, 1}).(dist.HetCyclic); !ok {
+		t.Error("non-pinned strategy was not passed through")
+	}
+}

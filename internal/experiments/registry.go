@@ -236,6 +236,14 @@ func init() {
 			},
 		},
 		{
+			ID:    "ckpt-interval",
+			About: "ablation: checkpoint cadence vs rollback distance (Theorem 1 To trade-off)",
+			Group: GroupFaults,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				return wrap(s.CheckpointInterval(ctx))
+			},
+		},
+		{
 			ID:    "compare",
 			About: "§4.4.3 GE vs MM scalability comparison",
 			Group: GroupPaper,
@@ -302,6 +310,14 @@ func init() {
 			Quick: true,
 			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
 				return wrap(s.MemBound(ctx))
+			},
+		},
+		{
+			ID:    "recovered-sweep",
+			About: "extension: crash scenarios under checkpoint/rollback recovery (finite recovered ψ)",
+			Group: GroupFaults,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				return wrap(s.RecoveredSweep(ctx))
 			},
 		},
 		{

@@ -217,6 +217,51 @@ func TestSpecInstantiateDeterministic(t *testing.T) {
 	}
 }
 
+func TestSpecValidateCrashOrdering(t *testing.T) {
+	cases := []struct {
+		name    string
+		crashes []CrashSpec
+		wantErr string // substring, "" = valid
+	}{
+		{"distinct ranks", []CrashSpec{{Rank: 0, AtMS: 1}, {Rank: 1, AtMS: 1}}, ""},
+		{"same rank increasing", []CrashSpec{{Rank: 1, AtMS: 3}, {Rank: 1, AtMS: 5}}, ""},
+		{"duplicate entry", []CrashSpec{{Rank: 1, AtMS: 5}, {Rank: 1, AtMS: 5}}, "duplicate crash entry"},
+		{"decreasing times", []CrashSpec{{Rank: 1, AtMS: 5}, {Rank: 1, AtMS: 3}}, "increasing time order"},
+		{"interleaved decreasing", []CrashSpec{{Rank: 1, AtMS: 5}, {Rank: 0, AtMS: 9}, {Rank: 1, AtMS: 5}}, "duplicate crash entry"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Spec{Crashes: tc.crashes}.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid crash list rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("want error containing %q, got %v", tc.wantErr, err)
+			}
+		})
+	}
+}
+
+func TestSpecInstantiateKeepsFirstCrashPerRank(t *testing.T) {
+	s := Spec{Crashes: []CrashSpec{{Rank: 1, AtMS: 3}, {Rank: 1, AtMS: 5}, {Rank: 2, AtMS: 4}}}
+	plan, err := s.Instantiate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Crash{{Rank: 1, AtMS: 3}, {Rank: 2, AtMS: 4}}
+	if len(plan.Crashes) != len(want) {
+		t.Fatalf("plan crashes %+v, want %+v", plan.Crashes, want)
+	}
+	for i := range want {
+		if plan.Crashes[i] != want[i] {
+			t.Fatalf("plan crashes %+v, want %+v", plan.Crashes, want)
+		}
+	}
+}
+
 func TestIntensityKnob(t *testing.T) {
 	z, err := Intensity(1, 0)
 	if err != nil {

@@ -15,6 +15,10 @@ func FuzzParseSpec(f *testing.F) {
 	f.Add([]byte(`{"seed": -1, "dropProb": 0.9}`))
 	f.Add([]byte(`{"stragglerFrac": 1, "stragglerFactor": 1e308}`))
 	f.Add([]byte(`{"crashes": [{"rank": 0, "atMS": 0}]}`))
+	f.Add([]byte(`{"crashes": [{"rank": 1, "atMS": 5}, {"rank": 1, "atMS": 5}]}`))
+	f.Add([]byte(`{"crashes": [{"rank": 1, "atMS": 5}, {"rank": 1, "atMS": 3}]}`))
+	f.Add([]byte(`{"crashes": [{"rank": 1, "atMS": 3}, {"rank": 1, "atMS": 5}]}`))
+	f.Add([]byte(`{"crashes": [{"rank": 0, "atMS": 1}, {"rank": 1, "atMS": 1}]}`))
 	f.Add([]byte(`{"latencyFactor": 1e-9}`))
 	f.Add([]byte(`{`))
 	model, merr := simnet.NewParamModel("fuzz", simnet.Sunwulf100())
@@ -27,9 +31,29 @@ func FuzzParseSpec(f *testing.F) {
 		if err != nil {
 			return
 		}
+		// Whatever Validate accepts must keep same-rank crash entries in
+		// strictly increasing time order (exact duplicates rejected).
+		lastAt := map[int]float64{}
+		seen := map[int]bool{}
+		for _, c := range s.Crashes {
+			if seen[c.Rank] && c.AtMS <= lastAt[c.Rank] {
+				t.Fatalf("Validate accepted out-of-order crashes for rank %d: %g after %g",
+					c.Rank, c.AtMS, lastAt[c.Rank])
+			}
+			seen[c.Rank] = true
+			lastAt[c.Rank] = c.AtMS
+		}
 		plan, err := s.Instantiate(cl.Size())
 		if err != nil {
 			return
+		}
+		// Instantiate must collapse each rank to its one real crash.
+		crashed := map[int]bool{}
+		for _, c := range plan.Crashes {
+			if crashed[c.Rank] {
+				t.Fatalf("instantiated plan crashes rank %d twice", c.Rank)
+			}
+			crashed[c.Rank] = true
 		}
 		// An instantiated plan must validate and apply without error: the
 		// derated cluster keeps positive speeds and the injector keeps the

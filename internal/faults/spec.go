@@ -70,6 +70,8 @@ func (s Spec) Validate() error {
 	if s.MaxRetries < 0 {
 		return fmt.Errorf("faults: max retries %d must be non-negative", s.MaxRetries)
 	}
+	lastAt := make(map[int]float64, len(s.Crashes))
+	seenRank := make(map[int]bool, len(s.Crashes))
 	for _, c := range s.Crashes {
 		if c.Rank < 0 {
 			return fmt.Errorf("faults: crash rank %d must be non-negative", c.Rank)
@@ -77,6 +79,20 @@ func (s Spec) Validate() error {
 		if c.AtMS < 0 || isBad(c.AtMS) {
 			return fmt.Errorf("faults: crash rank %d time %g must be non-negative and finite", c.Rank, c.AtMS)
 		}
+		// A rank may be listed more than once only with strictly
+		// increasing times (later entries are unreachable — the rank is
+		// already dead — and Instantiate drops them).
+		if seenRank[c.Rank] {
+			if c.AtMS == lastAt[c.Rank] {
+				return fmt.Errorf("faults: duplicate crash entry for rank %d at %g ms", c.Rank, c.AtMS)
+			}
+			if c.AtMS < lastAt[c.Rank] {
+				return fmt.Errorf("faults: crashes for rank %d not in increasing time order (%g ms listed after %g ms)",
+					c.Rank, c.AtMS, lastAt[c.Rank])
+			}
+		}
+		seenRank[c.Rank] = true
+		lastAt[c.Rank] = c.AtMS
 	}
 	return nil
 }
@@ -84,7 +100,8 @@ func (s Spec) Validate() error {
 // Instantiate builds the concrete plan for a p-rank system. Straggler
 // ranks are chosen by a seeded shuffle, so the same spec and seed always
 // afflict the same ranks; crashes whose rank is outside [0,p) are
-// dropped (a ladder sweep keeps one declarative plan across sizes).
+// dropped (a ladder sweep keeps one declarative plan across sizes), and
+// only the first (earliest) crash per rank survives into the plan.
 func (s Spec) Instantiate(p int) (Plan, error) {
 	if p <= 0 {
 		return Plan{}, fmt.Errorf("faults: Instantiate needs p > 0, got %d", p)
@@ -112,9 +129,14 @@ func (s Spec) Instantiate(p int) (Plan, error) {
 			plan.Stragglers = append(plan.Stragglers, Straggler{Rank: r, Factor: factor})
 		}
 	}
+	crashed := make(map[int]bool, len(s.Crashes))
 	for _, c := range s.Crashes {
-		if c.Rank < p {
+		// Keep the first crash per rank: Validate ordered same-rank
+		// entries by increasing time, so the first is the one that
+		// manifests — the rank is dead before any later entry.
+		if c.Rank < p && !crashed[c.Rank] {
 			plan.Crashes = append(plan.Crashes, Crash{Rank: c.Rank, AtMS: c.AtMS})
+			crashed[c.Rank] = true
 		}
 	}
 	if err := plan.Validate(p); err != nil {

@@ -65,6 +65,27 @@ func (e *DropStormError) Error() string {
 		e.Rank, e.Peer, e.Attempts, e.AtMS)
 }
 
+// Is makes errors.Is(err, &CrashError{Rank: r, AtMS: t}) match a crash
+// of the same rank at the same instant anywhere in a Run error's wrap
+// chain. Virtual times are exact (bit-deterministic), so equality
+// comparison is meaningful.
+func (e *CrashError) Is(target error) bool {
+	t, ok := target.(*CrashError)
+	return ok && t.Rank == e.Rank && t.AtMS == e.AtMS
+}
+
+// Is is the value-matching errors.Is hook; see CrashError.Is.
+func (e *PeerCrashError) Is(target error) bool {
+	t, ok := target.(*PeerCrashError)
+	return ok && t.Rank == e.Rank && t.Peer == e.Peer && t.AtMS == e.AtMS
+}
+
+// Is is the value-matching errors.Is hook; see CrashError.Is.
+func (e *DropStormError) Is(target error) bool {
+	t, ok := target.(*DropStormError)
+	return ok && t.Rank == e.Rank && t.Peer == e.Peer && t.Attempts == e.Attempts && t.AtMS == e.AtMS
+}
+
 // rankDeath is the common shape of the three fault outcomes: a rank that
 // leaves the computation at a virtual instant.
 type rankDeath interface {

@@ -33,6 +33,8 @@ const (
 	KindBcast
 	KindBarrier
 	KindSleep
+	KindCheckpoint // coordinated checkpoint write to stable storage
+	KindRecover    // rollback window: detection + restart after a crash
 )
 
 // String implements fmt.Stringer.
@@ -52,6 +54,10 @@ func (k Kind) String() string {
 		return "barrier"
 	case KindSleep:
 		return "sleep"
+	case KindCheckpoint:
+		return "checkpoint"
+	case KindRecover:
+		return "recover"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -74,6 +80,10 @@ func (k Kind) glyph() byte {
 		return '|'
 	case KindSleep:
 		return '~'
+	case KindCheckpoint:
+		return 'C'
+	case KindRecover:
+		return 'R'
 	default:
 		return '?'
 	}
@@ -272,6 +282,6 @@ func (t *Trace) Gantt(width int) string {
 	for r, row := range rows {
 		fmt.Fprintf(&b, "rank %2d |%s|\n", r, string(row))
 	}
-	b.WriteString("legend: # compute  > send  < recv  . wait  B bcast  | barrier  ~ sleep\n")
+	b.WriteString("legend: # compute  > send  < recv  . wait  B bcast  | barrier  ~ sleep  C checkpoint  R recover\n")
 	return b.String()
 }
