@@ -11,9 +11,13 @@
 //
 // Usage:
 //
-//	faultscan -spec plan.json -alg ge -p 8 -n 400
-//	faultscan -intensity 0.5 -seed 7 -alg mm -p 8 -n 300
+//	faultscan -spec plan.json -workload ge -p 8 -n 400
+//	faultscan -intensity 0.5 -seed 7 -workload mm -p 8 -n 300
 //	faultscan -example            # print a fault-spec template and exit
+//
+// Any workload in the registry can be scanned (-workload; -alg is an
+// alias kept for compatibility); each supplies its own cluster ladder,
+// run entry point, and recovery codec.
 //
 // When the plan crashes nodes, the run tears down gracefully and the
 // fault outcome (who crashed, who aborted, when) is reported instead of a
@@ -24,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -33,13 +38,11 @@ import (
 
 	"repro/internal/algs"
 	"repro/internal/cli"
-	"repro/internal/cluster"
 	"repro/internal/core"
-	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/mpi"
-	"repro/internal/simnet"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -55,7 +58,8 @@ func run(args []string, out io.Writer) error {
 		specPath  = fs.String("spec", "", "path to a JSON fault spec (see -example)")
 		intensity = fs.Float64("intensity", -1, "one-knob fault intensity in [0,1] (alternative to -spec)")
 		seed      = fs.Int64("seed", 1, "seed for the intensity model's fault draws")
-		alg       = fs.String("alg", "ge", "algorithm: ge or mm")
+		wl        = fs.String("workload", "", "registered workload to scan (see scalescan -list; default ge)")
+		alg       = fs.String("alg", "", "alias for -workload (kept for compatibility)")
 		p         = fs.Int("p", 8, "system size (Sunwulf configuration, as in the paper)")
 		n         = fs.Int("n", 400, "problem size N")
 		engine    = fs.String("engine", "live", "mpi engine: live or des")
@@ -106,15 +110,11 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	var cl *cluster.Cluster
-	switch strings.ToLower(*alg) {
-	case "ge":
-		cl, err = cluster.GEConfig(*p)
-	case "mm":
-		cl, err = cluster.MMConfig(*p)
-	default:
-		return fmt.Errorf("unknown algorithm %q (ge or mm)", *alg)
+	w, err := selectWorkload(*wl, *alg)
+	if err != nil {
+		return err
 	}
+	cl, err := w.ClusterLadder(*p)
 	if err != nil {
 		return err
 	}
@@ -131,25 +131,28 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	runner := makeRunner(strings.ToLower(*alg), cl.Speeds(), *n)
+	// The distribution stays pinned to the nominal speeds: runtime
+	// degradation is invisible to the scheduler, as in the fault studies.
+	rspec := workload.Spec{N: *n, Symbolic: true, PinnedSpeeds: cl.Speeds()}
+	ctx := context.Background()
 	opts := mpi.Options{Engine: eng}
-	base, err := runner(cl, model, opts)
+	base, err := w.Run(ctx, cl, model, opts, rspec)
 	if err != nil {
 		return fmt.Errorf("fault-free baseline: %w", err)
 	}
-	baseEff, err := core.SpeedEfficiency(base.work, base.res.TimeMS, cl.MarkedSpeed())
+	baseEff, err := core.SpeedEfficiency(base.Work, base.Stats.TimeMS, cl.MarkedSpeed())
 	if err != nil {
 		return err
 	}
 
 	tbl := &experiments.Table{
 		Title: fmt.Sprintf("Fault scan: %s at N = %d on %s (engine %s, nominal C = %.1f Mflops)",
-			strings.ToUpper(*alg), *n, cl.Name, eng, cl.MarkedSpeed()),
+			strings.ToUpper(w.Name()), *n, cl.Name, eng, cl.MarkedSpeed()),
 		Headers: []string{"Run", "C_eff (Mflops)", "T (ms)", "Messages", "Bytes", "E_s @ nominal C", "ψ vs fault-free"},
 	}
 	tbl.AddRow("fault-free", fmt.Sprintf("%.1f", cl.MarkedSpeed()),
-		fmt.Sprintf("%.3f", base.res.TimeMS), fmt.Sprintf("%d", base.res.Messages),
-		fmt.Sprintf("%d", base.res.BytesMoved), fmt.Sprintf("%.4f", baseEff), "1.0000")
+		fmt.Sprintf("%.3f", base.Stats.TimeMS), fmt.Sprintf("%d", base.Stats.Messages),
+		fmt.Sprintf("%d", base.Stats.BytesMoved), fmt.Sprintf("%.4f", baseEff), "1.0000")
 
 	fopts := opts
 	if !plan.IsZero() {
@@ -157,12 +160,11 @@ func run(args []string, out io.Writer) error {
 	}
 	if *doRecover {
 		rcfg := algs.RecoveryConfig{IntervalSteps: *ckptIvl}
-		recRunner := makeRecoveredRunner(strings.ToLower(*alg), cl.Speeds(), *n, rcfg)
-		faulted, rec, err := recRunner(dcl, dmodel, fopts)
+		faulted, rec, err := w.RunRecovered(ctx, dcl, dmodel, fopts, rspec, rcfg)
 		if err != nil {
 			return fmt.Errorf("recovered run: %w", err)
 		}
-		eff, err := core.SpeedEfficiency(faulted.work, rec.TimeMS, cl.MarkedSpeed())
+		eff, err := core.SpeedEfficiency(faulted.Work, rec.TimeMS, cl.MarkedSpeed())
 		if err != nil {
 			return err
 		}
@@ -173,7 +175,7 @@ func run(args []string, out io.Writer) error {
 		tbl.Notes = append(tbl.Notes, describeRecovery(rec, *ckptIvl)...)
 		return finish(renderer, out, tbl, plan)
 	}
-	faulted, runErr := runner(dcl, dmodel, fopts)
+	faulted, runErr := w.Run(ctx, dcl, dmodel, fopts, rspec)
 	if runErr != nil {
 		outcome, ok := mpi.ClassifyFaults(cl.Size(), runErr)
 		if !ok {
@@ -183,13 +185,13 @@ func run(args []string, out io.Writer) error {
 			"DNF", "-", "-", "-", "-")
 		tbl.Notes = append(tbl.Notes, describeOutcome(outcome))
 	} else {
-		eff, err := core.SpeedEfficiency(faulted.work, faulted.res.TimeMS, cl.MarkedSpeed())
+		eff, err := core.SpeedEfficiency(faulted.Work, faulted.Stats.TimeMS, cl.MarkedSpeed())
 		if err != nil {
 			return err
 		}
 		tbl.AddRow("faulted", fmt.Sprintf("%.1f", dcl.MarkedSpeed()),
-			fmt.Sprintf("%.3f", faulted.res.TimeMS), fmt.Sprintf("%d", faulted.res.Messages),
-			fmt.Sprintf("%d", faulted.res.BytesMoved), fmt.Sprintf("%.4f", eff),
+			fmt.Sprintf("%.3f", faulted.Stats.TimeMS), fmt.Sprintf("%d", faulted.Stats.Messages),
+			fmt.Sprintf("%d", faulted.Stats.BytesMoved), fmt.Sprintf("%.4f", eff),
 			fmt.Sprintf("%.4f", eff/baseEff))
 	}
 	return finish(renderer, out, tbl, plan)
@@ -204,67 +206,18 @@ func finish(renderer experiments.Renderer, out io.Writer, tbl *experiments.Table
 	return renderer.Render(out, []experiments.Renderable{tbl})
 }
 
-// algRun is one measured execution: work in flops plus the mpi result.
-type algRun struct {
-	work float64
-	res  mpi.Result
-}
-
-// makeRunner closes over the algorithm choice and the nominal speeds the
-// distribution stays pinned to.
-func makeRunner(alg string, nominalSpeeds []float64, n int) func(*cluster.Cluster, simnet.CostModel, mpi.Options) (algRun, error) {
-	switch alg {
-	case "mm":
-		return func(cl *cluster.Cluster, model simnet.CostModel, opts mpi.Options) (algRun, error) {
-			out, err := algs.RunMM(cl, model, opts, n, algs.MMOptions{
-				Symbolic: true,
-				Strategy: dist.Pinned{Speeds: nominalSpeeds, Inner: dist.HetBlock{}},
-			})
-			if err != nil {
-				return algRun{}, err
-			}
-			return algRun{work: out.Work, res: out.Res}, nil
-		}
-	default: // ge, validated by the caller
-		return func(cl *cluster.Cluster, model simnet.CostModel, opts mpi.Options) (algRun, error) {
-			out, err := algs.RunGE(cl, model, opts, n, algs.GEOptions{
-				Symbolic: true,
-				Strategy: dist.Pinned{Speeds: nominalSpeeds, Inner: dist.HetCyclic{}},
-			})
-			if err != nil {
-				return algRun{}, err
-			}
-			return algRun{work: out.Work, res: out.Res}, nil
-		}
+// selectWorkload resolves the -workload/-alg pair against the registry.
+func selectWorkload(wl, alg string) (workload.Workload, error) {
+	name := strings.ToLower(wl)
+	if name == "" {
+		name = strings.ToLower(alg)
+	} else if alg != "" && !strings.EqualFold(alg, wl) {
+		return nil, fmt.Errorf("-workload %q and -alg %q disagree (use -workload)", wl, alg)
 	}
-}
-
-// makeRecoveredRunner is makeRunner's checkpoint/rollback counterpart.
-func makeRecoveredRunner(alg string, nominalSpeeds []float64, n int, rcfg algs.RecoveryConfig) func(*cluster.Cluster, simnet.CostModel, mpi.Options) (algRun, mpi.RecoveredResult, error) {
-	switch alg {
-	case "mm":
-		return func(cl *cluster.Cluster, model simnet.CostModel, opts mpi.Options) (algRun, mpi.RecoveredResult, error) {
-			out, rec, err := algs.RunMMRecovered(cl, model, opts, n, algs.MMOptions{
-				Symbolic: true,
-				Strategy: dist.Pinned{Speeds: nominalSpeeds, Inner: dist.HetBlock{}},
-			}, rcfg)
-			if err != nil {
-				return algRun{}, rec, err
-			}
-			return algRun{work: out.Work, res: rec.Result}, rec, nil
-		}
-	default: // ge, validated by the caller
-		return func(cl *cluster.Cluster, model simnet.CostModel, opts mpi.Options) (algRun, mpi.RecoveredResult, error) {
-			out, rec, err := algs.RunGERecovered(cl, model, opts, n, algs.GEOptions{
-				Symbolic: true,
-				Strategy: dist.Pinned{Speeds: nominalSpeeds, Inner: dist.HetCyclic{}},
-			}, rcfg)
-			if err != nil {
-				return algRun{}, rec, err
-			}
-			return algRun{work: out.Work, res: rec.Result}, rec, nil
-		}
+	if name == "" {
+		name = "ge"
 	}
+	return workload.Get(name)
 }
 
 // describeRecovery renders the rollback history as deterministic notes.

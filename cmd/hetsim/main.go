@@ -35,6 +35,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -76,6 +77,10 @@ func run(args []string, out, errw io.Writer) error {
 				}
 				fmt.Fprintf(out, "  %-18s %s %s\n", e.ID, quickMark, e.About)
 			}
+		}
+		fmt.Fprintln(out, "registered workloads (selectable in scalescan/faultscan via -workload):")
+		for _, w := range workload.All() {
+			fmt.Fprintf(out, "  %-18s   %s\n", w.Name(), w.About())
 		}
 		fmt.Fprintln(out, "selectors: an id above, 'all', 'quick' (the * entries), or 'group:<name>'")
 		return nil

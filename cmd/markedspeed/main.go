@@ -7,10 +7,17 @@
 //
 //	markedspeed
 //	markedspeed -host -size 300 -duration 200ms
+//	markedspeed -speeds measured.json
+//
+// With -speeds, the per-class marked speeds are also written as a JSON
+// speed table that `scalescan -speeds` accepts, closing the Definition 1
+// round trip: benchmark nodes here, then run the scalability study at the
+// benchmarked speeds.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -32,9 +39,10 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("markedspeed", flag.ContinueOnError)
 	var (
-		host     = fs.Bool("host", false, "also wall-clock the suite on this machine")
-		size     = fs.Int("size", 300, "kernel size for host measurement")
-		duration = fs.Duration("duration", 150*time.Millisecond, "minimum host measurement time per kernel")
+		host      = fs.Bool("host", false, "also wall-clock the suite on this machine")
+		size      = fs.Int("size", 300, "kernel size for host measurement")
+		duration  = fs.Duration("duration", 150*time.Millisecond, "minimum host measurement time per kernel")
+		speedsOut = fs.String("speeds", "", "write the per-class marked speeds as a scalescan -speeds table to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +80,13 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "\nDefinition 2 example: %s\n", example)
 
+	if *speedsOut != "" {
+		if err := writeSpeedTable(*speedsOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote marked-speed table to %s (feed it to scalescan -speeds)\n", *speedsOut)
+	}
+
 	if !*host {
 		return nil
 	}
@@ -91,4 +106,27 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "  host marked speed (suite mean): %.1f Mflops\n", ms)
 	return nil
+}
+
+// writeSpeedTable benchmarks each Sunwulf node class with the NPB-style
+// suite and writes the class -> marked speed map in the JSON format
+// cluster.ParseSpeedTable reads.
+func writeSpeedTable(path string) error {
+	table := cluster.SpeedTable{Speeds: map[string]float64{}}
+	for _, node := range []cluster.Node{
+		cluster.ServerNode(0),
+		cluster.V210Node(65, 0),
+		cluster.BladeNode(40),
+	} {
+		ms, _, err := nasbench.MeasureNodeModel(node)
+		if err != nil {
+			return err
+		}
+		table.Speeds[node.Class] = ms
+	}
+	data, err := json.MarshalIndent(table, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

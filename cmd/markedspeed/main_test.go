@@ -1,8 +1,11 @@
 package main
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/cluster"
 )
 
 func TestRunDefault(t *testing.T) {
@@ -29,6 +32,29 @@ func TestRunHost(t *testing.T) {
 	got := out.String()
 	if !strings.Contains(got, "Host measurement") || !strings.Contains(got, "host marked speed") {
 		t.Errorf("host output wrong:\n%s", got)
+	}
+}
+
+// TestSpeedTableRoundTrip closes the Definition 1 loop: the table this
+// command writes must load through the same parser scalescan -speeds uses,
+// with one positive marked speed per Sunwulf node class.
+func TestSpeedTableRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "speeds.json")
+	var out strings.Builder
+	if err := run([]string{"-speeds", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote marked-speed table") {
+		t.Errorf("missing confirmation line:\n%s", out.String())
+	}
+	table, err := cluster.LoadSpeedTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, class := range []string{"Server", "SunFireV210", "SunBlade"} {
+		if ms, ok := table.Speeds[class]; !ok || ms <= 0 {
+			t.Errorf("class %q: marked speed %g, ok=%v", class, ms, ok)
+		}
 	}
 }
 

@@ -1,6 +1,6 @@
 // Command scalescan runs an isospeed-efficiency scalability scan for a
 // user-described heterogeneous cluster ladder: the generic version of the
-// paper's Tables 3-5 for arbitrary machines.
+// paper's Tables 3-5 for arbitrary machines and any registered workload.
 //
 // The ladder is described in JSON (one cluster per rung):
 //
@@ -16,9 +16,15 @@
 //
 // Usage:
 //
-//	scalescan -ladder ladder.json -alg ge -target 0.3
-//	scalescan -ladder ladder.json -alg mm -jobs 4 -json
+//	scalescan -ladder ladder.json -workload ge -target 0.3
+//	scalescan -ladder ladder.json -workload mm -jobs 4 -json
+//	scalescan -ladder ladder.json -speeds measured.json   # benchmarked speeds
+//	scalescan -list               # print workloads and experiments
 //	scalescan -example            # print a ladder template and exit
+//
+// With -speeds, node speeds in the ladder are overridden by a marked-speed
+// table (as written by `markedspeed -speeds`), closing the Definition 1
+// loop: benchmark first, then study scalability at the benchmarked speeds.
 //
 // Rungs are measured concurrently on a bounded worker pool (-jobs,
 // default: one per CPU); the reported tables are byte-identical for
@@ -34,7 +40,6 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/algs"
 	"repro/internal/cli"
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -42,6 +47,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/runner"
 	"repro/internal/simnet"
+	"repro/internal/workload"
 )
 
 const exampleLadder = `{
@@ -70,8 +76,11 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("scalescan", flag.ContinueOnError)
 	var (
 		ladderPath = fs.String("ladder", "", "path to the JSON ladder description")
-		alg        = fs.String("alg", "ge", "algorithm: ge or mm")
-		target     = fs.Float64("target", 0.3, "speed-efficiency set-point")
+		wl         = fs.String("workload", "", "registered workload to scan (see -list; default ge)")
+		alg        = fs.String("alg", "", "alias for -workload (kept for compatibility)")
+		target     = fs.Float64("target", 0, "speed-efficiency set-point (default: the workload's own)")
+		speedsPath = fs.String("speeds", "", "marked-speed table (JSON) overriding ladder node speeds")
+		list       = fs.Bool("list", false, "list registered workloads and experiments, then exit")
 		example    = fs.Bool("example", false, "print a ladder template and exit")
 		csv        = fs.Bool("csv", false, "emit CSV")
 		jsonOut    = fs.Bool("json", false, "emit JSON")
@@ -80,9 +89,23 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *list {
+		printList(out)
+		return nil
+	}
 	if *example {
 		fmt.Fprintln(out, exampleLadder)
 		return nil
+	}
+	w, err := selectWorkload(*wl, *alg)
+	if err != nil {
+		return err
+	}
+	if *target == 0 {
+		*target = w.DefaultTarget()
+	}
+	if *target <= 0 || *target >= 1 {
+		return fmt.Errorf("target %g out of (0,1)", *target)
 	}
 	if *ladderPath == "" {
 		return fmt.Errorf("missing -ladder file (use -example for a template)")
@@ -90,6 +113,15 @@ func run(args []string, out io.Writer) error {
 	spec, err := cluster.LoadLadder(*ladderPath)
 	if err != nil {
 		return err
+	}
+	if *speedsPath != "" {
+		table, err := cluster.LoadSpeedTable(*speedsPath)
+		if err != nil {
+			return err
+		}
+		if spec, err = spec.ApplySpeeds(table); err != nil {
+			return err
+		}
 	}
 	clusters, err := spec.BuildAll()
 	if err != nil {
@@ -121,11 +153,11 @@ func run(args []string, out io.Writer) error {
 		tasks[i] = runner.Task{
 			ID: cl.Name,
 			Run: func(ctx context.Context) (any, error) {
-				n, w, err := requiredSize(cl, model, strings.ToLower(*alg), *target)
+				n, work, err := requiredSize(ctx, w, cl, model, *target)
 				if err != nil {
 					return nil, err
 				}
-				return rung{n: n, w: w}, nil
+				return rung{n: n, w: work}, nil
 			},
 		}
 	}
@@ -136,7 +168,7 @@ func run(args []string, out io.Writer) error {
 
 	points := make([]core.ScalePoint, 0, len(clusters))
 	tbl := &experiments.Table{
-		Title:   fmt.Sprintf("Isospeed-efficiency scan: %s at E_s = %.2f", strings.ToUpper(*alg), *target),
+		Title:   fmt.Sprintf("Isospeed-efficiency scan: %s at E_s = %.2f", strings.ToUpper(w.Name()), *target),
 		Headers: []string{"Cluster", "p", "Marked speed (Mflops)", "Required N", "Workload W (flops)"},
 	}
 	for i, cl := range clusters {
@@ -164,59 +196,44 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// requiredSize runs the measurement pipeline for one cluster: analytic
-// guess, sweep, trend fit, read-off.
-func requiredSize(cl *cluster.Cluster, model simnet.CostModel, alg string, target float64) (int, float64, error) {
-	var (
-		machine core.AnalyticMachine
-		runner  core.Runner
-		workAt  func(int) float64
-	)
-	switch alg {
-	case "ge":
-		to, err := algs.GEOverhead(cl, model)
-		if err != nil {
-			return 0, 0, err
-		}
-		t0, err := algs.GESeqTime(cl, algs.DefaultGESustained)
-		if err != nil {
-			return 0, 0, err
-		}
-		machine = core.AnalyticMachine{
-			Label: cl.Name, C: cl.MarkedSpeed(), P: cl.Size(), Sustained: algs.DefaultGESustained,
-			Work:    func(n float64) float64 { return 2 * n * n * n / 3 },
-			SeqTime: t0, Overhead: to,
-		}
-		runner = func(n int) (float64, float64, error) {
-			out, err := algs.RunGE(cl, model, mpi.Options{}, n, algs.GEOptions{Symbolic: true})
-			if err != nil {
-				return 0, 0, err
-			}
-			return out.Work, out.Res.TimeMS, nil
-		}
-		workAt = algs.WorkGE
-	case "mm":
-		to, err := algs.MMOverhead(cl, model)
-		if err != nil {
-			return 0, 0, err
-		}
-		machine = core.AnalyticMachine{
-			Label: cl.Name, C: cl.MarkedSpeed(), P: cl.Size(), Sustained: algs.DefaultMMSustained,
-			Work:     func(n float64) float64 { return 2 * n * n * n },
-			Overhead: to,
-		}
-		runner = func(n int) (float64, float64, error) {
-			out, err := algs.RunMM(cl, model, mpi.Options{}, n, algs.MMOptions{Symbolic: true})
-			if err != nil {
-				return 0, 0, err
-			}
-			return out.Work, out.Res.TimeMS, nil
-		}
-		workAt = algs.WorkMM
-	default:
-		return 0, 0, fmt.Errorf("unknown algorithm %q (ge or mm)", alg)
+// selectWorkload resolves the -workload/-alg pair against the registry.
+func selectWorkload(wl, alg string) (workload.Workload, error) {
+	name := strings.ToLower(wl)
+	if name == "" {
+		name = strings.ToLower(alg)
+	} else if alg != "" && !strings.EqualFold(alg, wl) {
+		return nil, fmt.Errorf("-workload %q and -alg %q disagree (use -workload)", wl, alg)
 	}
+	if name == "" {
+		name = "ge"
+	}
+	return workload.Get(name)
+}
 
+// printList writes the registry contents: workloads first (this tool's
+// selectors), then the experiment catalog shared with hetsim.
+func printList(out io.Writer) {
+	fmt.Fprintln(out, "registered workloads (-workload):")
+	for _, w := range workload.All() {
+		fmt.Fprintf(out, "  %-18s %s\n", w.Name(), w.About())
+	}
+	fmt.Fprintln(out, "registered experiments (hetsim -exp):")
+	for _, g := range experiments.Groups() {
+		fmt.Fprintf(out, "group:%s\n", g)
+		for _, e := range experiments.ByGroup(g) {
+			fmt.Fprintf(out, "  %-18s %s\n", e.ID, e.About)
+		}
+	}
+}
+
+// requiredSize runs the measurement pipeline for one cluster: analytic
+// guess from the workload's machine model, sweep, trend fit, read-off.
+func requiredSize(ctx context.Context, w workload.Workload, cl *cluster.Cluster, model simnet.CostModel, target float64) (int, float64, error) {
+	machine, err := w.Machine(cl, model)
+	if err != nil {
+		return 0, 0, err
+	}
+	run := workload.Runner(ctx, w, cl, model, mpi.Options{}, workload.Spec{Symbolic: true})
 	guess, err := machine.RequiredN(target, 8, 5e6)
 	if err != nil {
 		return 0, 0, err
@@ -231,7 +248,7 @@ func requiredSize(cl *cluster.Cluster, model simnet.CostModel, alg string, targe
 		sizes = append(sizes, v)
 		prev = v
 	}
-	curve, err := core.MeasureCurve(cl.Name, cl.MarkedSpeed(), sizes, 3, runner)
+	curve, err := core.MeasureCurve(cl.Name, cl.MarkedSpeed(), sizes, 3, run)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -240,5 +257,5 @@ func requiredSize(cl *cluster.Cluster, model simnet.CostModel, alg string, targe
 		return 0, 0, err
 	}
 	n := int(math.Round(nReq))
-	return n, workAt(n), nil
+	return n, w.WorkAt(n), nil
 }

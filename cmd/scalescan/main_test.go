@@ -5,6 +5,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
 )
 
 func writeLadder(t *testing.T, content string) string {
@@ -59,6 +62,71 @@ func TestScanCSV(t *testing.T) {
 	}
 }
 
+func TestListPrintsWorkloadsAndExperiments(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, w := range workload.All() {
+		if !strings.Contains(got, w.Name()) || !strings.Contains(got, w.About()) {
+			t.Errorf("workload %q missing from -list:\n%s", w.Name(), got)
+		}
+	}
+	for _, id := range experiments.IDs() {
+		if !strings.Contains(got, id) {
+			t.Errorf("experiment %q missing from -list:\n%s", id, got)
+		}
+	}
+}
+
+// TestScanEveryRegisteredWorkload proves the seam: each registry entry is
+// scannable with no scalescan-side wiring.
+func TestScanEveryRegisteredWorkload(t *testing.T) {
+	var tpl strings.Builder
+	if err := run([]string{"-example"}, &tpl); err != nil {
+		t.Fatal(err)
+	}
+	path := writeLadder(t, tpl.String())
+	for _, w := range workload.All() {
+		var out strings.Builder
+		if err := run([]string{"-ladder", path, "-workload", w.Name()}, &out); err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+		if !strings.Contains(out.String(), "ψ(C2,C4)") {
+			t.Errorf("%s output wrong:\n%s", w.Name(), out.String())
+		}
+	}
+}
+
+func TestScanWithSpeedTable(t *testing.T) {
+	var tpl strings.Builder
+	if err := run([]string{"-example"}, &tpl); err != nil {
+		t.Fatal(err)
+	}
+	path := writeLadder(t, tpl.String())
+	speeds := filepath.Join(t.TempDir(), "speeds.json")
+	// Class-wide override: the template's "fast" nodes measured slower.
+	if err := os.WriteFile(speeds, []byte(`{"speeds": {"fast": 70, "n1": 35}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-ladder", path, "-speeds", speeds, "-csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// The C2 rung is one fast (70) + n1 (35): marked speed 105.
+	if !strings.Contains(out.String(), "C2,2,105.0") {
+		t.Errorf("overridden speeds not applied:\n%s", out.String())
+	}
+	dangling := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(dangling, []byte(`{"speeds": {"nosuch": 10}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-ladder", path, "-speeds", dangling}, &out); err == nil {
+		t.Error("dangling speed-table key accepted")
+	}
+}
+
 func TestScanErrors(t *testing.T) {
 	var out strings.Builder
 	if err := run(nil, &out); err == nil {
@@ -82,6 +150,12 @@ func TestScanErrors(t *testing.T) {
 	good := writeLadder(t, tpl.String())
 	if err := run([]string{"-ladder", good, "-alg", "qr"}, &out); err == nil {
 		t.Error("unknown algorithm accepted")
+	}
+	if err := run([]string{"-ladder", good, "-workload", "ge", "-alg", "mm"}, &out); err == nil {
+		t.Error("conflicting -workload and -alg accepted")
+	}
+	if err := run([]string{"-ladder", good, "-target", "1.5"}, &out); err == nil {
+		t.Error("out-of-range target accepted")
 	}
 	invalid := writeLadder(t, `{"ladder":[
 	  {"name":"a","nodes":[{"name":"x","class":"c","speedMflops":-5,"memMB":64}]},

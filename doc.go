@@ -23,11 +23,14 @@
 //	internal/mpi         virtual-time message passing (2 engines)
 //	internal/dist        heterogeneous data distributions
 //	internal/linalg      dense kernels and sequential references
-//	internal/algs        the parallel GE and MM of the evaluation
+//	internal/algs        the parallel algorithms of the evaluation
+//	internal/workload    the workload registry: one seam over the algorithms
+//	internal/faults      deterministic fault plans and injection
 //	internal/experiments every table and figure of the paper
 //	cmd/hetsim           run any experiment from the command line
-//	cmd/markedspeed      Table 1 + host measurement
-//	cmd/scalescan        scalability scans for user-defined clusters
+//	cmd/markedspeed      Table 1 + host measurement (+ -speeds tables)
+//	cmd/scalescan        scalability scans for any registered workload
+//	cmd/faultscan        fault and recovery scans for any registered workload
 //	examples/...         runnable walkthroughs of the public API
 //
 // This root package is a thin façade over internal/experiments for
@@ -40,11 +43,25 @@ import (
 	"fmt"
 
 	"repro/internal/experiments"
+	"repro/internal/workload"
 )
 
 // ExperimentIDs lists the reproducible experiments (table1..table7, fig1,
 // fig2, compare, and the validation/ablation studies).
 func ExperimentIDs() []string { return experiments.IDs() }
+
+// WorkloadNames lists the registered workloads (the algorithm-system
+// combinations every study, sweep, and CLI can run).
+func WorkloadNames() []string { return workload.Names() }
+
+// WorkloadAbout describes one registered workload.
+func WorkloadAbout(name string) (string, error) {
+	w, err := workload.Get(name)
+	if err != nil {
+		return "", err
+	}
+	return w.About(), nil
+}
 
 // ExperimentAbout describes one experiment id.
 func ExperimentAbout(id string) (string, error) {

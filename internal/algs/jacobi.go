@@ -50,6 +50,12 @@ type JacobiOptions struct {
 	SustainedFraction float64
 	// Seed drives the deterministic initial grid.
 	Seed int64
+	// Strategy distributes the n-2 interior rows. It must produce a
+	// contiguous block assignment (each rank owns one band), so the
+	// halo-exchange neighbours stay rank±1. Default dist.HetBlock;
+	// dist.Pinned{Inner: dist.HetBlock{}} pins the bands to nominal
+	// speeds for fault studies.
+	Strategy dist.Strategy
 }
 
 // DefaultJacobiSustained is the default sustained fraction for the
@@ -68,6 +74,9 @@ func (o *JacobiOptions) setDefaults() error {
 	}
 	if o.SustainedFraction < 0 || o.SustainedFraction > 1 {
 		return fmt.Errorf("algs: Jacobi sustained fraction %g out of (0,1]", o.SustainedFraction)
+	}
+	if o.Strategy == nil {
+		o.Strategy = dist.HetBlock{}
 	}
 	return nil
 }
@@ -119,9 +128,12 @@ func RunJacobiContext(ctx context.Context, cl *cluster.Cluster, model simnet.Cos
 	}
 	// Distribute the n-2 interior rows proportionally; boundary rows 0 and
 	// n-1 are fixed and never owned.
-	asn, err := dist.HetBlock{}.Assign(n-2, cl.Speeds())
+	asn, err := opts.Strategy.Assign(n-2, cl.Speeds())
 	if err != nil {
 		return JacobiOutcome{}, fmt.Errorf("algs: Jacobi distribution: %w", err)
+	}
+	if !isBlockAssignment(asn) {
+		return JacobiOutcome{}, fmt.Errorf("algs: Jacobi needs a contiguous block distribution, %T is not", opts.Strategy)
 	}
 	for r, c := range asn.Counts {
 		if c == 0 {

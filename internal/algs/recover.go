@@ -480,9 +480,13 @@ func RunJacobiRecoveredContext(ctx context.Context, cl *cluster.Cluster, model s
 	var outGrid []float64
 	var resid, sweepMS float64
 	factory := func(inst mpi.Instance) (mpi.RecoverableProgram, error) {
-		asn, err := dist.HetBlock{}.Assign(n-2, inst.Cluster.Speeds())
+		strat := survivorStrategy(opts.Strategy, inst.Ranks)
+		asn, err := strat.Assign(n-2, inst.Cluster.Speeds())
 		if err != nil {
 			return nil, fmt.Errorf("algs: Jacobi redistribution: %w", err)
+		}
+		if !isBlockAssignment(asn) {
+			return nil, fmt.Errorf("algs: Jacobi needs a contiguous block distribution, %T is not", opts.Strategy)
 		}
 		for r, cnt := range asn.Counts {
 			if cnt == 0 {

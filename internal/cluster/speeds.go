@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// SpeedTable maps node names and/or node classes to marked speeds in
+// Mflops (Definition 1). It is the bridge between benchmarking and the
+// study: `markedspeed -speeds out.json` writes one, and
+// `scalescan -speeds out.json` applies it to a ladder before measuring,
+// so the scan runs at benchmarked rather than declared speeds.
+//
+//	{"speeds": {"SunBlade": 41.3, "n0": 88.5}}
+type SpeedTable struct {
+	Speeds map[string]float64 `json:"speeds"`
+}
+
+// ParseSpeedTable decodes and validates a speed-table document: at least
+// one entry, every speed positive and finite.
+func ParseSpeedTable(data []byte) (SpeedTable, error) {
+	var t SpeedTable
+	if err := json.Unmarshal(data, &t); err != nil {
+		return SpeedTable{}, fmt.Errorf("cluster: parsing speed table: %w", err)
+	}
+	if len(t.Speeds) == 0 {
+		return SpeedTable{}, fmt.Errorf("cluster: speed table has no entries")
+	}
+	for key, v := range t.Speeds {
+		if !(v > 0) || math.IsInf(v, 0) {
+			return SpeedTable{}, fmt.Errorf("cluster: speed table entry %q: speed %g must be positive and finite", key, v)
+		}
+	}
+	return t, nil
+}
+
+// LoadSpeedTable reads and decodes a speed-table file.
+func LoadSpeedTable(path string) (SpeedTable, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return SpeedTable{}, err
+	}
+	return ParseSpeedTable(raw)
+}
+
+// ApplySpeeds returns a copy of the ladder with node speeds overridden
+// from the table: a node takes the entry under its own name if present,
+// otherwise the entry under its class. Every table entry must match at
+// least one node — a dangling key is almost always a typo in a
+// benchmarking round-trip, so it is an error rather than a silent no-op.
+func (l LadderSpec) ApplySpeeds(t SpeedTable) (LadderSpec, error) {
+	used := make(map[string]bool, len(t.Speeds))
+	out := LadderSpec{Ladder: make([]Spec, len(l.Ladder))}
+	for i, spec := range l.Ladder {
+		ns := Spec{Name: spec.Name, Nodes: append([]NodeSpec(nil), spec.Nodes...)}
+		for j, node := range ns.Nodes {
+			if v, ok := t.Speeds[node.Name]; ok {
+				ns.Nodes[j].SpeedMflops = v
+				used[node.Name] = true
+			} else if v, ok := t.Speeds[node.Class]; ok {
+				ns.Nodes[j].SpeedMflops = v
+				used[node.Class] = true
+			}
+		}
+		out.Ladder[i] = ns
+	}
+	var dangling []string
+	for key := range t.Speeds {
+		if !used[key] {
+			dangling = append(dangling, key)
+		}
+	}
+	if len(dangling) > 0 {
+		sort.Strings(dangling)
+		return LadderSpec{}, fmt.Errorf("cluster: speed table keys match no node name or class in the ladder: %s",
+			strings.Join(dangling, ", "))
+	}
+	return out, nil
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"strings"
 	"testing"
+
+	"repro/internal/workload"
 )
 
 // quickSuite builds the reduced suite shared by the tests (the full paper
@@ -99,7 +101,7 @@ func TestGEChainShape(t *testing.T) {
 		if !curve.MonotoneOnSamples() {
 			t.Errorf("curve %d not monotone", i)
 		}
-		eff, err := curve.VerifyAt(chain.Points[i].N, s.geRunner(context.Background(), chain.Clusters[i]))
+		eff, err := curve.VerifyAt(chain.Points[i].N, s.runnerFor(context.Background(), workload.MustGet("ge"), chain.Clusters[i]))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/simnet"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // This file holds the experiments that go beyond the paper's own tables:
@@ -17,70 +18,20 @@ import (
 // scalability (the paper's reference [9] folded into the metric), a
 // three-mode network ablation, and trace-based overhead decomposition.
 
-// Fixed Jacobi study parameters: the sweep count is part of the
-// algorithm-system combination definition, like the GE pivot policy.
+// Fixed Jacobi study parameters, owned by the workload registration; the
+// aliases keep the ablations (grid, collectives, traces) reading like the
+// combination definition they vary.
 const (
-	jacIters      = 100
-	jacCheckEvery = 10
+	jacIters      = workload.JacobiIters
+	jacCheckEvery = workload.JacobiCheckEvery
 	// JacTarget is the speed-efficiency set-point for the Jacobi chain.
 	JacTarget = 0.3
 )
 
-// jacRunner builds a core.Runner for the Jacobi relaxation. The study
-// times the sweep loop only (SweepTimeMS): the one-time O(n²) scatter
-// through rank 0 would otherwise dominate the O(n²) sweep work at large
-// system sizes, and real applications keep the field distributed. This
-// is the standard stencil-benchmarking protocol.
-func (s *Suite) jacRunner(ctx context.Context, cl *cluster.Cluster) core.Runner {
-	return func(n int) (float64, float64, error) {
-		p, err := s.cachedRun(ctx, "jacobi", cl, n, func(ctx context.Context) (runPoint, error) {
-			out, err := algs.RunJacobiContext(ctx, cl, s.Cfg.Model, s.Cfg.mpiOpts(), n, algs.JacobiOptions{
-				Iters: jacIters, CheckEvery: jacCheckEvery, Symbolic: true, Seed: s.Cfg.Seed,
-			})
-			if err != nil {
-				return runPoint{}, err
-			}
-			return runPoint{Work: out.Work, TimeMS: out.SweepTimeMS}, nil
-		})
-		if err != nil {
-			return 0, 0, err
-		}
-		return p.Work, p.TimeMS, nil
-	}
-}
-
-// jacMachine builds the analytic model for the Jacobi combination.
-func (s *Suite) jacMachine(cl *cluster.Cluster) (core.AnalyticMachine, error) {
-	to, err := algs.JacobiOverhead(cl, s.Cfg.Model, jacIters, jacCheckEvery)
-	if err != nil {
-		return core.AnalyticMachine{}, err
-	}
-	return core.AnalyticMachine{
-		Label:     cl.Name,
-		C:         cl.MarkedSpeed(),
-		P:         cl.Size(),
-		Sustained: algs.DefaultJacobiSustained,
-		Work: func(n float64) float64 {
-			if n < 3 {
-				return 1
-			}
-			return 6 * (n - 2) * (n - 2) * jacIters
-		},
-		Overhead: to,
-	}, nil
-}
-
 // JacChainMeasured returns (memoized) the measured Jacobi ladder on the
 // MM-style mixed configurations.
 func (s *Suite) JacChainMeasured(ctx context.Context) (*chainResult, error) {
-	return s.cachedChain(ctx, "jacobi", JacTarget, func(ctx context.Context) (*chainResult, error) {
-		clusters, err := ladder(s.Cfg.Sizes, cluster.MMConfig)
-		if err != nil {
-			return nil, err
-		}
-		return s.measureChain(ctx, clusters, JacTarget, s.jacMachine, s.jacRunner,
-			func(n int) float64 { return algs.WorkJacobi(n, jacIters) })
-	})
+	return s.ChainMeasured(ctx, workload.MustGet("jacobi"), JacTarget)
 }
 
 // ThreeWay compares the scalability of all three algorithm-system
@@ -143,7 +94,7 @@ func (s *Suite) MemBound(ctx context.Context) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := s.mmMachine(cl)
+		m, err := s.machineFor(workload.MustGet("mm"), cl)
 		if err != nil {
 			return nil, err
 		}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/mpi"
+	"repro/internal/workload"
 )
 
 func TestThreeWayOrdering(t *testing.T) {
@@ -234,7 +235,7 @@ func TestReadOffRobustUnderJitter(t *testing.T) {
 			return out.Work, out.Res.TimeMS, nil
 		}
 	}
-	m, err := s.geMachine(cl)
+	m, err := s.machineFor(workload.MustGet("ge"), cl)
 	if err != nil {
 		t.Fatal(err)
 	}

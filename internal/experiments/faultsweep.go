@@ -5,12 +5,11 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/algs"
 	"repro/internal/cluster"
 	"repro/internal/core"
-	"repro/internal/dist"
 	"repro/internal/faults"
 	"repro/internal/mpi"
+	"repro/internal/workload"
 )
 
 // This file extends the study to degraded systems: the isospeed-efficiency
@@ -45,7 +44,7 @@ func (s *Suite) FaultSweep(ctx context.Context) (*Table, error) {
 			faultSweepN, cl.Name, cl.MarkedSpeed()),
 		Headers: []string{"Intensity x", "C_eff (Mflops)", "T (ms)", "Messages", "E_s @ nominal C", "ψ vs fault-free"},
 	}
-	pinned := dist.Pinned{Speeds: cl.Speeds(), Inner: dist.HetCyclic{}}
+	ge := workload.MustGet("ge")
 	baseEff := 0.0
 	for _, x := range faultIntensities {
 		spec, err := faults.Intensity(s.Cfg.Seed, x)
@@ -64,13 +63,13 @@ func (s *Suite) FaultSweep(ctx context.Context) (*Table, error) {
 		if !plan.IsZero() {
 			opts.Faults = inj
 		}
-		out, err := algs.RunGEContext(ctx, dcl, dmodel, opts, faultSweepN, algs.GEOptions{
-			Symbolic: true, Seed: s.Cfg.Seed, Strategy: pinned,
+		out, err := ge.Run(ctx, dcl, dmodel, opts, workload.Spec{
+			N: faultSweepN, Seed: s.Cfg.Seed, Symbolic: true, PinnedSpeeds: cl.Speeds(),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fault sweep x=%g: %w", x, err)
 		}
-		eff, err := core.SpeedEfficiency(out.Work, out.Res.TimeMS, cl.MarkedSpeed())
+		eff, err := core.SpeedEfficiency(out.Work, out.VirtualTime, cl.MarkedSpeed())
 		if err != nil {
 			return nil, err
 		}
@@ -80,8 +79,8 @@ func (s *Suite) FaultSweep(ctx context.Context) (*Table, error) {
 		t.AddRow(
 			fmtFloat(x, 2),
 			fmtFloat(dcl.MarkedSpeed(), 1),
-			fmtFloat(out.Res.TimeMS, 2),
-			fmt.Sprintf("%d", out.Res.Messages),
+			fmtFloat(out.VirtualTime, 2),
+			fmt.Sprintf("%d", out.Stats.Messages),
 			fmtFloat(eff, 4),
 			fmtFloat(eff/baseEff, 4),
 		)
@@ -103,15 +102,16 @@ func (s *Suite) CrashRestart(ctx context.Context) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	ge := workload.MustGet("ge")
 	opts := s.Cfg.mpiOpts()
-	geOpts := algs.GEOptions{Symbolic: true, Seed: s.Cfg.Seed}
-	base, err := algs.RunGEContext(ctx, cl, s.Cfg.Model, opts, faultSweepN, geOpts)
+	spec := workload.Spec{N: faultSweepN, Seed: s.Cfg.Seed, Symbolic: true}
+	base, err := ge.Run(ctx, cl, s.Cfg.Model, opts, spec)
 	if err != nil {
 		return nil, err
 	}
 	t := &Table{
 		Title: fmt.Sprintf("Crash-restart: GE at N = %d on %s (fault-free T = %.2f ms)",
-			faultSweepN, cl.Name, base.Res.TimeMS),
+			faultSweepN, cl.Name, base.VirtualTime),
 		Headers: []string{"Scenario", "Failed at (ms)", "Survivors", "Restart T (ms)", "Total T (ms)", "Slowdown", "E_s @ nominal C"},
 	}
 	type scenario struct {
@@ -121,9 +121,9 @@ func (s *Suite) CrashRestart(ctx context.Context) (*Table, error) {
 	// Rank 0 owns the input matrix, so it never crashes here: losing it
 	// would lose the job, not delay it.
 	scenarios := []scenario{
-		{"rank 3 early", []faults.Crash{{Rank: 3, AtMS: 0.25 * base.Res.TimeMS}}},
-		{"rank 3 late", []faults.Crash{{Rank: 3, AtMS: 0.75 * base.Res.TimeMS}}},
-		{"ranks 2+5 mid", []faults.Crash{{Rank: 2, AtMS: 0.5 * base.Res.TimeMS}, {Rank: 5, AtMS: 0.5 * base.Res.TimeMS}}},
+		{"rank 3 early", []faults.Crash{{Rank: 3, AtMS: 0.25 * base.VirtualTime}}},
+		{"rank 3 late", []faults.Crash{{Rank: 3, AtMS: 0.75 * base.VirtualTime}}},
+		{"ranks 2+5 mid", []faults.Crash{{Rank: 2, AtMS: 0.5 * base.VirtualTime}, {Rank: 5, AtMS: 0.5 * base.VirtualTime}}},
 	}
 	for _, sc := range scenarios {
 		plan := faults.Plan{Seed: s.Cfg.Seed, Crashes: sc.crashes}
@@ -133,7 +133,7 @@ func (s *Suite) CrashRestart(ctx context.Context) (*Table, error) {
 		}
 		fopts := opts
 		fopts.Faults = inj
-		_, runErr := algs.RunGEContext(ctx, cl, s.Cfg.Model, fopts, faultSweepN, geOpts)
+		_, runErr := ge.Run(ctx, cl, s.Cfg.Model, fopts, spec)
 		if runErr == nil {
 			return nil, fmt.Errorf("experiments: crash plan %q did not tear down the run", sc.label)
 		}
@@ -165,11 +165,11 @@ func (s *Suite) CrashRestart(ctx context.Context) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rerun, err := algs.RunGEContext(ctx, sub, s.Cfg.Model, opts, faultSweepN, geOpts)
+		rerun, err := ge.Run(ctx, sub, s.Cfg.Model, opts, spec)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: restart of %q: %w", sc.label, err)
 		}
-		total := failAt + rerun.Res.TimeMS
+		total := failAt + rerun.VirtualTime
 		eff, err := core.SpeedEfficiency(rerun.Work, total, cl.MarkedSpeed())
 		if err != nil {
 			return nil, err
@@ -178,9 +178,9 @@ func (s *Suite) CrashRestart(ctx context.Context) (*Table, error) {
 			sc.label,
 			fmtFloat(failAt, 2),
 			fmt.Sprintf("%d/%d", len(alive), cl.Size()),
-			fmtFloat(rerun.Res.TimeMS, 2),
+			fmtFloat(rerun.VirtualTime, 2),
 			fmtFloat(total, 2),
-			fmtFloat(total/base.Res.TimeMS, 2),
+			fmtFloat(total/base.VirtualTime, 2),
 			fmtFloat(eff, 4),
 		)
 	}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/numeric"
+	"repro/internal/workload"
 )
 
 // Fig1 reproduces "Speed-efficiency on two nodes": the measured E_s
@@ -38,7 +39,7 @@ func (s *Suite) Fig1(ctx context.Context) (*Figure, *Table, error) {
 		return nil, nil, err
 	}
 	nInt := int(math.Round(nReq))
-	verified, err := curve.VerifyAt(nInt, s.geRunner(ctx, cl))
+	verified, err := curve.VerifyAt(nInt, s.runnerFor(ctx, workload.MustGet("ge"), cl))
 	if err != nil {
 		return nil, nil, err
 	}

@@ -7,8 +7,8 @@ import (
 	"repro/internal/algs"
 	"repro/internal/cluster"
 	"repro/internal/core"
-	"repro/internal/dist"
 	"repro/internal/faults"
+	"repro/internal/workload"
 )
 
 // This file prices fault tolerance the paper's way: checkpoint/rollback
@@ -22,14 +22,15 @@ import (
 // recovered sweep; the interval ablation varies it.
 const recoveredInterval = 50
 
-// recoveredGEOpts is the shared run setup of both recovery experiments:
+// recoveredGESpec is the shared run setup of both recovery experiments:
 // blind nominal distribution, so redistribution after a crash stays
 // proportional to the surviving marked speeds.
-func recoveredGEOpts(s *Suite, cl *cluster.Cluster) algs.GEOptions {
-	return algs.GEOptions{
-		Symbolic: true,
-		Seed:     s.Cfg.Seed,
-		Strategy: dist.Pinned{Speeds: cl.Speeds(), Inner: dist.HetCyclic{}},
+func recoveredGESpec(s *Suite, cl *cluster.Cluster) workload.Spec {
+	return workload.Spec{
+		N:            faultSweepN,
+		Seed:         s.Cfg.Seed,
+		Symbolic:     true,
+		PinnedSpeeds: cl.Speeds(),
 	}
 }
 
@@ -63,19 +64,20 @@ func (s *Suite) RecoveredSweep(ctx context.Context) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	ge := workload.MustGet("ge")
 	opts := s.Cfg.mpiOpts()
-	geOpts := recoveredGEOpts(s, cl)
-	base, err := algs.RunGEContext(ctx, cl, s.Cfg.Model, opts, faultSweepN, geOpts)
+	spec := recoveredGESpec(s, cl)
+	base, err := ge.Run(ctx, cl, s.Cfg.Model, opts, spec)
 	if err != nil {
 		return nil, err
 	}
-	baseEff, err := core.SpeedEfficiency(base.Work, base.Res.TimeMS, cl.MarkedSpeed())
+	baseEff, err := core.SpeedEfficiency(base.Work, base.VirtualTime, cl.MarkedSpeed())
 	if err != nil {
 		return nil, err
 	}
 	t := &Table{
 		Title: fmt.Sprintf("Recovered sweep: GE at N = %d on %s, checkpoint every %d pivots (fault-free T = %.2f ms)",
-			faultSweepN, cl.Name, recoveredInterval, base.Res.TimeMS),
+			faultSweepN, cl.Name, recoveredInterval, base.VirtualTime),
 		Headers: []string{"Scenario", "Attempts", "Ckpts", "T (ms)", "Slowdown", "E_s @ nominal C", "ψ vs fault-free"},
 	}
 	rcfg := algs.RecoveryConfig{IntervalSteps: recoveredInterval}
@@ -89,7 +91,7 @@ func (s *Suite) RecoveredSweep(ctx context.Context) (*Table, error) {
 			}
 			fopts.Faults = inj
 		}
-		out, rec, err := algs.RunGERecoveredContext(ctx, cl, s.Cfg.Model, fopts, faultSweepN, geOpts, rcfg)
+		out, rec, err := ge.RunRecovered(ctx, cl, s.Cfg.Model, fopts, spec, rcfg)
 		if err != nil {
 			return fmt.Errorf("experiments: recovered scenario %q: %w", label, err)
 		}
@@ -102,7 +104,7 @@ func (s *Suite) RecoveredSweep(ctx context.Context) (*Table, error) {
 			fmt.Sprintf("%d", rec.Attempts),
 			fmt.Sprintf("%d", rec.Checkpoints),
 			fmtFloat(rec.TimeMS, 2),
-			fmtFloat(rec.TimeMS/base.Res.TimeMS, 2),
+			fmtFloat(rec.TimeMS/base.VirtualTime, 2),
 			fmtFloat(eff, 4),
 			fmtFloat(eff/baseEff, 4),
 		)
@@ -112,7 +114,7 @@ func (s *Suite) RecoveredSweep(ctx context.Context) (*Table, error) {
 		return nil, err
 	}
 	for _, sc := range recoveredScenarios {
-		if err := addRow(sc.label, sc.crashes(base.Res.TimeMS)); err != nil {
+		if err := addRow(sc.label, sc.crashes(base.VirtualTime)); err != nil {
 			return nil, err
 		}
 	}
@@ -138,13 +140,14 @@ func (s *Suite) CheckpointInterval(ctx context.Context) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	ge := workload.MustGet("ge")
 	opts := s.Cfg.mpiOpts()
-	geOpts := recoveredGEOpts(s, cl)
-	base, err := algs.RunGEContext(ctx, cl, s.Cfg.Model, opts, faultSweepN, geOpts)
+	spec := recoveredGESpec(s, cl)
+	base, err := ge.Run(ctx, cl, s.Cfg.Model, opts, spec)
 	if err != nil {
 		return nil, err
 	}
-	crash := []faults.Crash{{Rank: 3, AtMS: 0.5 * base.Res.TimeMS}}
+	crash := []faults.Crash{{Rank: 3, AtMS: 0.5 * base.VirtualTime}}
 	plan := faults.Plan{Seed: s.Cfg.Seed, Crashes: crash}
 	_, _, inj, err := plan.Apply(cl, s.Cfg.Model)
 	if err != nil {
@@ -152,18 +155,18 @@ func (s *Suite) CheckpointInterval(ctx context.Context) (*Table, error) {
 	}
 	t := &Table{
 		Title: fmt.Sprintf("Checkpoint-interval ablation: GE at N = %d on %s, rank 3 crashes at %.2f ms (fault-free T = %.2f ms)",
-			faultSweepN, cl.Name, crash[0].AtMS, base.Res.TimeMS),
+			faultSweepN, cl.Name, crash[0].AtMS, base.VirtualTime),
 		Headers: []string{"Interval (pivots)", "Ckpts", "T healthy (ms)", "Ckpt overhead", "T crashed (ms)", "Crashed slowdown", "E_s crashed"},
 	}
 	for _, interval := range checkpointIntervals {
 		rcfg := algs.RecoveryConfig{IntervalSteps: interval}
-		_, healthy, err := algs.RunGERecoveredContext(ctx, cl, s.Cfg.Model, opts, faultSweepN, geOpts, rcfg)
+		_, healthy, err := ge.RunRecovered(ctx, cl, s.Cfg.Model, opts, spec, rcfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: healthy interval %d: %w", interval, err)
 		}
 		fopts := opts
 		fopts.Faults = inj
-		out, crashed, err := algs.RunGERecoveredContext(ctx, cl, s.Cfg.Model, fopts, faultSweepN, geOpts, rcfg)
+		out, crashed, err := ge.RunRecovered(ctx, cl, s.Cfg.Model, fopts, spec, rcfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: crashed interval %d: %w", interval, err)
 		}
@@ -175,9 +178,9 @@ func (s *Suite) CheckpointInterval(ctx context.Context) (*Table, error) {
 			fmt.Sprintf("%d", interval),
 			fmt.Sprintf("%d", healthy.Checkpoints),
 			fmtFloat(healthy.TimeMS, 2),
-			fmtFloat(healthy.TimeMS/base.Res.TimeMS, 3),
+			fmtFloat(healthy.TimeMS/base.VirtualTime, 3),
 			fmtFloat(crashed.TimeMS, 2),
-			fmtFloat(crashed.TimeMS/base.Res.TimeMS, 2),
+			fmtFloat(crashed.TimeMS/base.VirtualTime, 2),
 			fmtFloat(eff, 4),
 		)
 	}

@@ -412,6 +412,14 @@ func init() {
 				return wrap(s.TraceDecomposition(ctx))
 			},
 		},
+		{
+			ID:    "workload-chains",
+			About: "extension: measured ψ chain of every registered workload (the registry seam end to end)",
+			Group: GroupExtension,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				return wrap(s.WorkloadChains(ctx))
+			},
+		},
 	} {
 		Register(e)
 	}

@@ -7,13 +7,13 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/algs"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/mpi"
 	"repro/internal/runner"
 	"repro/internal/simnet"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // Config controls how the experiments run.
@@ -187,19 +187,20 @@ func (s *Suite) cachedRun(ctx context.Context, alg string, cl *cluster.Cluster, 
 	return v.(runPoint), nil
 }
 
-// geRunner builds a core.Runner for the GE algorithm on one cluster.
-// Every point goes through the memo cache.
-func (s *Suite) geRunner(ctx context.Context, cl *cluster.Cluster) core.Runner {
+// runnerFor builds a core.Runner for one workload on one cluster. Every
+// point goes through the memo cache, keyed by the workload's name.
+func (s *Suite) runnerFor(ctx context.Context, w workload.Workload, cl *cluster.Cluster) core.Runner {
 	return func(n int) (float64, float64, error) {
-		p, err := s.cachedRun(ctx, "ge", cl, n, func(ctx context.Context) (runPoint, error) {
-			out, err := algs.RunGEContext(ctx, cl, s.Cfg.Model, s.Cfg.mpiOpts(), n, algs.GEOptions{
-				Symbolic: true,
+		p, err := s.cachedRun(ctx, w.Name(), cl, n, func(ctx context.Context) (runPoint, error) {
+			out, err := w.Run(ctx, cl, s.Cfg.Model, s.Cfg.mpiOpts(), workload.Spec{
+				N:        n,
 				Seed:     s.Cfg.Seed,
+				Symbolic: true,
 			})
 			if err != nil {
 				return runPoint{}, err
 			}
-			return runPoint{Work: out.Work, TimeMS: out.Res.TimeMS}, nil
+			return runPoint{Work: out.Work, TimeMS: out.VirtualTime}, nil
 		})
 		if err != nil {
 			return 0, 0, err
@@ -208,61 +209,24 @@ func (s *Suite) geRunner(ctx context.Context, cl *cluster.Cluster) core.Runner {
 	}
 }
 
-// mmRunner builds a core.Runner for the MM algorithm on one cluster.
-func (s *Suite) mmRunner(ctx context.Context, cl *cluster.Cluster) core.Runner {
-	return func(n int) (float64, float64, error) {
-		p, err := s.cachedRun(ctx, "mm", cl, n, func(ctx context.Context) (runPoint, error) {
-			out, err := algs.RunMMContext(ctx, cl, s.Cfg.Model, s.Cfg.mpiOpts(), n, algs.MMOptions{
-				Symbolic: true,
-				Seed:     s.Cfg.Seed,
-			})
-			if err != nil {
-				return runPoint{}, err
-			}
-			return runPoint{Work: out.Work, TimeMS: out.Res.TimeMS}, nil
-		})
-		if err != nil {
-			return 0, 0, err
-		}
-		return p.Work, p.TimeMS, nil
-	}
+// machineFor builds the workload's analytic model (§4.5 for GE) under the
+// suite's cost model.
+func (s *Suite) machineFor(w workload.Workload, cl *cluster.Cluster) (core.AnalyticMachine, error) {
+	return w.Machine(cl, s.Cfg.Model)
 }
 
-// geMachine builds the analytic model of §4.5 for one GE configuration.
-func (s *Suite) geMachine(cl *cluster.Cluster) (core.AnalyticMachine, error) {
-	to, err := algs.GEOverhead(cl, s.Cfg.Model)
-	if err != nil {
-		return core.AnalyticMachine{}, err
+// targetFor maps a workload to its configured speed-efficiency set-point:
+// the paper's GE and MM targets stay CLI-tunable through Config, every
+// other workload reads its registered default.
+func (s *Suite) targetFor(w workload.Workload) float64 {
+	switch w.Name() {
+	case "ge":
+		return s.Cfg.GETarget
+	case "mm":
+		return s.Cfg.MMTarget
+	default:
+		return w.DefaultTarget()
 	}
-	t0, err := algs.GESeqTime(cl, algs.DefaultGESustained)
-	if err != nil {
-		return core.AnalyticMachine{}, err
-	}
-	return core.AnalyticMachine{
-		Label:     cl.Name,
-		C:         cl.MarkedSpeed(),
-		P:         cl.Size(),
-		Sustained: algs.DefaultGESustained,
-		Work:      func(n float64) float64 { return 2*n*n*n/3 + 3*n*n/2 - 7*n/6 + n*n },
-		SeqTime:   t0,
-		Overhead:  to,
-	}, nil
-}
-
-// mmMachine builds the analytic model for one MM configuration.
-func (s *Suite) mmMachine(cl *cluster.Cluster) (core.AnalyticMachine, error) {
-	to, err := algs.MMOverhead(cl, s.Cfg.Model)
-	if err != nil {
-		return core.AnalyticMachine{}, err
-	}
-	return core.AnalyticMachine{
-		Label:     cl.Name,
-		C:         cl.MarkedSpeed(),
-		P:         cl.Size(),
-		Sustained: algs.DefaultMMSustained,
-		Work:      func(n float64) float64 { return 2 * n * n * n },
-		Overhead:  to,
-	}, nil
 }
 
 // studyOpts maps the suite configuration onto core.StudyOptions.
@@ -270,31 +234,18 @@ func (s *Suite) studyOpts(target float64) core.StudyOptions {
 	return core.StudyOptions{TargetEff: target, SweepPoints: s.Cfg.SweepPoints}
 }
 
-// measureChain runs the full §4.4 procedure for one algorithm family by
+// measureChain runs the full §4.4 procedure for one workload by
 // delegating to core.RunStudy: per configuration, sweep problem sizes,
 // fit the trend, read off the required N at the target efficiency, and
 // assemble the ψ chain.
-func (s *Suite) measureChain(
-	ctx context.Context,
-	clusters []*cluster.Cluster,
-	target float64,
-	machine func(*cluster.Cluster) (core.AnalyticMachine, error),
-	runner func(context.Context, *cluster.Cluster) core.Runner,
-	workAt func(n int) float64,
-) (*chainResult, error) {
+func (s *Suite) measureChain(ctx context.Context, w workload.Workload, clusters []*cluster.Cluster, target float64) (*chainResult, error) {
 	targets := make([]core.StudyTarget, 0, len(clusters))
 	for _, cl := range clusters {
-		m, err := machine(cl)
+		t, err := workload.Target(w, cl, s.Cfg.Model, s.runnerFor(ctx, w, cl))
 		if err != nil {
 			return nil, err
 		}
-		targets = append(targets, core.StudyTarget{
-			Label:   cl.Name,
-			C:       cl.MarkedSpeed(),
-			Machine: m,
-			Run:     runner(ctx, cl),
-			WorkAt:  workAt,
-		})
+		targets = append(targets, t)
 	}
 	study, err := core.RunStudy(targets, s.studyOpts(target))
 	if err != nil {
@@ -349,26 +300,27 @@ func ladder(sizes []int, config func(int) (*cluster.Cluster, error)) ([]*cluster
 	return clusters, nil
 }
 
-// GEChainMeasured returns (memoized) the measured GE ladder: curves per
-// configuration, required-N points at the GE target, and the ψ chain.
-func (s *Suite) GEChainMeasured(ctx context.Context) (*chainResult, error) {
-	return s.cachedChain(ctx, "ge", s.Cfg.GETarget, func(ctx context.Context) (*chainResult, error) {
-		clusters, err := ladder(s.Cfg.Sizes, cluster.GEConfig)
+// ChainMeasured returns (memoized) the measured ladder of one registered
+// workload at the given speed-efficiency target: curves per
+// configuration, required-N points, and the ψ chain.
+func (s *Suite) ChainMeasured(ctx context.Context, w workload.Workload, target float64) (*chainResult, error) {
+	return s.cachedChain(ctx, w.Name(), target, func(ctx context.Context) (*chainResult, error) {
+		clusters, err := ladder(s.Cfg.Sizes, w.ClusterLadder)
 		if err != nil {
 			return nil, err
 		}
-		return s.measureChain(ctx, clusters, s.Cfg.GETarget, s.geMachine, s.geRunner, algs.WorkGE)
+		return s.measureChain(ctx, w, clusters, target)
 	})
+}
+
+// GEChainMeasured returns (memoized) the measured GE ladder at the GE
+// target.
+func (s *Suite) GEChainMeasured(ctx context.Context) (*chainResult, error) {
+	return s.ChainMeasured(ctx, workload.MustGet("ge"), s.Cfg.GETarget)
 }
 
 // MMChainMeasured returns (memoized) the measured MM ladder at the MM
 // target.
 func (s *Suite) MMChainMeasured(ctx context.Context) (*chainResult, error) {
-	return s.cachedChain(ctx, "mm", s.Cfg.MMTarget, func(ctx context.Context) (*chainResult, error) {
-		clusters, err := ladder(s.Cfg.Sizes, cluster.MMConfig)
-		if err != nil {
-			return nil, err
-		}
-		return s.measureChain(ctx, clusters, s.Cfg.MMTarget, s.mmMachine, s.mmRunner, algs.WorkMM)
-	})
+	return s.ChainMeasured(ctx, workload.MustGet("mm"), s.Cfg.MMTarget)
 }

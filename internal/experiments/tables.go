@@ -9,6 +9,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/nasbench"
+	"repro/internal/workload"
 )
 
 // Table1 reproduces "Marked speed of Sunwulf nodes (Mflops)": the NPB-style
@@ -243,7 +244,7 @@ func (s *Suite) geMachines() ([]core.AnalyticMachine, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := s.geMachine(cl)
+		m, err := s.machineFor(workload.MustGet("ge"), cl)
 		if err != nil {
 			return nil, err
 		}
@@ -264,7 +265,7 @@ func (s *Suite) HomogeneousCheck(ctx context.Context) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := s.geMachine(cl)
+		m, err := s.machineFor(workload.MustGet("ge"), cl)
 		if err != nil {
 			return nil, err
 		}
@@ -272,7 +273,7 @@ func (s *Suite) HomogeneousCheck(ctx context.Context) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		curve, nReq, err := s.readOff(cl.Name, cl.MarkedSpeed(), s.Cfg.GETarget, guess, s.geRunner(ctx, cl))
+		curve, nReq, err := s.readOff(cl.Name, cl.MarkedSpeed(), s.Cfg.GETarget, guess, s.runnerFor(ctx, workload.MustGet("ge"), cl))
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// WorkloadChains measures the ψ chain of every workload in the registry —
+// the paper's §4.4 procedure applied uniformly, with no per-algorithm
+// wiring in this package. A workload registered tomorrow appears in this
+// table (and in the CLIs) purely through its registration file.
+func (s *Suite) WorkloadChains(ctx context.Context) (*Table, error) {
+	ws := workload.All()
+	t := &Table{
+		Title:   fmt.Sprintf("Registered workloads: measured isospeed-efficiency chains (%d combinations)", len(ws)),
+		Headers: []string{"Workload", "Target E_s"},
+	}
+	for i := 0; i+1 < len(s.Cfg.Sizes); i++ {
+		t.Headers = append(t.Headers, fmt.Sprintf("ψ %d -> %d", s.Cfg.Sizes[i], s.Cfg.Sizes[i+1]))
+	}
+	for _, w := range ws {
+		target := s.targetFor(w)
+		chain, err := s.ChainMeasured(ctx, w, target)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: workload %q chain: %w", w.Name(), err)
+		}
+		row := []string{w.Name(), fmtFloat(target, 2)}
+		for _, psi := range chain.Psis {
+			row = append(row, fmtFloat(psi, 4))
+		}
+		t.AddRow(row...)
+		t.Notes = append(t.Notes, fmt.Sprintf("%s: %s", w.Name(), w.About()))
+	}
+	return t, nil
+}

@@ -1,0 +1,202 @@
+package workload_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/algs"
+	"repro/internal/cluster"
+	"repro/internal/faults"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+	"repro/internal/workload"
+)
+
+// The conformance suite is the contract every registered workload must
+// honor. It runs against workload.All(), so registering a new workload
+// automatically subjects it to every assertion here; the only per-workload
+// code is the direct-reference entry in directReference below.
+
+const (
+	confP    = 4
+	confN    = 64
+	confSeed = int64(7)
+)
+
+func confModel(t *testing.T) simnet.CostModel {
+	t.Helper()
+	m, err := simnet.NewParamModel("sunwulf-100Mb", simnet.Sunwulf100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func confCluster(t *testing.T, w workload.Workload, p int) *cluster.Cluster {
+	t.Helper()
+	cl, err := w.ClusterLadder(p)
+	if err != nil {
+		t.Fatalf("%s: ladder rung p=%d: %v", w.Name(), p, err)
+	}
+	return cl
+}
+
+// directReference runs one workload through its typed algs entry point,
+// bypassing the registry: the byte-identity oracle of assertion (a).
+// Every registered workload needs an entry here.
+func directReference(t *testing.T, name string, cl *cluster.Cluster, model simnet.CostModel) workload.Outcome {
+	t.Helper()
+	ctx := context.Background()
+	switch name {
+	case "ge":
+		out, err := algs.RunGEContext(ctx, cl, model, mpi.Options{}, confN, algs.GEOptions{Seed: confSeed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return workload.Outcome{Work: out.Work, VirtualTime: out.Res.TimeMS, Stats: out.Res, Check: workload.Checksum(out.X)}
+	case "mm":
+		out, err := algs.RunMMContext(ctx, cl, model, mpi.Options{}, confN, algs.MMOptions{Seed: confSeed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return workload.Outcome{Work: out.Work, VirtualTime: out.Res.TimeMS, Stats: out.Res, Check: workload.Checksum(out.C.Data)}
+	case "jacobi":
+		out, err := algs.RunJacobiContext(ctx, cl, model, mpi.Options{}, confN, algs.JacobiOptions{
+			Iters: workload.JacobiIters, CheckEvery: workload.JacobiCheckEvery, Seed: confSeed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return workload.Outcome{Work: out.Work, VirtualTime: out.SweepTimeMS, Stats: out.Res, Check: workload.Checksum(out.Grid)}
+	default:
+		t.Fatalf("no direct reference for workload %q: add one to directReference in conformance_test.go", name)
+		return workload.Outcome{}
+	}
+}
+
+// Assertion (a): the registry Run is byte-identical to the direct algs
+// call — same work, same virtual time, same transport stats, and a
+// bitwise-equal numeric output (equal FNV-1a checksums over the float
+// bits).
+func TestConformanceRunMatchesDirectCall(t *testing.T) {
+	model := confModel(t)
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			cl := confCluster(t, w, confP)
+			got, err := w.Run(context.Background(), cl, model, mpi.Options{}, workload.Spec{N: confN, Seed: confSeed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := directReference(t, w.Name(), cl, model)
+			if got.Work != want.Work {
+				t.Errorf("Work = %g, direct call %g", got.Work, want.Work)
+			}
+			if got.VirtualTime != want.VirtualTime {
+				t.Errorf("VirtualTime = %g, direct call %g", got.VirtualTime, want.VirtualTime)
+			}
+			if got.Stats.TimeMS != want.Stats.TimeMS ||
+				got.Stats.Messages != want.Stats.Messages ||
+				got.Stats.BytesMoved != want.Stats.BytesMoved {
+				t.Errorf("Stats = %+v, direct call %+v", got.Stats, want.Stats)
+			}
+			if got.Check == 0 {
+				t.Error("Check = 0 on a non-symbolic run")
+			}
+			if got.Check != want.Check {
+				t.Errorf("Check = %#x, direct call %#x: outputs differ bitwise", got.Check, want.Check)
+			}
+		})
+	}
+}
+
+// Assertion (b): the work polynomial WorkAt matches the flops the run
+// actually reports, and the symbolic run agrees with the numeric one.
+func TestConformanceWorkAtMatchesMeasured(t *testing.T) {
+	model := confModel(t)
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			cl := confCluster(t, w, confP)
+			for _, n := range []int{33, confN} {
+				out, err := w.Run(context.Background(), cl, model, mpi.Options{}, workload.Spec{N: n, Seed: confSeed, Symbolic: true})
+				if err != nil {
+					t.Fatalf("n=%d: %v", n, err)
+				}
+				if want := w.WorkAt(n); out.Work != want {
+					t.Errorf("n=%d: measured work %g, WorkAt %g", n, out.Work, want)
+				}
+				if out.Check != 0 {
+					t.Errorf("n=%d: symbolic run has non-zero Check %#x", n, out.Check)
+				}
+			}
+		})
+	}
+}
+
+// Assertion (c): the analytic overhead To(n) is nonnegative and
+// nondecreasing in n on every rung of the workload's ladder.
+func TestConformanceOverheadShape(t *testing.T) {
+	model := confModel(t)
+	grid := []float64{32, 64, 128, 256, 512, 1024}
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			for _, p := range []int{2, 4, 8} {
+				to, err := w.Overhead(confCluster(t, w, p), model)
+				if err != nil {
+					t.Fatalf("p=%d: %v", p, err)
+				}
+				prev := 0.0
+				for _, n := range grid {
+					v := to(n)
+					if v < 0 {
+						t.Errorf("p=%d: To(%g) = %g < 0", p, n, v)
+					}
+					if v < prev {
+						t.Errorf("p=%d: To(%g) = %g < To at previous n (%g)", p, n, v, prev)
+					}
+					prev = v
+				}
+			}
+		})
+	}
+}
+
+// Assertion (d): a crashed run recovered via checkpoint/rollback produces
+// output bitwise equal to the undisturbed run.
+func TestConformanceRecoveredOutputBitwiseEqual(t *testing.T) {
+	model := confModel(t)
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			cl := confCluster(t, w, confP)
+			spec := workload.Spec{N: confN, Seed: confSeed}
+			base, err := w.Run(context.Background(), cl, model, mpi.Options{}, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan := faults.Plan{Seed: 11, Crashes: []faults.Crash{
+				{Rank: cl.Size() - 1, AtMS: 0.5 * base.Stats.TimeMS},
+			}}
+			_, _, inj, err := plan.Apply(cl, model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rcfg := algs.RecoveryConfig{IntervalSteps: 5}
+			out, rec, err := w.RunRecovered(context.Background(), cl, model, mpi.Options{Faults: inj}, spec, rcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.Attempts < 2 {
+				t.Errorf("Attempts = %d, want a rollback (crash at %.3f ms)", rec.Attempts, plan.Crashes[0].AtMS)
+			}
+			if out.Check == 0 || out.Check != base.Check {
+				t.Errorf("recovered Check = %#x, undisturbed %#x: outputs differ bitwise", out.Check, base.Check)
+			}
+			if out.Work != base.Work {
+				t.Errorf("recovered Work = %g, undisturbed %g", out.Work, base.Work)
+			}
+		})
+	}
+}

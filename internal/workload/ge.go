@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"context"
+
+	"repro/internal/algs"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+// geWorkload is the paper's §4.1 combination: Gaussian elimination with
+// heterogeneous cyclic row distribution and a pivot broadcast per
+// iteration, on the server+blade GE ladder.
+type geWorkload struct{}
+
+func init() { Register(geWorkload{}) }
+
+func (geWorkload) Name() string { return "ge" }
+func (geWorkload) About() string {
+	return "Gaussian elimination, het-cyclic rows, pivot broadcast per iteration (paper §4.1)"
+}
+func (geWorkload) DefaultTarget() float64 { return 0.3 }
+
+func (geWorkload) ClusterLadder(p int) (*cluster.Cluster, error) { return cluster.GEConfig(p) }
+
+func (geWorkload) WorkAt(n int) float64 { return algs.WorkGE(n) }
+
+// MemBytes counts the augmented system plus the solution vector.
+func (geWorkload) MemBytes(n int) float64 {
+	f := float64(n)
+	return 8 * (f*f + 2*f)
+}
+
+func (geWorkload) Overhead(cl *cluster.Cluster, model simnet.CostModel) (func(n float64) float64, error) {
+	return algs.GEOverhead(cl, model)
+}
+
+func (geWorkload) Machine(cl *cluster.Cluster, model simnet.CostModel) (core.AnalyticMachine, error) {
+	to, err := algs.GEOverhead(cl, model)
+	if err != nil {
+		return core.AnalyticMachine{}, err
+	}
+	t0, err := algs.GESeqTime(cl, algs.DefaultGESustained)
+	if err != nil {
+		return core.AnalyticMachine{}, err
+	}
+	return core.AnalyticMachine{
+		Label:     cl.Name,
+		C:         cl.MarkedSpeed(),
+		P:         cl.Size(),
+		Sustained: algs.DefaultGESustained,
+		Work:      func(n float64) float64 { return 2*n*n*n/3 + 3*n*n/2 - 7*n/6 + n*n },
+		SeqTime:   t0,
+		Overhead:  to,
+	}, nil
+}
+
+func (geWorkload) options(spec Spec) algs.GEOptions {
+	opts := algs.GEOptions{Symbolic: spec.Symbolic, Seed: spec.Seed}
+	if spec.PinnedSpeeds != nil {
+		opts.Strategy = dist.Pinned{Speeds: spec.PinnedSpeeds, Inner: dist.HetCyclic{}}
+	}
+	return opts
+}
+
+func (g geWorkload) Run(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, spec Spec) (Outcome, error) {
+	out, err := algs.RunGEContext(ctx, cl, model, mpiOpts, spec.N, g.options(spec))
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{
+		Work:        out.Work,
+		VirtualTime: out.Res.TimeMS,
+		Stats:       out.Res,
+		Check:       Checksum(out.X),
+	}, nil
+}
+
+func (g geWorkload) RunRecovered(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, spec Spec, rcfg algs.RecoveryConfig) (Outcome, mpi.RecoveredResult, error) {
+	out, rec, err := algs.RunGERecoveredContext(ctx, cl, model, mpiOpts, spec.N, g.options(spec), rcfg)
+	if err != nil {
+		return Outcome{}, mpi.RecoveredResult{}, err
+	}
+	return Outcome{
+		Work:        out.Work,
+		VirtualTime: rec.TimeMS,
+		Stats:       rec.Result,
+		Check:       Checksum(out.X),
+	}, rec, nil
+}

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"context"
+
+	"repro/internal/algs"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+// Fixed Jacobi study parameters: the sweep count is part of the
+// algorithm-system combination definition, like the GE pivot policy.
+const (
+	// JacobiIters is the number of relaxation sweeps per run.
+	JacobiIters = 100
+	// JacobiCheckEvery is the residual all-reduce cadence in sweeps.
+	JacobiCheckEvery = 10
+)
+
+// jacobiWorkload is the stencil extension: Jacobi 5-point relaxation with
+// block row bands, halo exchange per sweep and a periodic residual
+// all-reduce, on the MM-style mixed ladder. The study meters the sweep
+// loop only (SweepTimeMS) — the standard stencil-benchmarking protocol.
+type jacobiWorkload struct{}
+
+func init() { Register(jacobiWorkload{}) }
+
+func (jacobiWorkload) Name() string { return "jacobi" }
+func (jacobiWorkload) About() string {
+	return "Jacobi 5-point relaxation, block rows, halo exchange per sweep (stencil extension)"
+}
+func (jacobiWorkload) DefaultTarget() float64 { return 0.3 }
+
+func (jacobiWorkload) ClusterLadder(p int) (*cluster.Cluster, error) { return cluster.MMConfig(p) }
+
+func (jacobiWorkload) WorkAt(n int) float64 { return algs.WorkJacobi(n, JacobiIters) }
+
+// MemBytes counts the two n×n grids of the sweep (current and next).
+func (jacobiWorkload) MemBytes(n int) float64 {
+	f := float64(n)
+	return 8 * 2 * f * f
+}
+
+func (jacobiWorkload) Overhead(cl *cluster.Cluster, model simnet.CostModel) (func(n float64) float64, error) {
+	return algs.JacobiOverhead(cl, model, JacobiIters, JacobiCheckEvery)
+}
+
+func (jacobiWorkload) Machine(cl *cluster.Cluster, model simnet.CostModel) (core.AnalyticMachine, error) {
+	to, err := algs.JacobiOverhead(cl, model, JacobiIters, JacobiCheckEvery)
+	if err != nil {
+		return core.AnalyticMachine{}, err
+	}
+	return core.AnalyticMachine{
+		Label:     cl.Name,
+		C:         cl.MarkedSpeed(),
+		P:         cl.Size(),
+		Sustained: algs.DefaultJacobiSustained,
+		Work: func(n float64) float64 {
+			if n < 3 {
+				return 1
+			}
+			return 6 * (n - 2) * (n - 2) * JacobiIters
+		},
+		Overhead: to,
+	}, nil
+}
+
+func (jacobiWorkload) options(spec Spec) algs.JacobiOptions {
+	opts := algs.JacobiOptions{
+		Iters:      JacobiIters,
+		CheckEvery: JacobiCheckEvery,
+		Symbolic:   spec.Symbolic,
+		Seed:       spec.Seed,
+	}
+	if spec.PinnedSpeeds != nil {
+		opts.Strategy = dist.Pinned{Speeds: spec.PinnedSpeeds, Inner: dist.HetBlock{}}
+	}
+	return opts
+}
+
+func (j jacobiWorkload) Run(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, spec Spec) (Outcome, error) {
+	out, err := algs.RunJacobiContext(ctx, cl, model, mpiOpts, spec.N, j.options(spec))
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{
+		Work:        out.Work,
+		VirtualTime: out.SweepTimeMS,
+		Stats:       out.Res,
+		Check:       Checksum(out.Grid),
+	}, nil
+}
+
+func (j jacobiWorkload) RunRecovered(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, spec Spec, rcfg algs.RecoveryConfig) (Outcome, mpi.RecoveredResult, error) {
+	out, rec, err := algs.RunJacobiRecoveredContext(ctx, cl, model, mpiOpts, spec.N, j.options(spec), rcfg)
+	if err != nil {
+		return Outcome{}, mpi.RecoveredResult{}, err
+	}
+	return Outcome{
+		Work:        out.Work,
+		VirtualTime: rec.TimeMS,
+		Stats:       rec.Result,
+		Check:       Checksum(out.Grid),
+	}, rec, nil
+}

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"context"
+
+	"repro/internal/algs"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+// mmWorkload is the paper's §4.2 combination: matrix multiplication with
+// heterogeneous block row bands of A, full replication of B, on the
+// mixed blade+V210 MM ladder.
+type mmWorkload struct{}
+
+func init() { Register(mmWorkload{}) }
+
+func (mmWorkload) Name() string { return "mm" }
+func (mmWorkload) About() string {
+	return "matrix multiply, het-block rows of A, B replicated by broadcast (paper §4.2)"
+}
+func (mmWorkload) DefaultTarget() float64 { return 0.2 }
+
+func (mmWorkload) ClusterLadder(p int) (*cluster.Cluster, error) { return cluster.MMConfig(p) }
+
+func (mmWorkload) WorkAt(n int) float64 { return algs.WorkMM(n) }
+
+// MemBytes counts A, B and C.
+func (mmWorkload) MemBytes(n int) float64 {
+	f := float64(n)
+	return 8 * 3 * f * f
+}
+
+func (mmWorkload) Overhead(cl *cluster.Cluster, model simnet.CostModel) (func(n float64) float64, error) {
+	return algs.MMOverhead(cl, model)
+}
+
+func (mmWorkload) Machine(cl *cluster.Cluster, model simnet.CostModel) (core.AnalyticMachine, error) {
+	to, err := algs.MMOverhead(cl, model)
+	if err != nil {
+		return core.AnalyticMachine{}, err
+	}
+	return core.AnalyticMachine{
+		Label:     cl.Name,
+		C:         cl.MarkedSpeed(),
+		P:         cl.Size(),
+		Sustained: algs.DefaultMMSustained,
+		Work:      func(n float64) float64 { return 2 * n * n * n },
+		Overhead:  to,
+	}, nil
+}
+
+func (mmWorkload) options(spec Spec) algs.MMOptions {
+	opts := algs.MMOptions{Symbolic: spec.Symbolic, Seed: spec.Seed}
+	if spec.PinnedSpeeds != nil {
+		opts.Strategy = dist.Pinned{Speeds: spec.PinnedSpeeds, Inner: dist.HetBlock{}}
+	}
+	return opts
+}
+
+func (m mmWorkload) Run(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, spec Spec) (Outcome, error) {
+	out, err := algs.RunMMContext(ctx, cl, model, mpiOpts, spec.N, m.options(spec))
+	if err != nil {
+		return Outcome{}, err
+	}
+	var data []float64
+	if out.C != nil {
+		data = out.C.Data
+	}
+	return Outcome{
+		Work:        out.Work,
+		VirtualTime: out.Res.TimeMS,
+		Stats:       out.Res,
+		Check:       Checksum(data),
+	}, nil
+}
+
+func (m mmWorkload) RunRecovered(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, spec Spec, rcfg algs.RecoveryConfig) (Outcome, mpi.RecoveredResult, error) {
+	out, rec, err := algs.RunMMRecoveredContext(ctx, cl, model, mpiOpts, spec.N, m.options(spec), rcfg)
+	if err != nil {
+		return Outcome{}, mpi.RecoveredResult{}, err
+	}
+	var data []float64
+	if out.C != nil {
+		data = out.C.Data
+	}
+	return Outcome{
+		Work:        out.Work,
+		VirtualTime: rec.TimeMS,
+		Stats:       rec.Result,
+		Check:       Checksum(data),
+	}, rec, nil
+}

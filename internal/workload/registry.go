@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The registry mirrors the experiments package's Register/Resolve pattern:
+// registration files call Register from init, consumers iterate All or
+// resolve by name. Iteration order is name-sorted so output is stable
+// regardless of per-file init order.
+
+var (
+	regMu  sync.RWMutex
+	byName = map[string]Workload{}
+)
+
+// Register adds a workload under its name. It panics on a nil workload,
+// an empty name, or a duplicate: registration happens at init time, so a
+// bad entry is a programming error, not a runtime condition.
+func Register(w Workload) {
+	if w == nil {
+		panic("workload: Register(nil)")
+	}
+	name := w.Name()
+	if name == "" {
+		panic("workload: Register with empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := byName[name]; dup {
+		panic(fmt.Sprintf("workload: duplicate registration of %q", name))
+	}
+	byName[name] = w
+}
+
+// Names returns the registered workload names in sorted order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns the registered workloads in name order.
+func All() []Workload {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	ws := make([]Workload, 0, len(byName))
+	for _, w := range byName {
+		ws = append(ws, w)
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].Name() < ws[j].Name() })
+	return ws
+}
+
+// Lookup returns the workload registered under name.
+func Lookup(name string) (Workload, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	w, ok := byName[name]
+	return w, ok
+}
+
+// Get resolves a name or returns an error listing the known workloads —
+// the CLI-facing variant of Lookup.
+func Get(name string) (Workload, error) {
+	if w, ok := Lookup(name); ok {
+		return w, nil
+	}
+	return nil, fmt.Errorf("unknown workload %q (registered: %s)", name, strings.Join(Names(), ", "))
+}
+
+// MustGet resolves a name that the caller knows is registered.
+func MustGet(name string) Workload {
+	w, err := Get(name)
+	if err != nil {
+		panic("workload: " + err.Error())
+	}
+	return w
+}

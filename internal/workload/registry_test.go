@@ -1,0 +1,86 @@
+package workload_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestNamesSortedAndResolvable(t *testing.T) {
+	names := workload.Names()
+	if len(names) < 3 {
+		t.Fatalf("registry has %d workloads, want at least ge/mm/jacobi", len(names))
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	for i, w := range workload.All() {
+		if w.Name() != names[i] {
+			t.Errorf("All()[%d] = %q, Names()[%d] = %q", i, w.Name(), i, names[i])
+		}
+		if _, ok := workload.Lookup(w.Name()); !ok {
+			t.Errorf("Lookup(%q) failed", w.Name())
+		}
+	}
+}
+
+func TestRegisteredMetadata(t *testing.T) {
+	for _, w := range workload.All() {
+		if w.About() == "" {
+			t.Errorf("%s: empty About", w.Name())
+		}
+		if tgt := w.DefaultTarget(); tgt <= 0 || tgt >= 1 {
+			t.Errorf("%s: DefaultTarget %g out of (0,1)", w.Name(), tgt)
+		}
+		prevW, prevM := 0.0, 0.0
+		for _, n := range []int{16, 64, 256, 1024} {
+			if wk := w.WorkAt(n); wk <= prevW {
+				t.Errorf("%s: WorkAt(%d) = %g not increasing", w.Name(), n, wk)
+			} else {
+				prevW = wk
+			}
+			if mb := w.MemBytes(n); mb <= prevM {
+				t.Errorf("%s: MemBytes(%d) = %g not increasing", w.Name(), n, mb)
+			} else {
+				prevM = mb
+			}
+		}
+	}
+}
+
+func TestGetUnknownListsRegistered(t *testing.T) {
+	_, err := workload.Get("qr")
+	if err == nil {
+		t.Fatal("Get(\"qr\") succeeded")
+	}
+	for _, name := range workload.Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list registered workload %q", err, name)
+		}
+	}
+	if workload.MustGet("ge").Name() != "ge" {
+		t.Error("MustGet(\"ge\") resolved wrong workload")
+	}
+}
+
+func TestChecksum(t *testing.T) {
+	if got := workload.Checksum(); got != 0 {
+		t.Errorf("empty Checksum = %#x, want 0", got)
+	}
+	if got := workload.Checksum(nil, []float64{}); got != 0 {
+		t.Errorf("Checksum of empty slices = %#x, want 0", got)
+	}
+	a := workload.Checksum([]float64{1, 2, 3})
+	b := workload.Checksum([]float64{1, 2}, []float64{3})
+	if a != b {
+		t.Errorf("split slices change the checksum: %#x vs %#x", a, b)
+	}
+	if c := workload.Checksum([]float64{3, 2, 1}); c == a {
+		t.Error("order-insensitive checksum")
+	}
+	if z := workload.Checksum([]float64{0}); z == 0 {
+		t.Error("Checksum of a real zero value must be non-zero (distinguish from no output)")
+	}
+}

@@ -1,0 +1,148 @@
+// Package workload is the one seam between the algorithm implementations
+// in internal/algs and everything that consumes them: the isospeed study
+// in internal/core, the experiment suite, and the CLIs. The paper's metric
+// is algorithm-generic — Definition 4 and Theorem 1 apply to any
+// algorithm–system combination — so the rest of the system should be too.
+//
+// A Workload bundles the full quadruple one combination needs: the
+// cluster ladder it runs on, a uniform virtual-time run entry point, the
+// checkpoint/rollback variant with its snapshot codec, the analytic
+// overhead model To(n), and the work/memory polynomials. Registering a
+// new workload is one file in this package (plus its algs implementation);
+// study, fault sweep, recovered sweep, and both CLIs pick it up with zero
+// consumer edits.
+package workload
+
+import (
+	"context"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+
+	"repro/internal/algs"
+)
+
+// Spec selects one run of a workload. The zero value of every field is
+// meaningful: seed 0, numeric verification on, the workload's own default
+// distribution strategy.
+type Spec struct {
+	// N is the problem size (matrix order / grid side).
+	N int
+	// Seed drives deterministic input generation.
+	Seed int64
+	// Symbolic skips host arithmetic while keeping traffic and virtual
+	// time identical; outputs (and hence Outcome.Check) are empty.
+	Symbolic bool
+	// PinnedSpeeds, when non-nil, pins the distribution to these nominal
+	// marked speeds via dist.Pinned so a derated or faulted cluster still
+	// receives the blind nominal assignment (the fault studies' setup).
+	PinnedSpeeds []float64
+}
+
+// Outcome is the uniform result every workload returns.
+type Outcome struct {
+	// Work is the flop count actually executed (Definition 2's W).
+	Work float64
+	// VirtualTime is the time the study meters, in ms. For most workloads
+	// this is the full makespan; iterative workloads may meter only the
+	// steady-state loop (Jacobi's sweep window). Stats.TimeMS always
+	// carries the full makespan.
+	VirtualTime float64
+	// Stats is the transport-level result: makespan, messages, bytes.
+	Stats mpi.Result
+	// Check is an FNV-1a hash over the IEEE-754 bits of the numeric
+	// output, 0 for symbolic runs. Two runs agree bitwise iff their
+	// checks agree.
+	Check uint64
+}
+
+// Workload is one algorithm–system combination, registered by name.
+type Workload interface {
+	// Name is the registry key, also used in cache signatures and CLI
+	// selectors ("ge", "mm", "jacobi", ...).
+	Name() string
+	// About is a one-line description for -list output.
+	About() string
+	// DefaultTarget is the workload's default speed-efficiency set-point
+	// for isospeed studies.
+	DefaultTarget() float64
+	// ClusterLadder builds the p-node rung of the workload's cluster
+	// ladder.
+	ClusterLadder(p int) (*cluster.Cluster, error)
+	// WorkAt is the work polynomial W(n) in flops.
+	WorkAt(n int) float64
+	// MemBytes is the aggregate memory footprint of a size-n problem.
+	MemBytes(n int) float64
+	// Overhead returns the analytic parallel-overhead model To(n) in ms
+	// under the given cost model.
+	Overhead(cl *cluster.Cluster, model simnet.CostModel) (func(n float64) float64, error)
+	// Machine returns the full analytic machine (work polynomial,
+	// sustained fraction, overhead) used to predict required problem
+	// sizes.
+	Machine(cl *cluster.Cluster, model simnet.CostModel) (core.AnalyticMachine, error)
+	// Run executes the workload once in virtual time.
+	Run(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, spec Spec) (Outcome, error)
+	// RunRecovered executes under checkpoint/rollback recovery with the
+	// workload's own snapshot codec.
+	RunRecovered(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, spec Spec, rcfg algs.RecoveryConfig) (Outcome, mpi.RecoveredResult, error)
+}
+
+// Checksum hashes the IEEE-754 bit patterns of the given slices with
+// FNV-1a, returning 0 when no values are present (symbolic runs). Equal
+// checksums of non-empty outputs certify bitwise-equal results.
+func Checksum(parts ...[]float64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	seen := false
+	for _, part := range parts {
+		for _, v := range part {
+			seen = true
+			bits := math.Float64bits(v)
+			for shift := 0; shift < 64; shift += 8 {
+				h ^= (bits >> shift) & 0xff
+				h *= prime64
+			}
+		}
+	}
+	if !seen {
+		return 0
+	}
+	return h
+}
+
+// Target assembles the core.StudyTarget for one workload on one cluster:
+// the registry's single point where study wiring happens. The runner is
+// passed in so callers can wrap Run with caching or progress hooks.
+func Target(w Workload, cl *cluster.Cluster, model simnet.CostModel, run core.Runner) (core.StudyTarget, error) {
+	m, err := w.Machine(cl, model)
+	if err != nil {
+		return core.StudyTarget{}, err
+	}
+	return core.StudyTarget{
+		Label:   cl.Name,
+		C:       cl.MarkedSpeed(),
+		Machine: m,
+		Run:     run,
+		WorkAt:  w.WorkAt,
+	}, nil
+}
+
+// Runner adapts a workload to the core.Runner shape: each call runs the
+// workload at size n with the template spec (N overwritten).
+func Runner(ctx context.Context, w Workload, cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, spec Spec) core.Runner {
+	return func(n int) (float64, float64, error) {
+		s := spec
+		s.N = n
+		out, err := w.Run(ctx, cl, model, mpiOpts, s)
+		if err != nil {
+			return 0, 0, err
+		}
+		return out.Work, out.VirtualTime, nil
+	}
+}

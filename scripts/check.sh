@@ -22,6 +22,12 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Benchmark compile smoke: every benchmark must still build and survive
+# one iteration (benchmarks are not run by plain `go test`, so bit-rot
+# there is otherwise invisible).
+echo "==> go test -run=NONE -bench=. -benchtime=1x ./..."
+go test -run=NONE -bench=. -benchtime=1x ./... > /dev/null
+
 # Parallel-runner smoke: the full quick batch on four race-instrumented
 # workers must run clean and byte-identical to serial (the identity itself
 # is asserted by TestParallelOutputByteIdentical above; this exercises the
