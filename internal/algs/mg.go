@@ -1,0 +1,411 @@
+package algs
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/dist"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+// MG is a fourth algorithm–system combination: the damped 5-point
+// smoothing sweep of NPB MG, distributed over heterogeneous row bands
+// with halo exchange. Per sweep every interior point computes the
+// weighted-Jacobi update 0.5*C + 0.125*(N+S+E+W) (ω = 1/2, which damps
+// the checkerboard mode exactly) — 6 flops per interior point, the same
+// per-point cost the nasbench MG kernel charges, so the workload's W(n)
+// and the marked-speed benchmark's flop count agree by construction.
+// Unlike Jacobi it has no periodic residual all-reduce: the only
+// communication in the sweep loop is the nearest-neighbour halo, the
+// most scalable pattern in the set.
+
+// Message tags used by the MG program.
+const (
+	tagMGInit = 210 // initial band distribution
+	tagMGUp   = 211 // halo row travelling to the lower-index neighbour
+	tagMGDown = 212 // halo row travelling to the higher-index neighbour
+)
+
+// MGOptions configures a run.
+type MGOptions struct {
+	// Iters is the fixed number of smoothing sweeps (required > 0).
+	Iters int
+	// Symbolic skips host arithmetic (timing and traffic unchanged).
+	Symbolic bool
+	// SustainedFraction of marked speed the stencil kernel achieves.
+	// Default DefaultMGSustained.
+	SustainedFraction float64
+	// Seed drives the deterministic initial grid.
+	Seed int64
+	// Strategy distributes the n-2 interior rows. It must produce a
+	// contiguous block assignment (each rank owns one band), so the
+	// halo-exchange neighbours stay rank±1. Default dist.HetBlock;
+	// dist.Pinned{Inner: dist.HetBlock{}} pins the bands to nominal
+	// speeds for fault studies.
+	Strategy dist.Strategy
+}
+
+// DefaultMGSustained is the default sustained fraction for the damped
+// stencil (one fused multiply more per point than Jacobi, slightly
+// better arithmetic intensity).
+const DefaultMGSustained = 0.62
+
+func (o *MGOptions) setDefaults() error {
+	if o.Iters <= 0 {
+		return fmt.Errorf("algs: MG needs Iters > 0, got %d", o.Iters)
+	}
+	if o.SustainedFraction == 0 {
+		o.SustainedFraction = DefaultMGSustained
+	}
+	if o.SustainedFraction < 0 || o.SustainedFraction > 1 {
+		return fmt.Errorf("algs: MG sustained fraction %g out of (0,1]", o.SustainedFraction)
+	}
+	if o.Strategy == nil {
+		o.Strategy = dist.HetBlock{}
+	}
+	return nil
+}
+
+// WorkMG is W(n) for iters sweeps on an n x n grid: 6 flops per interior
+// point per sweep, matching nasbench's MG.Flops.
+func WorkMG(n, iters int) float64 {
+	if n < 3 {
+		return 0
+	}
+	inner := float64(n-2) * float64(n-2)
+	return 6 * inner * float64(iters)
+}
+
+// MGOutcome is the result of a run.
+type MGOutcome struct {
+	N     int
+	Iters int
+	Work  float64
+	Res   mpi.Result
+	// SweepTimeMS is the virtual time of the sweep loop alone, barrier to
+	// barrier, excluding the one-time distribution and collection (the
+	// same metering window as Jacobi's).
+	SweepTimeMS float64
+	Grid        []float64 // final n*n grid at rank 0 (nil when symbolic)
+}
+
+// RunMG executes the heterogeneous MG smoothing stencil on an n x n grid
+// (n >= 3): rank 0 scatters proportional row bands, every sweep exchanges
+// one halo row with each neighbour and applies the damped update to the
+// interior, and rank 0 gathers the final grid.
+func RunMG(cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, n int, opts MGOptions) (MGOutcome, error) {
+	return RunMGContext(context.Background(), cl, model, mpiOpts, n, opts)
+}
+
+// RunMGContext is RunMG with cancellation, observed at run boundaries
+// (see mpi.RunContext).
+func RunMGContext(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, n int, opts MGOptions) (MGOutcome, error) {
+	if n < 3 {
+		return MGOutcome{}, fmt.Errorf("algs: MG needs n >= 3, got %d", n)
+	}
+	if err := opts.setDefaults(); err != nil {
+		return MGOutcome{}, err
+	}
+	asn, err := opts.Strategy.Assign(n-2, cl.Speeds())
+	if err != nil {
+		return MGOutcome{}, fmt.Errorf("algs: MG distribution: %w", err)
+	}
+	if !isBlockAssignment(asn) {
+		return MGOutcome{}, fmt.Errorf("algs: MG needs a contiguous block distribution, %T is not", opts.Strategy)
+	}
+	for r, c := range asn.Counts {
+		if c == 0 {
+			return MGOutcome{}, fmt.Errorf("algs: MG grid too small: rank %d owns 0 rows (n=%d, p=%d)",
+				r, n, cl.Size())
+		}
+	}
+	ranges := dist.BlockRanges(asn.Counts)
+
+	var grid []float64
+	if !opts.Symbolic {
+		grid = mgInitialGrid(n, opts.Seed)
+	}
+
+	var outGrid []float64
+	var sweepMS float64
+	res, err := mpi.RunContext(ctx, cl, model, mpiOpts, func(c mpi.Comm) error {
+		g, sw, err := mgRank(c, n, ranges, grid, opts, nil)
+		if c.Rank() == 0 {
+			outGrid, sweepMS = g, sw
+		}
+		return err
+	})
+	if err != nil {
+		return MGOutcome{}, err
+	}
+	return MGOutcome{
+		N: n, Iters: opts.Iters, Work: WorkMG(n, opts.Iters),
+		Res: res, SweepTimeMS: sweepMS, Grid: outGrid,
+	}, nil
+}
+
+// mgInitialGrid builds the deterministic smoothing problem: a seeded
+// smooth profile over the whole grid. The boundary stays fixed; the
+// damped sweep relaxes the interior toward its harmonic extension.
+func mgInitialGrid(n int, seed int64) []float64 {
+	g := make([]float64, n*n)
+	s := float64(seed%101) + 1
+	for i := 0; i < n; i++ {
+		ti := float64(i) / float64(n-1)
+		for j := 0; j < n; j++ {
+			tj := float64(j) / float64(n-1)
+			g[i*n+j] = s * math.Sin(math.Pi*ti) * math.Cos(2*math.Pi*tj)
+		}
+	}
+	return g
+}
+
+// mgRank is the per-rank program body. It returns (grid, sweepTimeMS) at
+// rank 0. The structure mirrors jacobiRank's bulk-synchronous variant;
+// only the point update and the absence of the residual all-reduce
+// differ.
+func mgRank(c mpi.Comm, n int, ranges [][2]int, grid []float64, opts MGOptions, rec *jacRecover) ([]float64, float64, error) {
+	rank, p := c.Rank(), c.Size()
+	symbolic := opts.Symbolic
+	frac := opts.SustainedFraction
+	lo, hi := ranges[rank][0]+1, ranges[rank][1]+1
+	rows := hi - lo
+
+	cur := make([]float64, (rows+2)*n)
+	nxt := make([]float64, (rows+2)*n)
+
+	// --- Distribution: rank 0 sends each band including its ghost rows.
+	if rank == 0 {
+		for r := p - 1; r >= 0; r-- {
+			rlo, rhi := ranges[r][0]+1, ranges[r][1]+1
+			band := make([]float64, (rhi-rlo+2)*n)
+			if !symbolic {
+				copy(band, grid[(rlo-1)*n:(rhi+1)*n])
+			}
+			if r == 0 {
+				copy(cur, band)
+			} else {
+				c.Send(r, tagMGInit, band)
+			}
+		}
+	} else {
+		band := c.Recv(0, tagMGInit)
+		if len(band) != len(cur) {
+			return nil, 0, fmt.Errorf("algs: rank %d band size %d, want %d", rank, len(band), len(cur))
+		}
+		copy(cur, band)
+	}
+	copy(nxt, cur)
+
+	c.Barrier()
+	sweepStart := c.Clock()
+
+	up, down := rank-1, rank+1
+	needTop := up >= 0
+	needBot := down < p
+
+	startIt := 0
+	if rec != nil {
+		startIt = rec.start
+	}
+	for it := startIt; it < opts.Iters; it++ {
+		if needTop {
+			c.Send(up, tagMGUp, cur[n:2*n])
+		}
+		if needBot {
+			c.Send(down, tagMGDown, cur[rows*n:(rows+1)*n])
+		}
+		if needTop {
+			ghost := c.Recv(up, tagMGDown)
+			if !symbolic {
+				copy(cur[:n], ghost)
+			}
+		}
+		if needBot {
+			ghost := c.Recv(down, tagMGUp)
+			if !symbolic {
+				copy(cur[(rows+1)*n:], ghost)
+			}
+		}
+
+		c.Compute(6 * float64(rows) * float64(n-2) / frac)
+		if !symbolic {
+			for i := 1; i <= rows; i++ {
+				for j := 1; j < n-1; j++ {
+					idx := i*n + j
+					nxt[idx] = 0.5*cur[idx] + 0.125*(cur[idx-1]+cur[idx+1]+cur[idx-n]+cur[idx+n])
+				}
+			}
+			// Preserve ghost rows and boundary columns, then swap.
+			copy(nxt[:n], cur[:n])
+			copy(nxt[(rows+1)*n:], cur[(rows+1)*n:])
+			for i := 1; i <= rows; i++ {
+				nxt[i*n] = cur[i*n]
+				nxt[i*n+n-1] = cur[i*n+n-1]
+			}
+			cur, nxt = nxt, cur
+		}
+
+		if rec != nil && rec.interval > 0 && (it+1)%rec.interval == 0 && it+1 < opts.Iters {
+			rec.ck.Save(c, packJacobiState(it+1, lo, rows, n, cur))
+		}
+	}
+
+	c.Barrier()
+	sweepMS := c.Clock() - sweepStart
+
+	// --- Collection at rank 0.
+	own := make([]float64, rows*n)
+	if !symbolic {
+		copy(own, cur[n:(rows+1)*n])
+	}
+	parts := c.Gatherv(0, own)
+	if rank != 0 {
+		return nil, 0, nil
+	}
+	if symbolic {
+		return nil, sweepMS, nil
+	}
+	out := make([]float64, n*n)
+	copy(out, grid) // boundary rows/columns
+	for r := 0; r < p; r++ {
+		rlo := ranges[r][0] + 1
+		copy(out[rlo*n:rlo*n+len(parts[r])], parts[r])
+	}
+	return out, sweepMS, nil
+}
+
+// MGSequential runs the same smoothing single-threaded for verification:
+// identical sweep count, identical update order.
+func MGSequential(n, iters int, seed int64) ([]float64, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("algs: MG needs n >= 3, got %d", n)
+	}
+	if iters <= 0 {
+		return nil, fmt.Errorf("algs: MG needs iters > 0, got %d", iters)
+	}
+	cur := mgInitialGrid(n, seed)
+	nxt := make([]float64, len(cur))
+	copy(nxt, cur)
+	for it := 0; it < iters; it++ {
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				idx := i*n + j
+				nxt[idx] = 0.5*cur[idx] + 0.125*(cur[idx-1]+cur[idx+1]+cur[idx-n]+cur[idx+n])
+			}
+		}
+		cur, nxt = nxt, cur
+	}
+	return cur, nil
+}
+
+// MGOverhead returns the analytic To(n) in ms for the fixed-iteration MG
+// sweep loop: pure halo exchange, no collective term. It is Jacobi's
+// overhead model with the residual check disabled, matching the
+// SweepTimeMS measurement window.
+func MGOverhead(cl *cluster.Cluster, m simnet.CostModel, iters int) (func(n float64) float64, error) {
+	if iters <= 0 {
+		return nil, fmt.Errorf("algs: MGOverhead needs iters > 0")
+	}
+	return JacobiOverhead(cl, m, iters, 0)
+}
+
+// decodeMGSnapshot rebuilds the full grid (boundary from the
+// deterministic initial profile, interior from the checkpointed bands)
+// and the completed sweep count. The band layout is Jacobi's codec; only
+// the boundary reconstruction differs.
+func decodeMGSnapshot(n int, seed int64, snap *mpi.Snapshot, symbolic bool) (int, []float64, error) {
+	if len(snap.Parts) == 0 || len(snap.Parts[0]) < 3 {
+		return 0, nil, fmt.Errorf("algs: MG snapshot %d malformed", snap.Seq)
+	}
+	k0 := int(snap.Parts[0][0])
+	var grid []float64
+	if !symbolic {
+		grid = mgInitialGrid(n, seed)
+	}
+	for pi, part := range snap.Parts {
+		if len(part) < 3 || int(part[0]) != k0 {
+			return 0, nil, fmt.Errorf("algs: MG snapshot %d part %d inconsistent", snap.Seq, pi)
+		}
+		lo, rows := int(part[1]), int(part[2])
+		if len(part) != 3+rows*n || lo < 1 || lo+rows > n-1 {
+			return 0, nil, fmt.Errorf("algs: MG snapshot %d part %d shape invalid", snap.Seq, pi)
+		}
+		if symbolic {
+			continue
+		}
+		copy(grid[lo*n:(lo+rows)*n], part[3:])
+	}
+	return k0, grid, nil
+}
+
+// RunMGRecovered executes the MG smoothing stencil with per-sweep
+// checkpoints and rollback recovery.
+func RunMGRecovered(cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, n int, opts MGOptions, rcfg RecoveryConfig) (MGOutcome, mpi.RecoveredResult, error) {
+	return RunMGRecoveredContext(context.Background(), cl, model, mpiOpts, n, opts, rcfg)
+}
+
+// RunMGRecoveredContext is RunMGRecovered with cancellation.
+func RunMGRecoveredContext(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, n int, opts MGOptions, rcfg RecoveryConfig) (MGOutcome, mpi.RecoveredResult, error) {
+	if n < 3 {
+		return MGOutcome{}, mpi.RecoveredResult{}, fmt.Errorf("algs: MG needs n >= 3, got %d", n)
+	}
+	if err := opts.setDefaults(); err != nil {
+		return MGOutcome{}, mpi.RecoveredResult{}, err
+	}
+	if err := rcfg.validate(); err != nil {
+		return MGOutcome{}, mpi.RecoveredResult{}, err
+	}
+
+	var initial []float64
+	if !opts.Symbolic {
+		initial = mgInitialGrid(n, opts.Seed)
+	}
+
+	var outGrid []float64
+	var sweepMS float64
+	factory := func(inst mpi.Instance) (mpi.RecoverableProgram, error) {
+		strat := survivorStrategy(opts.Strategy, inst.Ranks)
+		asn, err := strat.Assign(n-2, inst.Cluster.Speeds())
+		if err != nil {
+			return nil, fmt.Errorf("algs: MG redistribution: %w", err)
+		}
+		if !isBlockAssignment(asn) {
+			return nil, fmt.Errorf("algs: MG needs a contiguous block distribution, %T is not", opts.Strategy)
+		}
+		for r, cnt := range asn.Counts {
+			if cnt == 0 {
+				return nil, fmt.Errorf("algs: MG grid too small after recovery: rank %d owns 0 rows (n=%d, p=%d)",
+					r, n, inst.Cluster.Size())
+			}
+		}
+		ranges := dist.BlockRanges(asn.Counts)
+		k0, grid := 0, initial
+		if inst.Resume != nil {
+			k0, grid, err = decodeMGSnapshot(n, opts.Seed, inst.Resume, opts.Symbolic)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return func(c mpi.Comm, ck *mpi.Checkpointer) error {
+			rec := &jacRecover{start: k0, interval: rcfg.IntervalSteps, ck: ck}
+			g, sw, err := mgRank(c, n, ranges, grid, opts, rec)
+			if c.Rank() == 0 {
+				outGrid, sweepMS = g, sw
+			}
+			return err
+		}, nil
+	}
+
+	rec, err := mpi.RunRecoverableContext(ctx, cl, model, mpiOpts, rcfg.RecoveryOptions, factory)
+	if err != nil {
+		return MGOutcome{}, rec, err
+	}
+	return MGOutcome{
+		N: n, Iters: opts.Iters, Work: WorkMG(n, opts.Iters),
+		Res: rec.Result, SweepTimeMS: sweepMS, Grid: outGrid,
+	}, rec, nil
+}

@@ -1,0 +1,170 @@
+package algs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+	"repro/internal/mpi"
+)
+
+func TestMGMatchesSequential(t *testing.T) {
+	cl := mmCluster(t)
+	m := testModel(t)
+	for _, tc := range []struct{ n, iters int }{
+		{8, 5}, {16, 20}, {40, 50},
+	} {
+		out, err := RunMG(cl, m, mpi.Options{}, tc.n, MGOptions{Iters: tc.iters, Seed: 3})
+		if err != nil {
+			t.Fatalf("n=%d: %v", tc.n, err)
+		}
+		ref, err := MGSequential(tc.n, tc.iters, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if ref[i] != out.Grid[i] {
+				t.Fatalf("n=%d iters=%d: grid[%d] = %g, ref %g", tc.n, tc.iters, i, out.Grid[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestMGDampsInterior(t *testing.T) {
+	// The ω=1/2 damped sweep is a contraction toward the harmonic
+	// extension of the boundary: successive-sweep changes must shrink.
+	delta := func(iters int) float64 {
+		a, err := MGSequential(16, iters, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := MGSequential(16, iters+1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v float64
+		for i := range a {
+			if d := math.Abs(a[i] - b[i]); d > v {
+				v = d
+			}
+		}
+		return v
+	}
+	if early, late := delta(5), delta(200); late >= early/10 {
+		t.Errorf("sweep-to-sweep change did not damp: %g -> %g", early, late)
+	}
+}
+
+func TestMGSymbolicMatchesRealTiming(t *testing.T) {
+	cl := mmCluster(t)
+	m := testModel(t)
+	opts := MGOptions{Iters: 30, Seed: 2}
+	real, err := RunMG(cl, m, mpi.Options{}, 32, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Symbolic = true
+	sym, err := RunMG(cl, m, mpi.Options{}, 32, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym.Grid != nil {
+		t.Error("symbolic run returned a grid")
+	}
+	if real.Res.TimeMS != sym.Res.TimeMS || real.SweepTimeMS != sym.SweepTimeMS {
+		t.Errorf("symbolic time %g/%g != real %g/%g",
+			sym.Res.TimeMS, sym.SweepTimeMS, real.Res.TimeMS, real.SweepTimeMS)
+	}
+	if real.Res.Messages != sym.Res.Messages || real.Res.BytesMoved != sym.Res.BytesMoved {
+		t.Error("traffic differs between symbolic and real")
+	}
+}
+
+func TestMGEnginesAgree(t *testing.T) {
+	cl := mmCluster(t)
+	m := testModel(t)
+	opts := MGOptions{Iters: 20, Seed: 5}
+	live, err := RunMG(cl, m, mpi.Options{Engine: mpi.EngineLive}, 24, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	des, err := RunMG(cl, m, mpi.Options{Engine: mpi.EngineDES}, 24, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(live.Res.TimeMS-des.Res.TimeMS) > 1e-9 {
+		t.Errorf("engines disagree: %g vs %g", live.Res.TimeMS, des.Res.TimeMS)
+	}
+}
+
+func TestMGRecoveredBitwiseEqual(t *testing.T) {
+	cl := mmCluster(t)
+	m := testModel(t)
+	opts := MGOptions{Iters: 40, Seed: 9}
+	base, err := RunMG(cl, m, mpi.Options{}, 32, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faults.Plan{Seed: 4, Crashes: []faults.Crash{
+		{Rank: cl.Size() - 1, AtMS: 0.5 * base.Res.TimeMS},
+	}}
+	_, _, inj, err := plan.Apply(cl, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, rec, err := RunMGRecovered(cl, m, mpi.Options{Faults: inj}, 32, opts, RecoveryConfig{IntervalSteps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Attempts < 2 {
+		t.Errorf("Attempts = %d, want a rollback", rec.Attempts)
+	}
+	if len(out.Grid) != len(base.Grid) {
+		t.Fatalf("recovered grid len %d, undisturbed %d", len(out.Grid), len(base.Grid))
+	}
+	for i := range base.Grid {
+		if out.Grid[i] != base.Grid[i] {
+			t.Fatalf("grid[%d] = %g, undisturbed %g: recovery changed the numerics", i, out.Grid[i], base.Grid[i])
+		}
+	}
+}
+
+func TestMGValidation(t *testing.T) {
+	cl := mmCluster(t)
+	m := testModel(t)
+	if _, err := RunMG(cl, m, mpi.Options{}, 2, MGOptions{Iters: 5}); err == nil {
+		t.Error("n=2 accepted")
+	}
+	if _, err := RunMG(cl, m, mpi.Options{}, 20, MGOptions{}); err == nil {
+		t.Error("Iters=0 accepted")
+	}
+	if _, err := RunMG(cl, m, mpi.Options{}, 20, MGOptions{Iters: 5, SustainedFraction: 9}); err == nil {
+		t.Error("bad fraction accepted")
+	}
+	big, err := cluster.MMConfig(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunMG(big, m, mpi.Options{}, 6, MGOptions{Iters: 3}); err == nil {
+		t.Error("undersized grid accepted")
+	}
+	if _, err := MGSequential(2, 5, 1); err == nil {
+		t.Error("sequential n=2 accepted")
+	}
+	if _, err := MGSequential(10, 0, 1); err == nil {
+		t.Error("sequential iters=0 accepted")
+	}
+	if _, err := MGOverhead(cl, m, 0); err == nil {
+		t.Error("MGOverhead iters=0 accepted")
+	}
+}
+
+func TestMGWork(t *testing.T) {
+	if WorkMG(2, 10) != 0 {
+		t.Error("degenerate grid work != 0")
+	}
+	if got, want := WorkMG(12, 10), 6.0*100*10; got != want {
+		t.Errorf("WorkMG = %g, want %g", got, want)
+	}
+}

@@ -68,6 +68,14 @@ func directReference(t *testing.T, name string, cl *cluster.Cluster, model simne
 			t.Fatal(err)
 		}
 		return workload.Outcome{Work: out.Work, VirtualTime: out.SweepTimeMS, Stats: out.Res, Check: workload.Checksum(out.Grid)}
+	case "mg":
+		out, err := algs.RunMGContext(ctx, cl, model, mpi.Options{}, confN, algs.MGOptions{
+			Iters: workload.MGIters, Seed: confSeed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return workload.Outcome{Work: out.Work, VirtualTime: out.SweepTimeMS, Stats: out.Res, Check: workload.Checksum(out.Grid)}
 	default:
 		t.Fatalf("no direct reference for workload %q: add one to directReference in conformance_test.go", name)
 		return workload.Outcome{}
