@@ -62,7 +62,7 @@ func run(args []string, out io.Writer) error {
 		alg       = fs.String("alg", "", "alias for -workload (kept for compatibility)")
 		p         = fs.Int("p", 8, "system size (Sunwulf configuration, as in the paper)")
 		n         = fs.Int("n", 400, "problem size N")
-		engine    = fs.String("engine", "live", "mpi engine: live or des")
+		engine    = fs.String("engine", "live", "mpi engine: live, des or symbolic")
 		doRecover = fs.Bool("recover", false, "survive crashes with checkpoint/rollback recovery")
 		ckptIvl   = fs.Int("ckpt-interval", 50, "checkpoint cadence in algorithm steps for -recover (0 = restart from scratch)")
 		example   = fs.Bool("example", false, "print a fault-spec template and exit")

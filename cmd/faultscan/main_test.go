@@ -68,22 +68,25 @@ func TestScanDeterministicAndDegraded(t *testing.T) {
 	}
 }
 
-func TestScanBothEnginesAgree(t *testing.T) {
-	var live, des strings.Builder
+func TestScanAllEnginesAgree(t *testing.T) {
 	base := []string{"-intensity", "0.5", "-seed", "3", "-alg", "ge", "-p", "4", "-n", "100", "-csv"}
-	if err := run(append(base, "-engine", "live"), &live); err != nil {
-		t.Fatal(err)
-	}
-	if err := run(append(base, "-engine", "des"), &des); err != nil {
-		t.Fatal(err)
-	}
 	// The title names the engine; every measured row must agree.
 	trim := func(s string) string {
 		lines := strings.Split(strings.TrimSpace(s), "\n")
 		return strings.Join(lines[1:], "\n")
 	}
-	if trim(live.String()) != trim(des.String()) {
-		t.Errorf("engines disagree:\n--- live ---\n%s\n--- des ---\n%s", live.String(), des.String())
+	var live strings.Builder
+	if err := run(append(base, "-engine", "live"), &live); err != nil {
+		t.Fatal(err)
+	}
+	for _, engine := range []string{"des", "symbolic"} {
+		var out strings.Builder
+		if err := run(append(base, "-engine", engine), &out); err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		if trim(live.String()) != trim(out.String()) {
+			t.Errorf("engines disagree:\n--- live ---\n%s\n--- %s ---\n%s", live.String(), engine, out.String())
+		}
 	}
 }
 

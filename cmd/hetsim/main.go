@@ -54,7 +54,7 @@ func run(args []string, out, errw io.Writer) error {
 		csv       = fs.Bool("csv", false, "emit CSV instead of rendered tables")
 		jsonOut   = fs.Bool("json", false, "emit one JSON document holding every result")
 		md        = fs.Bool("md", false, "emit a markdown report (with -exp all: the full reproduction report)")
-		engine    = fs.String("engine", "live", "execution engine: live or des")
+		engine    = fs.String("engine", "live", "execution engine: live, des or symbolic")
 		contended = fs.Bool("contended", false, "shared-Ethernet contention (des engine only)")
 		geTarget  = fs.Float64("ge-target", 0.3, "speed-efficiency set-point for GE read-offs")
 		mmTarget  = fs.Float64("mm-target", 0.2, "speed-efficiency set-point for MM read-offs")

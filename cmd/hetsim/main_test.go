@@ -170,7 +170,7 @@ func TestParallelOutputByteIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full quick sweep is slow")
 	}
-	for _, engine := range []string{"live", "des"} {
+	for _, engine := range []string{"live", "des", "symbolic"} {
 		serial, err := runOut(t, "-exp", "all", "-quick", "-engine", engine, "-jobs", "1")
 		if err != nil {
 			t.Fatalf("engine %s jobs 1: %v", engine, err)

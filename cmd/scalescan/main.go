@@ -19,12 +19,21 @@
 //	scalescan -ladder ladder.json -workload ge -target 0.3
 //	scalescan -ladder ladder.json -workload mm -jobs 4 -json
 //	scalescan -ladder ladder.json -speeds measured.json   # benchmarked speeds
+//	scalescan -workload ge -asym 100,10000,1000000        # closed-form rungs
 //	scalescan -list               # print workloads and experiments
 //	scalescan -example            # print a ladder template and exit
 //
 // With -speeds, node speeds in the ladder are overridden by a marked-speed
 // table (as written by `markedspeed -speeds`), closing the Definition 1
 // loop: benchmark first, then study scalability at the benchmarked speeds.
+//
+// With -asym, no ladder file and no measured sweeps are involved: the
+// workload's own cluster ladder is extended to the given system sizes and
+// each rung is priced purely in closed form (the symbolic cost model's
+// asymptotic regime), which is what makes p = 10^5..10^6 rungs take
+// seconds. The differential suites in internal/mpi and internal/workload
+// are the license for trusting those numbers: the same pricing is proven
+// bit-identical to the DES engine at every executable width.
 //
 // Rungs are measured concurrently on a bounded worker pool (-jobs,
 // default: one per CPU); the reported tables are byte-identical for
@@ -38,6 +47,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/cli"
@@ -80,6 +90,8 @@ func run(args []string, out io.Writer) error {
 		alg        = fs.String("alg", "", "alias for -workload (kept for compatibility)")
 		target     = fs.Float64("target", 0, "speed-efficiency set-point (default: the workload's own)")
 		speedsPath = fs.String("speeds", "", "marked-speed table (JSON) overriding ladder node speeds")
+		asym       = fs.String("asym", "", "comma-separated system sizes for a closed-form asymptotic ladder (e.g. 100,10000,1e6); no -ladder file, no measured sweeps")
+		engineStr  = fs.String("engine", "live", "execution engine for measured sweeps: live, des or symbolic")
 		list       = fs.Bool("list", false, "list registered workloads and experiments, then exit")
 		example    = fs.Bool("example", false, "print a ladder template and exit")
 		csv        = fs.Bool("csv", false, "emit CSV")
@@ -107,8 +119,34 @@ func run(args []string, out io.Writer) error {
 	if *target <= 0 || *target >= 1 {
 		return fmt.Errorf("target %g out of (0,1)", *target)
 	}
+	engine, err := cli.ParseEngine(*engineStr)
+	if err != nil {
+		return err
+	}
+	format, err := cli.Format(*csv, *jsonOut)
+	if err != nil {
+		return err
+	}
+	renderer, err := experiments.NewRenderer(format)
+	if err != nil {
+		return err
+	}
+	model, err := cli.SunwulfModel()
+	if err != nil {
+		return err
+	}
+	if *asym != "" {
+		if *ladderPath != "" {
+			return fmt.Errorf("-asym and -ladder are mutually exclusive (the asymptotic mode uses the workload's own ladder)")
+		}
+		sizes, err := parseAsymSizes(*asym)
+		if err != nil {
+			return err
+		}
+		return runAsym(out, renderer, w, model, *target, sizes)
+	}
 	if *ladderPath == "" {
-		return fmt.Errorf("missing -ladder file (use -example for a template)")
+		return fmt.Errorf("missing -ladder file (use -example for a template, or -asym for closed-form rungs)")
 	}
 	spec, err := cluster.LoadLadder(*ladderPath)
 	if err != nil {
@@ -128,19 +166,6 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	model, err := cli.SunwulfModel()
-	if err != nil {
-		return err
-	}
-	format, err := cli.Format(*csv, *jsonOut)
-	if err != nil {
-		return err
-	}
-	renderer, err := experiments.NewRenderer(format)
-	if err != nil {
-		return err
-	}
-
 	// Each rung's sweep is independent: measure them on the worker pool.
 	// Results come back in ladder order regardless of completion order.
 	type rung struct {
@@ -153,7 +178,7 @@ func run(args []string, out io.Writer) error {
 		tasks[i] = runner.Task{
 			ID: cl.Name,
 			Run: func(ctx context.Context) (any, error) {
-				n, work, err := requiredSize(ctx, w, cl, model, *target)
+				n, work, err := requiredSize(ctx, w, cl, model, *target, engine)
 				if err != nil {
 					return nil, err
 				}
@@ -196,6 +221,96 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// parseAsymSizes parses the -asym list of system sizes. Scientific
+// notation is accepted ("1e6"); sizes must be >= 2 and strictly
+// increasing so the ψ chain reads small -> large.
+func parseAsymSizes(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	sizes := make([]int, 0, len(parts))
+	prev := 1
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -asym size %q: %v", part, err)
+		}
+		p := int(math.Round(v))
+		if p < 2 || float64(p) != v {
+			return nil, fmt.Errorf("bad -asym size %q: need an integer >= 2", part)
+		}
+		if p <= prev {
+			return nil, fmt.Errorf("-asym sizes must be strictly increasing (%d after %d)", p, prev)
+		}
+		sizes = append(sizes, p)
+		prev = p
+	}
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("-asym needs at least two sizes to form a ψ chain, got %d", len(sizes))
+	}
+	return sizes, nil
+}
+
+// asymHiN bounds the required-size solve for asymptotic rungs: the
+// measured-mode bracket (5e6) is far too small once p reaches 10^5..10^6,
+// where the isospeed problem size grows roughly linearly with p.
+const asymHiN = 1e12
+
+// runAsym prices the workload's own ladder at the given system sizes
+// purely in closed form: no programs execute, each rung is an analytic
+// RequiredN solve over the workload's machine model, so p = 10^6 rungs
+// complete in seconds.
+func runAsym(out io.Writer, renderer experiments.Renderer, w workload.Workload, model simnet.CostModel, target float64, sizes []int) error {
+	machines := make([]core.AnalyticMachine, len(sizes))
+	for i, p := range sizes {
+		cl, err := w.ClusterLadder(p)
+		if err != nil {
+			return fmt.Errorf("rung p=%d: %v", p, err)
+		}
+		m, err := w.Machine(cl, model)
+		if err != nil {
+			return fmt.Errorf("rung p=%d: %v", p, err)
+		}
+		machines[i] = m
+	}
+	preds, psiDef, psiThm, err := core.PredictChain(machines, target, 8, asymHiN)
+	if err != nil {
+		return err
+	}
+	tbl := &experiments.Table{
+		Title: fmt.Sprintf("Asymptotic isospeed ladder (closed form): %s at E_s = %.2f",
+			strings.ToUpper(w.Name()), target),
+		Headers: []string{"Cluster", "p", "Marked speed (Mflops)", "Required N (model)", "W (flops)", "t0+To at N (ms)"},
+		Notes: []string{
+			"Rungs are priced by the symbolic cost model only — no programs execute at these widths.",
+			"Validity: the same pricing is bit-identical to the DES engine at every executable p (differential suites); contention and pipelining effects are outside the closed form.",
+		},
+	}
+	for i, pr := range preds {
+		tbl.AddRow(pr.Label, fmt.Sprintf("%d", sizes[i]), fmt.Sprintf("%.1f", pr.C),
+			fmt.Sprintf("%.0f", pr.N), fmt.Sprintf("%.3e", pr.W), fmt.Sprintf("%.3e", pr.T0+pr.To))
+	}
+	psiTbl := &experiments.Table{
+		Title:   "Scalability chain (definition vs Theorem 1 closed form)",
+		Headers: []string{"Link", "ψ (definition)", "ψ (Theorem 1)", "To/To' (Corollary 2)"},
+	}
+	for i := range psiDef {
+		cor2, err := core.Corollary2Psi(preds[i].To, preds[i+1].To)
+		if err != nil {
+			return err
+		}
+		psiTbl.AddRow(fmt.Sprintf("%s -> %s", preds[i].Label, preds[i+1].Label),
+			fmt.Sprintf("%.4f", psiDef[i]), fmt.Sprintf("%.4f", psiThm[i]), fmt.Sprintf("%.4f", cor2))
+	}
+	if err := renderer.Render(out, []experiments.Renderable{tbl, psiTbl}); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	return nil
+}
+
 // selectWorkload resolves the -workload/-alg pair against the registry.
 func selectWorkload(wl, alg string) (workload.Workload, error) {
 	name := strings.ToLower(wl)
@@ -228,12 +343,12 @@ func printList(out io.Writer) {
 
 // requiredSize runs the measurement pipeline for one cluster: analytic
 // guess from the workload's machine model, sweep, trend fit, read-off.
-func requiredSize(ctx context.Context, w workload.Workload, cl *cluster.Cluster, model simnet.CostModel, target float64) (int, float64, error) {
+func requiredSize(ctx context.Context, w workload.Workload, cl *cluster.Cluster, model simnet.CostModel, target float64, engine mpi.Engine) (int, float64, error) {
 	machine, err := w.Machine(cl, model)
 	if err != nil {
 		return 0, 0, err
 	}
-	run := workload.Runner(ctx, w, cl, model, mpi.Options{}, workload.Spec{Symbolic: true})
+	run := workload.Runner(ctx, w, cl, model, mpi.Options{Engine: engine}, workload.Spec{Symbolic: true})
 	guess, err := machine.RequiredN(target, 8, 5e6)
 	if err != nil {
 		return 0, 0, err

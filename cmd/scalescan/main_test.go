@@ -99,6 +99,85 @@ func TestScanEveryRegisteredWorkload(t *testing.T) {
 	}
 }
 
+func TestScanSymbolicEngineMatchesLive(t *testing.T) {
+	// The -engine selector reaches the measured sweeps: the symbolic
+	// fast-forward engine must reproduce the default (live) scan byte for
+	// byte, since the sweeps' virtual times are bit-identical.
+	var tpl strings.Builder
+	if err := run([]string{"-example"}, &tpl); err != nil {
+		t.Fatal(err)
+	}
+	path := writeLadder(t, tpl.String())
+	var live, sym strings.Builder
+	if err := run([]string{"-ladder", path, "-workload", "mm", "-engine", "live"}, &live); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-ladder", path, "-workload", "mm", "-engine", "symbolic"}, &sym); err != nil {
+		t.Fatal(err)
+	}
+	if live.String() != sym.String() {
+		t.Errorf("engine outputs differ:\nlive:\n%s\nsymbolic:\n%s", live.String(), sym.String())
+	}
+}
+
+func TestAsymLadderEveryWorkload(t *testing.T) {
+	for _, w := range workload.All() {
+		var out strings.Builder
+		if err := run([]string{"-workload", w.Name(), "-asym", "100,1000,10000"}, &out); err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+		got := out.String()
+		for _, want := range []string{"Asymptotic isospeed ladder", "10000", "Theorem 1", "Corollary 2"} {
+			if !strings.Contains(got, want) {
+				t.Errorf("%s output missing %q:\n%s", w.Name(), want, got)
+			}
+		}
+	}
+}
+
+func TestAsymLadderHundredThousandRanks(t *testing.T) {
+	// A p = 10^5 rung prices in well under a second: the closed-form mode
+	// must stay fast enough that the acceptance-scale 10^6 rung (exercised
+	// manually and by scripts/bench.sh) fits its < 5 s budget.
+	var out strings.Builder
+	if err := run([]string{"-workload", "ge", "-asym", "1000,100000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "C100000") {
+		t.Errorf("p=1e5 rung missing:\n%s", out.String())
+	}
+}
+
+func TestAsymErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-asym", "100"}, &out); err == nil {
+		t.Error("single-rung asym ladder accepted")
+	}
+	if err := run([]string{"-asym", "100,100"}, &out); err == nil {
+		t.Error("non-increasing asym sizes accepted")
+	}
+	if err := run([]string{"-asym", "100,abc"}, &out); err == nil {
+		t.Error("non-numeric asym size accepted")
+	}
+	if err := run([]string{"-asym", "1,4"}, &out); err == nil {
+		t.Error("p=1 rung accepted")
+	}
+	if err := run([]string{"-asym", "100,250.5"}, &out); err == nil {
+		t.Error("fractional size accepted")
+	}
+	var tpl strings.Builder
+	if err := run([]string{"-example"}, &tpl); err != nil {
+		t.Fatal(err)
+	}
+	path := writeLadder(t, tpl.String())
+	if err := run([]string{"-ladder", path, "-asym", "100,1000"}, &out); err == nil {
+		t.Error("-ladder with -asym accepted")
+	}
+	if err := run([]string{"-ladder", path, "-engine", "bogus"}, &out); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
 func TestScanWithSpeedTable(t *testing.T) {
 	var tpl strings.Builder
 	if err := run([]string{"-example"}, &tpl); err != nil {

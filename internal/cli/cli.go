@@ -26,8 +26,10 @@ func ParseEngine(name string) (mpi.Engine, error) {
 		return mpi.EngineLive, nil
 	case "des":
 		return mpi.EngineDES, nil
+	case "symbolic", "sym":
+		return mpi.EngineSymbolic, nil
 	default:
-		return 0, fmt.Errorf("unknown engine %q (live or des)", name)
+		return 0, fmt.Errorf("unknown engine %q (live, des or symbolic)", name)
 	}
 }
 

@@ -76,6 +76,19 @@ func (k *Kernel) Schedule(delay float64, fn func()) {
 	heap.Push(&k.events, &event{time: k.now + delay, seq: k.seq, fire: fn})
 }
 
+// ScheduleAt registers fn to fire at absolute virtual time t (clamped to
+// now). Unlike Schedule(t-Now(), fn), the event lands exactly on t: the
+// relative form computes now + (t - now), which in floating point can end
+// one ulp away from t. Deadline-style waits use this so the kernel's clock
+// agrees bit-for-bit with backends that assign absolute clocks directly.
+func (k *Kernel) ScheduleAt(t float64, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.events, &event{time: t, seq: k.seq, fire: fn})
+}
+
 // ErrDeadlock is returned by Run when live processes remain but no events
 // are pending — every process is suspended waiting for a wake-up that can
 // never arrive.

@@ -50,6 +50,22 @@ func (p *Proc) Delay(dt float64) {
 	p.yieldAndWait()
 }
 
+// DelayUntil advances the process's virtual time to exactly t, letting
+// other events run in between; it is a no-op when t <= Now(). Delay(t-Now())
+// would compute now + (t - now), which in floating point can land one ulp
+// off t; DelayUntil schedules the absolute instant, so deadline waits stay
+// bit-identical to backends that assign clocks directly.
+func (p *Proc) DelayUntil(t float64) {
+	if p.done {
+		panic("des: DelayUntil on finished process")
+	}
+	p.k.ScheduleAt(t, func() {
+		p.resume <- struct{}{}
+		<-p.k.yield
+	})
+	p.yieldAndWait()
+}
+
 // suspend parks the process with no scheduled wake-up. Something else must
 // call p.wake() or the kernel will report deadlock.
 func (p *Proc) suspend() {

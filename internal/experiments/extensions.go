@@ -130,54 +130,35 @@ func (s *Suite) MemBound(ctx context.Context) (*Table, error) {
 	return t, nil
 }
 
-// TraceDecomposition runs one GE and one Jacobi execution with tracing
-// enabled and reports the per-rank time decomposition plus the
+// TraceDecomposition runs one traced execution of every registered
+// workload and reports the per-rank time decomposition plus the
 // trace-derived critical overhead — the empirical counterpart of the
-// analytic To(n) models used in Tables 6-7.
+// analytic To(n) models used in Tables 6-7. The registry is the source of
+// truth: a newly registered workload shows up here with no edits.
 func (s *Suite) TraceDecomposition(ctx context.Context) (*Table, error) {
-	cl, err := cluster.MMConfig(4)
-	if err != nil {
-		return nil, err
-	}
 	t := &Table{
-		Title:   fmt.Sprintf("Trace decomposition on %s (virtual ms)", cl),
-		Headers: []string{"Algorithm", "Rank", "Compute", "Comm", "Wait", "Idle", "Total"},
+		Title:   "Trace decomposition, 4-node rung of each workload's ladder (virtual ms)",
+		Headers: []string{"Workload", "Rank", "Compute", "Comm", "Wait", "Idle", "Total"},
 	}
-	type alg struct {
-		name string
-		run  func(tr *trace.Trace) (float64, error) // returns makespan
-	}
-	jacN, geN := 192, 384
-	algsToTrace := []alg{
-		{"GE", func(tr *trace.Trace) (float64, error) {
-			opts := s.Cfg.mpiOpts()
-			opts.Trace = tr
-			out, err := algs.RunGEContext(ctx, cl, s.Cfg.Model, opts, geN, algs.GEOptions{Symbolic: true, Seed: s.Cfg.Seed})
-			if err != nil {
-				return 0, err
-			}
-			return out.Res.TimeMS, nil
-		}},
-		{"Jacobi", func(tr *trace.Trace) (float64, error) {
-			opts := s.Cfg.mpiOpts()
-			opts.Trace = tr
-			out, err := algs.RunJacobiContext(ctx, cl, s.Cfg.Model, opts, jacN, algs.JacobiOptions{
-				Iters: jacIters, CheckEvery: jacCheckEvery, Symbolic: true, Seed: s.Cfg.Seed,
-			})
-			if err != nil {
-				return 0, err
-			}
-			return out.Res.TimeMS, nil
-		}},
-	}
-	for _, a := range algsToTrace {
-		tr := trace.New()
-		makespan, err := a.run(tr)
+	for _, w := range workload.All() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cl, err := w.ClusterLadder(4)
 		if err != nil {
 			return nil, err
 		}
+		n := traceSize(w)
+		tr := trace.New()
+		opts := s.Cfg.mpiOpts()
+		opts.Trace = tr
+		out, err := w.Run(ctx, cl, s.Cfg.Model, opts, workload.Spec{N: n, Seed: s.Cfg.Seed, Symbolic: true})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: tracedecomp %s: %w", w.Name(), err)
+		}
+		makespan := out.Stats.TimeMS
 		for _, b := range tr.Breakdowns() {
-			t.AddRow(a.name,
+			t.AddRow(w.Name(),
 				fmt.Sprintf("%d", b.Rank),
 				fmtFloat(b.ComputeMS, 1),
 				fmtFloat(b.CommMS, 1),
@@ -186,13 +167,35 @@ func (s *Suite) TraceDecomposition(ctx context.Context) (*Table, error) {
 				fmtFloat(makespan, 1),
 			)
 		}
-		t.AddRow(a.name, "To*", fmtFloat(tr.CriticalOverhead(), 1), "", "", "",
+		t.AddRow(w.Name(), "To*", fmtFloat(tr.CriticalOverhead(), 1), "", "", "",
 			fmtFloat(makespan, 1))
+		t.Notes = append(t.Notes, fmt.Sprintf("%s at N=%d on %s", w.Name(), n, cl.Name))
 	}
 	t.Notes = append(t.Notes,
-		fmt.Sprintf("GE at N=%d, Jacobi at N=%d (%d sweeps); To* = trace-derived critical overhead", geN, jacN, jacIters),
-		"GE ranks wait at every pivot broadcast and barrier; Jacobi waits only on halo neighbours")
+		"To* = trace-derived critical overhead; sizes are chosen per workload so every traced run performs comparable work",
+		"broadcast-per-iteration ranks (ge) wait at every pivot; halo patterns (jacobi, mg) wait only on neighbours")
 	return t, nil
+}
+
+// traceSize inverts a workload's work polynomial to the smallest problem
+// size performing at least ~2.5e7 flops, so traced runs are comparable
+// across workloads with very different W(n) shapes.
+func traceSize(w workload.Workload) int {
+	const budget = 2.5e7
+	hi := 8
+	for hi < 4096 && w.WorkAt(hi) < budget {
+		hi *= 2
+	}
+	lo := hi / 2
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if w.WorkAt(mid) < budget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
 }
 
 // AblateNetworks extends the contention ablation to all three wire modes

@@ -101,13 +101,22 @@ func TestTraceDecomposition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 4 ranks + To* row per algorithm.
-	if len(tbl.Rows) != 10 {
-		t.Fatalf("rows = %d, want 10:\n%s", len(tbl.Rows), tbl)
+	// The registry is the row source: every registered workload — not just
+	// the historical GE/Jacobi pair — contributes one row per rank of its
+	// 4-node rung plus a To* row.
+	want := 0
+	for _, w := range workload.All() {
+		cl, err := w.ClusterLadder(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += cl.Size() + 1
 	}
-	// GE's critical overhead (To* row, compute column reused) must exceed
-	// Jacobi's relative to their makespans.
-	var geTo, geTotal, jacTo, jacTotal float64
+	if len(tbl.Rows) != want {
+		t.Fatalf("rows = %d, want %d:\n%s", len(tbl.Rows), want, tbl)
+	}
+	// Per-workload To* rows: parseable, nonnegative, below the makespan.
+	toFrac := map[string]float64{}
 	for _, row := range tbl.Rows {
 		if row[1] != "To*" {
 			continue
@@ -117,16 +126,21 @@ func TestTraceDecomposition(t *testing.T) {
 		if err1 != nil || err2 != nil {
 			t.Fatalf("bad To* row %v", row)
 		}
-		switch row[0] {
-		case "GE":
-			geTo, geTotal = to, total
-		case "Jacobi":
-			jacTo, jacTotal = to, total
+		if to < 0 || to > total {
+			t.Errorf("%s: To* %g outside [0, makespan %g]", row[0], to, total)
+		}
+		toFrac[row[0]] = to / total
+	}
+	for _, w := range workload.All() {
+		if _, ok := toFrac[w.Name()]; !ok {
+			t.Errorf("workload %q missing a To* row", w.Name())
 		}
 	}
-	if geTo/geTotal <= jacTo/jacTotal {
-		t.Errorf("GE overhead fraction %.3f should exceed Jacobi's %.3f",
-			geTo/geTotal, jacTo/jacTotal)
+	// GE's critical overhead must exceed Jacobi's relative to their
+	// makespans: per-iteration broadcast vs nearest-neighbour halo.
+	if toFrac["ge"] <= toFrac["jacobi"] {
+		t.Errorf("ge overhead fraction %.3f should exceed jacobi's %.3f",
+			toFrac["ge"], toFrac["jacobi"])
 	}
 }
 
@@ -194,7 +208,7 @@ func TestGridSeparatesCombinations(t *testing.T) {
 }
 
 func TestNewExperimentsRegistered(t *testing.T) {
-	for _, id := range []string{"threeway", "membound", "tracedecomp", "ablate-network", "grid"} {
+	for _, id := range []string{"threeway", "membound", "tracedecomp", "ablate-network", "grid", "asymscale"} {
 		if _, ok := Lookup(id); !ok {
 			t.Errorf("experiment %s not registered", id)
 		}

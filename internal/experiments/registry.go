@@ -236,6 +236,15 @@ func init() {
 			},
 		},
 		{
+			ID:    "asymscale",
+			About: "extension: closed-form isospeed ladders to p = 10^6 (symbolic cost model)",
+			Group: GroupExtension,
+			Quick: true,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				return wrap(s.AsymptoticScale(ctx))
+			},
+		},
+		{
 			ID:    "ckpt-interval",
 			About: "ablation: checkpoint cadence vs rollback distance (Theorem 1 To trade-off)",
 			Group: GroupFaults,

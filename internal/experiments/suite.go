@@ -27,6 +27,10 @@ type Config struct {
 	Contended bool
 	// Sizes is the system-size ladder (default: the paper's 2,4,8,16,32).
 	Sizes []int
+	// AsymSizes is the asymptotic ladder: rung widths priced by the
+	// closed-form To(n) models alone (no executed program), reaching far
+	// beyond the executable Sizes (default: 10^2 .. 10^6).
+	AsymSizes []int
 	// GETarget and MMTarget are the speed-efficiency set-points of the
 	// paper's read-offs (0.3 for GE, 0.2 for MM).
 	GETarget float64
@@ -54,6 +58,7 @@ func Default() (Config, error) {
 		Model:       m,
 		Engine:      mpi.EngineLive,
 		Sizes:       append([]int(nil), cluster.PaperSizes...),
+		AsymSizes:   []int{100, 1000, 10000, 100000, 1000000},
 		GETarget:    0.3,
 		MMTarget:    0.2,
 		SweepPoints: 8,
@@ -69,6 +74,7 @@ func Quick() (Config, error) {
 		return Config{}, err
 	}
 	cfg.Sizes = []int{2, 4, 8}
+	cfg.AsymSizes = []int{100, 1000, 10000}
 	cfg.SweepPoints = 6
 	return cfg, nil
 }
@@ -79,6 +85,17 @@ func (c Config) validate() error {
 	}
 	if len(c.Sizes) == 0 {
 		return errors.New("experiments: empty size ladder")
+	}
+	if len(c.AsymSizes) < 2 {
+		return errors.New("experiments: asymptotic ladder needs at least two rungs")
+	}
+	for i, p := range c.AsymSizes {
+		if p < 2 {
+			return fmt.Errorf("experiments: asymptotic rung p = %d < 2", p)
+		}
+		if i > 0 && p <= c.AsymSizes[i-1] {
+			return fmt.Errorf("experiments: asymptotic ladder not increasing at %d", p)
+		}
 	}
 	if c.GETarget <= 0 || c.GETarget >= 1 || c.MMTarget <= 0 || c.MMTarget >= 1 {
 		return fmt.Errorf("experiments: targets out of range: GE %g MM %g", c.GETarget, c.MMTarget)

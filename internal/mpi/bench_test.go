@@ -104,9 +104,9 @@ func BenchmarkPingPongLive(b *testing.B) {
 	}
 }
 
-// benchTransports enumerates fresh-transport constructors for the two
-// built-in substrates, so the same program can be benchmarked on both via
-// RunTransport (sub-benchmark names: /channel, /des).
+// benchTransports enumerates fresh-transport constructors for the three
+// built-in substrates, so the same program can be benchmarked on all via
+// RunTransport (sub-benchmark names: /channel, /des, /symbolic).
 func benchTransports(m simnet.CostModel, size int) map[string]func() Transport {
 	return map[string]func() Transport{
 		"channel": func() Transport { return NewChannelTransport(size, 0) },
@@ -114,6 +114,7 @@ func benchTransports(m simnet.CostModel, size int) map[string]func() Transport {
 			k := des.NewKernel()
 			return NewDESTransport(k, simnet.NewWireMode(k, m, simnet.WireIdeal, size), size)
 		},
+		"symbolic": func() Transport { return NewSymbolicTransport(size) },
 	}
 }
 

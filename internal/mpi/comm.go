@@ -19,7 +19,7 @@
 // the max-reduction barrier, the crash/tombstone fault protocol, traffic
 // accounting and trace emission. A Transport (transport.go) supplies only
 // the execution substrate — how ranks run and block, how payloads move,
-// how a dying rank interrupts blocked peers. Two transports ship with the
+// how a dying rank interrupts blocked peers. Three transports ship with the
 // package, selected by Options.Engine:
 //
 //   - EngineLive -> the channel transport (NewChannelTransport): one
@@ -30,13 +30,20 @@
 //     processes of a discrete-event kernel (internal/des), optionally
 //     sharing a contended Ethernet wire (internal/simnet.Wire) so
 //     point-to-point transfers queue for the medium like frames on a hub.
+//   - EngineSymbolic -> the symbolic fast-forward transport
+//     (NewSymbolicTransport): ranks are cooperative goroutines under a
+//     sequential scheduler; clocks, wire occupancy and barrier waits are
+//     pure arithmetic, and a rank context-switches only when it genuinely
+//     blocks. A ladder rung costs O(program length) instead of O(events),
+//     which is what makes p = 10^5..10^6 ladder studies tractable.
 //
-// Because all time-charging logic is shared, the two transports produce
-// identical virtual times and identical trace span sequences by
-// construction when contention is disabled (verified by tests); the DES
-// transport with contention enabled is the ablation that quantifies what
-// shared Ethernet does to scalability. Custom backends plug in via
-// RunTransport.
+// Because all time-charging logic is shared, the three transports produce
+// bit-identical virtual times, stats and trace span sequences by
+// construction when contention is disabled (verified by the differential
+// suites); the DES transport with contention enabled is the ablation that
+// quantifies what shared Ethernet does to scalability, and the one regime
+// the symbolic transport cannot price (wire queueing needs a global event
+// order). Custom backends plug in via RunTransport.
 //
 // Send semantics are blocking-by-cost: a sender is busy for
 // SendTime+TransferTime (it drives the payload onto the wire), and the
@@ -155,6 +162,11 @@ const (
 	EngineLive Engine = iota
 	// EngineDES runs ranks as discrete-event processes.
 	EngineDES
+	// EngineSymbolic runs ranks under the symbolic fast-forward scheduler:
+	// closed-form clock arithmetic, context switches only at genuine
+	// blocking points. Bit-identical to the other engines for uncontended
+	// runs; rejects network contention.
+	EngineSymbolic
 )
 
 // String implements fmt.Stringer.
@@ -164,6 +176,8 @@ func (e Engine) String() string {
 		return "live"
 	case EngineDES:
 		return "des"
+	case EngineSymbolic:
+		return "symbolic"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
@@ -268,11 +282,11 @@ func validateRun(cl *cluster.Cluster, model simnet.CostModel, opts Options, prog
 	if err := validateCommon(cl, model, opts, program); err != nil {
 		return err
 	}
-	if opts.Engine == EngineLive && (opts.Contended || opts.Network != simnet.WireIdeal) {
-		return errors.New("mpi: network contention requires the DES engine")
-	}
-	if opts.Engine != EngineLive && opts.Engine != EngineDES {
+	if opts.Engine != EngineLive && opts.Engine != EngineDES && opts.Engine != EngineSymbolic {
 		return fmt.Errorf("mpi: unknown engine %v", opts.Engine)
+	}
+	if opts.Engine != EngineDES && (opts.Contended || opts.Network != simnet.WireIdeal) {
+		return errors.New("mpi: network contention requires the DES engine")
 	}
 	return nil
 }
@@ -303,6 +317,8 @@ func RunContext(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel
 	switch opts.Engine {
 	case EngineDES:
 		res, err = runDES(cl, model, opts, program)
+	case EngineSymbolic:
+		res, err = runSymbolic(cl, model, opts, program)
 	default:
 		res, err = runLive(cl, model, opts, program)
 	}

@@ -52,10 +52,14 @@ func (t *desTransport) Run(body func(rank int)) error {
 func (t *desTransport) Now(rank int) float64         { return t.procs[rank].Now() }
 func (t *desTransport) Advance(rank int, dt float64) { t.procs[rank].Delay(dt) }
 
+// WaitUntil uses DelayUntil (absolute deadline) rather than Delay(ts-now):
+// the relative form can land one ulp off ts, which is the one arithmetic
+// divergence that would break bitwise equality with the channel and
+// symbolic substrates (both assign clocks[rank] = ts directly).
 func (t *desTransport) WaitUntil(rank int, ts float64) {
 	p := t.procs[rank]
-	if now := p.Now(); ts > now {
-		p.Delay(ts - now)
+	if ts > p.Now() {
+		p.DelayUntil(ts)
 	}
 }
 

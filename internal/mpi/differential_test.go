@@ -2,17 +2,70 @@ package mpi
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/faults"
+	"repro/internal/simnet"
 )
 
 // Randomized differential testing: generate random (but deterministic,
-// seeded) parallel programs and require the live and DES engines to
-// produce identical virtual times, message counts and accounting. This
-// covers interleavings of primitives no hand-written test enumerates.
+// seeded) parallel programs and require the channel, DES and symbolic
+// engines to produce bit-identical virtual times, message counts and
+// accounting. This covers interleavings of primitives no hand-written test
+// enumerates. Equality is exact (==, no tolerance): all charging policy
+// lives in the shared runtime, the DES transport waits on absolute
+// deadlines (DelayUntil), and the other two assign clocks directly, so any
+// ulp of divergence is a real engine bug.
+
+// diffEngines is the full uncontended engine matrix for differential runs.
+var diffEngines = []Engine{EngineLive, EngineDES, EngineSymbolic}
+
+// runAllEngines executes prog on every uncontended engine with opts (Engine
+// overridden) and returns the results in diffEngines order, failing the
+// test on any error.
+func runAllEngines(t *testing.T, cl *cluster.Cluster, m simnet.CostModel, opts Options, prog Program, label string) []Result {
+	t.Helper()
+	results := make([]Result, len(diffEngines))
+	for i, eng := range diffEngines {
+		o := opts
+		o.Engine = eng
+		res, err := Run(cl, m, o, prog)
+		if err != nil {
+			t.Fatalf("%s %v: %v", label, eng, err)
+		}
+		results[i] = res
+	}
+	return results
+}
+
+// requireBitIdentical asserts res is exactly equal to base in every
+// engine-visible dimension.
+func requireBitIdentical(t *testing.T, label string, base, res Result, baseEng, eng Engine) {
+	t.Helper()
+	if base.Messages != res.Messages || base.BytesMoved != res.BytesMoved {
+		t.Errorf("%s: traffic differs: %v %d/%d vs %v %d/%d",
+			label, baseEng, base.Messages, base.BytesMoved, eng, res.Messages, res.BytesMoved)
+	}
+	if base.TimeMS != res.TimeMS {
+		t.Errorf("%s: makespan differs: %v %v vs %v %v", label, baseEng, base.TimeMS, eng, res.TimeMS)
+	}
+	for r := range base.RankClocks {
+		if base.RankClocks[r] != res.RankClocks[r] {
+			t.Errorf("%s rank %d: clocks differ: %v %v vs %v %v",
+				label, r, baseEng, base.RankClocks[r], eng, res.RankClocks[r])
+		}
+		if base.ComputeMS[r] != res.ComputeMS[r] {
+			t.Errorf("%s rank %d: compute differs: %v %v vs %v %v",
+				label, r, baseEng, base.ComputeMS[r], eng, res.ComputeMS[r])
+		}
+		if base.CommMS[r] != res.CommMS[r] {
+			t.Errorf("%s rank %d: comm differs: %v %v vs %v %v",
+				label, r, baseEng, base.CommMS[r], eng, res.CommMS[r])
+		}
+	}
+}
 
 // randomProgram builds a deterministic program from seed: a sequence of
 // collective/point-to-point/compute steps that is structurally identical
@@ -83,30 +136,10 @@ func TestDifferentialEngines(t *testing.T) {
 	m := testModel(t)
 	for seed := int64(0); seed < 25; seed++ {
 		prog := randomProgram(seed, 30)
-		live, err := Run(cl, m, Options{Engine: EngineLive}, prog)
-		if err != nil {
-			t.Fatalf("seed %d live: %v", seed, err)
-		}
-		des, err := Run(cl, m, Options{Engine: EngineDES}, prog)
-		if err != nil {
-			t.Fatalf("seed %d des: %v", seed, err)
-		}
-		if live.Messages != des.Messages || live.BytesMoved != des.BytesMoved {
-			t.Errorf("seed %d: traffic differs: live %d/%d vs des %d/%d",
-				seed, live.Messages, live.BytesMoved, des.Messages, des.BytesMoved)
-		}
-		for r := range live.RankClocks {
-			if math.Abs(live.RankClocks[r]-des.RankClocks[r]) > 1e-6 {
-				t.Errorf("seed %d rank %d: clocks differ: live %g vs des %g",
-					seed, r, live.RankClocks[r], des.RankClocks[r])
-			}
-			if math.Abs(live.ComputeMS[r]-des.ComputeMS[r]) > 1e-6 {
-				t.Errorf("seed %d rank %d: compute differs", seed, r)
-			}
-			if math.Abs(live.CommMS[r]-des.CommMS[r]) > 1e-6 {
-				t.Errorf("seed %d rank %d: comm differs: %g vs %g",
-					seed, r, live.CommMS[r], des.CommMS[r])
-			}
+		results := runAllEngines(t, cl, m, Options{}, prog, fmt.Sprintf("seed %d", seed))
+		for i := 1; i < len(results); i++ {
+			requireBitIdentical(t, fmt.Sprintf("seed %d", seed),
+				results[0], results[i], diffEngines[0], diffEngines[i])
 		}
 	}
 }
@@ -117,60 +150,33 @@ func TestDifferentialEnginesWithJitter(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
 		prog := randomProgram(seed+100, 20)
 		opts := Options{Jitter: 0.15, JitterSeed: seed}
-		live, err := Run(cl, m, opts, prog)
-		if err != nil {
-			t.Fatalf("seed %d live: %v", seed, err)
-		}
-		opts.Engine = EngineDES
-		des, err := Run(cl, m, opts, prog)
-		if err != nil {
-			t.Fatalf("seed %d des: %v", seed, err)
-		}
-		for r := range live.RankClocks {
-			if math.Abs(live.RankClocks[r]-des.RankClocks[r]) > 1e-6 {
-				t.Errorf("seed %d rank %d: jittered clocks differ: %g vs %g",
-					seed, r, live.RankClocks[r], des.RankClocks[r])
-			}
+		results := runAllEngines(t, cl, m, opts, prog, fmt.Sprintf("jitter seed %d", seed))
+		for i := 1; i < len(results); i++ {
+			requireBitIdentical(t, fmt.Sprintf("jitter seed %d", seed),
+				results[0], results[i], diffEngines[0], diffEngines[i])
 		}
 	}
 }
 
 func TestDifferentialEnginesWithDrops(t *testing.T) {
 	// Fault-injected differential pass: the same lossy link plan must
-	// yield identical retransmission traffic and virtual times on both
-	// engines, for random programs neither engine was tuned to.
+	// yield identical retransmission traffic and virtual times on every
+	// engine, for random programs no engine was tuned to.
 	cl := testCluster(t, 37.2, 42.1, 89.5, 60)
 	m := testModel(t)
 	for seed := int64(0); seed < 15; seed++ {
 		prog := randomProgram(seed+500, 25)
 		inj := planInjector(t, faults.Plan{Seed: seed, DropProb: 0.1, RetryTimeoutMS: 0.5}, cl.Size())
-		live, errLive := Run(cl, m, Options{Engine: EngineLive, Faults: inj}, prog)
-		des, errDES := Run(cl, m, Options{Engine: EngineDES, Faults: inj}, prog)
-		if errLive != nil || errDES != nil {
-			t.Fatalf("seed %d: unexpected failure under 10%% loss: live=%v des=%v", seed, errLive, errDES)
-		}
-		if live.Messages != des.Messages || live.BytesMoved != des.BytesMoved {
-			t.Errorf("seed %d: lossy traffic differs: live %d/%d vs des %d/%d",
-				seed, live.Messages, live.BytesMoved, des.Messages, des.BytesMoved)
-		}
-		if live.Messages == 0 {
-			continue
-		}
-		for r := range live.RankClocks {
-			if math.Abs(live.RankClocks[r]-des.RankClocks[r]) > 1e-6 {
-				t.Errorf("seed %d rank %d: lossy clocks differ: live %g vs des %g",
-					seed, r, live.RankClocks[r], des.RankClocks[r])
-			}
-			if math.Abs(live.CommMS[r]-des.CommMS[r]) > 1e-6 {
-				t.Errorf("seed %d rank %d: lossy comm accounting differs: %g vs %g",
-					seed, r, live.CommMS[r], des.CommMS[r])
-			}
+		results := runAllEngines(t, cl, m, Options{Faults: inj}, prog, fmt.Sprintf("drops seed %d", seed))
+		for i := 1; i < len(results); i++ {
+			requireBitIdentical(t, fmt.Sprintf("drops seed %d", seed),
+				results[0], results[i], diffEngines[0], diffEngines[i])
 		}
 	}
 }
 
 func TestDifferentialEnginesWithCrashes(t *testing.T) {
-	// Crash a rank mid-run and require both engines to agree on who died,
+	// Crash a rank mid-run and require every engine to agree on who died,
 	// when, who cascaded, and every survivor's final clock.
 	cl := testCluster(t, 37.2, 42.1, 89.5, 60)
 	m := testModel(t)
@@ -185,28 +191,35 @@ func TestDifferentialEnginesWithCrashes(t *testing.T) {
 			crashAt:     map[int]float64{victim: base.TimeMS * 0.4},
 			maxAttempts: 1,
 		}
-		live, errLive := Run(cl, m, Options{Engine: EngineLive, Faults: inj}, prog)
-		des, errDES := Run(cl, m, Options{Engine: EngineDES, Faults: inj}, prog)
-		outLive, okLive := ClassifyFaults(cl.Size(), errLive)
-		outDES, okDES := ClassifyFaults(cl.Size(), errDES)
-		if !okLive || !okDES {
-			t.Fatalf("seed %d: non-fault failure: live=%v des=%v", seed, errLive, errDES)
-		}
-		if len(outLive.Crashed) != 1 {
-			t.Errorf("seed %d: want exactly one crash, got %+v", seed, outLive)
-		}
-		if fmt.Sprint(outLive.Crashed) != fmt.Sprint(outDES.Crashed) ||
-			fmt.Sprint(outLive.Aborted) != fmt.Sprint(outDES.Aborted) {
-			t.Errorf("seed %d: fault outcomes differ:\n live %+v\n des  %+v", seed, outLive, outDES)
-		}
-		if live.Messages != des.Messages || live.BytesMoved != des.BytesMoved {
-			t.Errorf("seed %d: post-crash traffic differs: live %d/%d vs des %d/%d",
-				seed, live.Messages, live.BytesMoved, des.Messages, des.BytesMoved)
-		}
-		for r := range live.RankClocks {
-			if math.Abs(live.RankClocks[r]-des.RankClocks[r]) > 1e-6 {
-				t.Errorf("seed %d rank %d: post-crash clocks differ: live %g vs des %g",
-					seed, r, live.RankClocks[r], des.RankClocks[r])
+		var firstRes Result
+		var firstOut FaultOutcome
+		for i, eng := range diffEngines {
+			res, errRun := Run(cl, m, Options{Engine: eng, Faults: inj}, prog)
+			out, ok := ClassifyFaults(cl.Size(), errRun)
+			if !ok {
+				t.Fatalf("seed %d %v: non-fault failure: %v", seed, eng, errRun)
+			}
+			if len(out.Crashed) != 1 {
+				t.Errorf("seed %d %v: want exactly one crash, got %+v", seed, eng, out)
+			}
+			if i == 0 {
+				firstRes, firstOut = res, out
+				continue
+			}
+			if fmt.Sprint(firstOut.Crashed) != fmt.Sprint(out.Crashed) ||
+				fmt.Sprint(firstOut.Aborted) != fmt.Sprint(out.Aborted) {
+				t.Errorf("seed %d: fault outcomes differ:\n %v %+v\n %v %+v",
+					seed, diffEngines[0], firstOut, eng, out)
+			}
+			if firstRes.Messages != res.Messages || firstRes.BytesMoved != res.BytesMoved {
+				t.Errorf("seed %d %v: post-crash traffic differs: %d/%d vs %d/%d",
+					seed, eng, firstRes.Messages, firstRes.BytesMoved, res.Messages, res.BytesMoved)
+			}
+			for r := range firstRes.RankClocks {
+				if firstRes.RankClocks[r] != res.RankClocks[r] {
+					t.Errorf("seed %d rank %d: post-crash clocks differ: %v %v vs %v %v",
+						seed, r, diffEngines[0], firstRes.RankClocks[r], eng, res.RankClocks[r])
+				}
 			}
 		}
 	}
@@ -217,19 +230,21 @@ func TestDifferentialRunsAreStable(t *testing.T) {
 	cl := testCluster(t, 50, 70, 90, 40)
 	m := testModel(t)
 	prog := randomProgram(7, 40)
-	var first Result
-	for i := 0; i < 3; i++ {
-		res, err := Run(cl, m, Options{}, prog)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if i == 0 {
-			first = res
-			continue
-		}
-		for r := range res.RankClocks {
-			if res.RankClocks[r] != first.RankClocks[r] {
-				t.Fatalf("iteration %d rank %d: clock drifted", i, r)
+	for _, eng := range diffEngines {
+		var first Result
+		for i := 0; i < 3; i++ {
+			res, err := Run(cl, m, Options{Engine: eng}, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				first = res
+				continue
+			}
+			for r := range res.RankClocks {
+				if res.RankClocks[r] != first.RankClocks[r] {
+					t.Fatalf("%v iteration %d rank %d: clock drifted", eng, i, r)
+				}
 			}
 		}
 	}

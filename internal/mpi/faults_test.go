@@ -17,6 +17,7 @@ var bothEngines = []struct {
 }{
 	{"live", Options{Engine: EngineLive}},
 	{"des", Options{Engine: EngineDES}},
+	{"symbolic", Options{Engine: EngineSymbolic}},
 }
 
 // testInjector is a hand-rolled FaultInjector for corner cases the

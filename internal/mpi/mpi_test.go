@@ -40,6 +40,7 @@ var engines = []struct {
 	{"live", Options{Engine: EngineLive}},
 	{"des", Options{Engine: EngineDES}},
 	{"des-contended", Options{Engine: EngineDES, Contended: true}},
+	{"symbolic", Options{Engine: EngineSymbolic}},
 }
 
 func TestValidateRun(t *testing.T) {
@@ -58,13 +59,19 @@ func TestValidateRun(t *testing.T) {
 	if _, err := Run(cl, m, Options{Engine: EngineLive, Contended: true}, prog); err == nil {
 		t.Error("live+contended accepted")
 	}
+	if _, err := Run(cl, m, Options{Engine: EngineSymbolic, Contended: true}, prog); err == nil {
+		t.Error("symbolic+contended accepted")
+	}
+	if _, err := Run(cl, m, Options{Engine: EngineSymbolic, Network: simnet.WireSwitched}, prog); err == nil {
+		t.Error("symbolic+switched network accepted")
+	}
 	if _, err := Run(cl, m, Options{Engine: Engine(99)}, prog); err == nil {
 		t.Error("unknown engine accepted")
 	}
 }
 
 func TestEngineString(t *testing.T) {
-	if EngineLive.String() != "live" || EngineDES.String() != "des" {
+	if EngineLive.String() != "live" || EngineDES.String() != "des" || EngineSymbolic.String() != "symbolic" {
 		t.Error("engine names wrong")
 	}
 	if !strings.Contains(Engine(9).String(), "9") {

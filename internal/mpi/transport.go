@@ -15,10 +15,12 @@ type Message struct {
 // charging policy, message matching, the max-reduction barrier, the
 // crash/tombstone fault protocol, traffic accounting, trace emission —
 // lives in the shared runtime (runtime.go), so a new execution backend is
-// exactly one Transport implementation. Two ship with the package: the
-// channel transport (NewChannelTransport, one goroutine per rank) and the
+// exactly one Transport implementation. Three ship with the package: the
+// channel transport (NewChannelTransport, one goroutine per rank), the
 // DES transport (NewDESTransport, ranks as discrete-event processes,
-// optionally contending for a simnet.Wire).
+// optionally contending for a simnet.Wire), and the symbolic fast-forward
+// transport (NewSymbolicTransport, cooperative ranks under a sequential
+// scheduler with closed-form clock arithmetic).
 //
 // A Transport is single-use: it is constructed for one run of a fixed
 // number of ranks and driven by exactly one Run call.

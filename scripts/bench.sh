@@ -1,0 +1,37 @@
+#!/bin/sh
+# Regenerate BENCH_transport.json: the committed performance baseline for
+# the transport substrates (channel / DES / symbolic microbenchmarks) and
+# the symbolic fast-forward rungs (full workload runs at p = 32 on the DES
+# and symbolic engines, plus the closed-form p = 10^6 rung). Each entry
+# reports events/sec = 1e9 / ns_per_op, the substrate's throughput in
+# benchmark operations.
+#
+# Usage:  ./scripts/bench.sh               # 1s per benchmark
+#         BENCHTIME=5s ./scripts/bench.sh  # steadier numbers
+set -eu
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${BENCHTIME:-1s}"
+OUT="BENCH_transport.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT INT TERM
+
+go test -run=NONE -bench 'BenchmarkTransportPingPong|BenchmarkTransportBarrier' \
+	-benchtime "$BENCHTIME" -count=1 ./internal/mpi | tee -a "$RAW"
+go test -run=NONE -bench 'BenchmarkWorkloadRung|BenchmarkAsymptoticMillionRankRung' \
+	-benchtime "$BENCHTIME" -count=1 ./internal/workload | tee -a "$RAW"
+
+awk -v benchtime="$BENCHTIME" '
+BEGIN {
+	printf "{\n  \"benchtime\": \"%s\",\n  \"unit\": \"events_per_sec = 1e9 / ns_per_op\",\n  \"benchmarks\": [\n", benchtime
+	sep = ""
+}
+$1 ~ /^Benchmark/ && $4 == "ns/op" {
+	name = $1; sub(/-[0-9]+$/, "", name)
+	printf "%s    {\"name\": \"%s\", \"iters\": %d, \"ns_per_op\": %.1f, \"events_per_sec\": %.1f}", sep, name, $2, $3, 1e9 / $3
+	sep = ",\n"
+}
+END { printf "\n  ]\n}\n" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT"

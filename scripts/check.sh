@@ -44,6 +44,8 @@ for pkgfn in \
 	./internal/numeric:FuzzPolyFitNeverPanicsAndInterpolates \
 	./internal/numeric:FuzzMonotoneCubicStaysMonotone \
 	./internal/numeric:FuzzBrentFindsBracketedRoots \
+	./internal/mpi:FuzzSymbolicVsDESPrograms \
+	./internal/workload:FuzzSymbolicVsDESWorkloads \
 ; do
 	pkg="${pkgfn%%:*}"
 	fn="${pkgfn##*:}"
