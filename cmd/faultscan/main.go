@@ -25,6 +25,11 @@
 // boundaries and survives the crash: it rolls back to the last committed
 // checkpoint, redistributes the dead rank's share across the survivors,
 // and reports a finite recovered time (and ψ) plus the rollback history.
+//
+// The flags parse into a canonical RunSpec (internal/spec) with the
+// fault plan embedded — `-intensity` expands to its derived plan — so
+// the same scan can be POSTed to `hetsim -serve` and returns the same
+// bytes.
 package main
 
 import (
@@ -33,15 +38,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
 	"strings"
 
-	"repro/internal/algs"
-	"repro/internal/cli"
-	"repro/internal/core"
-	"repro/internal/experiments"
 	"repro/internal/faults"
-	"repro/internal/mpi"
+	"repro/internal/spec"
 	"repro/internal/workload"
 )
 
@@ -77,7 +77,10 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
-	var spec faults.Spec
+	// The plan is embedded in the RunSpec: a -spec file is inlined and
+	// -intensity expands to the plan it derives, so the spec carries the
+	// full fault description with no file or knob left behind.
+	var plan faults.Spec
 	switch {
 	case *specPath != "" && *intensity >= 0:
 		return fmt.Errorf("-spec and -intensity are mutually exclusive")
@@ -86,170 +89,60 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		spec = s
+		plan = s
 	case *intensity >= 0:
 		s, err := faults.Intensity(*seed, *intensity)
 		if err != nil {
 			return err
 		}
-		spec = s
+		plan = s
 	default:
 		return fmt.Errorf("missing fault plan: pass -spec file or -intensity x (use -example for a template)")
 	}
 
-	eng, err := cli.ParseEngine(*engine)
+	name, err := workloadName(*wl, *alg)
 	if err != nil {
 		return err
 	}
-	format, err := cli.Format(*csv, *jsonOut)
+	format, err := spec.ParseFormat(*csv, *jsonOut)
 	if err != nil {
 		return err
 	}
-	renderer, err := experiments.NewRenderer(format)
-	if err != nil {
-		return err
-	}
-
-	w, err := selectWorkload(*wl, *alg)
-	if err != nil {
-		return err
-	}
-	cl, err := w.ClusterLadder(*p)
-	if err != nil {
-		return err
-	}
-	model, err := cli.SunwulfModel()
-	if err != nil {
-		return err
-	}
-	plan, err := spec.Instantiate(cl.Size())
-	if err != nil {
-		return err
-	}
-	dcl, dmodel, inj, err := plan.Apply(cl, model)
-	if err != nil {
-		return err
-	}
-
-	// The distribution stays pinned to the nominal speeds: runtime
-	// degradation is invisible to the scheduler, as in the fault studies.
-	rspec := workload.Spec{N: *n, Symbolic: true, PinnedSpeeds: cl.Speeds()}
-	ctx := context.Background()
-	opts := mpi.Options{Engine: eng}
-	base, err := w.Run(ctx, cl, model, opts, rspec)
-	if err != nil {
-		return fmt.Errorf("fault-free baseline: %w", err)
-	}
-	baseEff, err := core.SpeedEfficiency(base.Work, base.Stats.TimeMS, cl.MarkedSpeed())
-	if err != nil {
-		return err
-	}
-
-	tbl := &experiments.Table{
-		Title: fmt.Sprintf("Fault scan: %s at N = %d on %s (engine %s, nominal C = %.1f Mflops)",
-			strings.ToUpper(w.Name()), *n, cl.Name, eng, cl.MarkedSpeed()),
-		Headers: []string{"Run", "C_eff (Mflops)", "T (ms)", "Messages", "Bytes", "E_s @ nominal C", "ψ vs fault-free"},
-	}
-	tbl.AddRow("fault-free", fmt.Sprintf("%.1f", cl.MarkedSpeed()),
-		fmt.Sprintf("%.3f", base.Stats.TimeMS), fmt.Sprintf("%d", base.Stats.Messages),
-		fmt.Sprintf("%d", base.Stats.BytesMoved), fmt.Sprintf("%.4f", baseEff), "1.0000")
-
-	fopts := opts
-	if !plan.IsZero() {
-		fopts.Faults = inj
+	rs := spec.RunSpec{
+		Kind:     spec.KindFaultscan,
+		Format:   format,
+		Engine:   *engine,
+		Workload: name,
+		P:        *p,
+		N:        *n,
+		Faults:   &plan,
+		Recover:  *doRecover,
 	}
 	if *doRecover {
-		rcfg := algs.RecoveryConfig{IntervalSteps: *ckptIvl}
-		faulted, rec, err := w.RunRecovered(ctx, dcl, dmodel, fopts, rspec, rcfg)
-		if err != nil {
-			return fmt.Errorf("recovered run: %w", err)
-		}
-		eff, err := core.SpeedEfficiency(faulted.Work, rec.TimeMS, cl.MarkedSpeed())
-		if err != nil {
-			return err
-		}
-		tbl.AddRow("recovered", fmt.Sprintf("%.1f", dcl.MarkedSpeed()),
-			fmt.Sprintf("%.3f", rec.TimeMS), fmt.Sprintf("%d", rec.Messages),
-			fmt.Sprintf("%d", rec.BytesMoved), fmt.Sprintf("%.4f", eff),
-			fmt.Sprintf("%.4f", eff/baseEff))
-		tbl.Notes = append(tbl.Notes, describeRecovery(rec, *ckptIvl)...)
-		return finish(renderer, out, tbl, plan)
+		rs.CkptInterval = *ckptIvl
 	}
-	faulted, runErr := w.Run(ctx, dcl, dmodel, fopts, rspec)
-	if runErr != nil {
-		outcome, ok := mpi.ClassifyFaults(cl.Size(), runErr)
-		if !ok {
-			return runErr
-		}
-		tbl.AddRow("faulted", fmt.Sprintf("%.1f", dcl.MarkedSpeed()),
-			"DNF", "-", "-", "-", "-")
-		tbl.Notes = append(tbl.Notes, describeOutcome(outcome))
-	} else {
-		eff, err := core.SpeedEfficiency(faulted.Work, faulted.Stats.TimeMS, cl.MarkedSpeed())
-		if err != nil {
-			return err
-		}
-		tbl.AddRow("faulted", fmt.Sprintf("%.1f", dcl.MarkedSpeed()),
-			fmt.Sprintf("%.3f", faulted.Stats.TimeMS), fmt.Sprintf("%d", faulted.Stats.Messages),
-			fmt.Sprintf("%d", faulted.Stats.BytesMoved), fmt.Sprintf("%.4f", eff),
-			fmt.Sprintf("%.4f", eff/baseEff))
+
+	ex, err := spec.NewExecutor(spec.ExecutorOptions{})
+	if err != nil {
+		return err
 	}
-	return finish(renderer, out, tbl, plan)
+	return ex.Run(context.Background(), rs, out)
 }
 
-// finish appends the shared provenance notes and renders the table.
-func finish(renderer experiments.Renderer, out io.Writer, tbl *experiments.Table, plan faults.Plan) error {
-	tbl.Notes = append(tbl.Notes,
-		"plan: "+plan.String(),
-		"distribution is pinned to nominal speeds (blind to runtime degradation)",
-		"all fault draws derive from the plan seed: identical invocations reproduce this output byte-identically")
-	return renderer.Render(out, []experiments.Renderable{tbl})
-}
-
-// selectWorkload resolves the -workload/-alg pair against the registry.
-func selectWorkload(wl, alg string) (workload.Workload, error) {
+// workloadName resolves the -workload/-alg pair ("" lets the spec
+// default to ge after checking the registry).
+func workloadName(wl, alg string) (string, error) {
 	name := strings.ToLower(wl)
 	if name == "" {
 		name = strings.ToLower(alg)
 	} else if alg != "" && !strings.EqualFold(alg, wl) {
-		return nil, fmt.Errorf("-workload %q and -alg %q disagree (use -workload)", wl, alg)
+		return "", fmt.Errorf("-workload %q and -alg %q disagree (use -workload)", wl, alg)
 	}
 	if name == "" {
-		name = "ge"
+		return "", nil
 	}
-	return workload.Get(name)
-}
-
-// describeRecovery renders the rollback history as deterministic notes.
-func describeRecovery(rec mpi.RecoveredResult, interval int) []string {
-	notes := []string{fmt.Sprintf(
-		"recovery: %d attempt(s), %d checkpoint(s) committed (interval %d, %.3f ms spent writing)",
-		rec.Attempts, rec.Checkpoints, interval, rec.CheckpointMS)}
-	for _, ev := range rec.Events {
-		notes = append(notes, fmt.Sprintf(
-			"attempt %d failed at %.3f ms (%s), resumed %d survivor(s) at %.3f ms from snapshot %d",
-			ev.Attempt+1, ev.FailedAtMS, describeOutcome(ev.Outcome), len(ev.Survivors), ev.ResumeMS, ev.ResumeSeq))
+	if _, err := workload.Get(name); err != nil {
+		return "", err
 	}
-	return notes
-}
-
-// describeOutcome renders a fault outcome as one deterministic note line.
-func describeOutcome(o mpi.FaultOutcome) string {
-	part := func(label string, m map[int]float64) string {
-		if len(m) == 0 {
-			return label + " none"
-		}
-		ranks := make([]int, 0, len(m))
-		for r := range m {
-			ranks = append(ranks, r)
-		}
-		sort.Ints(ranks)
-		items := make([]string, len(ranks))
-		for i, r := range ranks {
-			items[i] = fmt.Sprintf("%d@%.3fms", r, m[r])
-		}
-		return label + " " + strings.Join(items, " ")
-	}
-	return fmt.Sprintf("outcome: %s; %s; %d survivors",
-		part("crashed", o.Crashed), part("aborted", o.Aborted), o.Survivors)
+	return name, nil
 }

@@ -1,5 +1,6 @@
 // Command hetsim regenerates the paper's tables and figures on the
-// simulated Sunwulf substrate.
+// simulated Sunwulf substrate — as a one-shot CLI, as a client of a
+// running server, or as the server itself.
 //
 // Usage:
 //
@@ -11,12 +12,23 @@
 //	hetsim -exp all -quick -json
 //	hetsim -exp table3 -engine des -contended
 //	hetsim -exp table2 -quick -trace table2.json
+//	hetsim -exp all -cache-dir ~/.cache/hetsim
+//	hetsim -serve 127.0.0.1:8080 -cache-dir /var/cache/hetsim
+//	hetsim -exp table2 -quick -client http://127.0.0.1:8080
+//	hetsim -cache-dir /var/cache/hetsim -cache-info
+//	hetsim -cache-dir /var/cache/hetsim -cache-purge
 //
 // -exp accepts an experiment id (see -list), "all", "quick" (the
 // analytic-only subset), or "group:<name>" (paper, validation, ablation,
 // extension, faults). Experiments are scheduled on a bounded worker pool
 // (-jobs, default: one per CPU); shared measurement sweeps are computed
 // once and stdout is byte-identical for every worker count.
+//
+// Flags parse into a canonical RunSpec (internal/spec) — the same
+// document `hetsim -serve` accepts over HTTP — so a POSTed spec and its
+// CLI spelling produce byte-identical output. With -cache-dir results
+// persist across processes: a warm directory serves repeated runs
+// without recomputing anything.
 //
 // -trace <file> additionally records the virtual timeline of every
 // algorithm run the selected experiments execute and writes it as Chrome
@@ -25,16 +37,22 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/cli"
 	"repro/internal/experiments"
-	"repro/internal/trace"
+	"repro/internal/runner"
+	"repro/internal/serve"
+	"repro/internal/spec"
 	"repro/internal/workload"
 )
 
@@ -48,118 +66,227 @@ func main() {
 func run(args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("hetsim", flag.ContinueOnError)
 	var (
-		exp       = fs.String("exp", "", "experiment selector: id, 'all', 'quick', or 'group:<name>' (see -list)")
-		list      = fs.Bool("list", false, "list available experiments")
-		quick     = fs.Bool("quick", false, "reduced ladder (2,4,8 nodes) and sweeps")
-		csv       = fs.Bool("csv", false, "emit CSV instead of rendered tables")
-		jsonOut   = fs.Bool("json", false, "emit one JSON document holding every result")
-		md        = fs.Bool("md", false, "emit a markdown report (with -exp all: the full reproduction report)")
-		engine    = fs.String("engine", "live", "execution engine: live, des or symbolic")
-		contended = fs.Bool("contended", false, "shared-Ethernet contention (des engine only)")
-		geTarget  = fs.Float64("ge-target", 0.3, "speed-efficiency set-point for GE read-offs")
-		mmTarget  = fs.Float64("mm-target", 0.2, "speed-efficiency set-point for MM read-offs")
-		jobs      = fs.Int("jobs", cli.DefaultJobs(), "worker-pool size for running experiments")
-		traceOut  = fs.String("trace", "", "write a Chrome trace of the selected experiments' runs to this file")
-		verbose   = fs.Bool("v", false, "narrate per-experiment progress and cache stats on stderr")
+		exp        = fs.String("exp", "", "experiment selector: id, 'all', 'quick', or 'group:<name>' (see -list)")
+		list       = fs.Bool("list", false, "list available experiments")
+		quick      = fs.Bool("quick", false, "reduced ladder (2,4,8 nodes) and sweeps")
+		csv        = fs.Bool("csv", false, "emit CSV instead of rendered tables")
+		jsonOut    = fs.Bool("json", false, "emit one JSON document holding every result")
+		md         = fs.Bool("md", false, "emit a markdown report (with -exp all: the full reproduction report)")
+		engine     = fs.String("engine", "live", "execution engine: live, des or symbolic")
+		contended  = fs.Bool("contended", false, "shared-Ethernet contention (des engine only)")
+		geTarget   = fs.Float64("ge-target", 0.3, "speed-efficiency set-point for GE read-offs")
+		mmTarget   = fs.Float64("mm-target", 0.2, "speed-efficiency set-point for MM read-offs")
+		jobs       = fs.Int("jobs", cli.DefaultJobs(), "worker-pool size for running experiments")
+		traceOut   = fs.String("trace", "", "write a Chrome trace of the selected experiments' runs to this file")
+		verbose    = fs.Bool("v", false, "narrate per-experiment progress and cache stats on stderr")
+		serveAddr  = fs.String("serve", "", "serve RunSpecs over HTTP on this address (e.g. 127.0.0.1:8080; :0 picks a port)")
+		clientURL  = fs.String("client", "", "send the run to a hetsim server at this base URL instead of executing locally")
+		cacheDir   = fs.String("cache-dir", "", "persist results content-addressed under this directory (survives restarts)")
+		cacheInfo  = fs.Bool("cache-info", false, "report the persistent cache's entry count and size, then exit (needs -cache-dir)")
+		cachePurge = fs.Bool("cache-purge", false, "delete every persistent cache entry, then exit (needs -cache-dir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	switch {
+	case *cacheInfo && *cachePurge:
+		return fmt.Errorf("-cache-info and -cache-purge are mutually exclusive")
+	case *cacheInfo:
+		return reportCache(out, *cacheDir)
+	case *cachePurge:
+		return purgeCache(out, *cacheDir)
+	}
 	if *list {
-		fmt.Fprintln(out, "available experiments:")
-		for _, g := range experiments.Groups() {
-			fmt.Fprintf(out, "group:%s\n", g)
-			for _, e := range experiments.ByGroup(g) {
-				quickMark := " "
-				if e.Quick {
-					quickMark = "*"
-				}
-				fmt.Fprintf(out, "  %-18s %s %s\n", e.ID, quickMark, e.About)
-			}
-		}
-		fmt.Fprintln(out, "registered workloads (selectable in scalescan/faultscan via -workload):")
-		for _, w := range workload.All() {
-			fmt.Fprintf(out, "  %-18s   %s\n", w.Name(), w.About())
-		}
-		fmt.Fprintln(out, "selectors: an id above, 'all', 'quick' (the * entries), or 'group:<name>'")
+		printList(out)
 		return nil
+	}
+	if *serveAddr != "" {
+		ex, err := spec.NewExecutor(spec.ExecutorOptions{
+			Jobs:     *jobs,
+			Pool:     runner.NewPool(*jobs),
+			CacheDir: *cacheDir,
+			Hooks:    cli.Progress(errw, *verbose),
+		})
+		if err != nil {
+			return err
+		}
+		return serveHTTP(*serveAddr, ex, errw)
 	}
 	if *exp == "" {
 		return fmt.Errorf("missing -exp (or -list); try: hetsim -exp table4")
 	}
-	format, err := cli.Format(*csv, *jsonOut)
+	format, err := spec.ParseFormat(*csv, *jsonOut)
 	if err != nil {
 		return err
 	}
-	renderer, err := experiments.NewRenderer(format)
-	if err != nil {
+	rs := spec.RunSpec{
+		Kind:        spec.KindExperiments,
+		Format:      format,
+		Engine:      *engine,
+		Experiments: *exp,
+		Quick:       *quick,
+		Contended:   *contended,
+		GETarget:    *geTarget,
+		MMTarget:    *mmTarget,
+	}
+	if err := rs.Normalize(); err != nil {
+		return err
+	}
+	if err := rs.Validate(); err != nil {
 		return err
 	}
 
-	cfg, err := experiments.Default()
-	if err != nil {
-		return err
-	}
-	if *quick {
-		cfg, err = experiments.Quick()
-		if err != nil {
-			return err
+	if *clientURL != "" {
+		if *md || *traceOut != "" {
+			return fmt.Errorf("-md and -trace run locally (the server's /trace endpoint returns traces directly)")
 		}
-	}
-	cfg.Engine, err = cli.ParseEngine(*engine)
-	if err != nil {
-		return err
-	}
-	cfg.Contended = *contended
-	cfg.GETarget = *geTarget
-	cfg.MMTarget = *mmTarget
-	var traceFile *os.File
-	if *traceOut != "" {
-		// Created before the (possibly long) run so an unwritable path
-		// fails immediately.
-		traceFile, err = os.Create(*traceOut)
-		if err != nil {
-			return fmt.Errorf("trace output: %w", err)
-		}
-		defer traceFile.Close()
-		cfg.Trace = trace.New()
+		return runClient(*clientURL, rs, out)
 	}
 
-	suite, err := experiments.NewSuite(cfg)
-	if err != nil {
-		return err
-	}
-	ids, err := experiments.Resolve(*exp)
+	ex, err := spec.NewExecutor(spec.ExecutorOptions{
+		Jobs:     *jobs,
+		CacheDir: *cacheDir,
+		Hooks:    cli.Progress(errw, *verbose),
+	})
 	if err != nil {
 		return err
 	}
 	ctx := context.Background()
-	opts := experiments.RunOptions{Jobs: *jobs, Hooks: cli.Progress(errw, *verbose)}
-	if *md {
-		if err := experiments.WriteMarkdownReport(ctx, suite, out, ids, time.Now(), opts); err != nil {
-			return err
-		}
-	} else {
-		outcomes, err := experiments.RunSelected(ctx, suite, ids, opts)
+	switch {
+	case *md:
+		cfg, err := rs.SuiteConfig()
 		if err != nil {
 			return err
 		}
-		if err := renderer.Render(out, experiments.Flatten(outcomes)); err != nil {
+		cfg.CacheDir = *cacheDir
+		suite, err := experiments.NewSuite(cfg)
+		if err != nil {
 			return err
 		}
-	}
-	if traceFile != nil {
-		if err := cfg.Trace.WriteChromeTrace(traceFile); err != nil {
+		ids, err := experiments.Resolve(rs.Experiments)
+		if err != nil {
+			return err
+		}
+		opts := experiments.RunOptions{Jobs: *jobs, Hooks: cli.Progress(errw, *verbose)}
+		if err := experiments.WriteMarkdownReport(ctx, suite, out, ids, time.Now(), opts); err != nil {
+			return err
+		}
+		if *verbose {
+			fmt.Fprintf(errw, "cache: %s\n", suite.CacheStats())
+		}
+		return nil
+	case *traceOut != "":
+		// Created before the (possibly long) run so an unwritable path
+		// fails immediately.
+		traceFile, err := os.Create(*traceOut)
+		if err != nil {
 			return fmt.Errorf("trace output: %w", err)
+		}
+		defer traceFile.Close()
+		if err := ex.RunTrace(ctx, rs, out, traceFile); err != nil {
+			return err
 		}
 		if err := traceFile.Close(); err != nil {
 			return fmt.Errorf("trace output: %w", err)
 		}
 		fmt.Fprintf(errw, "trace: wrote %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
+	default:
+		if err := ex.Run(ctx, rs, out); err != nil {
+			return err
+		}
 	}
 	if *verbose {
-		fmt.Fprintf(errw, "cache: %s\n", suite.CacheStats())
+		fmt.Fprintf(errw, "cache: %s\n", ex.CacheStats())
 	}
+	return nil
+}
+
+// printList writes the experiment catalog and workload registry.
+func printList(out io.Writer) {
+	fmt.Fprintln(out, "available experiments:")
+	for _, g := range experiments.Groups() {
+		fmt.Fprintf(out, "group:%s\n", g)
+		for _, e := range experiments.ByGroup(g) {
+			quickMark := " "
+			if e.Quick {
+				quickMark = "*"
+			}
+			fmt.Fprintf(out, "  %-18s %s %s\n", e.ID, quickMark, e.About)
+		}
+	}
+	fmt.Fprintln(out, "registered workloads (selectable in scalescan/faultscan via -workload):")
+	for _, w := range workload.All() {
+		fmt.Fprintf(out, "  %-18s   %s\n", w.Name(), w.About())
+	}
+	fmt.Fprintln(out, "selectors: an id above, 'all', 'quick' (the * entries), or 'group:<name>'")
+}
+
+// serveHTTP runs the RunSpec server until the listener fails. The
+// resolved address is announced on errw (stderr) so callers binding
+// ":0" can discover the port.
+func serveHTTP(addr string, ex *spec.Executor, errw io.Writer) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(errw, "hetsim: serving on http://%s\n", ln.Addr())
+	srv := &http.Server{Handler: serve.New(ex).Handler()}
+	return srv.Serve(ln)
+}
+
+// runClient POSTs the canonical spec to a hetsim server's /run and
+// streams the response — which is byte-identical to a local run of the
+// same spec — to out.
+func runClient(baseURL string, rs spec.RunSpec, out io.Writer) error {
+	payload, err := rs.Canonical()
+	if err != nil {
+		return err
+	}
+	url := strings.TrimRight(baseURL, "/") + "/run"
+	resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("server %s: %s: %s", url, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	_, err = io.Copy(out, resp.Body)
+	return err
+}
+
+// reportCache prints the persistent layer's entry count and byte size.
+func reportCache(out io.Writer, dir string) error {
+	if dir == "" {
+		return fmt.Errorf("-cache-info needs -cache-dir")
+	}
+	disk, err := runner.OpenDiskCache(dir)
+	if err != nil {
+		return err
+	}
+	entries, size, err := disk.Info()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "cache %s: %d entries, %d bytes\n", dir, entries, size)
+	return nil
+}
+
+// purgeCache deletes every persistent entry.
+func purgeCache(out io.Writer, dir string) error {
+	if dir == "" {
+		return fmt.Errorf("-cache-purge needs -cache-dir")
+	}
+	disk, err := runner.OpenDiskCache(dir)
+	if err != nil {
+		return err
+	}
+	removed, err := disk.Purge()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "cache %s: purged %d entries\n", dir, removed)
 	return nil
 }

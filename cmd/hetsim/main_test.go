@@ -162,6 +162,76 @@ func TestRunMarkdownReport(t *testing.T) {
 	}
 }
 
+// TestCacheDirSurvivesRestart runs the same experiment in two separate
+// run() invocations sharing a cache directory — two processes from the
+// CLI's point of view — and requires byte-identical output plus a
+// populated cache.
+func TestCacheDirSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	first, err := runOut(t, "-exp", "table2", "-quick", "-cache-dir", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := runOut(t, "-cache-dir", dir, "-cache-info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(info, " 0 entries") {
+		t.Fatalf("cache empty after a cached run: %s", info)
+	}
+	second, err := runOut(t, "-exp", "table2", "-quick", "-cache-dir", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Error("restarted run output differs from the original")
+	}
+	if len(first) == 0 {
+		t.Error("empty output")
+	}
+}
+
+func TestCacheInfoAndPurgeFlags(t *testing.T) {
+	dir := t.TempDir()
+	// Fresh directory: zero entries.
+	got, err := runOut(t, "-cache-dir", dir, "-cache-info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "0 entries, 0 bytes") {
+		t.Errorf("fresh cache info: %s", got)
+	}
+	if _, err := runOut(t, "-exp", "ablate-tiling", "-quick", "-cache-dir", dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err = runOut(t, "-cache-dir", dir, "-cache-purge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "purged") || strings.Contains(got, "purged 0 entries") {
+		t.Errorf("purge output: %s", got)
+	}
+	got, err = runOut(t, "-cache-dir", dir, "-cache-info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "0 entries, 0 bytes") {
+		t.Errorf("info after purge: %s", got)
+	}
+}
+
+func TestCacheFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-cache-info"},  // needs -cache-dir
+		{"-cache-purge"}, // needs -cache-dir
+		{"-cache-info", "-cache-purge", "-cache-dir", "x"}, // mutually exclusive
+	} {
+		if _, err := runOut(t, args...); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
 // TestParallelOutputByteIdentical is the contract of the concurrent
 // runner: `-exp all -quick` renders byte-identically whether experiments
 // run serially or on four workers, on both engines. Run under -race this

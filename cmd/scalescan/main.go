@@ -35,9 +35,11 @@
 // are the license for trusting those numbers: the same pricing is proven
 // bit-identical to the DES engine at every executable width.
 //
-// Rungs are measured concurrently on a bounded worker pool (-jobs,
-// default: one per CPU); the reported tables are byte-identical for
-// every worker count.
+// The flags parse into a canonical RunSpec (internal/spec) with the
+// ladder — speeds applied — embedded, so the same scan can be POSTed to
+// `hetsim -serve` and returns the same bytes. Rungs are measured
+// concurrently on a bounded worker pool (-jobs, default: one per CPU);
+// the reported tables are byte-identical for every worker count.
 package main
 
 import (
@@ -52,11 +54,8 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/cluster"
-	"repro/internal/core"
 	"repro/internal/experiments"
-	"repro/internal/mpi"
-	"repro/internal/runner"
-	"repro/internal/simnet"
+	"repro/internal/spec"
 	"repro/internal/workload"
 )
 
@@ -109,31 +108,20 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, exampleLadder)
 		return nil
 	}
-	w, err := selectWorkload(*wl, *alg)
+	name, err := workloadName(*wl, *alg)
 	if err != nil {
 		return err
 	}
-	if *target == 0 {
-		*target = w.DefaultTarget()
-	}
-	if *target <= 0 || *target >= 1 {
-		return fmt.Errorf("target %g out of (0,1)", *target)
-	}
-	engine, err := cli.ParseEngine(*engineStr)
+	format, err := spec.ParseFormat(*csv, *jsonOut)
 	if err != nil {
 		return err
 	}
-	format, err := cli.Format(*csv, *jsonOut)
-	if err != nil {
-		return err
-	}
-	renderer, err := experiments.NewRenderer(format)
-	if err != nil {
-		return err
-	}
-	model, err := cli.SunwulfModel()
-	if err != nil {
-		return err
+	rs := spec.RunSpec{
+		Kind:     spec.KindScalescan,
+		Format:   format,
+		Engine:   *engineStr,
+		Workload: name,
+		Target:   *target,
 	}
 	if *asym != "" {
 		if *ladderPath != "" {
@@ -143,82 +131,34 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return runAsym(out, renderer, w, model, *target, sizes)
-	}
-	if *ladderPath == "" {
-		return fmt.Errorf("missing -ladder file (use -example for a template, or -asym for closed-form rungs)")
-	}
-	spec, err := cluster.LoadLadder(*ladderPath)
-	if err != nil {
-		return err
-	}
-	if *speedsPath != "" {
-		table, err := cluster.LoadSpeedTable(*speedsPath)
+		rs.AsymSizes = sizes
+	} else {
+		if *ladderPath == "" {
+			return fmt.Errorf("missing -ladder file (use -example for a template, or -asym for closed-form rungs)")
+		}
+		ladder, err := cluster.LoadLadder(*ladderPath)
 		if err != nil {
 			return err
 		}
-		if spec, err = spec.ApplySpeeds(table); err != nil {
-			return err
+		if *speedsPath != "" {
+			table, err := cluster.LoadSpeedTable(*speedsPath)
+			if err != nil {
+				return err
+			}
+			if ladder, err = ladder.ApplySpeeds(table); err != nil {
+				return err
+			}
 		}
+		// The ladder is embedded (speeds already applied) so the spec is
+		// self-contained: the server never sees a file path.
+		rs.Ladder = &ladder
 	}
-	clusters, err := spec.BuildAll()
+
+	ex, err := spec.NewExecutor(spec.ExecutorOptions{Jobs: *jobs})
 	if err != nil {
 		return err
 	}
-
-	// Each rung's sweep is independent: measure them on the worker pool.
-	// Results come back in ladder order regardless of completion order.
-	type rung struct {
-		n int
-		w float64
-	}
-	tasks := make([]runner.Task, len(clusters))
-	for i, cl := range clusters {
-		cl := cl
-		tasks[i] = runner.Task{
-			ID: cl.Name,
-			Run: func(ctx context.Context) (any, error) {
-				n, work, err := requiredSize(ctx, w, cl, model, *target, engine)
-				if err != nil {
-					return nil, err
-				}
-				return rung{n: n, w: work}, nil
-			},
-		}
-	}
-	measured, err := runner.Run(context.Background(), tasks, runner.Options{Jobs: *jobs})
-	if err != nil {
-		return err
-	}
-
-	points := make([]core.ScalePoint, 0, len(clusters))
-	tbl := &experiments.Table{
-		Title:   fmt.Sprintf("Isospeed-efficiency scan: %s at E_s = %.2f", strings.ToUpper(w.Name()), *target),
-		Headers: []string{"Cluster", "p", "Marked speed (Mflops)", "Required N", "Workload W (flops)"},
-	}
-	for i, cl := range clusters {
-		r := measured[i].Value.(rung)
-		points = append(points, core.ScalePoint{Label: cl.Name, C: cl.MarkedSpeed(), N: r.n, W: r.w})
-		tbl.AddRow(cl.Name, fmt.Sprintf("%d", cl.Size()),
-			fmt.Sprintf("%.1f", cl.MarkedSpeed()), fmt.Sprintf("%d", r.n), fmt.Sprintf("%.3e", r.w))
-	}
-	psis, err := core.PsiChain(points)
-	if err != nil {
-		return err
-	}
-	psiRow := make([]string, 0, len(psis))
-	psiHdr := make([]string, 0, len(psis))
-	for i, psi := range psis {
-		psiHdr = append(psiHdr, fmt.Sprintf("ψ(%s,%s)", points[i].Label, points[i+1].Label))
-		psiRow = append(psiRow, fmt.Sprintf("%.4f", psi))
-	}
-	psiTbl := &experiments.Table{Title: "Scalability chain", Headers: psiHdr, Rows: [][]string{psiRow}}
-
-	if err := renderer.Render(out, []experiments.Renderable{tbl, psiTbl}); err != nil {
-		return err
-	}
-	fmt.Fprintln(out)
-	return nil
+	return ex.Run(context.Background(), rs, out)
 }
 
 // parseAsymSizes parses the -asym list of system sizes. Scientific
@@ -253,76 +193,22 @@ func parseAsymSizes(s string) ([]int, error) {
 	return sizes, nil
 }
 
-// asymHiN bounds the required-size solve for asymptotic rungs: the
-// measured-mode bracket (5e6) is far too small once p reaches 10^5..10^6,
-// where the isospeed problem size grows roughly linearly with p.
-const asymHiN = 1e12
-
-// runAsym prices the workload's own ladder at the given system sizes
-// purely in closed form: no programs execute, each rung is an analytic
-// RequiredN solve over the workload's machine model, so p = 10^6 rungs
-// complete in seconds.
-func runAsym(out io.Writer, renderer experiments.Renderer, w workload.Workload, model simnet.CostModel, target float64, sizes []int) error {
-	machines := make([]core.AnalyticMachine, len(sizes))
-	for i, p := range sizes {
-		cl, err := w.ClusterLadder(p)
-		if err != nil {
-			return fmt.Errorf("rung p=%d: %v", p, err)
-		}
-		m, err := w.Machine(cl, model)
-		if err != nil {
-			return fmt.Errorf("rung p=%d: %v", p, err)
-		}
-		machines[i] = m
-	}
-	preds, psiDef, psiThm, err := core.PredictChain(machines, target, 8, asymHiN)
-	if err != nil {
-		return err
-	}
-	tbl := &experiments.Table{
-		Title: fmt.Sprintf("Asymptotic isospeed ladder (closed form): %s at E_s = %.2f",
-			strings.ToUpper(w.Name()), target),
-		Headers: []string{"Cluster", "p", "Marked speed (Mflops)", "Required N (model)", "W (flops)", "t0+To at N (ms)"},
-		Notes: []string{
-			"Rungs are priced by the symbolic cost model only — no programs execute at these widths.",
-			"Validity: the same pricing is bit-identical to the DES engine at every executable p (differential suites); contention and pipelining effects are outside the closed form.",
-		},
-	}
-	for i, pr := range preds {
-		tbl.AddRow(pr.Label, fmt.Sprintf("%d", sizes[i]), fmt.Sprintf("%.1f", pr.C),
-			fmt.Sprintf("%.0f", pr.N), fmt.Sprintf("%.3e", pr.W), fmt.Sprintf("%.3e", pr.T0+pr.To))
-	}
-	psiTbl := &experiments.Table{
-		Title:   "Scalability chain (definition vs Theorem 1 closed form)",
-		Headers: []string{"Link", "ψ (definition)", "ψ (Theorem 1)", "To/To' (Corollary 2)"},
-	}
-	for i := range psiDef {
-		cor2, err := core.Corollary2Psi(preds[i].To, preds[i+1].To)
-		if err != nil {
-			return err
-		}
-		psiTbl.AddRow(fmt.Sprintf("%s -> %s", preds[i].Label, preds[i+1].Label),
-			fmt.Sprintf("%.4f", psiDef[i]), fmt.Sprintf("%.4f", psiThm[i]), fmt.Sprintf("%.4f", cor2))
-	}
-	if err := renderer.Render(out, []experiments.Renderable{tbl, psiTbl}); err != nil {
-		return err
-	}
-	fmt.Fprintln(out)
-	return nil
-}
-
-// selectWorkload resolves the -workload/-alg pair against the registry.
-func selectWorkload(wl, alg string) (workload.Workload, error) {
+// workloadName resolves the -workload/-alg pair ("" lets the spec
+// default to ge after checking the registry).
+func workloadName(wl, alg string) (string, error) {
 	name := strings.ToLower(wl)
 	if name == "" {
 		name = strings.ToLower(alg)
 	} else if alg != "" && !strings.EqualFold(alg, wl) {
-		return nil, fmt.Errorf("-workload %q and -alg %q disagree (use -workload)", wl, alg)
+		return "", fmt.Errorf("-workload %q and -alg %q disagree (use -workload)", wl, alg)
 	}
 	if name == "" {
-		name = "ge"
+		return "", nil
 	}
-	return workload.Get(name)
+	if _, err := workload.Get(name); err != nil {
+		return "", err
+	}
+	return name, nil
 }
 
 // printList writes the registry contents: workloads first (this tool's
@@ -339,38 +225,4 @@ func printList(out io.Writer) {
 			fmt.Fprintf(out, "  %-18s %s\n", e.ID, e.About)
 		}
 	}
-}
-
-// requiredSize runs the measurement pipeline for one cluster: analytic
-// guess from the workload's machine model, sweep, trend fit, read-off.
-func requiredSize(ctx context.Context, w workload.Workload, cl *cluster.Cluster, model simnet.CostModel, target float64, engine mpi.Engine) (int, float64, error) {
-	machine, err := w.Machine(cl, model)
-	if err != nil {
-		return 0, 0, err
-	}
-	run := workload.Runner(ctx, w, cl, model, mpi.Options{Engine: engine}, workload.Spec{Symbolic: true})
-	guess, err := machine.RequiredN(target, 8, 5e6)
-	if err != nil {
-		return 0, 0, err
-	}
-	sizes := make([]int, 0, 8)
-	prev := 0
-	for i := 0; i < 8; i++ {
-		v := int(math.Round(guess * (0.45 + 1.35*float64(i)/7)))
-		if v <= prev {
-			v = prev + 1
-		}
-		sizes = append(sizes, v)
-		prev = v
-	}
-	curve, err := core.MeasureCurve(cl.Name, cl.MarkedSpeed(), sizes, 3, run)
-	if err != nil {
-		return 0, 0, err
-	}
-	nReq, err := curve.RequiredSize(target)
-	if err != nil {
-		return 0, 0, err
-	}
-	n := int(math.Round(nReq))
-	return n, w.WorkAt(n), nil
 }

@@ -1,58 +1,45 @@
 // Package cli holds the flag-handling boilerplate shared by the
-// command-line tools: engine selection, the default calibrated cost
-// model, output-format resolution and progress reporting. The cmds stay
-// thin and agree on spelling ("live"/"des", "-csv"/"-json") because the
-// parsing lives here once.
+// command-line tools: worker-pool defaults and progress reporting.
+//
+// The enumeration parsers that used to live here (engine names, output
+// formats, the default cost model) moved to internal/spec in the
+// RunSpec redesign — they define a spec's canonical vocabulary, which
+// the HTTP server needs without any CLI involved. The old names remain
+// below as deprecated one-release shims; see EXPERIMENTS.md for the
+// migration table.
 package cli
 
 import (
 	"fmt"
 	"io"
 	"runtime"
-	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/mpi"
 	"repro/internal/runner"
 	"repro/internal/simnet"
+	"repro/internal/spec"
 )
 
-// ParseEngine maps an -engine flag value ("live" or "des", case
-// insensitive) to the mpi engine.
-func ParseEngine(name string) (mpi.Engine, error) {
-	switch strings.ToLower(name) {
-	case "live":
-		return mpi.EngineLive, nil
-	case "des":
-		return mpi.EngineDES, nil
-	case "symbolic", "sym":
-		return mpi.EngineSymbolic, nil
-	default:
-		return 0, fmt.Errorf("unknown engine %q (live, des or symbolic)", name)
-	}
-}
+// ParseEngine maps an -engine flag value to the mpi engine.
+//
+// Deprecated: use spec.ParseEngine. This shim will be removed one
+// release after the RunSpec redesign.
+func ParseEngine(name string) (mpi.Engine, error) { return spec.ParseEngine(name) }
 
-// SunwulfModel returns the default communication cost model every tool
-// measures against: the Sunwulf 100 Mb Ethernet calibration.
-func SunwulfModel() (simnet.CostModel, error) {
-	return simnet.NewParamModel("sunwulf-100Mb", simnet.Sunwulf100())
-}
+// SunwulfModel returns the default communication cost model.
+//
+// Deprecated: use spec.SunwulfModel. This shim will be removed one
+// release after the RunSpec redesign.
+func SunwulfModel() (simnet.CostModel, error) { return spec.SunwulfModel() }
 
 // Format resolves the mutually exclusive -csv/-json flags to a renderer
-// format name ("text" when neither is set).
-func Format(csv, json bool) (string, error) {
-	switch {
-	case csv && json:
-		return "", fmt.Errorf("-csv and -json are mutually exclusive")
-	case csv:
-		return "csv", nil
-	case json:
-		return "json", nil
-	default:
-		return "text", nil
-	}
-}
+// format name.
+//
+// Deprecated: use spec.ParseFormat. This shim will be removed one
+// release after the RunSpec redesign.
+func Format(csv, json bool) (string, error) { return spec.ParseFormat(csv, json) }
 
 // DefaultJobs is the worker-pool size when -jobs is not given: one
 // worker per available CPU.

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -76,6 +77,24 @@ func New(name string, nodes ...Node) (*Cluster, error) {
 
 // Size returns the number of nodes.
 func (c *Cluster) Size() int { return len(c.Nodes) }
+
+// Signature canonicalizes the cluster's content for cache keys: name plus
+// every node's class, marked speed and memory, in rank order (rank i runs
+// on Nodes[i], so order matters). Two clusters share a signature iff no
+// input that can change a run's outcome differs.
+func (c *Cluster) Signature() string {
+	var b strings.Builder
+	b.WriteString(c.Name)
+	for _, n := range c.Nodes {
+		b.WriteByte('/')
+		b.WriteString(n.Class)
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatFloat(n.SpeedMflops, 'g', -1, 64))
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(n.MemMB))
+	}
+	return b.String()
+}
 
 // MarkedSpeed returns the system marked speed C = sum C_i (Definition 2),
 // in Mflops.

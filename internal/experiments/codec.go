@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/runner"
+)
+
+// renderableCodec serializes an experiment's []Renderable outputs for the
+// persistent cache layer. Tables and figures round-trip through the same
+// typed documents the JSON renderer emits; an outcome containing any
+// other Renderable implementation is not persisted (Marshal errors, which
+// runner.DoPersist treats as "memory-cache only").
+func renderableCodec() runner.Codec[[]Renderable] {
+	return runner.Codec[[]Renderable]{
+		Marshal:   encodeRenderables,
+		Unmarshal: decodeRenderables,
+	}
+}
+
+// renderableDoc is the persisted form of one Renderable: exactly one of
+// the typed payloads is set, tagged for decode.
+type renderableDoc struct {
+	Type   string      `json:"type"`
+	Table  *jsonTable  `json:"table,omitempty"`
+	Figure *jsonFigure `json:"figure,omitempty"`
+}
+
+func encodeRenderables(rs []Renderable) ([]byte, error) {
+	docs := make([]renderableDoc, 0, len(rs))
+	for _, r := range rs {
+		switch t := r.(type) {
+		case *Table:
+			docs = append(docs, renderableDoc{Type: "table", Table: &jsonTable{
+				Type: "table", Title: t.Title, Headers: t.Headers, Rows: t.Rows, Notes: t.Notes,
+			}})
+		case *Figure:
+			fig := &jsonFigure{Type: "figure", Title: t.Title, XLabel: t.XLabel, YLabel: t.YLabel, Notes: t.Notes}
+			for _, s := range t.Series {
+				fig.Series = append(fig.Series, jsonSeries{Name: s.Name, X: s.X, Y: s.Y})
+			}
+			docs = append(docs, renderableDoc{Type: "figure", Figure: fig})
+		default:
+			return nil, fmt.Errorf("experiments: %T is not persistable", r)
+		}
+	}
+	return json.Marshal(docs)
+}
+
+func decodeRenderables(data []byte) ([]Renderable, error) {
+	var docs []renderableDoc
+	if err := json.Unmarshal(data, &docs); err != nil {
+		return nil, err
+	}
+	out := make([]Renderable, 0, len(docs))
+	for i, d := range docs {
+		switch {
+		case d.Type == "table" && d.Table != nil:
+			out = append(out, &Table{
+				Title: d.Table.Title, Headers: d.Table.Headers, Rows: d.Table.Rows, Notes: d.Table.Notes,
+			})
+		case d.Type == "figure" && d.Figure != nil:
+			fig := &Figure{
+				Title: d.Figure.Title, XLabel: d.Figure.XLabel, YLabel: d.Figure.YLabel, Notes: d.Figure.Notes,
+			}
+			for _, s := range d.Figure.Series {
+				fig.Series = append(fig.Series, Series{Name: s.Name, X: s.X, Y: s.Y})
+			}
+			out = append(out, fig)
+		default:
+			return nil, fmt.Errorf("experiments: cache doc %d has unknown type %q", i, d.Type)
+		}
+	}
+	return out, nil
+}

@@ -314,7 +314,7 @@ func init() {
 		},
 		{
 			ID:    "membound",
-			About: "extension: memory-bounded scalability (Sun & Ni [9] folded in)",
+			About: "extension: memory-bounded scalability of every registered workload (Sun & Ni [9] folded in)",
 			Group: GroupExtension,
 			Quick: true,
 			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {

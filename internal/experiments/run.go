@@ -15,6 +15,9 @@ type RunOptions struct {
 	// Hooks receives per-experiment progress/timing callbacks (may be
 	// invoked concurrently).
 	Hooks runner.Hooks
+	// Pool, when non-nil, bounds execution across concurrent batches
+	// sharing it (e.g. simultaneous server requests) in addition to Jobs.
+	Pool *runner.Pool
 }
 
 // Outcome is one experiment's scheduled result.
@@ -40,7 +43,9 @@ func RunSelected(ctx context.Context, s *Suite, ids []string, opts RunOptions) (
 		tasks[i] = runner.Task{
 			ID: exp.ID,
 			Run: func(ctx context.Context) (any, error) {
-				rs, err := exp.Run(ctx, s)
+				rs, err := s.cachedOutcome(ctx, exp.ID, func(ctx context.Context) ([]Renderable, error) {
+					return exp.Run(ctx, s)
+				})
 				if err != nil {
 					return nil, err
 				}
@@ -48,7 +53,7 @@ func RunSelected(ctx context.Context, s *Suite, ids []string, opts RunOptions) (
 			},
 		}
 	}
-	results, err := runner.Run(ctx, tasks, runner.Options{Jobs: opts.Jobs, Hooks: opts.Hooks})
+	results, err := runner.Run(ctx, tasks, runner.Options{Jobs: opts.Jobs, Hooks: opts.Hooks, Pool: opts.Pool})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}

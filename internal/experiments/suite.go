@@ -4,8 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"strconv"
-	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -46,6 +44,13 @@ type Config struct {
 	// cache executes each shared run point exactly once, so the collected
 	// spans are deterministic regardless of the worker-pool size.
 	Trace *trace.Trace
+	// CacheDir, when non-empty, persists the memo cache on disk:
+	// experiment outcomes, measured chains, and individual run points are
+	// stored content-addressed under this directory and restored by later
+	// processes instead of recomputed. Tracing bypasses the persistent
+	// layer (a restored result executes no runs, so it would collect no
+	// spans). See DESIGN.md for the entry format.
+	CacheDir string
 }
 
 // Default returns the full-paper configuration.
@@ -131,44 +136,47 @@ type chainResult struct {
 	Psis     []float64
 }
 
-// NewSuite validates the config and wraps it.
+// NewSuite validates the config and wraps it. With Config.CacheDir set
+// (and no Trace attached) the memo cache gains a persistent disk layer.
 func NewSuite(cfg Config) (*Suite, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Suite{Cfg: cfg, cache: runner.NewCache()}, nil
+	s := &Suite{Cfg: cfg, cache: runner.NewCache()}
+	if cfg.CacheDir != "" && cfg.Trace == nil {
+		disk, err := runner.OpenDiskCache(cfg.CacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		s.cache.AttachDisk(disk)
+	}
+	return s, nil
 }
 
 // CacheStats exposes the memo cache's hit/miss counters: how much work
 // the current batch shared instead of recomputing.
 func (s *Suite) CacheStats() runner.Stats { return s.cache.Stats() }
 
+// cacheGeneration versions the *meaning* of persisted cache values: bump
+// it whenever an experiment's output or a measured quantity changes for
+// the same inputs, so stale disk entries from older builds read as
+// misses instead of serving outdated results.
+const cacheGeneration = 1
+
 // baseSig seeds a signature with every config field that can change a
 // measurement outcome.
 func (s *Suite) baseSig(kind string) *runner.Signature {
 	return runner.Sig(kind).
+		Add("gen", cacheGeneration).
 		Add("model", s.Cfg.Model.Name()).
 		Add("engine", s.Cfg.Engine).
 		Add("contended", s.Cfg.Contended).
 		Add("seed", s.Cfg.Seed)
 }
 
-// clusterSig canonicalizes a cluster's content: name plus every node's
-// class, marked speed and memory (rank order matters — rank i runs on
-// Nodes[i]).
-func clusterSig(cl *cluster.Cluster) string {
-	var b strings.Builder
-	b.WriteString(cl.Name)
-	for _, n := range cl.Nodes {
-		b.WriteByte('/')
-		b.WriteString(n.Class)
-		b.WriteByte(':')
-		b.WriteString(strconv.FormatFloat(n.SpeedMflops, 'g', -1, 64))
-		b.WriteByte(':')
-		b.WriteString(strconv.Itoa(n.MemMB))
-	}
-	return b.String()
-}
+// clusterSig canonicalizes a cluster's content (rank order matters —
+// rank i runs on Nodes[i]).
+func clusterSig(cl *cluster.Cluster) string { return cl.Signature() }
 
 // runPoint is one memoized algorithm execution: the workload performed
 // and the virtual makespan — everything a core.Runner reports.
@@ -191,17 +199,9 @@ func (s *Suite) cachedRun(ctx context.Context, alg string, cl *cluster.Cluster, 
 	for _, e := range extra {
 		sig.Add("extra", e)
 	}
-	v, err := s.cache.Do(ctx, sig.Key(), func() (any, error) {
-		p, err := run(ctx)
-		if err != nil {
-			return nil, err
-		}
-		return p, nil
+	return runner.DoPersist(ctx, s.cache, sig.Key(), runner.JSONCodec[runPoint](), func() (runPoint, error) {
+		return run(ctx)
 	})
-	if err != nil {
-		return runPoint{}, err
-	}
-	return v.(runPoint), nil
 }
 
 // runnerFor builds a core.Runner for one workload on one cluster. Every
@@ -295,13 +295,28 @@ func (s *Suite) cachedChain(ctx context.Context, alg string, target float64,
 		Add("target", target).
 		Add("sizes", fmt.Sprint(s.Cfg.Sizes)).
 		Add("sweepPoints", s.Cfg.SweepPoints)
-	v, err := s.cache.Do(ctx, sig.Key(), func() (any, error) {
+	return runner.DoPersist(ctx, s.cache, sig.Key(), runner.JSONCodec[*chainResult](), func() (*chainResult, error) {
 		return build(ctx)
 	})
-	if err != nil {
-		return nil, err
-	}
-	return v.(*chainResult), nil
+}
+
+// cachedOutcome memoizes one whole experiment's renderable outputs under
+// the memo cache, keyed by the experiment id and every config field that
+// can change its output. With a persistent layer attached, a warm cache
+// directory therefore serves entire experiments across process restarts
+// without executing a single run.
+func (s *Suite) cachedOutcome(ctx context.Context, id string,
+	run func(ctx context.Context) ([]Renderable, error)) ([]Renderable, error) {
+	sig := s.baseSig("outcome").
+		Add("exp", id).
+		Add("sizes", fmt.Sprint(s.Cfg.Sizes)).
+		Add("asymSizes", fmt.Sprint(s.Cfg.AsymSizes)).
+		Add("geTarget", s.Cfg.GETarget).
+		Add("mmTarget", s.Cfg.MMTarget).
+		Add("sweepPoints", s.Cfg.SweepPoints)
+	return runner.DoPersist(ctx, s.cache, sig.Key(), renderableCodec(), func() ([]Renderable, error) {
+		return run(ctx)
+	})
 }
 
 // ladder builds one cluster per configured size with the given profile.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"strconv"
 	"strings"
@@ -17,13 +18,36 @@ type Stats struct {
 	// computation (waiting on another caller's computation counts: the
 	// work was shared).
 	Hits int64
-	// Misses counts Do calls that ran the computation.
+	// Misses counts Do calls that missed the in-memory table. With a
+	// disk layer attached a memory miss may still be served from disk;
+	// DiskMisses counts the calls that genuinely recomputed.
 	Misses int64
+	// DiskHits counts memory misses served from the persistent layer —
+	// values computed by an earlier process (or an earlier suite in this
+	// one) and restored without recomputation.
+	DiskHits int64
+	// DiskMisses counts persistent lookups that found nothing usable and
+	// ran the computation.
+	DiskMisses int64
+}
+
+// Add returns the field-wise sum of two snapshots.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Hits:       s.Hits + o.Hits,
+		Misses:     s.Misses + o.Misses,
+		DiskHits:   s.DiskHits + o.DiskHits,
+		DiskMisses: s.DiskMisses + o.DiskMisses,
+	}
 }
 
 // String renders the snapshot for progress output.
 func (s Stats) String() string {
-	return fmt.Sprintf("%d hits, %d misses", s.Hits, s.Misses)
+	if s.DiskHits == 0 && s.DiskMisses == 0 {
+		return fmt.Sprintf("%d hits, %d misses", s.Hits, s.Misses)
+	}
+	return fmt.Sprintf("%d hits, %d misses; disk: %d hits, %d misses",
+		s.Hits, s.Misses, s.DiskHits, s.DiskMisses)
 }
 
 // Cache is a content-addressed memo table with single-flight semantics:
@@ -34,8 +58,11 @@ func (s Stats) String() string {
 type Cache struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
+	disk    *DiskCache
 	hits    atomic.Int64
 	misses  atomic.Int64
+	dhits   atomic.Int64
+	dmisses atomic.Int64
 }
 
 type cacheEntry struct {
@@ -48,6 +75,14 @@ type cacheEntry struct {
 func NewCache() *Cache {
 	return &Cache{entries: make(map[string]*cacheEntry)}
 }
+
+// AttachDisk adds a persistent layer: DoPersist calls that miss the
+// in-memory table consult (and populate) d before computing. Attach
+// before concurrent use; a nil d detaches.
+func (c *Cache) AttachDisk(d *DiskCache) { c.disk = d }
+
+// Disk returns the attached persistent layer, or nil.
+func (c *Cache) Disk() *DiskCache { return c.disk }
 
 // Do returns the cached value for key, computing it with compute on the
 // first request. Concurrent callers with the same key block until the
@@ -80,7 +115,72 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() (any, error))
 
 // Stats returns the current hit/miss counters.
 func (c *Cache) Stats() Stats {
-	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	return Stats{
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		DiskHits:   c.dhits.Load(),
+		DiskMisses: c.dmisses.Load(),
+	}
+}
+
+// Codec serializes cached values for the persistent layer.
+type Codec[T any] struct {
+	// Marshal renders the value; an error skips persistence (the value
+	// stays memory-cached).
+	Marshal func(T) ([]byte, error)
+	// Unmarshal restores a value from a stored payload; an error treats
+	// the entry as a miss.
+	Unmarshal func([]byte) (T, error)
+}
+
+// JSONCodec is the default codec: encoding/json both ways.
+func JSONCodec[T any]() Codec[T] {
+	return Codec[T]{
+		Marshal: func(v T) ([]byte, error) { return json.Marshal(v) },
+		Unmarshal: func(data []byte) (T, error) {
+			var v T
+			err := json.Unmarshal(data, &v)
+			return v, err
+		},
+	}
+}
+
+// DoPersist is Do with a persistent layer: a memory miss first consults
+// the cache's attached DiskCache under the same key, and a computed value
+// is written back for future processes. Single-flight semantics are
+// unchanged — concurrent callers share one disk read or one computation.
+// Errors are memory-cached (the substrate is deterministic) but never
+// persisted. Without an attached disk this is Do with typed results.
+func DoPersist[T any](ctx context.Context, c *Cache, key string, codec Codec[T], compute func() (T, error)) (T, error) {
+	v, err := c.Do(ctx, key, func() (any, error) {
+		if c.disk != nil {
+			if data, ok := c.disk.Get(key); ok {
+				if restored, derr := codec.Unmarshal(data); derr == nil {
+					c.dhits.Add(1)
+					return restored, nil
+				}
+			}
+		}
+		if c.disk != nil {
+			c.dmisses.Add(1)
+		}
+		computed, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		if c.disk != nil {
+			if data, merr := codec.Marshal(computed); merr == nil {
+				// Best effort: a full disk degrades to memory-only caching.
+				_ = c.disk.Put(key, data)
+			}
+		}
+		return computed, nil
+	})
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return v.(T), nil
 }
 
 // Len returns the number of distinct keys ever computed (or in flight).

@@ -53,7 +53,43 @@ type Options struct {
 	Jobs int
 	// Hooks receives progress/timing callbacks.
 	Hooks Hooks
+	// Pool, when non-nil, additionally bounds execution by a shared
+	// semaphore: concurrent Run batches (e.g. simultaneous server
+	// requests) together never execute more than Pool.Size tasks at
+	// once, while each batch keeps its own ordering guarantees.
+	Pool *Pool
 }
+
+// Pool is a process-wide execution bound shared by any number of Run
+// batches. Each task acquires a slot before executing, so a long-running
+// service can cap total simulation concurrency no matter how many
+// requests are in flight.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool returns a pool with the given number of slots (<= 0 means
+// runtime.GOMAXPROCS(0)).
+func NewPool(size int) *Pool {
+	if size <= 0 {
+		size = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, size)}
+}
+
+// Size returns the slot count.
+func (p *Pool) Size() int { return cap(p.sem) }
+
+func (p *Pool) acquire(ctx context.Context) error {
+	select {
+	case p.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (p *Pool) release() { <-p.sem }
 
 // Run executes tasks on a bounded worker pool and returns their results
 // in submission order. On the first task failure the shared context is
@@ -93,11 +129,20 @@ func Run(ctx context.Context, tasks []Task, opts Options) ([]Result, error) {
 					results[i] = Result{ID: t.ID, Err: err}
 					continue
 				}
+				if opts.Pool != nil {
+					if err := opts.Pool.acquire(ctx); err != nil {
+						results[i] = Result{ID: t.ID, Err: err}
+						continue
+					}
+				}
 				if opts.Hooks.Started != nil {
 					opts.Hooks.Started(t.ID)
 				}
 				start := time.Now()
 				v, err := t.Run(ctx)
+				if opts.Pool != nil {
+					opts.Pool.release()
+				}
 				elapsed := time.Since(start)
 				results[i] = Result{ID: t.ID, Value: v, Elapsed: elapsed, Err: err}
 				if opts.Hooks.Finished != nil {

@@ -62,6 +62,50 @@ func TestRunBoundsConcurrency(t *testing.T) {
 	}
 }
 
+func TestPoolBoundsAcrossBatches(t *testing.T) {
+	// Two concurrent Run batches, each with plenty of private workers,
+	// together must never exceed the shared pool's slot count — the
+	// server-mode cap on simultaneous requests.
+	const slots = 2
+	pool := NewPool(slots)
+	var cur, peak atomic.Int64
+	makeTasks := func(n int) []Task {
+		tasks := make([]Task, n)
+		for i := range tasks {
+			tasks[i] = Task{ID: fmt.Sprintf("t%d", i), Run: func(ctx context.Context) (any, error) {
+				n := cur.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				cur.Add(-1)
+				return nil, nil
+			}}
+		}
+		return tasks
+	}
+	var wg sync.WaitGroup
+	for b := 0; b < 2; b++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := Run(context.Background(), makeTasks(12), Options{Jobs: 8, Pool: pool}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > slots {
+		t.Errorf("peak concurrency %d > shared pool size %d", p, slots)
+	}
+	if pool.Size() != slots {
+		t.Errorf("Size() = %d, want %d", pool.Size(), slots)
+	}
+}
+
 func TestRunReportsSerialFirstError(t *testing.T) {
 	boom := errors.New("boom")
 	tasks := []Task{

@@ -1,0 +1,179 @@
+// Package serve exposes the spec executor over HTTP: capacity planning
+// as a service. POST a canonical RunSpec (internal/spec) to /run and
+// receive the same bytes the CLI front-ends print for that spec; the
+// server keeps its caches warm across requests and, with a persistent
+// cache directory, across restarts.
+//
+// Endpoints:
+//
+//	POST /run     RunSpec JSON in, rendered result out (text/csv/json)
+//	POST /trace   experiments RunSpec in, Chrome trace-event JSON out
+//	GET  /healthz liveness probe
+//	GET  /list    JSON catalog of experiments and workloads
+//	GET  /cache   JSON cache statistics (memory and disk)
+//
+// Request contexts propagate into the simulation: a client that
+// disconnects cancels its run, releasing the worker pool for others.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/experiments"
+	"repro/internal/runner"
+	"repro/internal/spec"
+	"repro/internal/workload"
+)
+
+// Server serves RunSpecs through one shared executor.
+type Server struct {
+	ex *spec.Executor
+}
+
+// New wraps an executor.
+func New(ex *spec.Executor) *Server { return &Server{ex: ex} }
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/list", s.handleList)
+	mux.HandleFunc("/cache", s.handleCache)
+	return mux
+}
+
+// contentType maps a spec format to the response media type.
+func contentType(format string) string {
+	switch format {
+	case "csv":
+		return "text/csv; charset=utf-8"
+	case "json":
+		return "application/json"
+	default:
+		return "text/plain; charset=utf-8"
+	}
+}
+
+// decodeSpec reads the request's RunSpec, writing a 400 on failure.
+func decodeSpec(w http.ResponseWriter, r *http.Request) (*spec.RunSpec, bool) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a RunSpec JSON document", http.StatusMethodNotAllowed)
+		return nil, false
+	}
+	rs, err := spec.Decode(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	return rs, true
+}
+
+// finish writes the buffered result, or classifies the failure: a
+// canceled request context means the client is gone (no response can
+// land), anything else is an execution error. Output is buffered so a
+// failed run never leaks a partial 200 body.
+func finish(w http.ResponseWriter, r *http.Request, buf *bytes.Buffer, ctype string, err error) {
+	if err != nil {
+		if errors.Is(err, context.Canceled) && r.Context().Err() != nil {
+			return // client disconnected; the run was canceled on its behalf
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", ctype)
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	rs, ok := decodeSpec(w, r)
+	if !ok {
+		return
+	}
+	var buf bytes.Buffer
+	err := s.ex.Run(r.Context(), *rs, &buf)
+	finish(w, r, &buf, contentType(rs.Format), err)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	rs, ok := decodeSpec(w, r)
+	if !ok {
+		return
+	}
+	var out, traceBuf bytes.Buffer
+	err := s.ex.RunTrace(r.Context(), *rs, &out, &traceBuf)
+	finish(w, r, &traceBuf, "application/json", err)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// catalog is the /list document.
+type catalog struct {
+	Experiments []catalogExperiment `json:"experiments"`
+	Workloads   []catalogWorkload   `json:"workloads"`
+}
+
+type catalogExperiment struct {
+	ID    string `json:"id"`
+	Group string `json:"group"`
+	About string `json:"about"`
+	Quick bool   `json:"quick"`
+}
+
+type catalogWorkload struct {
+	Name  string `json:"name"`
+	About string `json:"about"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	var cat catalog
+	for _, g := range experiments.Groups() {
+		for _, e := range experiments.ByGroup(g) {
+			cat.Experiments = append(cat.Experiments, catalogExperiment{
+				ID: e.ID, Group: string(e.Group), About: e.About, Quick: e.Quick,
+			})
+		}
+	}
+	for _, wl := range workload.All() {
+		cat.Workloads = append(cat.Workloads, catalogWorkload{Name: wl.Name(), About: wl.About()})
+	}
+	writeJSON(w, cat)
+}
+
+// cacheDoc is the /cache document.
+type cacheDoc struct {
+	Stats runner.Stats `json:"stats"`
+	Dir   string       `json:"dir,omitempty"`
+	// Entries and Bytes describe the persistent layer (absent without one).
+	Entries int   `json:"entries,omitempty"`
+	Bytes   int64 `json:"bytes,omitempty"`
+}
+
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	doc := cacheDoc{Stats: s.ex.CacheStats(), Dir: s.ex.CacheDir()}
+	if doc.Dir != "" {
+		disk, err := runner.OpenDiskCache(doc.Dir)
+		if err == nil {
+			if entries, bytes, ierr := disk.Info(); ierr == nil {
+				doc.Entries, doc.Bytes = entries, bytes
+			}
+		}
+	}
+	writeJSON(w, doc)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

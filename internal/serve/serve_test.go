@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/runner"
+	"repro/internal/spec"
+)
+
+func newServer(t *testing.T, opts spec.ExecutorOptions) (*httptest.Server, *spec.Executor) {
+	t.Helper()
+	ex, err := spec.NewExecutor(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(ex).Handler())
+	t.Cleanup(ts.Close)
+	return ts, ex
+}
+
+func postSpec(t *testing.T, ts *httptest.Server, path string, rs spec.RunSpec) *http.Response {
+	t.Helper()
+	payload, err := rs.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestRunMatchesLocalBytes is the API-redesign contract: POSTing a
+// RunSpec returns exactly the bytes a local run of the same spec
+// prints.
+func TestRunMatchesLocalBytes(t *testing.T) {
+	rs := spec.RunSpec{Kind: spec.KindExperiments, Experiments: "quick", Quick: true}
+
+	local, err := spec.NewExecutor(spec.ExecutorOptions{Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := local.Run(context.Background(), rs, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	ts, _ := newServer(t, spec.ExecutorOptions{Jobs: 4, Pool: runner.NewPool(2)})
+	resp := postSpec(t, ts, "/run", rs)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("server bytes differ from local run:\nserver %d bytes\nlocal %d bytes", len(got), want.Len())
+	}
+}
+
+func TestRunContentTypes(t *testing.T) {
+	ts, _ := newServer(t, spec.ExecutorOptions{Jobs: 4})
+	for format, want := range map[string]string{"csv": "text/csv", "json": "application/json"} {
+		rs := spec.RunSpec{Kind: spec.KindExperiments, Experiments: "table2", Quick: true, Format: format}
+		resp := postSpec(t, ts, "/run", rs)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %s", format, resp.Status)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, want) {
+			t.Errorf("%s: content type %q, want %s", format, ct, want)
+		}
+	}
+}
+
+func TestRunRejectsBadSpecs(t *testing.T) {
+	ts, _ := newServer(t, spec.ExecutorOptions{})
+	for name, body := range map[string]string{
+		"invalid":       `{"version":1,"kind":"experiments","experiments":"quick","geTarget":7}`,
+		"unknown field": `{"version":1,"kind":"experiments","experiments":"quick","quikc":true}`,
+		"wrong version": `{"version":9,"kind":"experiments","experiments":"quick"}`,
+		"not json":      `table2 please`,
+	} {
+		resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %s, want 400", name, resp.Status)
+		}
+	}
+}
+
+func TestRunRequiresPOST(t *testing.T) {
+	ts, _ := newServer(t, spec.ExecutorOptions{})
+	for _, path := range []string{"/run", "/trace"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET %s: status %s, want 405", path, resp.Status)
+		}
+	}
+}
+
+func TestTraceReturnsChromeEvents(t *testing.T) {
+	ts, _ := newServer(t, spec.ExecutorOptions{Jobs: 2})
+	rs := spec.RunSpec{Kind: spec.KindExperiments, Experiments: "table2", Quick: true}
+	resp := postSpec(t, ts, "/trace", rs)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace has no events")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newServer(t, spec.ExecutorOptions{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Errorf("healthz: %s %q", resp.Status, body)
+	}
+}
+
+func TestListCatalog(t *testing.T) {
+	ts, _ := newServer(t, spec.ExecutorOptions{})
+	resp, err := http.Get(ts.URL + "/list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cat struct {
+		Experiments []struct{ ID string }
+		Workloads   []struct{ Name string }
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cat); err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Experiments) == 0 || len(cat.Workloads) == 0 {
+		t.Errorf("catalog empty: %+v", cat)
+	}
+	ids := map[string]bool{}
+	for _, e := range cat.Experiments {
+		ids[e.ID] = true
+	}
+	if !ids["table2"] {
+		t.Errorf("catalog missing table2: %v", ids)
+	}
+}
+
+func TestCacheEndpointReportsDisk(t *testing.T) {
+	dir := t.TempDir()
+	ts, _ := newServer(t, spec.ExecutorOptions{Jobs: 4, CacheDir: dir})
+	rs := spec.RunSpec{Kind: spec.KindExperiments, Experiments: "table2", Quick: true}
+	if resp := postSpec(t, ts, "/run", rs); resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: %s", resp.Status)
+	}
+	resp, err := http.Get(ts.URL + "/cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Stats   runner.Stats `json:"stats"`
+		Dir     string       `json:"dir"`
+		Entries int          `json:"entries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Dir != dir {
+		t.Errorf("dir %q, want %q", doc.Dir, dir)
+	}
+	if doc.Entries == 0 {
+		t.Error("no persisted entries after a run")
+	}
+	if doc.Stats.DiskMisses == 0 {
+		t.Errorf("stats show no computation: %+v", doc.Stats)
+	}
+}
+
+// TestConcurrentRequestsShareOneSuite exercises the server-mode cache:
+// identical specs POSTed concurrently must return identical bytes and
+// compute the shared work once (single-flight).
+func TestConcurrentRequestsShareOneSuite(t *testing.T) {
+	ts, ex := newServer(t, spec.ExecutorOptions{Jobs: 2, Pool: runner.NewPool(2)})
+	rs := spec.RunSpec{Kind: spec.KindExperiments, Experiments: "table2", Quick: true}
+	const clients = 4
+	results := make([][]byte, clients)
+	errs := make([]error, clients)
+	done := make(chan int, clients)
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			defer func() { done <- i }()
+			payload, err := rs.Canonical()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(payload))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			results[i], errs[i] = io.ReadAll(resp.Body)
+		}(i)
+	}
+	for i := 0; i < clients; i++ {
+		<-done
+	}
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(results[i], results[0]) {
+			t.Errorf("client %d got different bytes", i)
+		}
+	}
+	st := ex.CacheStats()
+	if st.Hits == 0 {
+		t.Errorf("concurrent identical requests shared no work: %+v", st)
+	}
+}

@@ -1,0 +1,195 @@
+package spec
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+)
+
+func quickSpec() RunSpec {
+	return RunSpec{Kind: KindExperiments, Experiments: "quick", Quick: true}
+}
+
+func runSpec(t *testing.T, ex *Executor, rs RunSpec) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ex.Run(context.Background(), rs, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func newExecutor(t *testing.T, opts ExecutorOptions) *Executor {
+	t.Helper()
+	ex, err := NewExecutor(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex
+}
+
+// TestExperimentsRestartServesFromDisk is the acceptance criterion for
+// the persistent cache: a cold process pointed at a warm cache
+// directory serves the full quick suite byte-identically with zero
+// recomputed runs.
+func TestExperimentsRestartServesFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	warm := runSpec(t, newExecutor(t, ExecutorOptions{Jobs: 4, CacheDir: dir}), quickSpec())
+	if len(warm) == 0 {
+		t.Fatal("empty quick-suite output")
+	}
+
+	cold := newExecutor(t, ExecutorOptions{Jobs: 4, CacheDir: dir})
+	restored := runSpec(t, cold, quickSpec())
+	if !bytes.Equal(warm, restored) {
+		t.Errorf("restart output differs:\nwarm %d bytes\ncold %d bytes", len(warm), len(restored))
+	}
+	st := cold.CacheStats()
+	if st.DiskHits == 0 {
+		t.Errorf("cold process reported no disk hits: %+v", st)
+	}
+	if st.DiskMisses != 0 {
+		t.Errorf("cold process recomputed %d results: %+v", st.DiskMisses, st)
+	}
+}
+
+func TestExperimentsWarmSuiteSharedAcrossRuns(t *testing.T) {
+	ex := newExecutor(t, ExecutorOptions{Jobs: 4})
+	first := runSpec(t, ex, quickSpec())
+	misses := ex.CacheStats().Misses
+	// The same spec again — and a different format of it — must reuse the
+	// warm suite: no new computations, only hits.
+	second := runSpec(t, ex, quickSpec())
+	if !bytes.Equal(first, second) {
+		t.Error("repeat run output differs")
+	}
+	csvSpec := quickSpec()
+	csvSpec.Format = "csv"
+	if out := runSpec(t, ex, csvSpec); !bytes.Contains(out, []byte(",")) {
+		t.Error("csv output has no commas")
+	}
+	st := ex.CacheStats()
+	if st.Misses != misses {
+		t.Errorf("warm suite recomputed: misses %d -> %d", misses, st.Misses)
+	}
+	if st.Hits == 0 {
+		t.Errorf("no cache hits on repeat runs: %+v", st)
+	}
+}
+
+func testLadder(t *testing.T) *cluster.LadderSpec {
+	t.Helper()
+	var ladder cluster.LadderSpec
+	const doc = `{"ladder": [
+		{"name": "C2", "nodes": [
+			{"name": "n0", "class": "fast", "speedMflops": 90, "memMB": 2048},
+			{"name": "n1", "class": "slow", "speedMflops": 40, "memMB": 512}]},
+		{"name": "C4", "nodes": [
+			{"name": "n0", "class": "fast", "speedMflops": 90, "memMB": 2048},
+			{"name": "n1", "class": "fast", "speedMflops": 90, "memMB": 2048},
+			{"name": "n2", "class": "slow", "speedMflops": 40, "memMB": 512},
+			{"name": "n3", "class": "slow", "speedMflops": 40, "memMB": 512}]}
+	]}`
+	if err := json.Unmarshal([]byte(doc), &ladder); err != nil {
+		t.Fatal(err)
+	}
+	return &ladder
+}
+
+func TestScalescanRestartServesFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	rs := RunSpec{Kind: KindScalescan, Workload: "ge", Ladder: testLadder(t)}
+	warm := runSpec(t, newExecutor(t, ExecutorOptions{Jobs: 2, CacheDir: dir}), rs)
+
+	cold := newExecutor(t, ExecutorOptions{Jobs: 2, CacheDir: dir})
+	restored := runSpec(t, cold, rs)
+	if !bytes.Equal(warm, restored) {
+		t.Error("restart scalescan output differs")
+	}
+	st := cold.CacheStats()
+	if st.DiskHits != 2 || st.DiskMisses != 0 {
+		t.Errorf("cold scan: want 2 disk hits (one per rung), 0 misses; got %+v", st)
+	}
+	if !strings.Contains(string(warm), "Scalability chain") {
+		t.Errorf("output missing chain table:\n%s", warm)
+	}
+}
+
+func TestScalescanRungsSharedAcrossTargetsNot(t *testing.T) {
+	// Different targets are different measurements: no cross-talk.
+	ex := newExecutor(t, ExecutorOptions{Jobs: 2})
+	a := RunSpec{Kind: KindScalescan, Workload: "ge", Target: 0.3, Ladder: testLadder(t)}
+	b := RunSpec{Kind: KindScalescan, Workload: "ge", Target: 0.4, Ladder: testLadder(t)}
+	if bytes.Equal(runSpec(t, ex, a), runSpec(t, ex, b)) {
+		t.Error("different targets produced identical scans")
+	}
+}
+
+func TestFaultscanRestartServesFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	rs := RunSpec{
+		Kind: KindFaultscan, Workload: "ge", P: 4, N: 100,
+		Faults: &faults.Spec{Seed: 1, StragglerFrac: 0.5, StragglerFactor: 2},
+	}
+	warm := runSpec(t, newExecutor(t, ExecutorOptions{CacheDir: dir}), rs)
+
+	cold := newExecutor(t, ExecutorOptions{CacheDir: dir})
+	restored := runSpec(t, cold, rs)
+	if !bytes.Equal(warm, restored) {
+		t.Error("restart faultscan output differs")
+	}
+	st := cold.CacheStats()
+	if st.DiskHits != 1 || st.DiskMisses != 0 {
+		t.Errorf("cold faultscan: want 1 disk hit, 0 misses; got %+v", st)
+	}
+}
+
+func TestRunTraceBypassesPersistence(t *testing.T) {
+	// A trace needs fresh executions: even on a warm cache directory the
+	// traced run must record spans (a restored result would record none).
+	dir := t.TempDir()
+	rs := RunSpec{Kind: KindExperiments, Experiments: "table2", Quick: true}
+	runSpec(t, newExecutor(t, ExecutorOptions{Jobs: 2, CacheDir: dir}), rs)
+
+	ex := newExecutor(t, ExecutorOptions{Jobs: 2, CacheDir: dir})
+	var out, tr bytes.Buffer
+	if err := ex.RunTrace(context.Background(), rs, &out, &tr); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tr.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("traced run on a warm cache recorded no events")
+	}
+}
+
+func TestRunTraceRejectsScanKinds(t *testing.T) {
+	ex := newExecutor(t, ExecutorOptions{})
+	rs := RunSpec{Kind: KindScalescan, AsymSizes: []int{4, 8}}
+	var out, tr bytes.Buffer
+	err := ex.RunTrace(context.Background(), rs, &out, &tr)
+	if err == nil || !strings.Contains(err.Error(), "kind experiments") {
+		t.Errorf("traced a scalescan: %v", err)
+	}
+}
+
+func TestRunValidatesBeforeExecuting(t *testing.T) {
+	ex := newExecutor(t, ExecutorOptions{})
+	var buf bytes.Buffer
+	err := ex.Run(context.Background(), RunSpec{Kind: KindExperiments, Experiments: "quick", GETarget: 7}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "out of (0,1)") {
+		t.Errorf("invalid spec executed: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("invalid spec wrote %d bytes", buf.Len())
+	}
+}

@@ -1,0 +1,209 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+)
+
+// goldenQuickCanonical pins the canonical encoding of the quick
+// experiments spec byte for byte. The canonical bytes are content
+// addresses for the persistent cache, so any drift here silently
+// orphans every existing cache entry: if this test fails because the
+// encoding legitimately changed, bump Version rather than relaxing it.
+const goldenQuickCanonical = `{"version":1,"kind":"experiments","format":"text","engine":"live","experiments":"quick","sizes":[2,4,8],"asymSizes":[100,1000,10000],"sweepPoints":6,"geTarget":0.3,"mmTarget":0.2,"seed":20050614}`
+
+func TestCanonicalGoldenQuick(t *testing.T) {
+	rs := RunSpec{Kind: KindExperiments, Experiments: "quick", Quick: true}
+	data, err := rs.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != goldenQuickCanonical {
+		t.Errorf("canonical encoding drifted:\n got %s\nwant %s", data, goldenQuickCanonical)
+	}
+}
+
+func TestCanonicalEqualForEqualSpellings(t *testing.T) {
+	// Different spellings of the same run must canonicalize identically —
+	// that equality is what makes the encoding a cache signature.
+	base := RunSpec{Kind: KindExperiments, Experiments: "quick", Quick: true}
+	spellings := []RunSpec{
+		{Kind: "Experiments", Experiments: "quick", Quick: true},                   // kind case
+		{Kind: KindExperiments, Format: "TEXT", Experiments: "quick", Quick: true}, // explicit default format
+		{Kind: KindExperiments, Engine: "Live", Experiments: "quick", Quick: true}, // explicit default engine
+		{ // Quick spelled out as the explicit ladder it denotes
+			Kind: KindExperiments, Experiments: "quick",
+			Sizes: []int{2, 4, 8}, AsymSizes: []int{100, 1000, 10000}, SweepPoints: 6,
+			GETarget: 0.3, MMTarget: 0.2, Seed: 20050614,
+		},
+	}
+	want, err := base.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKey, err := base.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rs := range spellings {
+		got, err := rs.Canonical()
+		if err != nil {
+			t.Fatalf("spelling %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("spelling %d canonicalizes differently:\n got %s\nwant %s", i, got, want)
+		}
+		key, err := rs.Key()
+		if err != nil {
+			t.Fatalf("spelling %d: %v", i, err)
+		}
+		if key != wantKey {
+			t.Errorf("spelling %d key %s != %s", i, key, wantKey)
+		}
+	}
+}
+
+func TestCanonicalDoesNotMutateReceiver(t *testing.T) {
+	rs := RunSpec{Kind: KindExperiments, Experiments: "quick", Quick: true}
+	if _, err := rs.Canonical(); err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Quick || rs.Sizes != nil || rs.Version != 0 {
+		t.Errorf("Canonical mutated its receiver: %+v", rs)
+	}
+}
+
+func TestCanonicalRoundTripsThroughDecode(t *testing.T) {
+	specs := []RunSpec{
+		{Kind: KindExperiments, Experiments: "all", Quick: true, Format: "json", Engine: "des", Contended: true},
+		{Kind: KindScalescan, Workload: "jacobi", AsymSizes: []int{100, 1000}},
+		{Kind: KindFaultscan, Workload: "mm", P: 4, N: 100, Faults: &faults.Spec{Seed: 3, StragglerFrac: 0.5, StragglerFactor: 2}},
+	}
+	for i, rs := range specs {
+		data, err := rs.Canonical()
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		decoded, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("spec %d: decode: %v", i, err)
+		}
+		again, err := decoded.Canonical()
+		if err != nil {
+			t.Fatalf("spec %d: re-canonicalize: %v", i, err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Errorf("spec %d not a fixed point:\n first %s\nsecond %s", i, data, again)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	_, err := Decode(strings.NewReader(`{"version":1,"kind":"experiments","experiments":"quick","quikc":true}`))
+	if err == nil || !strings.Contains(err.Error(), "quikc") {
+		t.Errorf("misspelled field accepted: %v", err)
+	}
+}
+
+func exampleLadder(t *testing.T) *cluster.LadderSpec {
+	t.Helper()
+	var ladder cluster.LadderSpec
+	const doc = `{"ladder": [
+		{"name": "C2", "nodes": [
+			{"name": "n0", "class": "fast", "speedMflops": 90, "memMB": 2048},
+			{"name": "n1", "class": "slow", "speedMflops": 40, "memMB": 512}]},
+		{"name": "C4", "nodes": [
+			{"name": "n0", "class": "fast", "speedMflops": 90, "memMB": 2048},
+			{"name": "n1", "class": "fast", "speedMflops": 90, "memMB": 2048},
+			{"name": "n2", "class": "slow", "speedMflops": 40, "memMB": 512},
+			{"name": "n3", "class": "slow", "speedMflops": 40, "memMB": 512}]}
+	]}`
+	if err := json.Unmarshal([]byte(doc), &ladder); err != nil {
+		t.Fatal(err)
+	}
+	return &ladder
+}
+
+func TestValidateRejections(t *testing.T) {
+	plan := &faults.Spec{Seed: 1, StragglerFrac: 0.5, StragglerFactor: 2}
+	cases := []struct {
+		name string
+		rs   RunSpec
+		frag string // expected fragment of the error
+	}{
+		{"unknown kind", RunSpec{Kind: "benchmark"}, "unknown kind"},
+		{"future version", RunSpec{Version: 2, Kind: KindExperiments, Experiments: "quick"}, "version 2"},
+		{"bad format", RunSpec{Kind: KindExperiments, Format: "yaml", Experiments: "quick"}, "format"},
+		{"bad engine", RunSpec{Kind: KindExperiments, Engine: "warp", Experiments: "quick"}, "engine"},
+		{"no selector", RunSpec{Kind: KindExperiments}, "selector"},
+		{"target out of range", RunSpec{Kind: KindExperiments, Experiments: "quick", GETarget: 1.5}, "out of (0,1)"},
+		{"sweep too small", RunSpec{Kind: KindExperiments, Experiments: "quick", SweepPoints: 2}, "sweepPoints"},
+		{"experiments with workload", RunSpec{Kind: KindExperiments, Experiments: "quick", Workload: "ge"}, `"workload" does not apply`},
+		{"experiments with faults", RunSpec{Kind: KindExperiments, Experiments: "quick", Faults: plan}, `"faults" does not apply`},
+		{"scalescan no ladder", RunSpec{Kind: KindScalescan}, "ladder or asymSizes"},
+		{"scalescan both modes", RunSpec{Kind: KindScalescan, Ladder: exampleLadder(t), AsymSizes: []int{4, 8}}, "mutually exclusive"},
+		{"scalescan short ladder", RunSpec{Kind: KindScalescan, Ladder: &cluster.LadderSpec{Ladder: exampleLadder(t).Ladder[:1]}}, "at least 2 rungs"},
+		{"scalescan bad workload", RunSpec{Kind: KindScalescan, Workload: "qr", AsymSizes: []int{4, 8}}, "qr"},
+		{"scalescan bad target", RunSpec{Kind: KindScalescan, Target: 1.5, AsymSizes: []int{4, 8}}, "out of (0,1)"},
+		{"scalescan decreasing asym", RunSpec{Kind: KindScalescan, AsymSizes: []int{8, 4}}, "increasing"},
+		{"scalescan with seed", RunSpec{Kind: KindScalescan, Seed: 7, AsymSizes: []int{4, 8}}, `"seed" does not apply`},
+		{"faultscan no plan", RunSpec{Kind: KindFaultscan}, "fault plan"},
+		{"faultscan bad plan", RunSpec{Kind: KindFaultscan, Faults: &faults.Spec{StragglerFrac: 2}}, "straggler"},
+		{"ckpt without recover", RunSpec{Kind: KindFaultscan, Faults: plan, CkptInterval: 50}, "only with recover"},
+		{"negative ckpt", RunSpec{Kind: KindFaultscan, Faults: plan, Recover: true, CkptInterval: -1}, "ckptInterval"},
+		{"faultscan with ladder", RunSpec{Kind: KindFaultscan, Faults: plan, Ladder: exampleLadder(t)}, `"ladder" does not apply`},
+		{"faultscan with quick", RunSpec{Kind: KindFaultscan, Faults: plan, Quick: true}, `"quick" does not apply`},
+	}
+	for _, tc := range cases {
+		t.Run(strings.ReplaceAll(tc.name, " ", "_"), func(t *testing.T) {
+			rs := tc.rs
+			if err := rs.Normalize(); err != nil {
+				if !strings.Contains(err.Error(), tc.frag) {
+					t.Fatalf("normalize error %q missing %q", err, tc.frag)
+				}
+				return
+			}
+			err := rs.Validate()
+			if err == nil {
+				t.Fatalf("accepted: %+v", rs)
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Errorf("error %q missing %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	scan := RunSpec{Kind: KindScalescan, AsymSizes: []int{4, 8}}
+	if err := scan.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if scan.Workload != "ge" || scan.Target != 0.3 || scan.Engine != "live" || scan.Format != "text" {
+		t.Errorf("scalescan defaults: %+v", scan)
+	}
+	fault := RunSpec{Kind: KindFaultscan}
+	if err := fault.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if fault.Workload != "ge" || fault.P != 8 || fault.N != 400 {
+		t.Errorf("faultscan defaults: %+v", fault)
+	}
+	// CkptInterval 0 is meaningful (restart from scratch) and must
+	// survive normalization under Recover.
+	rec := RunSpec{Kind: KindFaultscan, Faults: &faults.Spec{Seed: 1}, Recover: true, CkptInterval: 0}
+	if err := rec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.CkptInterval != 0 {
+		t.Errorf("ckptInterval 0 defaulted away: %+v", rec)
+	}
+}

@@ -35,6 +35,33 @@ go test -run=NONE -bench=. -benchtime=1x ./... > /dev/null
 echo "==> hetsim -exp all -quick -jobs 4 (race smoke)"
 go run -race ./cmd/hetsim -exp all -quick -jobs 4 -v > /dev/null
 
+# Server smoke: a race-instrumented `hetsim -serve` on a random port
+# must answer a POSTed quick spec with exactly the bytes the CLI prints
+# for the same spec — the RunSpec API's core contract, end to end over
+# a real socket.
+echo "==> hetsim -serve (race smoke: server bytes == CLI bytes)"
+SMOKEDIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKEDIR"; kill "${SERVER_PID:-}" 2>/dev/null || true' EXIT
+go build -race -o "$SMOKEDIR/hetsim" ./cmd/hetsim
+"$SMOKEDIR/hetsim" -serve 127.0.0.1:0 -jobs 4 2> "$SMOKEDIR/serve.err" &
+SERVER_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+	ADDR="$(sed -n 's#^hetsim: serving on http://##p' "$SMOKEDIR/serve.err")"
+	[ -n "$ADDR" ] && break
+	sleep 0.2
+done
+[ -n "$ADDR" ] || { echo "server never announced its address"; exit 1; }
+SPEC='{"kind":"experiments","experiments":"table2","quick":true}'
+curl -sf -X POST --data-binary "$SPEC" "http://$ADDR/run" > "$SMOKEDIR/server.out"
+"$SMOKEDIR/hetsim" -exp table2 -quick > "$SMOKEDIR/cli.out"
+cmp "$SMOKEDIR/server.out" "$SMOKEDIR/cli.out" || { echo "server bytes differ from CLI bytes"; exit 1; }
+"$SMOKEDIR/hetsim" -exp table2 -quick -client "http://$ADDR" > "$SMOKEDIR/client.out"
+cmp "$SMOKEDIR/client.out" "$SMOKEDIR/cli.out" || { echo "-client bytes differ from CLI bytes"; exit 1; }
+curl -sf "http://$ADDR/healthz" > /dev/null
+kill "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
 # Fuzz smoke: each target runs for a short budget; any crasher fails the
 # pass. Go only allows one fuzz target per invocation, so enumerate them.
 for pkgfn in \
