@@ -12,7 +12,10 @@
 //	hetsim -exp all -quick -json
 //	hetsim -exp table3 -engine des -contended
 //	hetsim -exp table2 -quick -trace table2.json
+//	hetsim -exp jobstream -quick
+//	hetsim -spec stream.json
 //	hetsim -exp all -cache-dir ~/.cache/hetsim
+//	hetsim -exp all -cache-dir ~/.cache/hetsim -cache-max-bytes 67108864
 //	hetsim -serve 127.0.0.1:8080 -cache-dir /var/cache/hetsim
 //	hetsim -exp table2 -quick -client http://127.0.0.1:8080
 //	hetsim -cache-dir /var/cache/hetsim -cache-info
@@ -26,9 +29,12 @@
 //
 // Flags parse into a canonical RunSpec (internal/spec) — the same
 // document `hetsim -serve` accepts over HTTP — so a POSTed spec and its
-// CLI spelling produce byte-identical output. With -cache-dir results
-// persist across processes: a warm directory serves repeated runs
-// without recomputing anything.
+// CLI spelling produce byte-identical output. -spec <file> runs a
+// RunSpec JSON document directly (any kind — including jobstream specs
+// with custom tenant streams). With -cache-dir results persist across
+// processes: a warm directory serves repeated runs without recomputing
+// anything; -cache-max-bytes caps the directory with least-recently-used
+// eviction.
 //
 // -trace <file> additionally records the virtual timeline of every
 // algorithm run the selected experiments execute and writes it as Chrome
@@ -67,6 +73,7 @@ func run(args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("hetsim", flag.ContinueOnError)
 	var (
 		exp        = fs.String("exp", "", "experiment selector: id, 'all', 'quick', or 'group:<name>' (see -list)")
+		specFile   = fs.String("spec", "", "run a RunSpec JSON file (any kind; mutually exclusive with -exp)")
 		list       = fs.Bool("list", false, "list available experiments")
 		quick      = fs.Bool("quick", false, "reduced ladder (2,4,8 nodes) and sweeps")
 		csv        = fs.Bool("csv", false, "emit CSV instead of rendered tables")
@@ -82,6 +89,7 @@ func run(args []string, out, errw io.Writer) error {
 		serveAddr  = fs.String("serve", "", "serve RunSpecs over HTTP on this address (e.g. 127.0.0.1:8080; :0 picks a port)")
 		clientURL  = fs.String("client", "", "send the run to a hetsim server at this base URL instead of executing locally")
 		cacheDir   = fs.String("cache-dir", "", "persist results content-addressed under this directory (survives restarts)")
+		cacheMax   = fs.Int64("cache-max-bytes", 0, "evict least-recently-used cache entries past this total size (0: unbounded; needs -cache-dir)")
 		cacheInfo  = fs.Bool("cache-info", false, "report the persistent cache's entry count and size, then exit (needs -cache-dir)")
 		cachePurge = fs.Bool("cache-purge", false, "delete every persistent cache entry, then exit (needs -cache-dir)")
 	)
@@ -101,40 +109,63 @@ func run(args []string, out, errw io.Writer) error {
 		printList(out)
 		return nil
 	}
+	if *cacheMax < 0 {
+		return fmt.Errorf("-cache-max-bytes must be >= 0")
+	}
+	if *cacheMax > 0 && *cacheDir == "" {
+		return fmt.Errorf("-cache-max-bytes needs -cache-dir")
+	}
 	if *serveAddr != "" {
 		ex, err := spec.NewExecutor(spec.ExecutorOptions{
-			Jobs:     *jobs,
-			Pool:     runner.NewPool(*jobs),
-			CacheDir: *cacheDir,
-			Hooks:    cli.Progress(errw, *verbose),
+			Jobs:          *jobs,
+			Pool:          runner.NewPool(*jobs),
+			CacheDir:      *cacheDir,
+			CacheMaxBytes: *cacheMax,
+			Hooks:         cli.Progress(errw, *verbose),
 		})
 		if err != nil {
 			return err
 		}
 		return serveHTTP(*serveAddr, ex, errw)
 	}
-	if *exp == "" {
-		return fmt.Errorf("missing -exp (or -list); try: hetsim -exp table4")
-	}
-	format, err := spec.ParseFormat(*csv, *jsonOut)
-	if err != nil {
-		return err
-	}
-	rs := spec.RunSpec{
-		Kind:        spec.KindExperiments,
-		Format:      format,
-		Engine:      *engine,
-		Experiments: *exp,
-		Quick:       *quick,
-		Contended:   *contended,
-		GETarget:    *geTarget,
-		MMTarget:    *mmTarget,
-	}
-	if err := rs.Normalize(); err != nil {
-		return err
-	}
-	if err := rs.Validate(); err != nil {
-		return err
+	var rs spec.RunSpec
+	switch {
+	case *specFile != "" && *exp != "":
+		return fmt.Errorf("-exp and -spec are mutually exclusive")
+	case *specFile != "":
+		f, err := os.Open(*specFile)
+		if err != nil {
+			return err
+		}
+		decoded, derr := spec.Decode(f)
+		f.Close()
+		if derr != nil {
+			return derr
+		}
+		rs = *decoded
+	case *exp != "":
+		format, err := spec.ParseFormat(*csv, *jsonOut)
+		if err != nil {
+			return err
+		}
+		rs = spec.RunSpec{
+			Kind:        spec.KindExperiments,
+			Format:      format,
+			Engine:      *engine,
+			Experiments: *exp,
+			Quick:       *quick,
+			Contended:   *contended,
+			GETarget:    *geTarget,
+			MMTarget:    *mmTarget,
+		}
+		if err := rs.Normalize(); err != nil {
+			return err
+		}
+		if err := rs.Validate(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("missing -exp or -spec (or -list); try: hetsim -exp table4")
 	}
 
 	if *clientURL != "" {
@@ -145,9 +176,10 @@ func run(args []string, out, errw io.Writer) error {
 	}
 
 	ex, err := spec.NewExecutor(spec.ExecutorOptions{
-		Jobs:     *jobs,
-		CacheDir: *cacheDir,
-		Hooks:    cli.Progress(errw, *verbose),
+		Jobs:          *jobs,
+		CacheDir:      *cacheDir,
+		CacheMaxBytes: *cacheMax,
+		Hooks:         cli.Progress(errw, *verbose),
 	})
 	if err != nil {
 		return err
@@ -160,6 +192,7 @@ func run(args []string, out, errw io.Writer) error {
 			return err
 		}
 		cfg.CacheDir = *cacheDir
+		cfg.CacheMaxBytes = *cacheMax
 		suite, err := experiments.NewSuite(cfg)
 		if err != nil {
 			return err

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -255,5 +256,95 @@ func TestParallelOutputByteIdentical(t *testing.T) {
 		if len(serial) == 0 {
 			t.Errorf("engine %s: empty output", engine)
 		}
+	}
+}
+
+// TestJobstreamByteIdenticalAcrossEnginesAndJobs is the scheduler
+// determinism gate: the multi-tenant jobstream output must be
+// byte-identical across engines (bit-identical virtual time) and worker
+// counts (the DES admission timeline does not depend on host
+// scheduling).
+func TestJobstreamByteIdenticalAcrossEnginesAndJobs(t *testing.T) {
+	base, err := runOut(t, "-exp", "jobstream", "-quick", "-engine", "des", "-jobs", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tenant := range []string{"atlas", "borealis", "cygnus"} {
+		if !strings.Contains(base, tenant) {
+			t.Errorf("jobstream output missing tenant %q:\n%s", tenant, base)
+		}
+	}
+	for _, pol := range []string{"fcfs", "pack", "priority", "sjf"} {
+		if !strings.Contains(base, pol) {
+			t.Errorf("jobstream output missing policy %q", pol)
+		}
+	}
+	for _, engine := range []string{"live", "symbolic"} {
+		got, err := runOut(t, "-exp", "jobstream", "-quick", "-engine", engine, "-jobs", "1")
+		if err != nil {
+			t.Fatalf("engine %s: %v", engine, err)
+		}
+		if got != base {
+			t.Errorf("engine %s jobstream output differs from des", engine)
+		}
+	}
+	again, err := runOut(t, "-exp", "jobstream", "-quick", "-engine", "des", "-jobs", "8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != base {
+		t.Error("-jobs 8 jobstream output differs from -jobs 1")
+	}
+}
+
+// TestSpecFileRunsJobstreamKind exercises the -spec front-end: a
+// RunSpec JSON file with a custom tenant stream runs the jobstream kind
+// directly from the CLI.
+func TestSpecFileRunsJobstreamKind(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stream.json")
+	doc := `{"kind":"jobstream","engine":"des","sharedP":8,"policies":["fcfs","pack"],
+		"stream":{"seed":9,"tenants":[
+			{"name":"solo","workload":"jacobi","n":48,"width":3,"jobs":2,"meanGapMS":200}]}}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := runOut(t, "-spec", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "solo") || !strings.Contains(got, "8-node") {
+		t.Errorf("-spec jobstream output wrong:\n%s", got)
+	}
+	if strings.Contains(got, "sjf") {
+		t.Error("-spec ran policies the spec did not select")
+	}
+	if _, err := runOut(t, "-spec", path, "-exp", "table1"); err == nil {
+		t.Error("-spec with -exp accepted")
+	}
+	if _, err := runOut(t, "-spec", filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing -spec file accepted")
+	}
+}
+
+// TestCacheMaxBytesFlag checks the flag's validation and that a capped
+// cache directory still serves runs.
+func TestCacheMaxBytesFlag(t *testing.T) {
+	if _, err := runOut(t, "-exp", "table1", "-quick", "-cache-max-bytes", "1024"); err == nil {
+		t.Error("-cache-max-bytes without -cache-dir accepted")
+	}
+	if _, err := runOut(t, "-exp", "table1", "-quick", "-cache-dir", t.TempDir(), "-cache-max-bytes", "-1"); err == nil {
+		t.Error("negative -cache-max-bytes accepted")
+	}
+	dir := t.TempDir()
+	first, err := runOut(t, "-exp", "table1", "-quick", "-cache-dir", dir, "-cache-max-bytes", "1048576")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := runOut(t, "-exp", "table1", "-quick", "-cache-dir", dir, "-cache-max-bytes", "1048576")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Error("capped cache changed the rendered output")
 	}
 }

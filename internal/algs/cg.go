@@ -1,0 +1,639 @@
+package algs
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/dist"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+// CG is a fifth algorithm–system combination and the all-reduce-dominated
+// extreme of the communication-pattern spectrum: the conjugate gradient
+// method on the 5-point Laplace system A u = b over the (n-2)×(n-2)
+// interior of the Jacobi Dirichlet problem, distributed over
+// heterogeneous row bands. Every iteration needs one halo exchange for
+// the sparse matrix-vector product plus TWO global inner products, so
+// unlike Jacobi/MG its per-iteration communication grows with p through
+// the reductions — under the isospeed-efficiency metric it sits below
+// the stencils and above GE.
+//
+// The inner products deliberately avoid Allreduce: each rank reduces its
+// owned rows left-to-right, the per-row partials are gathered at rank 0
+// in global row order, summed sequentially, and the scalar broadcast
+// back. The summation order is then a pure function of the global row
+// count — independent of the band partition — which keeps recovered runs
+// (redistributed over survivors) bitwise equal to undisturbed ones.
+
+// Message tags used by the CG program.
+const (
+	tagCGUp   = 221 // halo row travelling to the lower-index neighbour
+	tagCGDown = 222 // halo row travelling to the higher-index neighbour
+)
+
+// CGOptions configures a run.
+type CGOptions struct {
+	// Iters is the fixed number of CG iterations (required > 0).
+	// Scalability studies use a fixed count so W(n) is a pure function.
+	Iters int
+	// Symbolic skips host arithmetic (timing and traffic unchanged).
+	Symbolic bool
+	// SustainedFraction of marked speed the SpMV/vector kernels achieve.
+	// Default DefaultCGSustained.
+	SustainedFraction float64
+	// Seed drives the deterministic boundary profile behind b.
+	Seed int64
+	// Strategy distributes the n-2 interior rows. It must produce a
+	// contiguous block assignment (each rank owns one band), so the
+	// halo-exchange neighbours stay rank±1. Default dist.HetBlock;
+	// dist.Pinned{Inner: dist.HetBlock{}} pins the bands to nominal
+	// speeds for fault studies.
+	Strategy dist.Strategy
+}
+
+// DefaultCGSustained is the default sustained fraction for the CG
+// kernels (SpMV plus stream-like vector updates: memory-bound, below
+// the stencils).
+const DefaultCGSustained = 0.5
+
+func (o *CGOptions) setDefaults() error {
+	if o.Iters <= 0 {
+		return fmt.Errorf("algs: CG needs Iters > 0, got %d", o.Iters)
+	}
+	if o.SustainedFraction == 0 {
+		o.SustainedFraction = DefaultCGSustained
+	}
+	if o.SustainedFraction < 0 || o.SustainedFraction > 1 {
+		return fmt.Errorf("algs: CG sustained fraction %g out of (0,1]", o.SustainedFraction)
+	}
+	if o.Strategy == nil {
+		o.Strategy = dist.HetBlock{}
+	}
+	return nil
+}
+
+// WorkCG is W(n) for iters CG iterations on the (n-2)² interior system:
+// per point per iteration, 6 flops for the 5-point SpMV, 2 per inner
+// product (twice), 4 for the two axpy updates and 2 for the direction
+// update — 16 in total — plus the one-time 2-flop initial residual
+// product.
+func WorkCG(n, iters int) float64 {
+	if n < 3 {
+		return 0
+	}
+	m := float64(n-2) * float64(n-2)
+	return m * (2 + 16*float64(iters))
+}
+
+// CGOutcome is the result of a run.
+type CGOutcome struct {
+	N     int
+	Iters int
+	Work  float64
+	Res   mpi.Result
+	// IterTimeMS is the virtual time of the iteration loop alone, barrier
+	// to barrier, excluding the one-time distribution and collection (the
+	// same metering window as the stencils' SweepTimeMS).
+	IterTimeMS float64
+	X          []float64 // solution over the (n-2)² interior at rank 0 (nil when symbolic)
+}
+
+// cgRHS builds the right-hand side of the discrete 5-point Laplace
+// system over the (n-2)×(n-2) interior: b collects the known Dirichlet
+// boundary values of the deterministic Jacobi profile adjacent to each
+// interior point.
+func cgRHS(n int, seed int64) []float64 {
+	g := jacobiInitialGrid(n, seed)
+	w := n - 2
+	b := make([]float64, w*w)
+	for i := 0; i < w; i++ {
+		for j := 0; j < w; j++ {
+			gi, gj := i+1, j+1
+			var s float64
+			if gi == 1 {
+				s += g[(gi-1)*n+gj]
+			}
+			if gi == n-2 {
+				s += g[(gi+1)*n+gj]
+			}
+			if gj == 1 {
+				s += g[gi*n+gj-1]
+			}
+			if gj == n-2 {
+				s += g[gi*n+gj+1]
+			}
+			b[i*w+j] = s
+		}
+	}
+	return b
+}
+
+// RunCG executes the heterogeneous conjugate gradient on the (n-2)²
+// interior system (n >= 3): rank 0 scatters proportional row bands of b,
+// every iteration exchanges one halo row of the direction vector with
+// each neighbour for the SpMV and performs two gather-and-broadcast
+// inner products, and rank 0 gathers the final iterate.
+func RunCG(cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, n int, opts CGOptions) (CGOutcome, error) {
+	return RunCGContext(context.Background(), cl, model, mpiOpts, n, opts)
+}
+
+// RunCGContext is RunCG with cancellation, observed at run boundaries
+// (see mpi.RunContext).
+func RunCGContext(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, n int, opts CGOptions) (CGOutcome, error) {
+	if n < 3 {
+		return CGOutcome{}, fmt.Errorf("algs: CG needs n >= 3, got %d", n)
+	}
+	if err := opts.setDefaults(); err != nil {
+		return CGOutcome{}, err
+	}
+	ranges, err := cgRanges(cl, n, opts.Strategy)
+	if err != nil {
+		return CGOutcome{}, err
+	}
+
+	var b []float64
+	if !opts.Symbolic {
+		b = cgRHS(n, opts.Seed)
+	}
+
+	var outX []float64
+	var iterMS float64
+	res, err := mpi.RunContext(ctx, cl, model, mpiOpts, func(c mpi.Comm) error {
+		x, it, err := cgRank(c, n, ranges, b, nil, opts, nil)
+		if c.Rank() == 0 {
+			outX, iterMS = x, it
+		}
+		return err
+	})
+	if err != nil {
+		return CGOutcome{}, err
+	}
+	return CGOutcome{
+		N: n, Iters: opts.Iters, Work: WorkCG(n, opts.Iters),
+		Res: res, IterTimeMS: iterMS, X: outX,
+	}, nil
+}
+
+// cgRanges distributes the n-2 interior rows and validates the block
+// shape, returning 0-based interior row ranges per rank.
+func cgRanges(cl *cluster.Cluster, n int, strat dist.Strategy) ([][2]int, error) {
+	asn, err := strat.Assign(n-2, cl.Speeds())
+	if err != nil {
+		return nil, fmt.Errorf("algs: CG distribution: %w", err)
+	}
+	if !isBlockAssignment(asn) {
+		return nil, fmt.Errorf("algs: CG needs a contiguous block distribution, %T is not", strat)
+	}
+	for r, c := range asn.Counts {
+		if c == 0 {
+			return nil, fmt.Errorf("algs: CG system too small: rank %d owns 0 rows (n=%d, p=%d)",
+				r, n, cl.Size())
+		}
+	}
+	return dist.BlockRanges(asn.Counts), nil
+}
+
+// cgResume carries the solver state restored from a committed
+// checkpoint: global x, r, p over the interior (nil when symbolic), the
+// residual norm rho, and the first iteration still to run.
+type cgResume struct {
+	start   int
+	rho     float64
+	x, r, p []float64
+}
+
+// cgRecover carries the recovery hooks into cgRank (see RunCGRecovered).
+// nil means a plain run.
+type cgRecover struct {
+	interval int
+	ck       *mpi.Checkpointer
+}
+
+// cgDot computes the global inner product <a, b> of two band-distributed
+// interior vectors: per-row left-to-right partial sums, gathered at rank
+// 0 in global row order, summed sequentially, scalar broadcast back.
+// The 2 flops per point are charged before the gather.
+func cgDot(c mpi.Comm, a, b []float64, rows, w int, frac float64, symbolic bool) float64 {
+	c.Compute(2 * float64(rows) * float64(w) / frac)
+	part := make([]float64, rows)
+	if !symbolic {
+		for i := 0; i < rows; i++ {
+			var s float64
+			for j := 0; j < w; j++ {
+				s += a[i*w+j] * b[i*w+j]
+			}
+			part[i] = s
+		}
+	}
+	parts := c.Gatherv(0, part)
+	var tot []float64
+	if c.Rank() == 0 {
+		tot = make([]float64, 1)
+		if !symbolic {
+			var s float64
+			for _, pr := range parts {
+				for _, v := range pr {
+					s += v
+				}
+			}
+			tot[0] = s
+		}
+	}
+	return c.Bcast(0, tot)[0]
+}
+
+// cgRank is the per-rank program body. It returns (x, iterTimeMS) at
+// rank 0. b is the fresh-start right-hand side (rank 0, nil when
+// symbolic); resume is non-nil when replaying from a checkpoint.
+func cgRank(c mpi.Comm, n int, ranges [][2]int, b []float64, resume *cgResume, opts CGOptions, rec *cgRecover) ([]float64, float64, error) {
+	rank, p := c.Rank(), c.Size()
+	symbolic := opts.Symbolic
+	frac := opts.SustainedFraction
+	w := n - 2
+	lo0 := ranges[rank][0]
+	rows := ranges[rank][1] - ranges[rank][0]
+
+	xv := make([]float64, rows*w)
+	rv := make([]float64, rows*w)
+	pv := make([]float64, (rows+2)*w) // ghost row above and below, zero at the global edges
+	qv := make([]float64, rows*w)
+
+	// --- Distribution: rank 0 scatters either the fresh b bands or the
+	// restored [x|r|p] bands.
+	var rho float64
+	startIt := 0
+	if resume == nil {
+		var segs [][]float64
+		if rank == 0 {
+			segs = make([][]float64, p)
+			for r := range segs {
+				cnt := ranges[r][1] - ranges[r][0]
+				seg := make([]float64, cnt*w)
+				if !symbolic {
+					copy(seg, b[ranges[r][0]*w:ranges[r][1]*w])
+				}
+				segs[r] = seg
+			}
+		}
+		band := c.Scatterv(0, segs)
+		if len(band) != rows*w {
+			return nil, 0, fmt.Errorf("algs: rank %d band size %d, want %d", rank, len(band), rows*w)
+		}
+		if !symbolic {
+			// x0 = 0, r0 = b, p0 = r0.
+			copy(rv, band)
+			copy(pv[w:(rows+1)*w], band)
+		}
+		rho = cgDot(c, rv, rv, rows, w, frac, symbolic)
+	} else {
+		startIt = resume.start
+		rho = resume.rho
+		var segs [][]float64
+		if rank == 0 {
+			segs = make([][]float64, p)
+			for r := range segs {
+				cnt := ranges[r][1] - ranges[r][0]
+				seg := make([]float64, 3*cnt*w)
+				if !symbolic {
+					rlo, rhi := ranges[r][0]*w, ranges[r][1]*w
+					copy(seg[:cnt*w], resume.x[rlo:rhi])
+					copy(seg[cnt*w:2*cnt*w], resume.r[rlo:rhi])
+					copy(seg[2*cnt*w:], resume.p[rlo:rhi])
+				}
+				segs[r] = seg
+			}
+		}
+		band := c.Scatterv(0, segs)
+		if len(band) != 3*rows*w {
+			return nil, 0, fmt.Errorf("algs: rank %d resume band size %d, want %d", rank, len(band), 3*rows*w)
+		}
+		if !symbolic {
+			copy(xv, band[:rows*w])
+			copy(rv, band[rows*w:2*rows*w])
+			copy(pv[w:(rows+1)*w], band[2*rows*w:])
+		}
+	}
+
+	// Time the iteration loop barrier-to-barrier, like the stencils'
+	// sweep window: the one-shot O(n²) scatter/gather through rank 0 is
+	// outside the metered region.
+	c.Barrier()
+	iterStart := c.Clock()
+
+	up, down := rank-1, rank+1
+	needTop := up >= 0  // else the top ghost stays the zero Dirichlet closure
+	needBot := down < p // else the bottom ghost stays the zero Dirichlet closure
+
+	for it := startIt; it < opts.Iters; it++ {
+		// --- Halo exchange of the direction vector's edge rows.
+		if needTop {
+			c.Send(up, tagCGUp, pv[w:2*w])
+		}
+		if needBot {
+			c.Send(down, tagCGDown, pv[rows*w:(rows+1)*w])
+		}
+		if needTop {
+			ghost := c.Recv(up, tagCGDown)
+			if !symbolic {
+				copy(pv[:w], ghost)
+			}
+		}
+		if needBot {
+			ghost := c.Recv(down, tagCGUp)
+			if !symbolic {
+				copy(pv[(rows+1)*w:], ghost)
+			}
+		}
+
+		// --- q = A p: the 5-point operator over the interior system.
+		// Global edge neighbours subtract an exact zero from the padded
+		// ghosts, matching the sequential reference bitwise.
+		c.Compute(6 * float64(rows) * float64(w) / frac)
+		if !symbolic {
+			for i := 0; i < rows; i++ {
+				for j := 0; j < w; j++ {
+					idx := (i+1)*w + j
+					s := 4 * pv[idx]
+					if j > 0 {
+						s -= pv[idx-1]
+					}
+					if j < w-1 {
+						s -= pv[idx+1]
+					}
+					s -= pv[idx-w]
+					s -= pv[idx+w]
+					qv[i*w+j] = s
+				}
+			}
+		}
+
+		pq := cgDot(c, pv[w:(rows+1)*w], qv, rows, w, frac, symbolic)
+		var alpha float64
+		if !symbolic && pq != 0 {
+			alpha = rho / pq
+		}
+
+		// --- x += alpha p, r -= alpha q.
+		c.Compute(4 * float64(rows) * float64(w) / frac)
+		if !symbolic {
+			for i := 0; i < rows*w; i++ {
+				xv[i] += alpha * pv[w+i]
+				rv[i] -= alpha * qv[i]
+			}
+		}
+
+		rhoNew := cgDot(c, rv, rv, rows, w, frac, symbolic)
+		var beta float64
+		if !symbolic && rho != 0 {
+			beta = rhoNew / rho
+		}
+		rho = rhoNew
+
+		// --- p = r + beta p.
+		c.Compute(2 * float64(rows) * float64(w) / frac)
+		if !symbolic {
+			for i := 0; i < rows*w; i++ {
+				pv[w+i] = rv[i] + beta*pv[w+i]
+			}
+		}
+
+		if rec != nil && rec.interval > 0 && (it+1)%rec.interval == 0 && it+1 < opts.Iters {
+			rec.ck.Save(c, packCGState(it+1, lo0, rows, w, rho, xv, rv, pv))
+		}
+	}
+
+	c.Barrier()
+	iterMS := c.Clock() - iterStart
+
+	// --- Collection at rank 0.
+	own := make([]float64, rows*w)
+	if !symbolic {
+		copy(own, xv)
+	}
+	parts := c.Gatherv(0, own)
+	if rank != 0 {
+		return nil, 0, nil
+	}
+	if symbolic {
+		return nil, iterMS, nil
+	}
+	out := make([]float64, w*w)
+	for r := 0; r < p; r++ {
+		copy(out[ranges[r][0]*w:], parts[r])
+	}
+	return out, iterMS, nil
+}
+
+// CGSequential runs the same iteration single-threaded for verification:
+// identical iteration count, identical per-row reduction order, identical
+// ghost-padded operator — bitwise equal to the parallel run at any p.
+func CGSequential(n, iters int, seed int64) ([]float64, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("algs: CG needs n >= 3, got %d", n)
+	}
+	if iters <= 0 {
+		return nil, fmt.Errorf("algs: CG needs iters > 0, got %d", iters)
+	}
+	w := n - 2
+	m := w * w
+	x := make([]float64, m)
+	r := cgRHS(n, seed)
+	pv := make([]float64, (w+2)*w) // ghost-padded like the parallel bands
+	copy(pv[w:w+m], r)
+	q := make([]float64, m)
+	dot := func(a, b []float64) float64 {
+		var tot float64
+		for i := 0; i < w; i++ {
+			var s float64
+			for j := 0; j < w; j++ {
+				s += a[i*w+j] * b[i*w+j]
+			}
+			tot += s
+		}
+		return tot
+	}
+	rho := dot(r, r)
+	for it := 0; it < iters; it++ {
+		for i := 0; i < w; i++ {
+			for j := 0; j < w; j++ {
+				idx := (i+1)*w + j
+				s := 4 * pv[idx]
+				if j > 0 {
+					s -= pv[idx-1]
+				}
+				if j < w-1 {
+					s -= pv[idx+1]
+				}
+				s -= pv[idx-w]
+				s -= pv[idx+w]
+				q[i*w+j] = s
+			}
+		}
+		pq := dot(pv[w:w+m], q)
+		var alpha float64
+		if pq != 0 {
+			alpha = rho / pq
+		}
+		for i := 0; i < m; i++ {
+			x[i] += alpha * pv[w+i]
+			r[i] -= alpha * q[i]
+		}
+		rhoNew := dot(r, r)
+		var beta float64
+		if rho != 0 {
+			beta = rhoNew / rho
+		}
+		rho = rhoNew
+		for i := 0; i < m; i++ {
+			pv[w+i] = r[i] + beta*pv[w+i]
+		}
+	}
+	return x, nil
+}
+
+// CGOverhead returns the analytic To(n) in ms for the fixed-iteration CG
+// ITERATION LOOP on the given cluster: per iteration, each interior rank
+// exchanges two halo rows, and two inner products each gather the
+// per-rank partial rows at rank 0 and broadcast the scalar back. The
+// one-time distribution/collection is outside the model, matching the
+// IterTimeMS measurement window.
+func CGOverhead(cl *cluster.Cluster, m simnet.CostModel, iters int) (func(n float64) float64, error) {
+	if cl == nil || m == nil {
+		return nil, fmt.Errorf("algs: CGOverhead needs cluster and model")
+	}
+	if iters <= 0 {
+		return nil, fmt.Errorf("algs: CGOverhead needs iters > 0")
+	}
+	p := cl.Size()
+	return func(n float64) float64 {
+		w := n - 2
+		if w < 0 {
+			w = 0
+		}
+		row := int(wordB * w)
+		exchanges := 2
+		if p == 1 {
+			exchanges = 0
+		}
+		halo := float64(exchanges) * (m.SendTime(row) + m.TransferTime(row) + m.RecvTime(row))
+		var dot float64
+		if p > 1 {
+			share := int(wordB * w / float64(p))
+			scalar := int(wordB)
+			dot = float64(p-1)*(m.TransferTime(share)+m.RecvTime(share)) + m.BcastTime(p, scalar)
+		}
+		return float64(iters) * (halo + 2*dot)
+	}, nil
+}
+
+// --- Recovery ------------------------------------------------------------
+
+// packCGState encodes one rank's solver state after an iteration:
+// [iters done, first interior row, row count, rho, then count*w values
+// each of x, r, p]. The rho scalar is identical on every rank (it is the
+// broadcast reduction result), which the decoder cross-checks.
+func packCGState(iters, lo, rows, w int, rho float64, x, r, pv []float64) []float64 {
+	out := make([]float64, 4, 4+3*rows*w)
+	out[0] = float64(iters)
+	out[1] = float64(lo)
+	out[2] = float64(rows)
+	out[3] = rho
+	out = append(out, x...)
+	out = append(out, r...)
+	out = append(out, pv[w:(rows+1)*w]...)
+	return out
+}
+
+// decodeCGSnapshot rebuilds the global solver state from a committed
+// checkpoint.
+func decodeCGSnapshot(n int, snap *mpi.Snapshot, symbolic bool) (*cgResume, error) {
+	w := n - 2
+	if len(snap.Parts) == 0 || len(snap.Parts[0]) < 4 {
+		return nil, fmt.Errorf("algs: CG snapshot %d malformed", snap.Seq)
+	}
+	k0 := int(snap.Parts[0][0])
+	res := &cgResume{start: k0, rho: snap.Parts[0][3]}
+	if !symbolic {
+		m := w * w
+		res.x = make([]float64, m)
+		res.r = make([]float64, m)
+		res.p = make([]float64, m)
+	}
+	for pi, part := range snap.Parts {
+		if len(part) < 4 || int(part[0]) != k0 || part[3] != res.rho {
+			return nil, fmt.Errorf("algs: CG snapshot %d part %d inconsistent", snap.Seq, pi)
+		}
+		lo, rows := int(part[1]), int(part[2])
+		if len(part) != 4+3*rows*w || lo < 0 || lo+rows > w {
+			return nil, fmt.Errorf("algs: CG snapshot %d part %d shape invalid", snap.Seq, pi)
+		}
+		if symbolic {
+			continue
+		}
+		off := 4
+		copy(res.x[lo*w:(lo+rows)*w], part[off:off+rows*w])
+		copy(res.r[lo*w:(lo+rows)*w], part[off+rows*w:off+2*rows*w])
+		copy(res.p[lo*w:(lo+rows)*w], part[off+2*rows*w:off+3*rows*w])
+	}
+	return res, nil
+}
+
+// RunCGRecovered executes the conjugate gradient with per-iteration
+// checkpoints and rollback recovery.
+func RunCGRecovered(cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, n int, opts CGOptions, rcfg RecoveryConfig) (CGOutcome, mpi.RecoveredResult, error) {
+	return RunCGRecoveredContext(context.Background(), cl, model, mpiOpts, n, opts, rcfg)
+}
+
+// RunCGRecoveredContext is RunCGRecovered with cancellation.
+func RunCGRecoveredContext(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, n int, opts CGOptions, rcfg RecoveryConfig) (CGOutcome, mpi.RecoveredResult, error) {
+	if n < 3 {
+		return CGOutcome{}, mpi.RecoveredResult{}, fmt.Errorf("algs: CG needs n >= 3, got %d", n)
+	}
+	if err := opts.setDefaults(); err != nil {
+		return CGOutcome{}, mpi.RecoveredResult{}, err
+	}
+	if err := rcfg.validate(); err != nil {
+		return CGOutcome{}, mpi.RecoveredResult{}, err
+	}
+
+	var b []float64
+	if !opts.Symbolic {
+		b = cgRHS(n, opts.Seed)
+	}
+
+	var outX []float64
+	var iterMS float64
+	factory := func(inst mpi.Instance) (mpi.RecoverableProgram, error) {
+		strat := survivorStrategy(opts.Strategy, inst.Ranks)
+		ranges, err := cgRanges(inst.Cluster, n, strat)
+		if err != nil {
+			return nil, err
+		}
+		var resume *cgResume
+		if inst.Resume != nil {
+			resume, err = decodeCGSnapshot(n, inst.Resume, opts.Symbolic)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return func(c mpi.Comm, ck *mpi.Checkpointer) error {
+			rec := &cgRecover{interval: rcfg.IntervalSteps, ck: ck}
+			x, it, err := cgRank(c, n, ranges, b, resume, opts, rec)
+			if c.Rank() == 0 {
+				outX, iterMS = x, it
+			}
+			return err
+		}, nil
+	}
+
+	rec, err := mpi.RunRecoverableContext(ctx, cl, model, mpiOpts, rcfg.RecoveryOptions, factory)
+	if err != nil {
+		return CGOutcome{}, rec, err
+	}
+	return CGOutcome{
+		N: n, Iters: opts.Iters, Work: WorkCG(n, opts.Iters),
+		Res: rec.Result, IterTimeMS: iterMS, X: outX,
+	}, rec, nil
+}

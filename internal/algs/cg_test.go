@@ -1,0 +1,119 @@
+package algs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/mpi"
+)
+
+func TestCGMatchesSequential(t *testing.T) {
+	cl := mmCluster(t)
+	m := testModel(t)
+	for _, tc := range []struct{ n, iters int }{
+		{8, 5}, {16, 20}, {40, 30},
+	} {
+		out, err := RunCG(cl, m, mpi.Options{}, tc.n, CGOptions{Iters: tc.iters, Seed: 3})
+		if err != nil {
+			t.Fatalf("n=%d: %v", tc.n, err)
+		}
+		ref, err := CGSequential(tc.n, tc.iters, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ref) != len(out.X) {
+			t.Fatalf("n=%d: solution length %d, ref %d", tc.n, len(out.X), len(ref))
+		}
+		for i := range ref {
+			if ref[i] != out.X[i] {
+				t.Fatalf("n=%d iters=%d: x[%d] = %g, ref %g", tc.n, tc.iters, i, out.X[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestCGSolvesLaplaceSystem(t *testing.T) {
+	// After enough iterations the iterate must satisfy A x = b to high
+	// accuracy: CG on the SPD 5-point operator converges.
+	n := 12
+	w := n - 2
+	x, err := CGSequential(n, 200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := cgRHS(n, 5)
+	var worst float64
+	at := func(i, j int) float64 {
+		if i < 0 || i >= w || j < 0 || j >= w {
+			return 0
+		}
+		return x[i*w+j]
+	}
+	for i := 0; i < w; i++ {
+		for j := 0; j < w; j++ {
+			ax := 4*at(i, j) - at(i, j-1) - at(i, j+1) - at(i-1, j) - at(i+1, j)
+			if d := math.Abs(ax - b[i*w+j]); d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 1e-8 {
+		t.Errorf("residual ||Ax-b||_inf = %g after 200 iterations", worst)
+	}
+}
+
+func TestCGSymbolicMatchesRealTiming(t *testing.T) {
+	cl := mmCluster(t)
+	m := testModel(t)
+	opts := CGOptions{Iters: 30, Seed: 2}
+	real, err := RunCG(cl, m, mpi.Options{}, 32, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Symbolic = true
+	sym, err := RunCG(cl, m, mpi.Options{}, 32, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym.X != nil {
+		t.Error("symbolic run returned a solution")
+	}
+	if real.Res.TimeMS != sym.Res.TimeMS || real.IterTimeMS != sym.IterTimeMS {
+		t.Errorf("symbolic time %g/%g != real %g/%g",
+			sym.Res.TimeMS, sym.IterTimeMS, real.Res.TimeMS, real.IterTimeMS)
+	}
+	if real.Res.Messages != sym.Res.Messages || real.Res.BytesMoved != sym.Res.BytesMoved {
+		t.Error("traffic differs between symbolic and real")
+	}
+}
+
+func TestCGRecoveredBitwiseEqual(t *testing.T) {
+	cl := mmCluster(t)
+	m := testModel(t)
+	n := 24
+	opts := CGOptions{Iters: 30, Seed: 7}
+	base, err := RunCG(cl, m, mpi.Options{}, n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faults.Plan{Seed: 11, Crashes: []faults.Crash{
+		{Rank: cl.Size() - 1, AtMS: 0.5 * base.Res.TimeMS},
+	}}
+	_, _, inj, err := plan.Apply(cl, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, rec, err := RunCGRecovered(cl, m, mpi.Options{Faults: inj}, n, opts, RecoveryConfig{IntervalSteps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Attempts < 2 {
+		t.Errorf("Attempts = %d, want a rollback", rec.Attempts)
+	}
+	for i := range base.X {
+		if base.X[i] != out.X[i] {
+			t.Fatalf("x[%d] = %g, undisturbed %g", i, out.X[i], base.X[i])
+		}
+	}
+}

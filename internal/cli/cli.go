@@ -2,11 +2,11 @@
 // command-line tools: worker-pool defaults and progress reporting.
 //
 // The enumeration parsers that used to live here (engine names, output
-// formats, the default cost model) moved to internal/spec in the
+// formats, the default cost model) live at internal/spec since the
 // RunSpec redesign — they define a spec's canonical vocabulary, which
-// the HTTP server needs without any CLI involved. The old names remain
-// below as deprecated one-release shims; see EXPERIMENTS.md for the
-// migration table.
+// the HTTP server needs without any CLI involved. The deprecated shims
+// that bridged the move (ParseEngine, SunwulfModel, Format) have been
+// removed; see EXPERIMENTS.md for the migration table.
 package cli
 
 import (
@@ -16,30 +16,8 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/mpi"
 	"repro/internal/runner"
-	"repro/internal/simnet"
-	"repro/internal/spec"
 )
-
-// ParseEngine maps an -engine flag value to the mpi engine.
-//
-// Deprecated: use spec.ParseEngine. This shim will be removed one
-// release after the RunSpec redesign.
-func ParseEngine(name string) (mpi.Engine, error) { return spec.ParseEngine(name) }
-
-// SunwulfModel returns the default communication cost model.
-//
-// Deprecated: use spec.SunwulfModel. This shim will be removed one
-// release after the RunSpec redesign.
-func SunwulfModel() (simnet.CostModel, error) { return spec.SunwulfModel() }
-
-// Format resolves the mutually exclusive -csv/-json flags to a renderer
-// format name.
-//
-// Deprecated: use spec.ParseFormat. This shim will be removed one
-// release after the RunSpec redesign.
-func Format(csv, json bool) (string, error) { return spec.ParseFormat(csv, json) }
 
 // DefaultJobs is the worker-pool size when -jobs is not given: one
 // worker per available CPU.

@@ -4,52 +4,7 @@ import (
 	"strings"
 	"testing"
 	"time"
-
-	"repro/internal/mpi"
 )
-
-func TestParseEngine(t *testing.T) {
-	for name, want := range map[string]mpi.Engine{
-		"live": mpi.EngineLive, "LIVE": mpi.EngineLive,
-		"des": mpi.EngineDES, "Des": mpi.EngineDES,
-	} {
-		got, err := ParseEngine(name)
-		if err != nil || got != want {
-			t.Errorf("ParseEngine(%q) = %v, %v", name, got, err)
-		}
-	}
-	if _, err := ParseEngine("warp"); err == nil {
-		t.Error("unknown engine accepted")
-	}
-}
-
-func TestSunwulfModel(t *testing.T) {
-	m, err := SunwulfModel()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if m.Name() != "sunwulf-100Mb" {
-		t.Errorf("model name %q", m.Name())
-	}
-}
-
-func TestFormat(t *testing.T) {
-	for _, tc := range []struct {
-		csv, json bool
-		want      string
-		err       bool
-	}{
-		{false, false, "text", false},
-		{true, false, "csv", false},
-		{false, true, "json", false},
-		{true, true, "", true},
-	} {
-		got, err := Format(tc.csv, tc.json)
-		if (err != nil) != tc.err || got != tc.want {
-			t.Errorf("Format(%v, %v) = %q, %v", tc.csv, tc.json, got, err)
-		}
-	}
-}
 
 func TestDefaultJobs(t *testing.T) {
 	if DefaultJobs() < 1 {

@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"fmt"
+)
+
+// Allocator hands out exclusive node-subset leases on one shared
+// cluster, the seam that turns a Cluster from "implicitly owned by a
+// single run" into a multi-tenant resource. All times are virtual
+// milliseconds on the caller's clock (conventionally a des.Kernel):
+// acquire and release carry configurable virtual charges, and the
+// allocator keeps busy node-milliseconds for utilization accounting.
+// The allocator itself is policy-free — schedulers decide WHICH ranks
+// to lease; it only enforces exclusivity and monotonic time.
+type Allocator struct {
+	cl     *Cluster
+	opts   AllocatorOptions
+	owner  []int // per node: owning lease ID, or -1 when free
+	leases map[int]*Lease
+	nextID int
+	lastMS float64
+	busyMS float64 // completed-lease node-milliseconds
+}
+
+// AllocatorOptions carries the virtual-time charges of the lease
+// life cycle.
+type AllocatorOptions struct {
+	// AcquireMS is the setup charge between Acquire and the lease
+	// becoming usable (scheduling, placement, image/launch cost).
+	AcquireMS float64
+	// ReleaseMS is the teardown charge between a job vacating its nodes
+	// and the nodes becoming free for the next lease.
+	ReleaseMS float64
+}
+
+// Lease is an exclusive hold on a subset of the shared cluster's nodes.
+type Lease struct {
+	ID     int
+	Tenant string
+	// Ranks are the leased node indices of the SHARED cluster, in the
+	// order the scheduler placed them: rank i of the leased job runs on
+	// shared node Ranks[i]. Nothing requires Ranks[0] to be node 0.
+	Ranks []int
+	// Sub is the leased subset as a self-contained cluster.
+	Sub *Cluster
+	// AcquiredMS is when the lease was granted; ReadyMS is when the
+	// nodes become usable (AcquiredMS plus the acquire charge).
+	AcquiredMS float64
+	ReadyMS    float64
+}
+
+// NewAllocator wraps a shared cluster in a lease manager.
+func NewAllocator(cl *Cluster, opts AllocatorOptions) (*Allocator, error) {
+	if cl == nil {
+		return nil, fmt.Errorf("cluster: NewAllocator needs a cluster")
+	}
+	if opts.AcquireMS < 0 || opts.ReleaseMS < 0 {
+		return nil, fmt.Errorf("cluster: negative lease charge (acquire %g, release %g)",
+			opts.AcquireMS, opts.ReleaseMS)
+	}
+	owner := make([]int, cl.Size())
+	for i := range owner {
+		owner[i] = -1
+	}
+	return &Allocator{cl: cl, opts: opts, owner: owner, leases: map[int]*Lease{}}, nil
+}
+
+// Cluster returns the shared cluster the allocator manages.
+func (a *Allocator) Cluster() *Cluster { return a.cl }
+
+// Options returns the configured lease charges.
+func (a *Allocator) Options() AllocatorOptions { return a.opts }
+
+// Free returns the number of currently unleased nodes.
+func (a *Allocator) Free() int {
+	n := 0
+	for _, o := range a.owner {
+		if o < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// FreeRanks returns the unleased node indices in ascending order.
+func (a *Allocator) FreeRanks() []int {
+	out := make([]int, 0, len(a.owner))
+	for i, o := range a.owner {
+		if o < 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// InUse returns the number of active leases.
+func (a *Allocator) InUse() int { return len(a.leases) }
+
+// Acquire grants an exclusive lease on the given shared-cluster ranks at
+// virtual time atMS. The ranks keep the caller's order (rank i of the
+// leased job runs on shared node ranks[i]); the lease is usable from
+// ReadyMS = atMS + AcquireMS. Time must be nondecreasing across
+// allocator calls — the shared-clock invariant a DES-driven scheduler
+// provides for free.
+func (a *Allocator) Acquire(tenant string, ranks []int, atMS float64) (*Lease, error) {
+	if len(ranks) == 0 {
+		return nil, fmt.Errorf("cluster: lease for %q needs at least one rank", tenant)
+	}
+	if atMS < a.lastMS {
+		return nil, fmt.Errorf("cluster: lease time went backwards (%g after %g)", atMS, a.lastMS)
+	}
+	seen := make(map[int]bool, len(ranks))
+	for _, r := range ranks {
+		if r < 0 || r >= len(a.owner) {
+			return nil, fmt.Errorf("cluster: lease rank %d out of range [0,%d)", r, len(a.owner))
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("cluster: lease rank %d repeated", r)
+		}
+		seen[r] = true
+		if id := a.owner[r]; id >= 0 {
+			return nil, fmt.Errorf("cluster: node %d already leased (lease %d, tenant %q)",
+				r, id, a.leases[id].Tenant)
+		}
+	}
+	id := a.nextID
+	sub, err := a.cl.Subset(fmt.Sprintf("%s/lease%d-%s", a.cl.Name, id, tenant), ranks...)
+	if err != nil {
+		return nil, err
+	}
+	a.nextID++
+	a.lastMS = atMS
+	l := &Lease{
+		ID: id, Tenant: tenant,
+		Ranks:      append([]int(nil), ranks...),
+		Sub:        sub,
+		AcquiredMS: atMS,
+		ReadyMS:    atMS + a.opts.AcquireMS,
+	}
+	for _, r := range l.Ranks {
+		a.owner[r] = id
+	}
+	a.leases[id] = l
+	return l, nil
+}
+
+// Release frees a lease's nodes at virtual time atMS (the caller
+// schedules this AFTER the teardown charge: vacate + ReleaseMS). The
+// nodes' busy window [AcquiredMS, atMS] is added to the utilization
+// account. Releasing an unknown or already-released lease is an error.
+func (a *Allocator) Release(l *Lease, atMS float64) error {
+	if l == nil {
+		return fmt.Errorf("cluster: Release of nil lease")
+	}
+	got, ok := a.leases[l.ID]
+	if !ok || got != l {
+		return fmt.Errorf("cluster: lease %d (tenant %q) not active — double release?", l.ID, l.Tenant)
+	}
+	if atMS < l.AcquiredMS {
+		return fmt.Errorf("cluster: lease %d released at %g before acquire at %g", l.ID, atMS, l.AcquiredMS)
+	}
+	if atMS < a.lastMS {
+		return fmt.Errorf("cluster: lease time went backwards (%g after %g)", atMS, a.lastMS)
+	}
+	a.lastMS = atMS
+	for _, r := range l.Ranks {
+		a.owner[r] = -1
+	}
+	delete(a.leases, l.ID)
+	a.busyMS += (atMS - l.AcquiredMS) * float64(len(l.Ranks))
+	return nil
+}
+
+// BusyNodeMS returns the accumulated node-milliseconds of RELEASED
+// leases: the numerator of shared-cluster utilization.
+func (a *Allocator) BusyNodeMS() float64 { return a.busyMS }
+
+// Utilization returns busy node-ms over total node-ms for a horizon
+// that started at virtual time 0 and ends at horizonMS. Active
+// (unreleased) leases are not counted.
+func (a *Allocator) Utilization(horizonMS float64) float64 {
+	if horizonMS <= 0 || a.cl.Size() == 0 {
+		return 0
+	}
+	return a.busyMS / (horizonMS * float64(a.cl.Size()))
+}

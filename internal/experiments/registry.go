@@ -313,6 +313,15 @@ func init() {
 			},
 		},
 		{
+			ID:    "jobstream",
+			About: "extension: multi-tenant job stream on one shared cluster (leases + scheduling policies)",
+			Group: GroupExtension,
+			Quick: true,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				return s.JobStream(ctx)
+			},
+		},
+		{
 			ID:    "membound",
 			About: "extension: memory-bounded scalability of every registered workload (Sun & Ni [9] folded in)",
 			Group: GroupExtension,

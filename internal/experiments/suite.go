@@ -51,6 +51,9 @@ type Config struct {
 	// layer (a restored result executes no runs, so it would collect no
 	// spans). See DESIGN.md for the entry format.
 	CacheDir string
+	// CacheMaxBytes caps the persistent layer's total size; least
+	// recently used entries are evicted past it (0: unbounded).
+	CacheMaxBytes int64
 }
 
 // Default returns the full-paper configuration.
@@ -146,6 +149,9 @@ func NewSuite(cfg Config) (*Suite, error) {
 	if cfg.CacheDir != "" && cfg.Trace == nil {
 		disk, err := runner.OpenDiskCache(cfg.CacheDir)
 		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		if err := disk.SetMaxBytes(cfg.CacheMaxBytes); err != nil {
 			return nil, fmt.Errorf("experiments: %w", err)
 		}
 		s.cache.AttachDisk(disk)

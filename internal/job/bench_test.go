@@ -1,0 +1,48 @@
+package job
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+// BenchmarkJobstreamSimulate measures multi-tenant scheduling
+// throughput: one iteration admits the full default three-tenant stream
+// (11 jobs) onto a shared 16-node cluster under the pack policy, with
+// every job executed as a real DES run on its leased subset.
+// Jobs/sec = 11e9 / ns_per_op.
+func BenchmarkJobstreamSimulate(b *testing.B) {
+	model, err := simnet.NewParamModel("sunwulf", simnet.Sunwulf100())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := cluster.MMConfig(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := DefaultStream()
+	jobs, err := stream.Jobs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol, err := GetPolicy("pack")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := Options{
+		MPI:   mpi.Options{Engine: mpi.EngineDES},
+		Alloc: cluster.AllocatorOptions{AcquireMS: 5, ReleaseMS: 2},
+		Seed:  stream.Seed,
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(ctx, cl, model, jobs, pol, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

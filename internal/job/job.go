@@ -1,0 +1,35 @@
+// Package job turns the cluster from a single-run resource into a
+// multi-tenant service: it models an open stream of jobs — each a
+// registered workload at some size, submitted by a tenant at a virtual
+// arrival time — admitted onto one shared heterogeneous cluster through
+// cluster.Allocator leases by a pluggable scheduling policy, all on the
+// DES kernel's clock so queueing, placement and execution advance one
+// deterministic virtual timeline.
+//
+// The package reports, per job, the achieved isospeed-efficiency E_s
+// over the RESPONSE time on the LEASED subset (Definition 4 applied to
+// the slice of the machine the tenant actually got, with queueing and
+// lease charges included) next to the dedicated baseline: the same job
+// with zero wait on the fastest free nodes of an idle cluster. The
+// ratio is the contention retention the ROADMAP's cluster-as-a-service
+// scenario asks for.
+package job
+
+// Job is one unit of tenant work in a stream.
+type Job struct {
+	// ID is dense and assigned in deterministic merged arrival order.
+	ID int
+	// Tenant names the submitting client.
+	Tenant string
+	// Workload is a workload-registry name ("ge", "cg", ...).
+	Workload string
+	// N is the problem size.
+	N int
+	// Width is the number of nodes the job requests.
+	Width int
+	// Priority orders jobs under the priority policy (smaller = more
+	// urgent); other policies ignore it.
+	Priority int
+	// ArrivalMS is the virtual submission time.
+	ArrivalMS float64
+}

@@ -1,0 +1,249 @@
+package job
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+func testModel(t *testing.T) simnet.CostModel {
+	t.Helper()
+	m, err := simnet.NewParamModel("sunwulf", simnet.Sunwulf100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func testCluster(t *testing.T, p int) *cluster.Cluster {
+	t.Helper()
+	cl, err := cluster.MMConfig(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func testStream() StreamSpec {
+	return StreamSpec{
+		Seed: 7,
+		Tenants: []TenantSpec{
+			{Name: "a", Workload: "jacobi", N: 48, Width: 3, Priority: 2, Jobs: 3, MeanGapMS: 150, Shape: 1},
+			{Name: "b", Workload: "cg", N: 33, Width: 2, Priority: 1, Jobs: 3, MeanGapMS: 200, Shape: 1},
+			{Name: "c", Workload: "mm", N: 24, Width: 5, Priority: 3, Jobs: 2, MeanGapMS: 500, Shape: 2},
+		},
+	}
+}
+
+func TestStreamDeterministicAndDecorrelated(t *testing.T) {
+	s := testStream()
+	j1, err := s.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := s.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(j1, j2) {
+		t.Fatal("same spec produced different job lists")
+	}
+	if len(j1) != 8 {
+		t.Fatalf("job count = %d, want 8", len(j1))
+	}
+	for i, j := range j1 {
+		if j.ID != i {
+			t.Errorf("job %d has ID %d", i, j.ID)
+		}
+		if i > 0 && j.ArrivalMS < j1[i-1].ArrivalMS {
+			t.Errorf("arrivals out of order at %d: %g after %g", i, j.ArrivalMS, j1[i-1].ArrivalMS)
+		}
+	}
+
+	// Adding a tenant must not perturb existing tenants' arrival times.
+	grown := testStream()
+	grown.Tenants = append(grown.Tenants, TenantSpec{
+		Name: "d", Workload: "mg", N: 40, Width: 1, Jobs: 2, MeanGapMS: 100,
+	})
+	j3, err := grown.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(jobs []Job, tenant string) []float64 {
+		var out []float64
+		for _, j := range jobs {
+			if j.Tenant == tenant {
+				out = append(out, j.ArrivalMS)
+			}
+		}
+		return out
+	}
+	for _, tenant := range []string{"a", "b", "c"} {
+		if !reflect.DeepEqual(at(j1, tenant), at(j3, tenant)) {
+			t.Errorf("tenant %q arrivals changed when tenant d was added", tenant)
+		}
+	}
+}
+
+func TestStreamValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func(*StreamSpec)
+	}{
+		{"empty", func(s *StreamSpec) { s.Tenants = nil }},
+		{"dup tenant", func(s *StreamSpec) { s.Tenants[1].Name = s.Tenants[0].Name }},
+		{"unknown workload", func(s *StreamSpec) { s.Tenants[0].Workload = "nope" }},
+		{"tiny n", func(s *StreamSpec) { s.Tenants[0].N = 2 }},
+		{"zero width", func(s *StreamSpec) { s.Tenants[0].Width = 0 }},
+		{"zero jobs", func(s *StreamSpec) { s.Tenants[0].Jobs = 0 }},
+		{"zero gap", func(s *StreamSpec) { s.Tenants[0].MeanGapMS = 0 }},
+		{"negative shape", func(s *StreamSpec) { s.Tenants[0].Shape = -1 }},
+	} {
+		s := testStream()
+		tc.mutate(&s)
+		if _, err := s.Jobs(); err == nil {
+			t.Errorf("%s: validation passed", tc.name)
+		}
+	}
+}
+
+func TestPoliciesRegistered(t *testing.T) {
+	names := Policies()
+	want := []string{"fcfs", "pack", "priority", "sjf"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("Policies() = %v, want %v", names, want)
+	}
+	for _, n := range names {
+		p, err := GetPolicy(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() != n || p.About() == "" {
+			t.Errorf("policy %q metadata wrong", n)
+		}
+	}
+	if _, err := GetPolicy("random"); err == nil {
+		t.Error("unknown policy resolved")
+	}
+}
+
+func simulate(t *testing.T, engine mpi.Engine, polName string) Result {
+	t.Helper()
+	s := testStream()
+	jobs, err := s.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := GetPolicy(polName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(context.Background(), testCluster(t, 8), testModel(t), jobs, pol, Options{
+		MPI:   mpi.Options{Engine: engine},
+		Alloc: cluster.AllocatorOptions{AcquireMS: 5, ReleaseMS: 2},
+		Seed:  s.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSimulateDeterministicAcrossEnginesAndReruns(t *testing.T) {
+	for _, polName := range Policies() {
+		base := simulate(t, mpi.EngineDES, polName)
+		if again := simulate(t, mpi.EngineDES, polName); !reflect.DeepEqual(base, again) {
+			t.Errorf("%s: rerun differs", polName)
+		}
+		for _, eng := range []mpi.Engine{mpi.EngineLive, mpi.EngineSymbolic} {
+			if got := simulate(t, eng, polName); !reflect.DeepEqual(base, got) {
+				t.Errorf("%s: engine %v result differs from DES", polName, eng)
+			}
+		}
+	}
+}
+
+func TestSimulateAccounting(t *testing.T) {
+	res := simulate(t, mpi.EngineDES, "fcfs")
+	if len(res.Jobs) != 8 {
+		t.Fatalf("results for %d jobs, want 8", len(res.Jobs))
+	}
+	for _, jr := range res.Jobs {
+		if jr.Ranks == nil || len(jr.Ranks) != jr.Width {
+			t.Errorf("job %d: placement %v, width %d", jr.ID, jr.Ranks, jr.Width)
+		}
+		// The acquire charge is part of the wait: start >= arrival + 5.
+		if jr.WaitMS < 5 {
+			t.Errorf("job %d: wait %g below the acquire charge", jr.ID, jr.WaitMS)
+		}
+		if jr.RunMS <= 0 || jr.FinishMS != jr.StartMS+jr.RunMS {
+			t.Errorf("job %d: inconsistent times %+v", jr.ID, jr)
+		}
+		if jr.Es <= 0 || jr.EsDedicated <= 0 {
+			t.Errorf("job %d: non-positive efficiency %g/%g", jr.ID, jr.Es, jr.EsDedicated)
+		}
+		if jr.Retention >= 1 {
+			t.Errorf("job %d: retention %g not degraded by wait+charges", jr.ID, jr.Retention)
+		}
+	}
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Errorf("utilization %g out of (0,1]", res.Utilization)
+	}
+	if res.MakespanMS <= 0 {
+		t.Errorf("makespan %g", res.MakespanMS)
+	}
+
+	// Tenant aggregation covers every tenant once, in name order.
+	sums := res.ByTenant()
+	if len(sums) != 3 || sums[0].Tenant != "a" || sums[1].Tenant != "b" || sums[2].Tenant != "c" {
+		t.Fatalf("ByTenant = %+v", sums)
+	}
+	if sums[0].Jobs != 3 || sums[2].Jobs != 2 {
+		t.Errorf("per-tenant job counts wrong: %+v", sums)
+	}
+}
+
+func TestSimulatePolicyPlacementDiffers(t *testing.T) {
+	// pack places on the fastest free nodes: with the MMConfig cluster
+	// (server nodes first are the fastest), an uncontended pack lease
+	// must pick a different node order than fcfs's lowest-index ranks
+	// at least once across the stream — and jobs must still run on
+	// subsets whose rank 0 is not shared node 0.
+	fcfsRes := simulate(t, mpi.EngineDES, "fcfs")
+	packRes := simulate(t, mpi.EngineDES, "pack")
+	if reflect.DeepEqual(fcfsRes.Jobs, packRes.Jobs) {
+		t.Error("fcfs and pack produced identical schedules on a heterogeneous cluster")
+	}
+	offZero := false
+	for _, jr := range packRes.Jobs {
+		if len(jr.Ranks) > 0 && jr.Ranks[0] != 0 {
+			offZero = true
+		}
+	}
+	if !offZero {
+		t.Error("pack never placed a job with rank 0 off shared node 0")
+	}
+}
+
+func TestSimulateDedicatedRetentionIsOneWhenUncontended(t *testing.T) {
+	// A single job arriving at time 0 on an empty cluster under pack
+	// (fastest-free placement, zero charges) IS the dedicated baseline.
+	jobs := []Job{{ID: 0, Tenant: "solo", Workload: "cg", N: 33, Width: 2}}
+	pol, err := GetPolicy("pack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(context.Background(), testCluster(t, 8), testModel(t), jobs, pol, Options{
+		MPI: mpi.Options{Engine: mpi.EngineDES},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Jobs[0].Retention; got != 1 {
+		t.Errorf("uncontended retention = %g, want exactly 1", got)
+	}
+}

@@ -1,0 +1,256 @@
+package job
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+	"repro/internal/workload"
+)
+
+// Options configures one shared-cluster simulation.
+type Options struct {
+	// MPI carries the engine (and any fault plan) for the inner virtual
+	// runs. Engines are bit-identical in virtual time, so the simulated
+	// schedule — and therefore every reported number — is too.
+	MPI mpi.Options
+	// Alloc carries the lease acquire/release charges.
+	Alloc cluster.AllocatorOptions
+	// Seed drives the workloads' deterministic inputs.
+	Seed int64
+}
+
+// JobResult is one job's fate under a policy.
+type JobResult struct {
+	Job
+	// Ranks is the leased placement on the shared cluster, job rank
+	// order.
+	Ranks []int
+	// StartMS is when computation began (lease ready), FinishMS when it
+	// ended; WaitMS = StartMS - ArrivalMS includes queueing and the
+	// acquire charge, RunMS = FinishMS - StartMS.
+	StartMS  float64
+	FinishMS float64
+	WaitMS   float64
+	RunMS    float64
+	// Work is the executed flop count.
+	Work float64
+	// Es is the achieved isospeed-efficiency of the job as the tenant
+	// experienced it: W over response time (arrival to finish) on the
+	// leased subset's marked speed.
+	Es float64
+	// EsDedicated is the dedicated-cluster baseline: the same job on
+	// the same placement with zero wait and zero lease charges — what
+	// the tenant would have achieved had it not shared the machine.
+	EsDedicated float64
+	// Retention is Es / EsDedicated — the fraction of dedicated-cluster
+	// efficiency that survived contention.
+	Retention float64
+}
+
+// Result is one policy's full simulation outcome.
+type Result struct {
+	Policy string
+	// Jobs is indexed by job ID.
+	Jobs []JobResult
+	// MakespanMS is the virtual time of the last lease release.
+	MakespanMS float64
+	// Utilization is busy node-ms over cluster node-ms across the
+	// makespan.
+	Utilization float64
+}
+
+// innerRun memoizes one workload execution on one placement.
+type innerRun struct {
+	timeMS float64
+	work   float64
+}
+
+// Simulate runs the job stream on one shared cluster under the given
+// policy, advancing arrivals, leases and completions on a single DES
+// clock. Jobs execute as real virtual-time runs (symbolic mode: full
+// timing and traffic, no host arithmetic) on their leased subset, so a
+// lease on nodes {7,3} genuinely runs rank 0 on node 7.
+func Simulate(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, jobs []Job, pol Policy, opts Options) (Result, error) {
+	if cl == nil || model == nil {
+		return Result{}, fmt.Errorf("job: Simulate needs a cluster and a cost model")
+	}
+	if pol == nil {
+		return Result{}, fmt.Errorf("job: Simulate needs a policy")
+	}
+	ests := make(map[string]workload.Workload, 4)
+	for _, j := range jobs {
+		w, ok := workload.Lookup(j.Workload)
+		if !ok {
+			return Result{}, fmt.Errorf("job: job %d: unknown workload %q", j.ID, j.Workload)
+		}
+		ests[j.Workload] = w
+		if j.Width > cl.Size() {
+			return Result{}, fmt.Errorf("job: job %d (tenant %q) wants %d nodes, cluster has %d",
+				j.ID, j.Tenant, j.Width, cl.Size())
+		}
+	}
+	alloc, err := cluster.NewAllocator(cl, opts.Alloc)
+	if err != nil {
+		return Result{}, err
+	}
+	est := func(j *Job) float64 { return ests[j.Workload].WorkAt(j.N) }
+
+	memo := map[string]innerRun{}
+	runOn := func(j *Job, sub *cluster.Cluster, ranks []int) (innerRun, error) {
+		key := fmt.Sprintf("%s/%d/%v", j.Workload, j.N, ranks)
+		if r, ok := memo[key]; ok {
+			return r, nil
+		}
+		out, err := ests[j.Workload].Run(ctx, sub, model, opts.MPI, workload.Spec{
+			N: j.N, Seed: opts.Seed, Symbolic: true,
+		})
+		if err != nil {
+			return innerRun{}, fmt.Errorf("job: job %d (%s n=%d) on %v: %w", j.ID, j.Workload, j.N, ranks, err)
+		}
+		r := innerRun{timeMS: out.Stats.TimeMS, work: out.Work}
+		memo[key] = r
+		return r, nil
+	}
+
+	k := des.NewKernel()
+	results := make([]JobResult, len(jobs))
+	var queue []*Job
+	var simErr error
+	fail := func(err error) {
+		if simErr == nil {
+			simErr = err
+		}
+	}
+
+	var admit func()
+	admit = func() {
+		for simErr == nil && len(queue) > 0 {
+			if err := ctx.Err(); err != nil {
+				fail(err)
+				return
+			}
+			idx, ranks, ok := pol.Pick(queue, alloc, est)
+			if !ok {
+				return
+			}
+			j := queue[idx]
+			queue = append(queue[:idx], queue[idx+1:]...)
+			lease, err := alloc.Acquire(j.Tenant, ranks, k.Now())
+			if err != nil {
+				fail(err)
+				return
+			}
+			run, err := runOn(j, lease.Sub, lease.Ranks)
+			if err != nil {
+				fail(err)
+				return
+			}
+			start := lease.ReadyMS
+			finish := start + run.timeMS
+			es, err := core.SpeedEfficiency(run.work, finish-j.ArrivalMS, lease.Sub.MarkedSpeed())
+			if err != nil {
+				fail(err)
+				return
+			}
+			// Dedicated baseline: same placement, zero wait, zero
+			// charges — the run time alone over the same subset's C.
+			ded, err := core.SpeedEfficiency(run.work, run.timeMS, lease.Sub.MarkedSpeed())
+			if err != nil {
+				fail(err)
+				return
+			}
+			results[j.ID] = JobResult{
+				Job: *j, Ranks: lease.Ranks,
+				StartMS: start, FinishMS: finish,
+				WaitMS: start - j.ArrivalMS, RunMS: run.timeMS,
+				Work: run.work, Es: es, EsDedicated: ded, Retention: es / ded,
+			}
+			k.ScheduleAt(finish+opts.Alloc.ReleaseMS, func() {
+				if err := alloc.Release(lease, k.Now()); err != nil {
+					fail(err)
+					return
+				}
+				admit()
+			})
+		}
+	}
+
+	for i := range jobs {
+		j := jobs[i]
+		k.ScheduleAt(j.ArrivalMS, func() {
+			queue = append(queue, &j)
+			admit()
+		})
+	}
+	if err := k.Run(); err != nil {
+		return Result{}, err
+	}
+	if simErr != nil {
+		return Result{}, simErr
+	}
+	for i := range results {
+		if results[i].Ranks == nil {
+			return Result{}, fmt.Errorf("job: job %d never admitted (policy %s)", i, pol.Name())
+		}
+	}
+	return Result{
+		Policy:      pol.Name(),
+		Jobs:        results,
+		MakespanMS:  k.Now(),
+		Utilization: alloc.Utilization(k.Now()),
+	}, nil
+}
+
+// TenantSummary aggregates one tenant's jobs under one policy.
+type TenantSummary struct {
+	Tenant        string
+	Jobs          int
+	MeanWaitMS    float64
+	MeanRespMS    float64
+	MeanEs        float64
+	MeanDedicated float64
+	Retention     float64 // MeanEs / MeanDedicated
+}
+
+// ByTenant folds a result into per-tenant summaries, tenant-name order.
+func (r Result) ByTenant() []TenantSummary {
+	idx := map[string]int{}
+	var out []TenantSummary
+	for _, jr := range r.Jobs {
+		i, ok := idx[jr.Tenant]
+		if !ok {
+			i = len(out)
+			idx[jr.Tenant] = i
+			out = append(out, TenantSummary{Tenant: jr.Tenant})
+		}
+		s := &out[i]
+		s.Jobs++
+		s.MeanWaitMS += jr.WaitMS
+		s.MeanRespMS += jr.FinishMS - jr.ArrivalMS
+		s.MeanEs += jr.Es
+		s.MeanDedicated += jr.EsDedicated
+	}
+	for i := range out {
+		n := float64(out[i].Jobs)
+		out[i].MeanWaitMS /= n
+		out[i].MeanRespMS /= n
+		out[i].MeanEs /= n
+		out[i].MeanDedicated /= n
+		out[i].Retention = out[i].MeanEs / out[i].MeanDedicated
+	}
+	sortTenantSummaries(out)
+	return out
+}
+
+func sortTenantSummaries(s []TenantSummary) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].Tenant < s[j-1].Tenant; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 )
 
 // DiskCache is the persistent layer under the memo cache: a directory of
@@ -26,8 +29,16 @@ import (
 //     as a miss (and removed), never as data.
 //   - Multiple processes may share one directory; last writer wins, and
 //     since keys are content addresses all writers store the same value.
+//   - With a size cap (SetMaxBytes) the directory is swept after every
+//     write: least-recently-used entries — by modification time, which
+//     Get refreshes on every hit — are evicted until the cap holds.
+//     Eviction is safe under sharing: a concurrently evicted entry just
+//     reads as a miss and is recomputed.
 type DiskCache struct {
 	dir string
+
+	mu       sync.Mutex
+	maxBytes int64
 }
 
 // diskMagic is the entry header magic + format version. Bump the version
@@ -52,6 +63,28 @@ func OpenDiskCache(dir string) (*DiskCache, error) {
 
 // Dir returns the cache directory.
 func (d *DiskCache) Dir() string { return d.dir }
+
+// SetMaxBytes caps the directory's total entry size (header + payload)
+// in bytes; 0 (the default) means unbounded. The cap is enforced by an
+// LRU sweep after every Put — and once immediately, so reopening a
+// directory with a smaller cap trims it right away. Oversized single
+// entries are still stored: the sweep never removes the newest entry.
+func (d *DiskCache) SetMaxBytes(n int64) error {
+	if n < 0 {
+		return fmt.Errorf("runner: negative cache size cap %d", n)
+	}
+	d.mu.Lock()
+	d.maxBytes = n
+	d.mu.Unlock()
+	return d.sweep()
+}
+
+// MaxBytes returns the configured size cap (0: unbounded).
+func (d *DiskCache) MaxBytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.maxBytes
+}
 
 func (d *DiskCache) path(key string) string {
 	// Keys are hex digests from Signature.Key; anything else is hashed
@@ -79,6 +112,10 @@ func (d *DiskCache) Get(key string) ([]byte, bool) {
 		os.Remove(path)
 		return nil, false
 	}
+	// Refresh the entry's recency for the LRU sweep. Best effort: a
+	// failed touch only makes the entry look colder than it is.
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
 	return payload, true
 }
 
@@ -100,6 +137,57 @@ func (d *DiskCache) Put(key string, payload []byte) error {
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("runner: cache put: %w", err)
+	}
+	return d.sweep()
+}
+
+// sweep enforces the size cap: while the directory's entries exceed
+// MaxBytes, the least-recently-used entry (oldest modification time,
+// name as the deterministic tie-break) is evicted. The newest entry is
+// never evicted, so a single oversized payload still caches. One sweep
+// runs at a time per process; concurrent processes may race on removal,
+// which is harmless (ENOENT is skipped).
+func (d *DiskCache) sweep() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.maxBytes <= 0 {
+		return nil
+	}
+	names, err := d.entryNames()
+	if err != nil {
+		return err
+	}
+	type entry struct {
+		name  string
+		size  int64
+		mtime time.Time
+	}
+	var (
+		entries []entry
+		total   int64
+	)
+	for _, name := range names {
+		fi, err := os.Stat(filepath.Join(d.dir, name))
+		if err != nil {
+			continue // concurrently evicted
+		}
+		entries = append(entries, entry{name, fi.Size(), fi.ModTime()})
+		total += fi.Size()
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].mtime.Equal(entries[j].mtime) {
+			return entries[i].mtime.Before(entries[j].mtime)
+		}
+		return entries[i].name < entries[j].name
+	})
+	for i := 0; total > d.maxBytes && i < len(entries)-1; i++ {
+		if err := os.Remove(filepath.Join(d.dir, entries[i].name)); err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return fmt.Errorf("runner: cache sweep: %w", err)
+		}
+		total -= entries[i].size
 	}
 	return nil
 }

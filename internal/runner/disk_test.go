@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestDiskPutGetRoundTrip(t *testing.T) {
@@ -334,5 +335,138 @@ func TestDoPersistWithoutDiskIsDo(t *testing.T) {
 	}
 	if st := c.Stats(); st.DiskHits != 0 || st.DiskMisses != 0 {
 		t.Fatalf("disk counters moved without a disk: %+v", st)
+	}
+}
+
+// backdate sets an entry's modification time so LRU order is
+// deterministic in tests regardless of filesystem timestamp resolution.
+func backdate(t *testing.T, d *DiskCache, key string, age time.Duration) {
+	t.Helper()
+	when := time.Now().Add(-age)
+	if err := os.Chtimes(d.path(key), when, when); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskMaxBytesEvictsLRU(t *testing.T) {
+	d, err := OpenDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetMaxBytes(-1); err == nil {
+		t.Error("negative cap accepted")
+	}
+	keys := make([]string, 4)
+	for i := range keys {
+		keys[i] = Sig("lru").Add("i", i).Key()
+	}
+	payload := bytes.Repeat([]byte("x"), 100)
+	for _, k := range keys[:3] {
+		if err := d.Put(k, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, entrySize, err := d.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entrySize /= 3
+	backdate(t, d, keys[0], 3*time.Hour)
+	backdate(t, d, keys[1], 2*time.Hour)
+	backdate(t, d, keys[2], time.Hour)
+
+	// Capping at two entries evicts only the least recently used.
+	if err := d.SetMaxBytes(2 * entrySize); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get(keys[0]); ok {
+		t.Error("LRU entry survived the cap")
+	}
+	if _, ok := d.Get(keys[1]); !ok {
+		t.Error("middle entry evicted")
+	}
+
+	// That Get refreshed keys[1]; keys[2] is now the coldest and must be
+	// the one evicted when a new Put overflows the cap again.
+	backdate(t, d, keys[2], time.Hour)
+	if err := d.Put(keys[3], payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get(keys[2]); ok {
+		t.Error("cold entry survived; LRU should have evicted it")
+	}
+	for _, k := range []string{keys[1], keys[3]} {
+		if _, ok := d.Get(k); !ok {
+			t.Errorf("recently used entry %s evicted", k[:8])
+		}
+	}
+}
+
+func TestDiskMaxBytesNeverEvictsNewest(t *testing.T) {
+	d, err := OpenDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetMaxBytes(1); err != nil {
+		t.Fatal(err)
+	}
+	key := Sig("big").Add("n", 1).Key()
+	if err := d.Put(key, bytes.Repeat([]byte("y"), 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get(key); !ok {
+		t.Error("oversized single entry was evicted; the newest entry must always cache")
+	}
+}
+
+// TestDiskMaxBytesSurvivesRestart is the acceptance criterion for the
+// size cap: a later process reopening the directory with a cap trims it
+// immediately, keeps the most recently used entries, and stays under
+// the cap across further writes.
+func TestDiskMaxBytesSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	d1, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 6)
+	payload := bytes.Repeat([]byte("z"), 64)
+	for i := range keys {
+		keys[i] = Sig("restart").Add("i", i).Key()
+		if err := d1.Put(keys[i], payload); err != nil {
+			t.Fatal(err)
+		}
+		backdate(t, d1, keys[i], time.Duration(len(keys)-i)*time.Hour)
+	}
+	_, total, err := d1.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entrySize := total / int64(len(keys))
+
+	// A later process opens the same directory with a three-entry cap.
+	d2, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.SetMaxBytes(3 * entrySize); err != nil {
+		t.Fatal(err)
+	}
+	entries, size, err := d2.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries != 3 || size > 3*entrySize {
+		t.Fatalf("after reopen with cap: %d entries, %d bytes (cap %d)", entries, size, 3*entrySize)
+	}
+	for _, k := range keys[:3] {
+		if _, ok := d2.Get(k); ok {
+			t.Errorf("old entry %s survived the reopen cap", k[:8])
+		}
+	}
+	for _, k := range keys[3:] {
+		if _, ok := d2.Get(k); !ok {
+			t.Errorf("recent entry %s lost in the reopen cap", k[:8])
+		}
 	}
 }

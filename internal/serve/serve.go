@@ -25,6 +25,7 @@ import (
 	"net/http"
 
 	"repro/internal/experiments"
+	"repro/internal/job"
 	"repro/internal/runner"
 	"repro/internal/spec"
 	"repro/internal/workload"
@@ -120,6 +121,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 type catalog struct {
 	Experiments []catalogExperiment `json:"experiments"`
 	Workloads   []catalogWorkload   `json:"workloads"`
+	Policies    []catalogPolicy     `json:"policies"`
 }
 
 type catalogExperiment struct {
@@ -130,6 +132,12 @@ type catalogExperiment struct {
 }
 
 type catalogWorkload struct {
+	Name  string `json:"name"`
+	About string `json:"about"`
+}
+
+// catalogPolicy is one jobstream scheduling policy.
+type catalogPolicy struct {
 	Name  string `json:"name"`
 	About string `json:"about"`
 }
@@ -145,6 +153,13 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, wl := range workload.All() {
 		cat.Workloads = append(cat.Workloads, catalogWorkload{Name: wl.Name(), About: wl.About()})
+	}
+	for _, name := range job.Policies() {
+		p, err := job.GetPolicy(name)
+		if err != nil {
+			continue
+		}
+		cat.Policies = append(cat.Policies, catalogPolicy{Name: p.Name(), About: p.About()})
 	}
 	writeJSON(w, cat)
 }

@@ -159,6 +159,7 @@ func TestListCatalog(t *testing.T) {
 	var cat struct {
 		Experiments []struct{ ID string }
 		Workloads   []struct{ Name string }
+		Policies    []struct{ Name, About string }
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&cat); err != nil {
 		t.Fatal(err)
@@ -172,6 +173,53 @@ func TestListCatalog(t *testing.T) {
 	}
 	if !ids["table2"] {
 		t.Errorf("catalog missing table2: %v", ids)
+	}
+	if !ids["jobstream"] {
+		t.Errorf("catalog missing jobstream: %v", ids)
+	}
+	pols := map[string]bool{}
+	for _, p := range cat.Policies {
+		pols[p.Name] = true
+		if p.About == "" {
+			t.Errorf("policy %q has no about text", p.Name)
+		}
+	}
+	for _, want := range []string{"fcfs", "pack", "priority", "sjf"} {
+		if !pols[want] {
+			t.Errorf("catalog missing policy %q: %v", want, pols)
+		}
+	}
+}
+
+// TestJobstreamRunMatchesLocalBytes extends the server contract to the
+// jobstream kind: a POSTed multi-tenant spec returns exactly what a
+// local run prints.
+func TestJobstreamRunMatchesLocalBytes(t *testing.T) {
+	rs := spec.RunSpec{Kind: spec.KindJobstream, Engine: "des"}
+
+	local, err := spec.NewExecutor(spec.ExecutorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := local.Run(context.Background(), rs, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	ts, _ := newServer(t, spec.ExecutorOptions{Pool: runner.NewPool(2)})
+	resp := postSpec(t, ts, "/run", rs)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("server jobstream bytes differ from local run:\nserver %d bytes\nlocal %d bytes", len(got), want.Len())
+	}
+	if !bytes.Contains(got, []byte("Retention")) {
+		t.Errorf("jobstream output missing retention column:\n%s", got)
 	}
 }
 

@@ -39,6 +39,9 @@ type ExecutorOptions struct {
 	// suites, scan rungs and faultscan outputs are stored
 	// content-addressed under this directory and survive restarts.
 	CacheDir string
+	// CacheMaxBytes caps the persistent layer's total size; least
+	// recently used entries are evicted past it (0: unbounded).
+	CacheMaxBytes int64
 	// Hooks receives per-experiment progress callbacks (experiments
 	// kind only; may be invoked concurrently).
 	Hooks runner.Hooks
@@ -71,6 +74,9 @@ func NewExecutor(opts ExecutorOptions) (*Executor, error) {
 	if opts.CacheDir != "" {
 		disk, err := runner.OpenDiskCache(opts.CacheDir)
 		if err != nil {
+			return nil, fmt.Errorf("spec: %w", err)
+		}
+		if err := disk.SetMaxBytes(opts.CacheMaxBytes); err != nil {
 			return nil, fmt.Errorf("spec: %w", err)
 		}
 		e.scan.AttachDisk(disk)
@@ -110,6 +116,8 @@ func (e *Executor) Run(ctx context.Context, rs RunSpec, out io.Writer) error {
 		return e.runScalescan(ctx, rs, out)
 	case KindFaultscan:
 		return e.runFaultscan(ctx, rs, out)
+	case KindJobstream:
+		return e.runJobstream(ctx, rs, out)
 	default:
 		return fmt.Errorf("spec: unknown kind %q", rs.Kind)
 	}
@@ -195,6 +203,7 @@ func (e *Executor) suiteFor(rs RunSpec) (*experiments.Suite, error) {
 		return nil, err
 	}
 	cfg.CacheDir = e.opts.CacheDir
+	cfg.CacheMaxBytes = e.opts.CacheMaxBytes
 	s, err := experiments.NewSuite(cfg)
 	if err != nil {
 		return nil, err
@@ -415,6 +424,60 @@ func (e *Executor) runFaultscan(ctx context.Context, rs RunSpec, out io.Writer) 
 	}
 	_, err = out.Write(data)
 	return err
+}
+
+// runJobstream executes a jobstream-kind spec. Like faultscan, the
+// whole rendered output is memoized under the spec's own canonical key:
+// the simulation is deterministic by construction (seeded arrivals on
+// the DES clock, engines bit-identical in virtual time), so equal specs
+// produce equal bytes.
+func (e *Executor) runJobstream(ctx context.Context, rs RunSpec, out io.Writer) error {
+	key, err := rs.Key()
+	if err != nil {
+		return err
+	}
+	sig := runner.Sig("jobstream").Add("gen", scanGeneration).Add("spec", key)
+	data, err := runner.DoPersist(ctx, e.scan, sig.Key(), runner.JSONCodec[[]byte](), func() ([]byte, error) {
+		var buf bytes.Buffer
+		if err := jobstreamBody(ctx, rs, &buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+	if err != nil {
+		return err
+	}
+	_, err = out.Write(data)
+	return err
+}
+
+// jobstreamBody simulates the stream under every selected policy on one
+// shared cluster and renders the per-tenant and policy-comparison
+// tables.
+func jobstreamBody(ctx context.Context, rs RunSpec, out io.Writer) error {
+	renderer, err := experiments.NewRenderer(rs.Format)
+	if err != nil {
+		return err
+	}
+	eng, err := ParseEngine(rs.Engine)
+	if err != nil {
+		return err
+	}
+	cfg, err := experiments.Default()
+	if err != nil {
+		return err
+	}
+	cfg.Engine = eng
+	cfg.Seed = rs.Seed
+	suite, err := experiments.NewSuite(cfg)
+	if err != nil {
+		return err
+	}
+	rend, err := suite.JobStreamWith(ctx, *rs.Stream, rs.SharedP, rs.Policies)
+	if err != nil {
+		return err
+	}
+	return renderer.Render(out, rend)
 }
 
 // faultscanBody is the fault study itself: one healthy run, one run

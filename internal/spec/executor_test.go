@@ -149,6 +149,46 @@ func TestFaultscanRestartServesFromDisk(t *testing.T) {
 	}
 }
 
+func TestJobstreamRestartServesFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	rs := RunSpec{Kind: KindJobstream, Engine: "des"}
+	warm := runSpec(t, newExecutor(t, ExecutorOptions{CacheDir: dir}), rs)
+	if !strings.Contains(string(warm), "atlas") || !strings.Contains(string(warm), "Retention") {
+		t.Fatalf("jobstream output missing tenants/retention:\n%s", warm)
+	}
+
+	cold := newExecutor(t, ExecutorOptions{CacheDir: dir})
+	restored := runSpec(t, cold, rs)
+	if !bytes.Equal(warm, restored) {
+		t.Error("restart jobstream output differs")
+	}
+	st := cold.CacheStats()
+	if st.DiskHits != 1 || st.DiskMisses != 0 {
+		t.Errorf("cold jobstream: want 1 disk hit, 0 misses; got %+v", st)
+	}
+}
+
+// TestJobstreamByteIdenticalAcrossEngines is the acceptance criterion
+// for the multi-tenant refactor: the engines are bit-identical in
+// virtual time, so the rendered jobstream output — waits, responses,
+// efficiencies, retentions — must be byte-identical too (only the
+// engine's own name would differ, and the jobstream tables don't print
+// it).
+func TestJobstreamByteIdenticalAcrossEngines(t *testing.T) {
+	ex := newExecutor(t, ExecutorOptions{})
+	base := runSpec(t, ex, RunSpec{Kind: KindJobstream, Engine: "des"})
+	for _, eng := range []string{"live", "symbolic"} {
+		got := runSpec(t, ex, RunSpec{Kind: KindJobstream, Engine: eng})
+		if !bytes.Equal(base, got) {
+			t.Errorf("engine %s output differs from des", eng)
+		}
+	}
+	// And reruns are pure cache hits of the same bytes.
+	if again := runSpec(t, ex, RunSpec{Kind: KindJobstream, Engine: "des"}); !bytes.Equal(base, again) {
+		t.Error("jobstream rerun differs")
+	}
+}
+
 func TestRunTraceBypassesPersistence(t *testing.T) {
 	// A trace needs fresh executions: even on a warm cache directory the
 	// traced run must record spans (a restored result would record none).

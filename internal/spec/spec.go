@@ -26,6 +26,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/faults"
+	"repro/internal/job"
 	"repro/internal/mpi"
 	"repro/internal/simnet"
 	"repro/internal/workload"
@@ -49,6 +50,9 @@ const (
 	// KindFaultscan prices a fault plan against the fault-free baseline
 	// — faultscan's domain.
 	KindFaultscan = "faultscan"
+	// KindJobstream simulates a multi-tenant job stream on one shared
+	// cluster under lease-based scheduling policies.
+	KindJobstream = "jobstream"
 )
 
 // RunSpec is the canonical description of one run. Field declaration
@@ -124,6 +128,15 @@ type RunSpec struct {
 	// cadence in algorithm steps; 0 means restart from scratch and is
 	// never defaulted away.
 	CkptInterval int `json:"ckptInterval,omitempty"`
+
+	// Stream (kind jobstream) is the embedded multi-tenant job stream;
+	// defaults to the canonical three-tenant scenario.
+	Stream *job.StreamSpec `json:"stream,omitempty"`
+	// Policies (kind jobstream) selects the scheduling policies to
+	// compare; defaults to every registered policy.
+	Policies []string `json:"policies,omitempty"`
+	// SharedP (kind jobstream) is the shared cluster width.
+	SharedP int `json:"sharedP,omitempty"`
 }
 
 // Normalize fills every defaulted field in place and expands sugar
@@ -189,6 +202,24 @@ func (rs *RunSpec) Normalize() error {
 		}
 		if rs.N == 0 {
 			rs.N = 400
+		}
+	case KindJobstream:
+		if rs.Stream == nil {
+			s := job.DefaultStream()
+			rs.Stream = &s
+		}
+		if rs.Policies == nil {
+			rs.Policies = job.Policies()
+		}
+		if rs.SharedP == 0 {
+			rs.SharedP = experiments.JobStreamP
+		}
+		if rs.Seed == 0 {
+			base, err := experiments.Default()
+			if err != nil {
+				return err
+			}
+			rs.Seed = base.Seed
 		}
 	}
 	return nil
@@ -287,8 +318,39 @@ func (rs *RunSpec) Validate() error {
 		if rs.CkptInterval < 0 {
 			return fmt.Errorf("spec: ckptInterval %d < 0", rs.CkptInterval)
 		}
+	case KindJobstream:
+		if err := rs.rejectForeign(KindJobstream); err != nil {
+			return err
+		}
+		if rs.Stream == nil {
+			return fmt.Errorf("spec: kind jobstream needs a stream")
+		}
+		if err := rs.Stream.Validate(); err != nil {
+			return fmt.Errorf("spec: %w", err)
+		}
+		if rs.SharedP < 1 {
+			return fmt.Errorf("spec: shared cluster width %d < 1", rs.SharedP)
+		}
+		for _, t := range rs.Stream.Tenants {
+			if t.Width > rs.SharedP {
+				return fmt.Errorf("spec: tenant %q wants %d nodes, shared cluster has %d", t.Name, t.Width, rs.SharedP)
+			}
+		}
+		if len(rs.Policies) == 0 {
+			return fmt.Errorf("spec: kind jobstream needs at least one policy")
+		}
+		seen := make(map[string]bool, len(rs.Policies))
+		for _, p := range rs.Policies {
+			if _, err := job.GetPolicy(p); err != nil {
+				return fmt.Errorf("spec: %w", err)
+			}
+			if seen[p] {
+				return fmt.Errorf("spec: duplicate policy %q", p)
+			}
+			seen[p] = true
+		}
 	default:
-		return fmt.Errorf("spec: unknown kind %q (experiments, scalescan or faultscan)", rs.Kind)
+		return fmt.Errorf("spec: unknown kind %q (experiments, scalescan, faultscan or jobstream)", rs.Kind)
 	}
 	return nil
 }
@@ -307,7 +369,6 @@ func (rs *RunSpec) rejectForeign(kind string) error {
 		{"sweepPoints", rs.SweepPoints != 0},
 		{"geTarget", rs.GETarget != 0},
 		{"mmTarget", rs.MMTarget != 0},
-		{"seed", rs.Seed != 0},
 	}
 	scanFields := []field{
 		{"target", rs.Target != 0},
@@ -322,6 +383,13 @@ func (rs *RunSpec) rejectForeign(kind string) error {
 	}
 	workloadField := []field{{"workload", rs.Workload != ""}}
 	asymField := []field{{"asymSizes", rs.AsymSizes != nil}}
+	// Seed is shared by the experiments and jobstream kinds.
+	seedField := []field{{"seed", rs.Seed != 0}}
+	streamFields := []field{
+		{"stream", rs.Stream != nil},
+		{"policies", rs.Policies != nil},
+		{"sharedP", rs.SharedP != 0},
+	}
 
 	var foreign []field
 	switch kind {
@@ -329,12 +397,23 @@ func (rs *RunSpec) rejectForeign(kind string) error {
 		foreign = append(foreign, workloadField...)
 		foreign = append(foreign, scanFields...)
 		foreign = append(foreign, faultFields...)
+		foreign = append(foreign, streamFields...)
 	case KindScalescan:
 		foreign = append(foreign, experimentsFields...)
+		foreign = append(foreign, seedField...)
 		foreign = append(foreign, faultFields...)
+		foreign = append(foreign, streamFields...)
 	case KindFaultscan:
 		foreign = append(foreign, experimentsFields...)
+		foreign = append(foreign, seedField...)
 		foreign = append(foreign, scanFields...)
+		foreign = append(foreign, asymField...)
+		foreign = append(foreign, streamFields...)
+	case KindJobstream:
+		foreign = append(foreign, experimentsFields...)
+		foreign = append(foreign, workloadField...)
+		foreign = append(foreign, scanFields...)
+		foreign = append(foreign, faultFields...)
 		foreign = append(foreign, asymField...)
 	}
 	for _, f := range foreign {

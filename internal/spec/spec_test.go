@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/faults"
+	"repro/internal/job"
 )
 
 // goldenQuickCanonical pins the canonical encoding of the quick
@@ -25,6 +26,23 @@ func TestCanonicalGoldenQuick(t *testing.T) {
 	}
 	if string(data) != goldenQuickCanonical {
 		t.Errorf("canonical encoding drifted:\n got %s\nwant %s", data, goldenQuickCanonical)
+	}
+}
+
+// goldenJobstreamCanonical pins the fully-defaulted jobstream spec: the
+// canonical three-tenant stream, every registered policy, the default
+// shared width. Same stakes as the quick golden — these bytes are cache
+// addresses.
+const goldenJobstreamCanonical = `{"version":1,"kind":"jobstream","format":"text","engine":"live","seed":20050614,"stream":{"seed":42,"tenants":[{"name":"atlas","workload":"jacobi","n":96,"width":4,"priority":2,"jobs":4,"meanGapMS":400,"shape":1},{"name":"borealis","workload":"cg","n":64,"width":3,"priority":1,"jobs":4,"meanGapMS":500,"shape":1},{"name":"cygnus","workload":"mm","n":48,"width":6,"priority":3,"jobs":3,"meanGapMS":900,"shape":3}]},"policies":["fcfs","pack","priority","sjf"],"sharedP":16}`
+
+func TestCanonicalGoldenJobstream(t *testing.T) {
+	rs := RunSpec{Kind: KindJobstream}
+	data, err := rs.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != goldenJobstreamCanonical {
+		t.Errorf("canonical encoding drifted:\n got %s\nwant %s", data, goldenJobstreamCanonical)
 	}
 }
 
@@ -83,6 +101,7 @@ func TestCanonicalRoundTripsThroughDecode(t *testing.T) {
 		{Kind: KindExperiments, Experiments: "all", Quick: true, Format: "json", Engine: "des", Contended: true},
 		{Kind: KindScalescan, Workload: "jacobi", AsymSizes: []int{100, 1000}},
 		{Kind: KindFaultscan, Workload: "mm", P: 4, N: 100, Faults: &faults.Spec{Seed: 3, StragglerFrac: 0.5, StragglerFactor: 2}},
+		{Kind: KindJobstream, Engine: "des", Policies: []string{"sjf", "fcfs"}, SharedP: 8},
 	}
 	for i, rs := range specs {
 		data, err := rs.Canonical()
@@ -158,6 +177,16 @@ func TestValidateRejections(t *testing.T) {
 		{"negative ckpt", RunSpec{Kind: KindFaultscan, Faults: plan, Recover: true, CkptInterval: -1}, "ckptInterval"},
 		{"faultscan with ladder", RunSpec{Kind: KindFaultscan, Faults: plan, Ladder: exampleLadder(t)}, `"ladder" does not apply`},
 		{"faultscan with quick", RunSpec{Kind: KindFaultscan, Faults: plan, Quick: true}, `"quick" does not apply`},
+		{"faultscan with stream", RunSpec{Kind: KindFaultscan, Faults: plan, Stream: &job.StreamSpec{}}, `"stream" does not apply`},
+		{"experiments with policies", RunSpec{Kind: KindExperiments, Experiments: "quick", Policies: []string{"fcfs"}}, `"policies" does not apply`},
+		{"jobstream with workload", RunSpec{Kind: KindJobstream, Workload: "ge"}, `"workload" does not apply`},
+		{"jobstream with quick", RunSpec{Kind: KindJobstream, Quick: true}, `"quick" does not apply`},
+		{"jobstream unknown policy", RunSpec{Kind: KindJobstream, Policies: []string{"random"}}, "unknown policy"},
+		{"jobstream dup policy", RunSpec{Kind: KindJobstream, Policies: []string{"fcfs", "fcfs"}}, "duplicate policy"},
+		{"jobstream width over cluster", RunSpec{Kind: KindJobstream, SharedP: 2}, "wants 4 nodes"},
+		{"jobstream bad stream", RunSpec{Kind: KindJobstream, Stream: &job.StreamSpec{
+			Tenants: []job.TenantSpec{{Name: "t", Workload: "nope", N: 48, Width: 2, Jobs: 1, MeanGapMS: 100}},
+		}}, "unknown workload"},
 	}
 	for _, tc := range cases {
 		t.Run(strings.ReplaceAll(tc.name, " ", "_"), func(t *testing.T) {
@@ -205,5 +234,18 @@ func TestNormalizeDefaults(t *testing.T) {
 	}
 	if rec.CkptInterval != 0 {
 		t.Errorf("ckptInterval 0 defaulted away: %+v", rec)
+	}
+	js := RunSpec{Kind: KindJobstream}
+	if err := js.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if js.Stream == nil || len(js.Stream.Tenants) != 3 || js.SharedP != 16 || js.Seed != 20050614 {
+		t.Errorf("jobstream defaults: %+v", js)
+	}
+	if len(js.Policies) != 4 || js.Policies[0] != "fcfs" {
+		t.Errorf("jobstream default policies: %v", js.Policies)
+	}
+	if err := js.Validate(); err != nil {
+		t.Errorf("defaulted jobstream spec invalid: %v", err)
 	}
 }

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"context"
+
+	"repro/internal/algs"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+// CGIters is the fixed number of conjugate-gradient iterations per run.
+const CGIters = 40
+
+// cgWorkload is the all-reduce-dominated extreme of the registered
+// communication-pattern spectrum: conjugate gradient on the 5-point
+// Laplace interior system, block rows with halo exchange plus two global
+// inner products per iteration (gather-and-broadcast reductions, so the
+// summation order is partition-independent). This file is the workload's
+// entire integration: study pipeline, experiment suite, fault/recovery
+// sweeps, tracedecomp, membound and both scan CLIs pick it up from the
+// registry with no edits of their own.
+type cgWorkload struct{}
+
+func init() { Register(cgWorkload{}) }
+
+func (cgWorkload) Name() string { return "cg" }
+func (cgWorkload) About() string {
+	return "conjugate gradient on the Laplace system, block rows, two reductions per iteration (registry extension)"
+}
+func (cgWorkload) DefaultTarget() float64 { return 0.25 }
+
+func (cgWorkload) ClusterLadder(p int) (*cluster.Cluster, error) { return cluster.MMConfig(p) }
+
+func (cgWorkload) WorkAt(n int) float64 { return algs.WorkCG(n, CGIters) }
+
+// MemBytes counts the five interior-length solver vectors (x, r, p, q, b)
+// plus the n×n boundary profile grid behind the right-hand side.
+func (cgWorkload) MemBytes(n int) float64 {
+	f := float64(n)
+	w := f - 2
+	if w < 0 {
+		w = 0
+	}
+	return 8 * (5*w*w + f*f)
+}
+
+func (cgWorkload) Overhead(cl *cluster.Cluster, model simnet.CostModel) (func(n float64) float64, error) {
+	return algs.CGOverhead(cl, model, CGIters)
+}
+
+func (cgWorkload) Machine(cl *cluster.Cluster, model simnet.CostModel) (core.AnalyticMachine, error) {
+	to, err := algs.CGOverhead(cl, model, CGIters)
+	if err != nil {
+		return core.AnalyticMachine{}, err
+	}
+	return core.AnalyticMachine{
+		Label:     cl.Name,
+		C:         cl.MarkedSpeed(),
+		P:         cl.Size(),
+		Sustained: algs.DefaultCGSustained,
+		Work: func(n float64) float64 {
+			if n < 3 {
+				return 1
+			}
+			return (n - 2) * (n - 2) * (2 + 16*CGIters)
+		},
+		Overhead: to,
+	}, nil
+}
+
+func (cgWorkload) options(spec Spec) algs.CGOptions {
+	opts := algs.CGOptions{
+		Iters:    CGIters,
+		Symbolic: spec.Symbolic,
+		Seed:     spec.Seed,
+	}
+	if spec.PinnedSpeeds != nil {
+		opts.Strategy = dist.Pinned{Speeds: spec.PinnedSpeeds, Inner: dist.HetBlock{}}
+	}
+	return opts
+}
+
+func (w cgWorkload) Run(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, spec Spec) (Outcome, error) {
+	out, err := algs.RunCGContext(ctx, cl, model, mpiOpts, spec.N, w.options(spec))
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{
+		Work:        out.Work,
+		VirtualTime: out.IterTimeMS,
+		Stats:       out.Res,
+		Check:       Checksum(out.X),
+	}, nil
+}
+
+func (w cgWorkload) RunRecovered(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, spec Spec, rcfg algs.RecoveryConfig) (Outcome, mpi.RecoveredResult, error) {
+	out, rec, err := algs.RunCGRecoveredContext(ctx, cl, model, mpiOpts, spec.N, w.options(spec), rcfg)
+	if err != nil {
+		return Outcome{}, mpi.RecoveredResult{}, err
+	}
+	return Outcome{
+		Work:        out.Work,
+		VirtualTime: rec.TimeMS,
+		Stats:       rec.Result,
+		Check:       Checksum(out.X),
+	}, rec, nil
+}

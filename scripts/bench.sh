@@ -1,10 +1,14 @@
 #!/bin/sh
-# Regenerate BENCH_transport.json: the committed performance baseline for
-# the transport substrates (channel / DES / symbolic microbenchmarks) and
-# the symbolic fast-forward rungs (full workload runs at p = 32 on the DES
-# and symbolic engines, plus the closed-form p = 10^6 rung). Each entry
-# reports events/sec = 1e9 / ns_per_op, the substrate's throughput in
-# benchmark operations.
+# Regenerate the committed performance baselines:
+#
+#   BENCH_transport.json — transport substrates (channel / DES / symbolic
+#   microbenchmarks) and the symbolic fast-forward rungs (full workload
+#   runs at p = 32 on the DES and symbolic engines, plus the closed-form
+#   p = 10^6 rung). events/sec = 1e9 / ns_per_op.
+#
+#   BENCH_jobstream.json — multi-tenant scheduling throughput: one op
+#   admits the full default three-tenant stream (11 jobs) onto a shared
+#   16-node cluster under the pack policy. jobs/sec = 11e9 / ns_per_op.
 #
 # Usage:  ./scripts/bench.sh               # 1s per benchmark
 #         BENCHTIME=5s ./scripts/bench.sh  # steadier numbers
@@ -12,26 +16,33 @@ set -eu
 
 cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-1s}"
-OUT="BENCH_transport.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT INT TERM
+
+# emit_json <raw-file> <unit-label> <per-op-events> <out-file>
+emit_json() {
+	awk -v benchtime="$BENCHTIME" -v unit="$2" -v events="$3" '
+	BEGIN {
+		printf "{\n  \"benchtime\": \"%s\",\n  \"unit\": \"%s\",\n  \"benchmarks\": [\n", benchtime, unit
+		sep = ""
+	}
+	$1 ~ /^Benchmark/ && $4 == "ns/op" {
+		name = $1; sub(/-[0-9]+$/, "", name)
+		printf "%s    {\"name\": \"%s\", \"iters\": %d, \"ns_per_op\": %.1f, \"events_per_sec\": %.1f}", sep, name, $2, $3, events * 1e9 / $3
+		sep = ",\n"
+	}
+	END { printf "\n  ]\n}\n" }
+	' "$1" > "$4"
+	echo "wrote $4"
+}
 
 go test -run=NONE -bench 'BenchmarkTransportPingPong|BenchmarkTransportBarrier' \
 	-benchtime "$BENCHTIME" -count=1 ./internal/mpi | tee -a "$RAW"
 go test -run=NONE -bench 'BenchmarkWorkloadRung|BenchmarkAsymptoticMillionRankRung' \
 	-benchtime "$BENCHTIME" -count=1 ./internal/workload | tee -a "$RAW"
+emit_json "$RAW" "events_per_sec = 1e9 / ns_per_op" 1 "BENCH_transport.json"
 
-awk -v benchtime="$BENCHTIME" '
-BEGIN {
-	printf "{\n  \"benchtime\": \"%s\",\n  \"unit\": \"events_per_sec = 1e9 / ns_per_op\",\n  \"benchmarks\": [\n", benchtime
-	sep = ""
-}
-$1 ~ /^Benchmark/ && $4 == "ns/op" {
-	name = $1; sub(/-[0-9]+$/, "", name)
-	printf "%s    {\"name\": \"%s\", \"iters\": %d, \"ns_per_op\": %.1f, \"events_per_sec\": %.1f}", sep, name, $2, $3, 1e9 / $3
-	sep = ",\n"
-}
-END { printf "\n  ]\n}\n" }
-' "$RAW" > "$OUT"
-
-echo "wrote $OUT"
+: > "$RAW"
+go test -run=NONE -bench 'BenchmarkJobstreamSimulate' \
+	-benchtime "$BENCHTIME" -count=1 ./internal/job | tee -a "$RAW"
+emit_json "$RAW" "events_per_sec = jobs_per_sec = 11e9 / ns_per_op" 11 "BENCH_jobstream.json"

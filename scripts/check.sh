@@ -22,6 +22,12 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Order-independence smoke: the suite must pass with tests shuffled —
+# scheduler and cache state must not leak between tests. Go prints the
+# chosen shuffle seed, so a failure is reproducible from the log.
+echo "==> go test -shuffle=on ./..."
+go test -shuffle=on -count=1 ./...
+
 # Benchmark compile smoke: every benchmark must still build and survive
 # one iteration (benchmarks are not run by plain `go test`, so bit-rot
 # there is otherwise invisible).
@@ -35,13 +41,25 @@ go test -run=NONE -bench=. -benchtime=1x ./... > /dev/null
 echo "==> hetsim -exp all -quick -jobs 4 (race smoke)"
 go run -race ./cmd/hetsim -exp all -quick -jobs 4 -v > /dev/null
 
+# Multi-tenant smoke: the jobstream experiment must run clean under the
+# race detector on every engine and print the same bytes each time (the
+# shared-clock scheduler is deterministic by construction).
+echo "==> hetsim -exp jobstream (race smoke, engine byte-identity)"
+JSDIR="$(mktemp -d)"
+trap 'rm -rf "$JSDIR"' EXIT
+for eng in des live symbolic; do
+	go run -race ./cmd/hetsim -exp jobstream -quick -engine "$eng" > "$JSDIR/$eng.out"
+done
+cmp "$JSDIR/des.out" "$JSDIR/live.out" || { echo "jobstream live bytes differ from des"; exit 1; }
+cmp "$JSDIR/des.out" "$JSDIR/symbolic.out" || { echo "jobstream symbolic bytes differ from des"; exit 1; }
+
 # Server smoke: a race-instrumented `hetsim -serve` on a random port
 # must answer a POSTed quick spec with exactly the bytes the CLI prints
 # for the same spec — the RunSpec API's core contract, end to end over
 # a real socket.
 echo "==> hetsim -serve (race smoke: server bytes == CLI bytes)"
 SMOKEDIR="$(mktemp -d)"
-trap 'rm -rf "$SMOKEDIR"; kill "${SERVER_PID:-}" 2>/dev/null || true' EXIT
+trap 'rm -rf "$JSDIR" "$SMOKEDIR"; kill "${SERVER_PID:-}" 2>/dev/null || true' EXIT
 go build -race -o "$SMOKEDIR/hetsim" ./cmd/hetsim
 "$SMOKEDIR/hetsim" -serve 127.0.0.1:0 -jobs 4 2> "$SMOKEDIR/serve.err" &
 SERVER_PID=$!
@@ -58,6 +76,11 @@ curl -sf -X POST --data-binary "$SPEC" "http://$ADDR/run" > "$SMOKEDIR/server.ou
 cmp "$SMOKEDIR/server.out" "$SMOKEDIR/cli.out" || { echo "server bytes differ from CLI bytes"; exit 1; }
 "$SMOKEDIR/hetsim" -exp table2 -quick -client "http://$ADDR" > "$SMOKEDIR/client.out"
 cmp "$SMOKEDIR/client.out" "$SMOKEDIR/cli.out" || { echo "-client bytes differ from CLI bytes"; exit 1; }
+JSPEC='{"kind":"jobstream"}'
+printf '%s' "$JSPEC" > "$SMOKEDIR/jobstream.json"
+curl -sf -X POST --data-binary "$JSPEC" "http://$ADDR/run" > "$SMOKEDIR/server-js.out"
+"$SMOKEDIR/hetsim" -spec "$SMOKEDIR/jobstream.json" > "$SMOKEDIR/cli-js.out"
+cmp "$SMOKEDIR/server-js.out" "$SMOKEDIR/cli-js.out" || { echo "jobstream server bytes differ from -spec bytes"; exit 1; }
 curl -sf "http://$ADDR/healthz" > /dev/null
 kill "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=""
