@@ -14,6 +14,7 @@
 //	faultscan -spec plan.json -workload ge -p 8 -n 400
 //	faultscan -intensity 0.5 -seed 7 -workload mm -p 8 -n 300
 //	faultscan -example            # print a fault-spec template and exit
+//	faultscan -list               # list registered workloads and exit
 //
 // Any workload in the registry can be scanned (-workload; -alg is an
 // alias kept for compatibility); each supplies its own cluster ladder,
@@ -65,12 +66,20 @@ func run(args []string, out io.Writer) error {
 		engine    = fs.String("engine", "live", "mpi engine: live, des or symbolic")
 		doRecover = fs.Bool("recover", false, "survive crashes with checkpoint/rollback recovery")
 		ckptIvl   = fs.Int("ckpt-interval", 50, "checkpoint cadence in algorithm steps for -recover (0 = restart from scratch)")
+		list      = fs.Bool("list", false, "list registered workloads, then exit")
 		example   = fs.Bool("example", false, "print a fault-spec template and exit")
 		csv       = fs.Bool("csv", false, "emit CSV")
 		jsonOut   = fs.Bool("json", false, "emit JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		fmt.Fprintln(out, "registered workloads (-workload):")
+		for _, w := range workload.All() {
+			fmt.Fprintf(out, "  %-18s %s\n", w.Name(), w.About())
+		}
+		return nil
 	}
 	if *example {
 		fmt.Fprintln(out, faults.ExampleSpec)

@@ -214,3 +214,19 @@ func TestScanErrors(t *testing.T) {
 		t.Error("unknown engine accepted")
 	}
 }
+
+func TestListPrintsWorkloads(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "registered workloads") {
+		t.Fatalf("-list output missing header:\n%s", got)
+	}
+	for _, name := range []string{"ge", "mm", "jacobi", "cg"} {
+		if !strings.Contains(got, name) {
+			t.Errorf("-list output missing workload %q:\n%s", name, got)
+		}
+	}
+}

@@ -87,6 +87,7 @@ func run(args []string, out, errw io.Writer) error {
 		traceOut   = fs.String("trace", "", "write a Chrome trace of the selected experiments' runs to this file")
 		verbose    = fs.Bool("v", false, "narrate per-experiment progress and cache stats on stderr")
 		serveAddr  = fs.String("serve", "", "serve RunSpecs over HTTP on this address (e.g. 127.0.0.1:8080; :0 picks a port)")
+		serveTO    = fs.Duration("serve-timeout", 0, "per-request execution deadline in server mode (e.g. 30s; 0: unbounded); exceeding it returns 503")
 		clientURL  = fs.String("client", "", "send the run to a hetsim server at this base URL instead of executing locally")
 		cacheDir   = fs.String("cache-dir", "", "persist results content-addressed under this directory (survives restarts)")
 		cacheMax   = fs.Int64("cache-max-bytes", 0, "evict least-recently-used cache entries past this total size (0: unbounded; needs -cache-dir)")
@@ -126,7 +127,10 @@ func run(args []string, out, errw io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return serveHTTP(*serveAddr, ex, errw)
+		return serveHTTP(*serveAddr, ex, serve.Options{Timeout: *serveTO}, errw)
+	}
+	if *serveTO != 0 {
+		return fmt.Errorf("-serve-timeout needs -serve")
 	}
 	var rs spec.RunSpec
 	switch {
@@ -258,13 +262,13 @@ func printList(out io.Writer) {
 // serveHTTP runs the RunSpec server until the listener fails. The
 // resolved address is announced on errw (stderr) so callers binding
 // ":0" can discover the port.
-func serveHTTP(addr string, ex *spec.Executor, errw io.Writer) error {
+func serveHTTP(addr string, ex *spec.Executor, opts serve.Options, errw io.Writer) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(errw, "hetsim: serving on http://%s\n", ln.Addr())
-	srv := &http.Server{Handler: serve.New(ex).Handler()}
+	srv := &http.Server{Handler: serve.NewWith(ex, opts).Handler()}
 	return srv.Serve(ln)
 }
 

@@ -15,7 +15,8 @@ import (
 type Allocator struct {
 	cl     *Cluster
 	opts   AllocatorOptions
-	owner  []int // per node: owning lease ID, or -1 when free
+	owner  []int  // per node: owning lease ID, or -1 when free
+	down   []bool // per node: true between NodeDown and NodeUp
 	leases map[int]*Lease
 	nextID int
 	lastMS float64
@@ -62,7 +63,7 @@ func NewAllocator(cl *Cluster, opts AllocatorOptions) (*Allocator, error) {
 	for i := range owner {
 		owner[i] = -1
 	}
-	return &Allocator{cl: cl, opts: opts, owner: owner, leases: map[int]*Lease{}}, nil
+	return &Allocator{cl: cl, opts: opts, owner: owner, down: make([]bool, cl.Size()), leases: map[int]*Lease{}}, nil
 }
 
 // Cluster returns the shared cluster the allocator manages.
@@ -71,26 +72,39 @@ func (a *Allocator) Cluster() *Cluster { return a.cl }
 // Options returns the configured lease charges.
 func (a *Allocator) Options() AllocatorOptions { return a.opts }
 
-// Free returns the number of currently unleased nodes.
+// Free returns the number of currently placeable nodes: unleased and
+// not down.
 func (a *Allocator) Free() int {
 	n := 0
-	for _, o := range a.owner {
-		if o < 0 {
+	for i, o := range a.owner {
+		if o < 0 && !a.down[i] {
 			n++
 		}
 	}
 	return n
 }
 
-// FreeRanks returns the unleased node indices in ascending order.
+// FreeRanks returns the placeable node indices — unleased and not down
+// — in ascending order.
 func (a *Allocator) FreeRanks() []int {
 	out := make([]int, 0, len(a.owner))
 	for i, o := range a.owner {
-		if o < 0 {
+		if o < 0 && !a.down[i] {
 			out = append(out, i)
 		}
 	}
 	return out
+}
+
+// Down returns the number of currently down nodes.
+func (a *Allocator) Down() int {
+	n := 0
+	for _, d := range a.down {
+		if d {
+			n++
+		}
+	}
+	return n
 }
 
 // InUse returns the number of active leases.
@@ -118,6 +132,9 @@ func (a *Allocator) Acquire(tenant string, ranks []int, atMS float64) (*Lease, e
 			return nil, fmt.Errorf("cluster: lease rank %d repeated", r)
 		}
 		seen[r] = true
+		if a.down[r] {
+			return nil, fmt.Errorf("cluster: node %d is down", r)
+		}
 		if id := a.owner[r]; id >= 0 {
 			return nil, fmt.Errorf("cluster: node %d already leased (lease %d, tenant %q)",
 				r, id, a.leases[id].Tenant)
@@ -168,6 +185,82 @@ func (a *Allocator) Release(l *Lease, atMS float64) error {
 	}
 	delete(a.leases, l.ID)
 	a.busyMS += (atMS - l.AcquiredMS) * float64(len(l.Ranks))
+	return nil
+}
+
+// Holds reports whether l is still an active lease of this allocator.
+// A lease fully consumed by node failures (every leased node went down)
+// retires without an explicit Release, so schedulers guard their
+// teardown events with this.
+func (a *Allocator) Holds(l *Lease) bool {
+	if l == nil {
+		return false
+	}
+	got, ok := a.leases[l.ID]
+	return ok && got == l
+}
+
+// NodeDown marks a node failed at virtual time atMS: it leaves the
+// placeable set until NodeUp. If the node is currently leased the lease
+// HEALS — it shrinks in place to the survivor subset (Ranks loses the
+// node, Sub is rebuilt over the survivors, and the dead node's busy
+// window [AcquiredMS, atMS] is banked) — and the owning lease is
+// returned so the scheduler can reconcile the running job. A lease
+// whose last node dies is retired entirely (Holds turns false). A free
+// node just goes down; nil is returned.
+func (a *Allocator) NodeDown(node int, atMS float64) (*Lease, error) {
+	if node < 0 || node >= len(a.owner) {
+		return nil, fmt.Errorf("cluster: node %d out of range [0,%d)", node, len(a.owner))
+	}
+	if a.down[node] {
+		return nil, fmt.Errorf("cluster: node %d already down", node)
+	}
+	if atMS < a.lastMS {
+		return nil, fmt.Errorf("cluster: lease time went backwards (%g after %g)", atMS, a.lastMS)
+	}
+	a.lastMS = atMS
+	a.down[node] = true
+	id := a.owner[node]
+	if id < 0 {
+		return nil, nil
+	}
+	l := a.leases[id]
+	survivors := make([]int, 0, len(l.Ranks)-1)
+	for _, r := range l.Ranks {
+		if r != node {
+			survivors = append(survivors, r)
+		}
+	}
+	a.owner[node] = -1
+	a.busyMS += atMS - l.AcquiredMS
+	if len(survivors) == 0 {
+		delete(a.leases, l.ID)
+		l.Ranks = nil
+		l.Sub = nil
+		return l, nil
+	}
+	sub, err := a.cl.Subset(l.Sub.Name, survivors...)
+	if err != nil {
+		return nil, err
+	}
+	l.Ranks = survivors
+	l.Sub = sub
+	return l, nil
+}
+
+// NodeUp returns a down node to the placeable set at virtual time atMS.
+func (a *Allocator) NodeUp(node int, atMS float64) error {
+	if node < 0 || node >= len(a.owner) {
+		return fmt.Errorf("cluster: node %d out of range [0,%d)", node, len(a.owner))
+	}
+	if !a.down[node] {
+		return fmt.Errorf("cluster: node %d is not down", node)
+	}
+	if atMS < a.lastMS {
+		return fmt.Errorf("cluster: lease time went backwards (%g after %g)", atMS, a.lastMS)
+	}
+	a.lastMS = atMS
+	a.down[node] = false
 	return nil
 }
 

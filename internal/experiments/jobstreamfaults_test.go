@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestJobStreamFaultsRegistered(t *testing.T) {
+	e, ok := Lookup("jobstream-faults")
+	if !ok {
+		t.Fatal("jobstream-faults not registered")
+	}
+	if e.Group != GroupFaults || !e.Quick {
+		t.Errorf("jobstream-faults metadata wrong: %+v", e)
+	}
+}
+
+func TestJobStreamFaultsScenarioBites(t *testing.T) {
+	// The canonical outage schedule must exercise every mechanism it
+	// exists to demonstrate: at least one rollback recovery under every
+	// policy, and at least one rejection and one shed somewhere.
+	s := quickSuite(t)
+	rend, err := s.JobStreamFaults(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rend) != 2 {
+		t.Fatalf("got %d renderables, want tenant + summary tables", len(rend))
+	}
+	summary := rend[1].(*Table)
+	if len(summary.Rows) != 4 {
+		t.Fatalf("summary has %d rows, want one per policy", len(summary.Rows))
+	}
+	for _, row := range summary.Rows {
+		if row[5] == "0" { // Recovered column
+			t.Errorf("policy %s never recovered a job under the canonical schedule", row[0])
+		}
+	}
+	tenants := rend[0].(*Table).String()
+	for _, frag := range []string{"Rej", "Shed", "Fail", "Retention"} {
+		if !strings.Contains(tenants, frag) {
+			t.Errorf("tenant table missing column %q", frag)
+		}
+	}
+	// The crunch makes admission control visible: some job is rejected
+	// and some job is shed in at least one policy's stream.
+	var sawRej, sawShed bool
+	for _, row := range rend[0].(*Table).Rows {
+		if row[4] != "0" {
+			sawRej = true
+		}
+		if row[5] != "0" {
+			sawShed = true
+		}
+	}
+	if !sawRej || !sawShed {
+		t.Errorf("admission control invisible: sawRej=%v sawShed=%v", sawRej, sawShed)
+	}
+}

@@ -322,6 +322,15 @@ func init() {
 			},
 		},
 		{
+			ID:    "jobstream-faults",
+			About: "extension: job stream under node outages (lease healing, recovery, admission control)",
+			Group: GroupFaults,
+			Quick: true,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				return s.JobStreamFaults(ctx)
+			},
+		},
+		{
 			ID:    "membound",
 			About: "extension: memory-bounded scalability of every registered workload (Sun & Ni [9] folded in)",
 			Group: GroupExtension,

@@ -94,7 +94,7 @@ func TestResolve(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if strings.Join(ids, " ") != "ckpt-interval crash-restart fault-sweep recovered-sweep" {
+	if strings.Join(ids, " ") != "ckpt-interval crash-restart fault-sweep jobstream-faults recovered-sweep" {
 		t.Errorf("Resolve(group:faults) = %v", ids)
 	}
 	if ids, err := Resolve("table3"); err != nil || len(ids) != 1 || ids[0] != "table3" {

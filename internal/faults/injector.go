@@ -32,16 +32,25 @@ func (in *Injector) DropSend(from, to, seq int) bool {
 }
 
 // RetryDelayMS is the ack-timeout charged after the failed-th consecutive
-// loss (0-based) before the next attempt: base * 2^failed, with the
-// exponent capped to keep the delay finite for any retry budget.
+// loss (0-based) before the next attempt: the shared Backoff shape over
+// the plan's retry timeout.
 func (in *Injector) RetryDelayMS(failed int) float64 {
-	if failed < 0 {
-		failed = 0
+	return Backoff(in.retryTimeoutMS, failed)
+}
+
+// Backoff is the package's one bounded exponential-backoff shape:
+// base * 2^attempt for the attempt-th consecutive failure (0-based),
+// with the exponent capped so the delay stays finite for any budget.
+// The message-retry protocol and the job-stream requeue path both price
+// their retries with it.
+func Backoff(baseMS float64, attempt int) float64 {
+	if attempt < 0 {
+		attempt = 0
 	}
-	if failed > 30 {
-		failed = 30
+	if attempt > 30 {
+		attempt = 30
 	}
-	return in.retryTimeoutMS * float64(uint64(1)<<uint(failed))
+	return baseMS * float64(uint64(1)<<uint(attempt))
 }
 
 // MaxSendAttempts is the total transmission budget per payload (first

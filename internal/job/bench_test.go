@@ -46,3 +46,60 @@ func BenchmarkJobstreamSimulate(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkJobstreamFaults measures the fault-tolerant path: one
+// iteration runs the default stream under a 16-node outage schedule
+// with lease healing, checkpoint rollback, bounded retries and
+// admission control. The benchmark reports jobs/sec (submitted jobs
+// over wall time) and recoveries/sec (checkpoint rollbacks priced and
+// replayed over wall time) alongside ns/op.
+func BenchmarkJobstreamFaults(b *testing.B) {
+	model, err := simnet.NewParamModel("sunwulf", simnet.Sunwulf100())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := cluster.MMConfig(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := DefaultStream()
+	jobs, err := stream.Jobs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol, err := GetPolicy("fcfs")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := Options{
+		MPI:   mpi.Options{Engine: mpi.EngineDES},
+		Alloc: cluster.AllocatorOptions{AcquireMS: 5, ReleaseMS: 2},
+		Seed:  stream.Seed,
+		Health: cluster.HealthSpec{Events: []cluster.NodeEvent{
+			{Node: 1, DownMS: 150, UpMS: 700},
+			{Node: 8, DownMS: 170, UpMS: 760},
+			{Node: 0, DownMS: 560, UpMS: 1250},
+			{Node: 2, DownMS: 565, UpMS: 1260},
+			{Node: 3, DownMS: 570, UpMS: 1270},
+		}},
+		Retry:     DefaultRetry(),
+		Admission: AdmissionSpec{MaxQueue: 1, MaxWaitMS: 400},
+	}
+	ctx := context.Background()
+	var rollbacks int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(ctx, cl, model, jobs, pol, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, jr := range res.Jobs {
+			rollbacks += jr.Recoveries
+		}
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(len(jobs)*b.N)/sec, "jobs/sec")
+		b.ReportMetric(float64(rollbacks)/sec, "recoveries/sec")
+	}
+}

@@ -1,0 +1,93 @@
+package job
+
+import (
+	"fmt"
+	"math"
+)
+
+// JobStatus is a job's terminal fate in one simulation.
+type JobStatus string
+
+const (
+	// StatusDone: the job completed (possibly after rollbacks/retries).
+	StatusDone JobStatus = "done"
+	// StatusRejected: admission control refused the job at arrival (its
+	// tenant's queue was full).
+	StatusRejected JobStatus = "rejected"
+	// StatusShed: the job waited past the admission deadline and was
+	// dropped from the queue.
+	StatusShed JobStatus = "shed"
+	// StatusFailed: every lease the job ran on lost its survivor set and
+	// the retry budget ran out.
+	StatusFailed JobStatus = "failed"
+	// StatusStarved: the stream ended (no events left) with the job
+	// still queued — possible only under node faults, when the policy
+	// never found it a healthy placement.
+	StatusStarved JobStatus = "starved"
+)
+
+// RetrySpec bounds how jobs whose lease lost its entire survivor set
+// are retried, and how runs on fault-scheduled leases checkpoint. The
+// zero value never requeues and never checkpoints (a crashed job rolls
+// back to scratch on the survivors).
+type RetrySpec struct {
+	// MaxRetries is how many times a terminally-failed job re-enters
+	// the queue before it is marked failed for good.
+	MaxRetries int `json:"maxRetries,omitempty"`
+	// BackoffMS is the base requeue delay after a terminal lease
+	// failure; the delay doubles per consecutive failure of the same
+	// job (the faults.Backoff shape).
+	BackoffMS float64 `json:"backoffMS,omitempty"`
+	// CkptSteps is the coordinated-checkpoint cadence, in workload
+	// steps, of runs on leases with scheduled node faults. 0 disables
+	// checkpointing: a crash replays the whole job on the survivors.
+	CkptSteps int `json:"ckptSteps,omitempty"`
+}
+
+// DefaultRetry is the retry policy the jobstream-faults experiment and
+// RunSpec normalization use when node faults are on.
+func DefaultRetry() RetrySpec {
+	return RetrySpec{MaxRetries: 2, BackoffMS: 50, CkptSteps: 8}
+}
+
+// Validate reports structural problems with the retry policy.
+func (r RetrySpec) Validate() error {
+	if r.MaxRetries < 0 {
+		return fmt.Errorf("job: negative retry budget %d", r.MaxRetries)
+	}
+	if r.BackoffMS < 0 || math.IsNaN(r.BackoffMS) || math.IsInf(r.BackoffMS, 0) {
+		return fmt.Errorf("job: retry backoff %g must be non-negative and finite", r.BackoffMS)
+	}
+	if r.CkptSteps < 0 {
+		return fmt.Errorf("job: negative checkpoint cadence %d", r.CkptSteps)
+	}
+	return nil
+}
+
+// AdmissionSpec is the control in front of the queue: per-tenant queue
+// caps and a maximum queueing time, so overload degrades into
+// deterministic rejections and sheds instead of unbounded queueing. The
+// zero value admits everything and waits forever.
+type AdmissionSpec struct {
+	// MaxQueue caps each tenant's QUEUED (not running) jobs; an arrival
+	// past the cap is rejected. Requeued retries bypass the cap — the
+	// job was already admitted once. 0 means unbounded.
+	MaxQueue int `json:"maxQueue,omitempty"`
+	// MaxWaitMS sheds a job still queued this long after it entered
+	// (or re-entered) the queue. 0 means never.
+	MaxWaitMS float64 `json:"maxWaitMS,omitempty"`
+}
+
+// IsZero reports whether admission control is off.
+func (a AdmissionSpec) IsZero() bool { return a.MaxQueue == 0 && a.MaxWaitMS == 0 }
+
+// Validate reports structural problems with the admission policy.
+func (a AdmissionSpec) Validate() error {
+	if a.MaxQueue < 0 {
+		return fmt.Errorf("job: negative queue cap %d", a.MaxQueue)
+	}
+	if a.MaxWaitMS < 0 || math.IsNaN(a.MaxWaitMS) || math.IsInf(a.MaxWaitMS, 0) {
+		return fmt.Errorf("job: max wait %g must be non-negative and finite", a.MaxWaitMS)
+	}
+	return nil
+}

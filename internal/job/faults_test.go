@@ -1,0 +1,331 @@
+package job
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+)
+
+func TestRetrySpecValidate(t *testing.T) {
+	if err := DefaultRetry().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		r    RetrySpec
+		frag string
+	}{
+		{"negative retries", RetrySpec{MaxRetries: -1}, "retry budget"},
+		{"negative backoff", RetrySpec{BackoffMS: -1}, "backoff"},
+		{"nan backoff", RetrySpec{BackoffMS: math.NaN()}, "backoff"},
+		{"inf backoff", RetrySpec{BackoffMS: math.Inf(1)}, "backoff"},
+		{"negative ckpt", RetrySpec{CkptSteps: -2}, "checkpoint"},
+	} {
+		if err := tc.r.Validate(); err == nil || !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%s: Validate = %v, want error containing %q", tc.name, err, tc.frag)
+		}
+	}
+}
+
+func TestAdmissionSpecValidate(t *testing.T) {
+	var zero AdmissionSpec
+	if !zero.IsZero() || zero.Validate() != nil {
+		t.Fatal("zero admission spec must be valid and IsZero")
+	}
+	for _, tc := range []struct {
+		name string
+		a    AdmissionSpec
+		frag string
+	}{
+		{"negative cap", AdmissionSpec{MaxQueue: -1}, "queue cap"},
+		{"negative wait", AdmissionSpec{MaxWaitMS: -5}, "max wait"},
+		{"nan wait", AdmissionSpec{MaxWaitMS: math.NaN()}, "max wait"},
+		{"inf wait", AdmissionSpec{MaxWaitMS: math.Inf(1)}, "max wait"},
+	} {
+		if err := tc.a.Validate(); err == nil || !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%s: Validate = %v, want error containing %q", tc.name, err, tc.frag)
+		}
+	}
+}
+
+// faultedOptions is the reference faulted configuration: a transient
+// outage striking the fcfs head placement mid-run, plus admission
+// control loose enough not to fire on the test stream.
+func faultedOptions(engine mpi.Engine) Options {
+	return Options{
+		MPI:   mpi.Options{Engine: engine},
+		Alloc: cluster.AllocatorOptions{AcquireMS: 5, ReleaseMS: 2},
+		Seed:  7,
+		Health: cluster.HealthSpec{Events: []cluster.NodeEvent{
+			{Node: 1, DownMS: 60, UpMS: 900},
+		}},
+		Retry:     DefaultRetry(),
+		Admission: AdmissionSpec{MaxQueue: 8, MaxWaitMS: 1e6},
+	}
+}
+
+func simulateFaulted(t *testing.T, engine mpi.Engine, polName string) Result {
+	t.Helper()
+	s := testStream()
+	jobs, err := s.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := GetPolicy(polName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(context.Background(), testCluster(t, 8), testModel(t), jobs, pol, faultedOptions(engine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSimulateNodeFaultRecoveryMidStream(t *testing.T) {
+	base := simulate(t, mpi.EngineDES, "fcfs")
+	res := simulateFaulted(t, mpi.EngineDES, "fcfs")
+	if res.Recovered == 0 {
+		t.Fatal("node outage at 60ms never forced a recovery")
+	}
+	var hit *JobResult
+	for i := range res.Jobs {
+		if res.Jobs[i].Recoveries > 0 {
+			hit = &res.Jobs[i]
+			break
+		}
+	}
+	if hit.Status != StatusDone {
+		t.Fatalf("recovered job %d ended %q, want done", hit.ID, hit.Status)
+	}
+	// Survivor replay is replay-exact: the recovered job executes the
+	// same computation as its undisturbed run — identical work — and
+	// its dedicated baseline (same placement, no faults) is bitwise the
+	// baseline of the undisturbed stream's run of that job.
+	und := base.Jobs[hit.ID]
+	if hit.Work != und.Work {
+		t.Errorf("recovered job %d work %g, undisturbed %g", hit.ID, hit.Work, und.Work)
+	}
+	if !reflect.DeepEqual(hit.Ranks, und.Ranks) {
+		t.Skipf("fault perturbed placement of job %d; baseline comparison not applicable", hit.ID)
+	}
+	if hit.EsDedicated != und.EsDedicated {
+		t.Errorf("recovered job %d dedicated baseline %g, undisturbed %g", hit.ID, hit.EsDedicated, und.EsDedicated)
+	}
+	// Rollback replay costs virtual time, so the recovered job's run is
+	// strictly longer and its retention strictly worse.
+	if hit.RunMS <= und.RunMS {
+		t.Errorf("recovered job %d ran %g ms, undisturbed %g: rollback cost missing", hit.ID, hit.RunMS, und.RunMS)
+	}
+	if hit.Retention >= und.Retention {
+		t.Errorf("recovered job %d retention %g not degraded vs undisturbed %g", hit.ID, hit.Retention, und.Retention)
+	}
+	// Conservation across the whole stream.
+	if got := res.Completed + res.Rejected + res.Shed + res.Failed + res.Starved; got != len(res.Jobs) {
+		t.Errorf("status counts sum to %d, want %d", got, len(res.Jobs))
+	}
+}
+
+func TestSimulateFaultedDeterministicAcrossEngines(t *testing.T) {
+	for _, polName := range Policies() {
+		base := simulateFaulted(t, mpi.EngineDES, polName)
+		if again := simulateFaulted(t, mpi.EngineDES, polName); !reflect.DeepEqual(base, again) {
+			t.Errorf("%s: faulted rerun differs", polName)
+		}
+		for _, eng := range []mpi.Engine{mpi.EngineLive, mpi.EngineSymbolic} {
+			if got := simulateFaulted(t, eng, polName); !reflect.DeepEqual(base, got) {
+				t.Errorf("%s: faulted engine %v result differs from DES", polName, eng)
+			}
+		}
+	}
+}
+
+func TestSimulateZeroFaultSpecsMatchPlainPath(t *testing.T) {
+	// Zero Health/Retry/Admission must reproduce the undisturbed
+	// simulation exactly, field for field.
+	plain := simulate(t, mpi.EngineDES, "priority")
+	s := testStream()
+	jobs, _ := s.Jobs()
+	pol, _ := GetPolicy("priority")
+	res, err := Simulate(context.Background(), testCluster(t, 8), testModel(t), jobs, pol, Options{
+		MPI:    mpi.Options{Engine: mpi.EngineDES},
+		Alloc:  cluster.AllocatorOptions{AcquireMS: 5, ReleaseMS: 2},
+		Seed:   s.Seed,
+		Health: cluster.HealthSpec{}, Retry: RetrySpec{}, Admission: AdmissionSpec{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, res) {
+		t.Fatal("zero fault specs perturbed the undisturbed simulation")
+	}
+	for _, jr := range res.Jobs {
+		if jr.Status != StatusDone || jr.Retries != 0 || jr.Recoveries != 0 {
+			t.Fatalf("job %d: %q retries=%d recoveries=%d on the plain path", jr.ID, jr.Status, jr.Retries, jr.Recoveries)
+		}
+	}
+	if res.Completed != len(res.Jobs) || res.Retried != 0 || res.Recovered != 0 {
+		t.Fatalf("plain-path counters wrong: %+v", res)
+	}
+}
+
+// oneJob builds a single-job stream for targeted scenarios.
+func oneJob(width int) []Job {
+	return []Job{{ID: 0, Tenant: "solo", Workload: "jacobi", N: 48, Width: width}}
+}
+
+func TestSimulateRetryAfterTotalLeaseLoss(t *testing.T) {
+	// fcfs places the width-3 job on ranks [0 1 2]; all three die
+	// permanently mid-run, so the lease loses its survivor set and the
+	// job re-enters the queue under backoff, then succeeds on the five
+	// remaining healthy nodes.
+	pol, _ := GetPolicy("fcfs")
+	res, err := Simulate(context.Background(), testCluster(t, 8), testModel(t), oneJob(3), pol, Options{
+		MPI:   mpi.Options{Engine: mpi.EngineDES},
+		Alloc: cluster.AllocatorOptions{AcquireMS: 5, ReleaseMS: 2},
+		Health: cluster.HealthSpec{Events: []cluster.NodeEvent{
+			{Node: 0, DownMS: 20}, {Node: 1, DownMS: 25}, {Node: 2, DownMS: 30},
+		}},
+		Retry: RetrySpec{MaxRetries: 2, BackoffMS: 40, CkptSteps: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr := res.Jobs[0]
+	if jr.Status != StatusDone || jr.Retries != 1 {
+		t.Fatalf("job fate = %q retries=%d, want done after 1 retry", jr.Status, jr.Retries)
+	}
+	for _, r := range jr.Ranks {
+		if r < 3 {
+			t.Fatalf("retried job placed on dead node %d (ranks %v)", r, jr.Ranks)
+		}
+	}
+	// Requeue waits out the failure plus the base backoff delay.
+	if jr.StartMS < 30+40 {
+		t.Fatalf("retried job started at %g, before failure+backoff", jr.StartMS)
+	}
+	if res.Retried != 1 || res.Completed != 1 || res.Failed != 0 {
+		t.Fatalf("counters = %+v", res)
+	}
+}
+
+func TestSimulateRetryExhaustionFails(t *testing.T) {
+	// Zero retry budget: the first total lease loss is terminal.
+	pol, _ := GetPolicy("fcfs")
+	res, err := Simulate(context.Background(), testCluster(t, 8), testModel(t), oneJob(3), pol, Options{
+		MPI:   mpi.Options{Engine: mpi.EngineDES},
+		Alloc: cluster.AllocatorOptions{AcquireMS: 5, ReleaseMS: 2},
+		Health: cluster.HealthSpec{Events: []cluster.NodeEvent{
+			{Node: 0, DownMS: 20}, {Node: 1, DownMS: 25}, {Node: 2, DownMS: 30},
+		}},
+		Retry: RetrySpec{MaxRetries: 0, BackoffMS: 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr := res.Jobs[0]
+	if jr.Status != StatusFailed {
+		t.Fatalf("job fate = %q, want failed", jr.Status)
+	}
+	if jr.Work != 0 || jr.Es != 0 {
+		t.Fatalf("failed job credited work %g / Es %g", jr.Work, jr.Es)
+	}
+	if jr.FinishMS <= jr.StartMS {
+		t.Fatalf("failed job times inconsistent: %+v", jr)
+	}
+	if res.Failed != 1 || res.Completed != 0 {
+		t.Fatalf("counters = %+v", res)
+	}
+	// The tenant summary accounts for the failure without polluting the
+	// completed-job means.
+	sums := res.ByTenant()
+	if len(sums) != 1 || sums[0].Failed != 1 || sums[0].Completed != 0 {
+		t.Fatalf("ByTenant = %+v", sums)
+	}
+	if sums[0].MeanEs != 0 || sums[0].Retention != 0 {
+		t.Fatalf("failed-only tenant has nonzero means: %+v", sums[0])
+	}
+}
+
+func TestSimulateAdmissionRejectAndShed(t *testing.T) {
+	// A width-8 job pins the whole cluster; three more arrivals from one
+	// tenant queue behind it. MaxQueue 1 rejects the second and third;
+	// MaxWaitMS sheds the queued survivor long before the blocker ends.
+	jobs := []Job{
+		{ID: 0, Tenant: "pinner", Workload: "jacobi", N: 96, Width: 8, ArrivalMS: 0},
+		{ID: 1, Tenant: "burst", Workload: "cg", N: 33, Width: 2, ArrivalMS: 10},
+		{ID: 2, Tenant: "burst", Workload: "cg", N: 33, Width: 2, ArrivalMS: 11},
+		{ID: 3, Tenant: "burst", Workload: "cg", N: 33, Width: 2, ArrivalMS: 12},
+	}
+	pol, _ := GetPolicy("fcfs")
+	res, err := Simulate(context.Background(), testCluster(t, 8), testModel(t), jobs, pol, Options{
+		MPI:       mpi.Options{Engine: mpi.EngineDES},
+		Alloc:     cluster.AllocatorOptions{AcquireMS: 5, ReleaseMS: 2},
+		Admission: AdmissionSpec{MaxQueue: 1, MaxWaitMS: 30},
+		// Admission alone must work without any node-fault schedule.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := []JobStatus{res.Jobs[0].Status, res.Jobs[1].Status, res.Jobs[2].Status, res.Jobs[3].Status}; !reflect.DeepEqual(got, []JobStatus{StatusDone, StatusShed, StatusRejected, StatusRejected}) {
+		t.Fatalf("fates = %v", got)
+	}
+	shed := res.Jobs[1]
+	if shed.WaitMS != 30 {
+		t.Fatalf("shed job waited %g ms, want exactly the 30 ms deadline", shed.WaitMS)
+	}
+	if shed.Ranks != nil || shed.Work != 0 {
+		t.Fatalf("shed job ran: %+v", shed)
+	}
+	if res.Completed != 1 || res.Rejected != 2 || res.Shed != 1 {
+		t.Fatalf("counters = %+v", res)
+	}
+	sums := res.ByTenant()
+	if sums[0].Tenant != "burst" || sums[0].Rejected != 2 || sums[0].Shed != 1 || sums[0].Completed != 0 {
+		t.Fatalf("burst summary = %+v", sums[0])
+	}
+}
+
+func TestSimulateStarvedWhenNoHealthyPlacement(t *testing.T) {
+	// Every node dies permanently before the job can finish waiting for
+	// a wide-enough placement; the stream drains with the job queued.
+	pol, _ := GetPolicy("fcfs")
+	res, err := Simulate(context.Background(), testCluster(t, 8), testModel(t), []Job{
+		{ID: 0, Tenant: "solo", Workload: "cg", N: 33, Width: 4, ArrivalMS: 50},
+	}, pol, Options{
+		MPI: mpi.Options{Engine: mpi.EngineDES},
+		Health: cluster.HealthSpec{Events: []cluster.NodeEvent{
+			{Node: 0, DownMS: 0}, {Node: 1, DownMS: 0}, {Node: 2, DownMS: 0},
+			{Node: 3, DownMS: 0}, {Node: 4, DownMS: 0}, {Node: 5, DownMS: 10},
+			{Node: 6, DownMS: 10}, {Node: 7, DownMS: 10},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs[0].Status != StatusStarved || res.Starved != 1 {
+		t.Fatalf("fate = %q (starved=%d), want starved", res.Jobs[0].Status, res.Starved)
+	}
+}
+
+func TestSimulateValidatesFaultSpecs(t *testing.T) {
+	pol, _ := GetPolicy("fcfs")
+	cl, model := testCluster(t, 8), testModel(t)
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"bad retry", Options{MPI: mpi.Options{Engine: mpi.EngineDES}, Retry: RetrySpec{MaxRetries: -1}}},
+		{"bad admission", Options{MPI: mpi.Options{Engine: mpi.EngineDES}, Admission: AdmissionSpec{MaxQueue: -1}}},
+		{"bad health", Options{MPI: mpi.Options{Engine: mpi.EngineDES}, Health: cluster.HealthSpec{Events: []cluster.NodeEvent{{Node: 99, DownMS: 1}}}}},
+	} {
+		if _, err := Simulate(context.Background(), cl, model, oneJob(2), pol, tc.opts); err == nil {
+			t.Errorf("%s: Simulate accepted the invalid spec", tc.name)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package job
 
 import (
 	"context"
+	"math"
 	"reflect"
 	"testing"
 
@@ -101,6 +102,9 @@ func TestStreamValidate(t *testing.T) {
 		{"zero width", func(s *StreamSpec) { s.Tenants[0].Width = 0 }},
 		{"zero jobs", func(s *StreamSpec) { s.Tenants[0].Jobs = 0 }},
 		{"zero gap", func(s *StreamSpec) { s.Tenants[0].MeanGapMS = 0 }},
+		{"negative gap", func(s *StreamSpec) { s.Tenants[0].MeanGapMS = -100 }},
+		{"nan gap", func(s *StreamSpec) { s.Tenants[0].MeanGapMS = math.NaN() }},
+		{"inf gap", func(s *StreamSpec) { s.Tenants[0].MeanGapMS = math.Inf(1) }},
 		{"negative shape", func(s *StreamSpec) { s.Tenants[0].Shape = -1 }},
 	} {
 		s := testStream()

@@ -2,11 +2,14 @@ package job
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
+	"repro/internal/algs"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/des"
+	"repro/internal/faults"
 	"repro/internal/mpi"
 	"repro/internal/simnet"
 	"repro/internal/workload"
@@ -22,17 +25,27 @@ type Options struct {
 	Alloc cluster.AllocatorOptions
 	// Seed drives the workloads' deterministic inputs.
 	Seed int64
+	// Health is the node down/up schedule on the shared cluster's
+	// virtual clock; the zero value keeps every node healthy forever.
+	Health cluster.HealthSpec
+	// Retry bounds requeues of jobs whose lease lost its survivor set
+	// and sets the checkpoint cadence of fault-scheduled runs.
+	Retry RetrySpec
+	// Admission is the control in front of the queue.
+	Admission AdmissionSpec
 }
 
 // JobResult is one job's fate under a policy.
 type JobResult struct {
 	Job
 	// Ranks is the leased placement on the shared cluster, job rank
-	// order.
+	// order, as granted at admission (node failures may later shrink
+	// the lease itself, not this record). Nil when the job never ran.
 	Ranks []int
 	// StartMS is when computation began (lease ready), FinishMS when it
 	// ended; WaitMS = StartMS - ArrivalMS includes queueing and the
-	// acquire charge, RunMS = FinishMS - StartMS.
+	// acquire charge (and, for retried jobs, earlier failed leases),
+	// RunMS = FinishMS - StartMS.
 	StartMS  float64
 	FinishMS float64
 	WaitMS   float64
@@ -44,12 +57,19 @@ type JobResult struct {
 	// leased subset's marked speed.
 	Es float64
 	// EsDedicated is the dedicated-cluster baseline: the same job on
-	// the same placement with zero wait and zero lease charges — what
-	// the tenant would have achieved had it not shared the machine.
+	// the same placement with zero wait, zero lease charges and no
+	// faults — what the tenant would have achieved had it not shared
+	// the (degrading) machine.
 	EsDedicated float64
 	// Retention is Es / EsDedicated — the fraction of dedicated-cluster
-	// efficiency that survived contention.
+	// efficiency that survived contention and faults.
 	Retention float64
+	// Status is the job's terminal fate; Retries counts requeues after
+	// terminal lease failures; Recoveries counts checkpoint rollbacks
+	// across all its leases.
+	Status     JobStatus
+	Retries    int
+	Recoveries int
 }
 
 // Result is one policy's full simulation outcome.
@@ -62,19 +82,56 @@ type Result struct {
 	// Utilization is busy node-ms over cluster node-ms across the
 	// makespan.
 	Utilization float64
+	// Per-status job counts; Completed + Rejected + Shed + Failed +
+	// Starved always equals len(Jobs). Retried counts jobs that
+	// re-entered the queue at least once, Recovered the completed jobs
+	// that survived at least one rollback.
+	Completed int
+	Rejected  int
+	Shed      int
+	Failed    int
+	Starved   int
+	Retried   int
+	Recovered int
 }
 
-// innerRun memoizes one workload execution on one placement.
+// innerRun memoizes one workload execution on one placement under one
+// crash plan.
 type innerRun struct {
-	timeMS float64
-	work   float64
+	// finished is false when the run lost its survivor set or its
+	// recovery attempt budget; then failMS (run start to abandonment)
+	// is set instead of timeMS.
+	finished  bool
+	timeMS    float64
+	failMS    float64
+	work      float64
+	rollbacks int
+}
+
+// jobState is the scheduler's mutable per-job bookkeeping.
+type jobState struct {
+	// gen bumps on every queue entry and exit so a pending shed timer
+	// can tell whether the job is still in the queue entry it targeted.
+	gen       int
+	retries   int
+	rollbacks int
 }
 
 // Simulate runs the job stream on one shared cluster under the given
-// policy, advancing arrivals, leases and completions on a single DES
-// clock. Jobs execute as real virtual-time runs (symbolic mode: full
-// timing and traffic, no host arithmetic) on their leased subset, so a
-// lease on nodes {7,3} genuinely runs rank 0 on node 7.
+// policy, advancing arrivals, leases, node failures and completions on
+// a single DES clock. Jobs execute as real virtual-time runs (symbolic
+// mode: full timing and traffic, no host arithmetic) on their leased
+// subset, so a lease on nodes {7,3} genuinely runs rank 0 on node 7.
+//
+// With a node-fault schedule (opts.Health), a node crashing mid-lease
+// shrinks the lease to the survivors and the run rolls back to its last
+// coordinated checkpoint and replays on them (mpi.RunRecoverable with
+// dist.Pinned redistribution), all charged in virtual time. A job whose
+// lease loses every node re-enters the queue under the bounded
+// exponential-backoff budget in opts.Retry; admission control
+// (opts.Admission) rejects and sheds deterministically. With the zero
+// Health/Retry/Admission the simulation is identical — event for event,
+// bit for bit — to the undisturbed stream.
 func Simulate(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, jobs []Job, pol Policy, opts Options) (Result, error) {
 	if cl == nil || model == nil {
 		return Result{}, fmt.Errorf("job: Simulate needs a cluster and a cost model")
@@ -82,6 +139,17 @@ func Simulate(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, 
 	if pol == nil {
 		return Result{}, fmt.Errorf("job: Simulate needs a policy")
 	}
+	if err := opts.Retry.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := opts.Admission.Validate(); err != nil {
+		return Result{}, err
+	}
+	health, err := opts.Health.Instantiate(cl.Size())
+	if err != nil {
+		return Result{}, err
+	}
+	faulted := len(health) > 0
 	ests := make(map[string]workload.Workload, 4)
 	for _, j := range jobs {
 		w, ok := workload.Lookup(j.Workload)
@@ -100,26 +168,62 @@ func Simulate(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, 
 	}
 	est := func(j *Job) float64 { return ests[j.Workload].WorkAt(j.N) }
 
+	// Per-node down instants, ascending (Instantiate sorts by DownMS).
+	downsAt := make([][]float64, cl.Size())
+	for _, ev := range health {
+		downsAt[ev.Node] = append(downsAt[ev.Node], ev.DownMS)
+	}
+	nextDown := func(node int, fromMS float64) (float64, bool) {
+		for _, t := range downsAt[node] {
+			if t >= fromMS {
+				return t, true
+			}
+		}
+		return 0, false
+	}
+
 	memo := map[string]innerRun{}
-	runOn := func(j *Job, sub *cluster.Cluster, ranks []int) (innerRun, error) {
-		key := fmt.Sprintf("%s/%d/%v", j.Workload, j.N, ranks)
+	runOn := func(j *Job, sub *cluster.Cluster, ranks []int, crashes []faults.Crash) (innerRun, error) {
+		key := fmt.Sprintf("%s/%d/%v/%v", j.Workload, j.N, ranks, crashes)
 		if r, ok := memo[key]; ok {
 			return r, nil
 		}
-		out, err := ests[j.Workload].Run(ctx, sub, model, opts.MPI, workload.Spec{
-			N: j.N, Seed: opts.Seed, Symbolic: true,
-		})
-		if err != nil {
-			return innerRun{}, fmt.Errorf("job: job %d (%s n=%d) on %v: %w", j.ID, j.Workload, j.N, ranks, err)
+		spec := workload.Spec{N: j.N, Seed: opts.Seed, Symbolic: true}
+		var r innerRun
+		if len(crashes) == 0 {
+			out, err := ests[j.Workload].Run(ctx, sub, model, opts.MPI, spec)
+			if err != nil {
+				return innerRun{}, fmt.Errorf("job: job %d (%s n=%d) on %v: %w", j.ID, j.Workload, j.N, ranks, err)
+			}
+			r = innerRun{finished: true, timeMS: out.Stats.TimeMS, work: out.Work}
+		} else {
+			// Survivor replay redistributes the dead ranks' shares by the
+			// leased subset's nominal speeds: dist.Pinned, subset to the
+			// survivors by the recovery supervisor.
+			spec.PinnedSpeeds = sub.Speeds()
+			mopts := opts.MPI
+			mopts.Faults = faults.Plan{Crashes: crashes}.Injector()
+			rcfg := algs.RecoveryConfig{IntervalSteps: opts.Retry.CkptSteps}
+			out, rec, err := ests[j.Workload].RunRecovered(ctx, sub, model, mopts, spec, rcfg)
+			switch {
+			case err == nil:
+				r = innerRun{finished: true, timeMS: rec.TimeMS, work: out.Work, rollbacks: rec.Attempts - 1}
+			case errors.Is(err, mpi.ErrRecoveryFailed):
+				r = innerRun{finished: false, failMS: rec.FailedAtMS(), rollbacks: rec.Attempts - 1}
+			default:
+				return innerRun{}, fmt.Errorf("job: job %d (%s n=%d) on %v: %w", j.ID, j.Workload, j.N, ranks, err)
+			}
 		}
-		r := innerRun{timeMS: out.Stats.TimeMS, work: out.Work}
 		memo[key] = r
 		return r, nil
 	}
 
 	k := des.NewKernel()
 	results := make([]JobResult, len(jobs))
+	states := make([]jobState, len(jobs))
+	queuedBy := map[string]int{}
 	var queue []*Job
+	var lastReleaseMS float64
 	var simErr error
 	fail := func(err error) {
 		if simErr == nil {
@@ -128,6 +232,36 @@ func Simulate(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, 
 	}
 
 	var admit func()
+	enqueue := func(j *Job, atMS float64) {
+		st := &states[j.ID]
+		st.gen++
+		gen := st.gen
+		queue = append(queue, j)
+		queuedBy[j.Tenant]++
+		if opts.Admission.MaxWaitMS > 0 {
+			k.ScheduleAt(atMS+opts.Admission.MaxWaitMS, func() {
+				if simErr != nil || states[j.ID].gen != gen {
+					return // the job left the queue before the deadline
+				}
+				for qi, q := range queue {
+					if q == j {
+						queue = append(queue[:qi], queue[qi+1:]...)
+						break
+					}
+				}
+				st.gen++
+				queuedBy[j.Tenant]--
+				results[j.ID] = JobResult{
+					Job: *j, Status: StatusShed,
+					WaitMS:  k.Now() - j.ArrivalMS,
+					Retries: st.retries, Recoveries: st.rollbacks,
+				}
+				// Shedding the head can unblock fcfs.
+				admit()
+			})
+		}
+	}
+
 	admit = func() {
 		for simErr == nil && len(queue) > 0 {
 			if err := ctx.Err(); err != nil {
@@ -140,38 +274,158 @@ func Simulate(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, 
 			}
 			j := queue[idx]
 			queue = append(queue[:idx], queue[idx+1:]...)
-			lease, err := alloc.Acquire(j.Tenant, ranks, k.Now())
+			st := &states[j.ID]
+			st.gen++
+			queuedBy[j.Tenant]--
+			now := k.Now()
+			lease, err := alloc.Acquire(j.Tenant, ranks, now)
 			if err != nil {
 				fail(err)
 				return
 			}
-			run, err := runOn(j, lease.Sub, lease.Ranks)
-			if err != nil {
-				fail(err)
-				return
+			// Node failures later heal the lease in place; keep the
+			// granted placement for the result record and the memo key.
+			placed := append([]int(nil), lease.Ranks...)
+			ready := lease.ReadyMS
+
+			// Crash fixed point: fold every scheduled node-down event that
+			// strikes the placement before the (re)computed end of the run
+			// into the run's crash plan. Each iteration kills at most one
+			// more position, so it terminates within the lease width. The
+			// plan is consistent with the allocator because health events
+			// are scheduled before arrivals: a node down at exactly now was
+			// never handed out.
+			var crashes []faults.Crash
+			deadPos := make(map[int]bool, len(placed))
+			var run innerRun
+			for {
+				run, err = runOn(j, lease.Sub, placed, crashes)
+				if err != nil {
+					fail(err)
+					return
+				}
+				endAbs := ready + run.timeMS
+				if !run.finished {
+					endAbs = ready + run.failMS
+				}
+				pos, hitAt := -1, 0.0
+				for i, node := range placed {
+					if deadPos[i] {
+						continue
+					}
+					t, ok := nextDown(node, now)
+					if !ok || t >= endAbs {
+						continue
+					}
+					if pos < 0 || t < hitAt {
+						pos, hitAt = i, t
+					}
+				}
+				if pos < 0 {
+					break
+				}
+				deadPos[pos] = true
+				rel := hitAt - ready
+				if rel < 0 {
+					rel = 0 // struck during the acquire charge: dead at first op
+				}
+				crashes = append(crashes, faults.Crash{Rank: pos, AtMS: rel})
 			}
-			start := lease.ReadyMS
-			finish := start + run.timeMS
+
+			st.rollbacks += run.rollbacks
+			release := func(atMS float64) {
+				k.ScheduleAt(atMS, func() {
+					if simErr != nil {
+						return
+					}
+					// A lease fully consumed by node failures retired itself.
+					if alloc.Holds(lease) {
+						if err := alloc.Release(lease, k.Now()); err != nil {
+							fail(err)
+							return
+						}
+					}
+					if k.Now() > lastReleaseMS {
+						lastReleaseMS = k.Now()
+					}
+					admit()
+				})
+			}
+
+			if !run.finished {
+				failAt := ready + run.failMS
+				if st.retries < opts.Retry.MaxRetries {
+					st.retries++
+					wake := failAt + faults.Backoff(opts.Retry.BackoffMS, st.retries-1)
+					k.ScheduleAt(wake, func() {
+						if simErr != nil {
+							return
+						}
+						enqueue(j, k.Now())
+						admit()
+					})
+				} else {
+					results[j.ID] = JobResult{
+						Job: *j, Ranks: placed,
+						StartMS: ready, FinishMS: failAt,
+						WaitMS: ready - j.ArrivalMS, RunMS: run.failMS,
+						Status: StatusFailed, Retries: st.retries, Recoveries: st.rollbacks,
+					}
+				}
+				release(failAt + opts.Alloc.ReleaseMS)
+				continue
+			}
+
+			finish := ready + run.timeMS
 			es, err := core.SpeedEfficiency(run.work, finish-j.ArrivalMS, lease.Sub.MarkedSpeed())
 			if err != nil {
 				fail(err)
 				return
 			}
-			// Dedicated baseline: same placement, zero wait, zero
-			// charges — the run time alone over the same subset's C.
-			ded, err := core.SpeedEfficiency(run.work, run.timeMS, lease.Sub.MarkedSpeed())
+			// Dedicated baseline: same placement, zero wait, zero charges
+			// and no faults — the undisturbed run time alone over the same
+			// subset's C.
+			base, err := runOn(j, lease.Sub, placed, nil)
+			if err != nil {
+				fail(err)
+				return
+			}
+			ded, err := core.SpeedEfficiency(base.work, base.timeMS, lease.Sub.MarkedSpeed())
 			if err != nil {
 				fail(err)
 				return
 			}
 			results[j.ID] = JobResult{
-				Job: *j, Ranks: lease.Ranks,
-				StartMS: start, FinishMS: finish,
-				WaitMS: start - j.ArrivalMS, RunMS: run.timeMS,
+				Job: *j, Ranks: placed,
+				StartMS: ready, FinishMS: finish,
+				WaitMS: ready - j.ArrivalMS, RunMS: run.timeMS,
 				Work: run.work, Es: es, EsDedicated: ded, Retention: es / ded,
+				Status: StatusDone, Retries: st.retries, Recoveries: st.rollbacks,
 			}
-			k.ScheduleAt(finish+opts.Alloc.ReleaseMS, func() {
-				if err := alloc.Release(lease, k.Now()); err != nil {
+			release(finish + opts.Alloc.ReleaseMS)
+		}
+	}
+
+	// Health events are scheduled FIRST: at equal virtual instants the
+	// kernel fires them before arrivals (and before any timer scheduled
+	// mid-run), so placement never hands out a node in the same instant
+	// it fails — the invariant the crash fixed point above builds on.
+	for _, ev := range health {
+		ev := ev
+		k.ScheduleAt(ev.DownMS, func() {
+			if simErr != nil {
+				return
+			}
+			if _, err := alloc.NodeDown(ev.Node, k.Now()); err != nil {
+				fail(err)
+			}
+		})
+		if ev.UpMS > 0 {
+			k.ScheduleAt(ev.UpMS, func() {
+				if simErr != nil {
+					return
+				}
+				if err := alloc.NodeUp(ev.Node, k.Now()); err != nil {
 					fail(err)
 					return
 				}
@@ -179,11 +433,17 @@ func Simulate(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, 
 			})
 		}
 	}
-
 	for i := range jobs {
 		j := jobs[i]
 		k.ScheduleAt(j.ArrivalMS, func() {
-			queue = append(queue, &j)
+			if simErr != nil {
+				return
+			}
+			if opts.Admission.MaxQueue > 0 && queuedBy[j.Tenant] >= opts.Admission.MaxQueue {
+				results[j.ID] = JobResult{Job: j, Status: StatusRejected, WaitMS: 0}
+				return
+			}
+			enqueue(&j, k.Now())
 			admit()
 		})
 	}
@@ -193,20 +453,50 @@ func Simulate(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, 
 	if simErr != nil {
 		return Result{}, simErr
 	}
+	res := Result{
+		Policy:      pol.Name(),
+		MakespanMS:  lastReleaseMS,
+		Utilization: alloc.Utilization(lastReleaseMS),
+	}
 	for i := range results {
-		if results[i].Ranks == nil {
-			return Result{}, fmt.Errorf("job: job %d never admitted (policy %s)", i, pol.Name())
+		r := &results[i]
+		if r.Status == "" {
+			if !faulted {
+				// Without faults every job must eventually be admitted; a
+				// hole here is a policy bug, not a simulation outcome.
+				return Result{}, fmt.Errorf("job: job %d never admitted (policy %s)", i, pol.Name())
+			}
+			*r = JobResult{
+				Job: jobs[i], Status: StatusStarved,
+				Retries: states[i].retries, Recoveries: states[i].rollbacks,
+			}
+		}
+		switch r.Status {
+		case StatusDone:
+			res.Completed++
+			if r.Recoveries > 0 {
+				res.Recovered++
+			}
+		case StatusRejected:
+			res.Rejected++
+		case StatusShed:
+			res.Shed++
+		case StatusFailed:
+			res.Failed++
+		case StatusStarved:
+			res.Starved++
+		}
+		if r.Retries > 0 {
+			res.Retried++
 		}
 	}
-	return Result{
-		Policy:      pol.Name(),
-		Jobs:        results,
-		MakespanMS:  k.Now(),
-		Utilization: alloc.Utilization(k.Now()),
-	}, nil
+	res.Jobs = results
+	return res, nil
 }
 
-// TenantSummary aggregates one tenant's jobs under one policy.
+// TenantSummary aggregates one tenant's jobs under one policy. The
+// means are over COMPLETED jobs only; the counters account for every
+// submitted job.
 type TenantSummary struct {
 	Tenant        string
 	Jobs          int
@@ -215,6 +505,13 @@ type TenantSummary struct {
 	MeanEs        float64
 	MeanDedicated float64
 	Retention     float64 // MeanEs / MeanDedicated
+	Completed     int
+	Rejected      int
+	Shed          int
+	Failed        int
+	Starved       int
+	Retried       int
+	Recovered     int
 }
 
 // ByTenant folds a result into per-tenant summaries, tenant-name order.
@@ -230,13 +527,37 @@ func (r Result) ByTenant() []TenantSummary {
 		}
 		s := &out[i]
 		s.Jobs++
+		if jr.Retries > 0 {
+			s.Retried++
+		}
+		switch jr.Status {
+		case StatusRejected:
+			s.Rejected++
+			continue
+		case StatusShed:
+			s.Shed++
+			continue
+		case StatusFailed:
+			s.Failed++
+			continue
+		case StatusStarved:
+			s.Starved++
+			continue
+		}
+		s.Completed++
+		if jr.Recoveries > 0 {
+			s.Recovered++
+		}
 		s.MeanWaitMS += jr.WaitMS
 		s.MeanRespMS += jr.FinishMS - jr.ArrivalMS
 		s.MeanEs += jr.Es
 		s.MeanDedicated += jr.EsDedicated
 	}
 	for i := range out {
-		n := float64(out[i].Jobs)
+		if out[i].Completed == 0 {
+			continue
+		}
+		n := float64(out[i].Completed)
 		out[i].MeanWaitMS /= n
 		out[i].MeanRespMS /= n
 		out[i].MeanEs /= n

@@ -59,8 +59,11 @@ func (s StreamSpec) Validate() error {
 		if t.Jobs <= 0 {
 			return fmt.Errorf("job: tenant %q: job count %d must be positive", t.Name, t.Jobs)
 		}
-		if t.MeanGapMS <= 0 {
-			return fmt.Errorf("job: tenant %q: mean gap %g must be positive", t.Name, t.MeanGapMS)
+		if !(t.MeanGapMS > 0) || math.IsInf(t.MeanGapMS, 0) {
+			// The !(x > 0) form also catches NaN: a poisoned gap must be
+			// refused here, not surface as NaN arrival times deep inside
+			// Simulate.
+			return fmt.Errorf("job: tenant %q: mean gap %g must be positive and finite", t.Name, t.MeanGapMS)
 		}
 		if t.Shape < 0 {
 			return fmt.Errorf("job: tenant %q: negative Erlang shape %d", t.Name, t.Shape)

@@ -158,6 +158,32 @@ type RecoveredResult struct {
 	Events []RecoveryEvent
 }
 
+// ErrRecoveryFailed marks a run the recovery supervisor abandoned for a
+// priceable reason — the attempt budget ran out or no rank survived.
+// Schedulers match it with errors.Is to distinguish "this job died on
+// this placement" (requeue it) from a program bug (abort the
+// simulation). Non-fault errors are never wrapped in it.
+var ErrRecoveryFailed = errors.New("mpi: recovery failed")
+
+// FailedAtMS returns the virtual instant an abandoned run stopped
+// consuming the machine: the latest of the per-rank death/finish clocks
+// and any rollback's resume instant. Meaningful when RunRecoverable
+// returned ErrRecoveryFailed (TimeMS is only set on success).
+func (r RecoveredResult) FailedAtMS() float64 {
+	at := 0.0
+	for _, c := range r.RankClocks {
+		if c > at {
+			at = c
+		}
+	}
+	for _, ev := range r.Events {
+		if ev.ResumeMS > at {
+			at = ev.ResumeMS
+		}
+	}
+	return at
+}
+
 // recoveryLog is the run's stable storage: committed snapshots survive
 // the failure of the attempt that wrote them.
 type recoveryLog struct {
@@ -390,7 +416,7 @@ func RunRecoverableContext(ctx context.Context, cl *cluster.Cluster, model simne
 
 	for attempt := 0; ; attempt++ {
 		if attempt >= ropts.MaxAttempts {
-			return res, fmt.Errorf("mpi: recovery exhausted %d attempts", ropts.MaxAttempts)
+			return res, fmt.Errorf("%w: exhausted %d attempts", ErrRecoveryFailed, ropts.MaxAttempts)
 		}
 		history := log.snapshots()
 		inst := Instance{
@@ -488,7 +514,7 @@ func RunRecoverableContext(ctx context.Context, cl *cluster.Cluster, model simne
 			}
 		}
 		if len(next) == 0 {
-			return res, fmt.Errorf("mpi: recovery impossible, no survivors: %w", runErr)
+			return res, fmt.Errorf("%w: no survivors: %v", ErrRecoveryFailed, runErr)
 		}
 		if len(next) == len(ranks) {
 			// Only possible if the fault classification missed the root

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/job"
@@ -31,13 +32,26 @@ import (
 	"repro/internal/workload"
 )
 
-// Server serves RunSpecs through one shared executor.
-type Server struct {
-	ex *spec.Executor
+// Options configures request handling.
+type Options struct {
+	// Timeout bounds each /run and /trace execution. A spec that wedges
+	// past it is canceled — releasing its worker-pool slot — and the
+	// client receives a 503 with a structured JSON error body instead of
+	// a connection held open forever. 0 (the default) means unbounded.
+	Timeout time.Duration
 }
 
-// New wraps an executor.
-func New(ex *spec.Executor) *Server { return &Server{ex: ex} }
+// Server serves RunSpecs through one shared executor.
+type Server struct {
+	ex   *spec.Executor
+	opts Options
+}
+
+// New wraps an executor with default options.
+func New(ex *spec.Executor) *Server { return NewWith(ex, Options{}) }
+
+// NewWith wraps an executor with explicit options.
+func NewWith(ex *spec.Executor, opts Options) *Server { return &Server{ex: ex, opts: opts} }
 
 // Handler returns the route table.
 func (s *Server) Handler() http.Handler {
@@ -76,14 +90,42 @@ func decodeSpec(w http.ResponseWriter, r *http.Request) (*spec.RunSpec, bool) {
 	return rs, true
 }
 
+// runContext derives the execution context: the request's own (so a
+// disconnecting client still cancels its run), bounded by the server's
+// execution deadline when one is configured.
+func (s *Server) runContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.opts.Timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.opts.Timeout)
+}
+
+// timeoutError is the structured 503 body for a run that exceeded the
+// server's execution deadline.
+type timeoutError struct {
+	Error     string  `json:"error"`
+	TimeoutMS float64 `json:"timeoutMS"`
+}
+
 // finish writes the buffered result, or classifies the failure: a
 // canceled request context means the client is gone (no response can
-// land), anything else is an execution error. Output is buffered so a
-// failed run never leaks a partial 200 body.
-func finish(w http.ResponseWriter, r *http.Request, buf *bytes.Buffer, ctype string, err error) {
+// land), a deadline hit on a live client is the server's execution
+// timeout (503 with a structured body), anything else is an execution
+// error. Output is buffered so a failed run never leaks a partial 200
+// body.
+func (s *Server) finish(w http.ResponseWriter, r *http.Request, buf *bytes.Buffer, ctype string, err error) {
 	if err != nil {
-		if errors.Is(err, context.Canceled) && r.Context().Err() != nil {
+		if r.Context().Err() != nil {
 			return // client disconnected; the run was canceled on its behalf
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(timeoutError{
+				Error:     fmt.Sprintf("execution exceeded the server's %s deadline", s.opts.Timeout),
+				TimeoutMS: float64(s.opts.Timeout) / float64(time.Millisecond),
+			})
+			return
 		}
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -97,9 +139,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	ctx, cancel := s.runContext(r)
+	defer cancel()
 	var buf bytes.Buffer
-	err := s.ex.Run(r.Context(), *rs, &buf)
-	finish(w, r, &buf, contentType(rs.Format), err)
+	err := s.ex.Run(ctx, *rs, &buf)
+	s.finish(w, r, &buf, contentType(rs.Format), err)
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
@@ -107,9 +151,11 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	ctx, cancel := s.runContext(r)
+	defer cancel()
 	var out, traceBuf bytes.Buffer
-	err := s.ex.RunTrace(r.Context(), *rs, &out, &traceBuf)
-	finish(w, r, &traceBuf, "application/json", err)
+	err := s.ex.RunTrace(ctx, *rs, &out, &traceBuf)
+	s.finish(w, r, &traceBuf, "application/json", err)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/runner"
 	"repro/internal/spec"
@@ -295,5 +296,60 @@ func TestConcurrentRequestsShareOneSuite(t *testing.T) {
 	st := ex.CacheStats()
 	if st.Hits == 0 {
 		t.Errorf("concurrent identical requests shared no work: %+v", st)
+	}
+}
+
+// TestRunTimeoutReturns503AndReleasesSlot is the execution-deadline
+// contract: a spec that cannot finish inside the server's timeout gets
+// a 503 with a structured JSON error, and — crucially — its worker-pool
+// slot comes back, so the server is not wedged for the next request.
+func TestRunTimeoutReturns503AndReleasesSlot(t *testing.T) {
+	ex, err := spec.NewExecutor(spec.ExecutorOptions{Jobs: 1, Pool: runner.NewPool(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewWith(ex, Options{Timeout: 20 * time.Millisecond}).Handler())
+	t.Cleanup(ts.Close)
+
+	// table4 is a measured sweep: far slower than 20ms on any machine.
+	heavy := spec.RunSpec{Kind: spec.KindExperiments, Experiments: "table4"}
+	payload, err := heavy.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %s, want 503", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("content type %q, want JSON", ct)
+	}
+	var body struct {
+		Error     string  `json:"error"`
+		TimeoutMS float64 `json:"timeoutMS"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body.Error, "deadline") || body.TimeoutMS != 20 {
+		t.Errorf("structured error wrong: %+v", body)
+	}
+
+	// The single pool slot must be free again: a direct run through the
+	// same executor completes instead of queueing forever behind the
+	// canceled one.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	cheap := spec.RunSpec{Kind: spec.KindExperiments, Experiments: "table1"}
+	var out bytes.Buffer
+	if err := ex.Run(ctx, cheap, &out); err != nil {
+		t.Fatalf("follow-up run after timeout: %v (slot leaked?)", err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("follow-up run produced no output")
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/faults"
+	"repro/internal/job"
 	"repro/internal/mpi"
 	"repro/internal/runner"
 	"repro/internal/simnet"
@@ -473,7 +474,27 @@ func jobstreamBody(ctx context.Context, rs RunSpec, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	rend, err := suite.JobStreamWith(ctx, *rs.Stream, rs.SharedP, rs.Policies)
+	var rend []experiments.Renderable
+	if rs.NodeFaults == nil && rs.Retry == nil && rs.Admission == nil {
+		rend, err = suite.JobStreamWith(ctx, *rs.Stream, rs.SharedP, rs.Policies)
+	} else {
+		// The faulted body: node outages and/or admission control on the
+		// same stream, with retention reported against the undisturbed
+		// run. Normalize guarantees Retry is set whenever NodeFaults is.
+		var health cluster.HealthSpec
+		if rs.NodeFaults != nil {
+			health = *rs.NodeFaults
+		}
+		var retry job.RetrySpec
+		if rs.Retry != nil {
+			retry = *rs.Retry
+		}
+		var admission job.AdmissionSpec
+		if rs.Admission != nil {
+			admission = *rs.Admission
+		}
+		rend, err = suite.JobStreamFaultsWith(ctx, *rs.Stream, rs.SharedP, rs.Policies, health, retry, admission)
+	}
 	if err != nil {
 		return err
 	}

@@ -137,6 +137,18 @@ type RunSpec struct {
 	Policies []string `json:"policies,omitempty"`
 	// SharedP (kind jobstream) is the shared cluster width.
 	SharedP int `json:"sharedP,omitempty"`
+	// NodeFaults (kind jobstream) is the node down/up schedule on the
+	// shared cluster's virtual clock; nil (or the zero spec) keeps
+	// every node healthy and reproduces the undisturbed stream exactly.
+	NodeFaults *cluster.HealthSpec `json:"nodeFaults,omitempty"`
+	// Retry (kind jobstream) bounds requeues of jobs whose lease lost
+	// every node and sets the checkpoint cadence of fault-scheduled
+	// runs. Defaulted when NodeFaults is set; inert without it.
+	Retry *job.RetrySpec `json:"retry,omitempty"`
+	// Admission (kind jobstream) is the control in front of the queue:
+	// per-tenant queue caps and a shed deadline. Meaningful with or
+	// without NodeFaults.
+	Admission *job.AdmissionSpec `json:"admission,omitempty"`
 }
 
 // Normalize fills every defaulted field in place and expands sugar
@@ -220,6 +232,19 @@ func (rs *RunSpec) Normalize() error {
 				return err
 			}
 			rs.Seed = base.Seed
+		}
+		// A zero fault/admission section means the same run as an absent
+		// one; fold it away so both spell the same canonical bytes (and
+		// the same cache key).
+		if rs.NodeFaults != nil && rs.NodeFaults.IsZero() {
+			rs.NodeFaults = nil
+		}
+		if rs.Admission != nil && rs.Admission.IsZero() {
+			rs.Admission = nil
+		}
+		if rs.NodeFaults != nil && rs.Retry == nil {
+			r := job.DefaultRetry()
+			rs.Retry = &r
 		}
 	}
 	return nil
@@ -349,6 +374,21 @@ func (rs *RunSpec) Validate() error {
 			}
 			seen[p] = true
 		}
+		if rs.NodeFaults != nil {
+			if err := rs.NodeFaults.Validate(rs.SharedP); err != nil {
+				return fmt.Errorf("spec: %w", err)
+			}
+		}
+		if rs.Retry != nil {
+			if err := rs.Retry.Validate(); err != nil {
+				return fmt.Errorf("spec: %w", err)
+			}
+		}
+		if rs.Admission != nil {
+			if err := rs.Admission.Validate(); err != nil {
+				return fmt.Errorf("spec: %w", err)
+			}
+		}
 	default:
 		return fmt.Errorf("spec: unknown kind %q (experiments, scalescan, faultscan or jobstream)", rs.Kind)
 	}
@@ -389,6 +429,9 @@ func (rs *RunSpec) rejectForeign(kind string) error {
 		{"stream", rs.Stream != nil},
 		{"policies", rs.Policies != nil},
 		{"sharedP", rs.SharedP != 0},
+		{"nodeFaults", rs.NodeFaults != nil},
+		{"retry", rs.Retry != nil},
+		{"admission", rs.Admission != nil},
 	}
 
 	var foreign []field

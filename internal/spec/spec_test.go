@@ -187,6 +187,18 @@ func TestValidateRejections(t *testing.T) {
 		{"jobstream bad stream", RunSpec{Kind: KindJobstream, Stream: &job.StreamSpec{
 			Tenants: []job.TenantSpec{{Name: "t", Workload: "nope", N: 48, Width: 2, Jobs: 1, MeanGapMS: 100}},
 		}}, "unknown workload"},
+		{"experiments with nodeFaults", RunSpec{Kind: KindExperiments, Experiments: "quick",
+			NodeFaults: &cluster.HealthSpec{Events: []cluster.NodeEvent{{Node: 0, DownMS: 1}}}}, `"nodeFaults" does not apply`},
+		{"faultscan with retry", RunSpec{Kind: KindFaultscan, Faults: plan,
+			Retry: &job.RetrySpec{MaxRetries: 1}}, `"retry" does not apply`},
+		{"scalescan with admission", RunSpec{Kind: KindScalescan, AsymSizes: []int{4, 8},
+			Admission: &job.AdmissionSpec{MaxQueue: 1}}, `"admission" does not apply`},
+		{"jobstream fault node out of range", RunSpec{Kind: KindJobstream,
+			NodeFaults: &cluster.HealthSpec{Events: []cluster.NodeEvent{{Node: 16, DownMS: 1}}}}, "out of range"},
+		{"jobstream bad retry", RunSpec{Kind: KindJobstream,
+			Retry: &job.RetrySpec{MaxRetries: -1}}, "retry budget"},
+		{"jobstream bad admission", RunSpec{Kind: KindJobstream,
+			Admission: &job.AdmissionSpec{MaxQueue: -1}}, "queue cap"},
 	}
 	for _, tc := range cases {
 		t.Run(strings.ReplaceAll(tc.name, " ", "_"), func(t *testing.T) {
@@ -247,5 +259,51 @@ func TestNormalizeDefaults(t *testing.T) {
 	}
 	if err := js.Validate(); err != nil {
 		t.Errorf("defaulted jobstream spec invalid: %v", err)
+	}
+}
+
+func TestNormalizeFaultSections(t *testing.T) {
+	// A zero nodeFaults/admission section means the same run as an
+	// absent one and must fold away, so both spellings share one
+	// canonical key (the cache address).
+	zeroed := RunSpec{Kind: KindJobstream, NodeFaults: &cluster.HealthSpec{}, Admission: &job.AdmissionSpec{}}
+	if err := zeroed.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if zeroed.NodeFaults != nil || zeroed.Admission != nil || zeroed.Retry != nil {
+		t.Errorf("zero fault sections survived normalization: %+v", zeroed)
+	}
+	zc, err := zeroed.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(zc) != goldenJobstreamCanonical {
+		t.Errorf("zero fault sections perturbed the canonical bytes:\n got %s\nwant %s", zc, goldenJobstreamCanonical)
+	}
+
+	// NodeFaults without an explicit retry policy gets the default one,
+	// matching the jobstream-faults experiment.
+	faulted := RunSpec{Kind: KindJobstream, NodeFaults: &cluster.HealthSpec{
+		Events: []cluster.NodeEvent{{Node: 1, DownMS: 100, UpMS: 200}},
+	}}
+	if err := faulted.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if faulted.Retry == nil || *faulted.Retry != job.DefaultRetry() {
+		t.Errorf("retry not defaulted under node faults: %+v", faulted.Retry)
+	}
+	if err := faulted.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// An explicit zero retry policy is meaningful (no requeues, no
+	// checkpoints) and must survive normalization.
+	strict := RunSpec{Kind: KindJobstream, NodeFaults: &cluster.HealthSpec{
+		Events: []cluster.NodeEvent{{Node: 1, DownMS: 100, UpMS: 200}},
+	}, Retry: &job.RetrySpec{}}
+	if err := strict.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if *strict.Retry != (job.RetrySpec{}) {
+		t.Errorf("explicit zero retry defaulted away: %+v", strict.Retry)
 	}
 }

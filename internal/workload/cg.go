@@ -99,7 +99,9 @@ func (w cgWorkload) Run(ctx context.Context, cl *cluster.Cluster, model simnet.C
 func (w cgWorkload) RunRecovered(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, spec Spec, rcfg algs.RecoveryConfig) (Outcome, mpi.RecoveredResult, error) {
 	out, rec, err := algs.RunCGRecoveredContext(ctx, cl, model, mpiOpts, spec.N, w.options(spec), rcfg)
 	if err != nil {
-		return Outcome{}, mpi.RecoveredResult{}, err
+		// rec is populated even on failure (attempt accounting, death
+		// clocks): schedulers price the abandoned run from it.
+		return Outcome{}, rec, err
 	}
 	return Outcome{
 		Work:        out.Work,

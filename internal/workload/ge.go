@@ -82,7 +82,9 @@ func (g geWorkload) Run(ctx context.Context, cl *cluster.Cluster, model simnet.C
 func (g geWorkload) RunRecovered(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, spec Spec, rcfg algs.RecoveryConfig) (Outcome, mpi.RecoveredResult, error) {
 	out, rec, err := algs.RunGERecoveredContext(ctx, cl, model, mpiOpts, spec.N, g.options(spec), rcfg)
 	if err != nil {
-		return Outcome{}, mpi.RecoveredResult{}, err
+		// rec is populated even on failure (attempt accounting, death
+		// clocks): schedulers price the abandoned run from it.
+		return Outcome{}, rec, err
 	}
 	return Outcome{
 		Work:        out.Work,

@@ -97,7 +97,9 @@ func (j jacobiWorkload) Run(ctx context.Context, cl *cluster.Cluster, model simn
 func (j jacobiWorkload) RunRecovered(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, spec Spec, rcfg algs.RecoveryConfig) (Outcome, mpi.RecoveredResult, error) {
 	out, rec, err := algs.RunJacobiRecoveredContext(ctx, cl, model, mpiOpts, spec.N, j.options(spec), rcfg)
 	if err != nil {
-		return Outcome{}, mpi.RecoveredResult{}, err
+		// rec is populated even on failure (attempt accounting, death
+		// clocks): schedulers price the abandoned run from it.
+		return Outcome{}, rec, err
 	}
 	return Outcome{
 		Work:        out.Work,

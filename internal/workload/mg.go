@@ -93,7 +93,9 @@ func (m mgWorkload) Run(ctx context.Context, cl *cluster.Cluster, model simnet.C
 func (m mgWorkload) RunRecovered(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, spec Spec, rcfg algs.RecoveryConfig) (Outcome, mpi.RecoveredResult, error) {
 	out, rec, err := algs.RunMGRecoveredContext(ctx, cl, model, mpiOpts, spec.N, m.options(spec), rcfg)
 	if err != nil {
-		return Outcome{}, mpi.RecoveredResult{}, err
+		// rec is populated even on failure (attempt accounting, death
+		// clocks): schedulers price the abandoned run from it.
+		return Outcome{}, rec, err
 	}
 	return Outcome{
 		Work:        out.Work,

@@ -81,7 +81,9 @@ func (m mmWorkload) Run(ctx context.Context, cl *cluster.Cluster, model simnet.C
 func (m mmWorkload) RunRecovered(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, spec Spec, rcfg algs.RecoveryConfig) (Outcome, mpi.RecoveredResult, error) {
 	out, rec, err := algs.RunMMRecoveredContext(ctx, cl, model, mpiOpts, spec.N, m.options(spec), rcfg)
 	if err != nil {
-		return Outcome{}, mpi.RecoveredResult{}, err
+		// rec is populated even on failure (attempt accounting, death
+		// clocks): schedulers price the abandoned run from it.
+		return Outcome{}, rec, err
 	}
 	var data []float64
 	if out.C != nil {

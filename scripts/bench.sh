@@ -10,6 +10,12 @@
 #   admits the full default three-tenant stream (11 jobs) onto a shared
 #   16-node cluster under the pack policy. jobs/sec = 11e9 / ns_per_op.
 #
+#   BENCH_jobstream_faults.json — the same stream under a node-outage
+#   schedule with lease healing, checkpoint rollback, bounded retries
+#   and admission control. jobs/sec and recoveries/sec come from the
+#   benchmark's own ReportMetric columns (recoveries vary with the
+#   schedule, so they cannot be derived from ns/op alone).
+#
 # Usage:  ./scripts/bench.sh               # 1s per benchmark
 #         BENCHTIME=5s ./scripts/bench.sh  # steadier numbers
 set -eu
@@ -43,6 +49,35 @@ go test -run=NONE -bench 'BenchmarkWorkloadRung|BenchmarkAsymptoticMillionRankRu
 emit_json "$RAW" "events_per_sec = 1e9 / ns_per_op" 1 "BENCH_transport.json"
 
 : > "$RAW"
-go test -run=NONE -bench 'BenchmarkJobstreamSimulate' \
+go test -run=NONE -bench 'BenchmarkJobstreamSimulate$' \
 	-benchtime "$BENCHTIME" -count=1 ./internal/job | tee -a "$RAW"
 emit_json "$RAW" "events_per_sec = jobs_per_sec = 11e9 / ns_per_op" 11 "BENCH_jobstream.json"
+
+# emit_faults_json <raw-file> <out-file>: ReportMetric appends extra
+# "value unit" column pairs after ns/op, so scan the fields for the two
+# named metrics instead of relying on fixed positions.
+emit_faults_json() {
+	awk -v benchtime="$BENCHTIME" '
+	BEGIN {
+		printf "{\n  \"benchtime\": \"%s\",\n  \"unit\": \"jobs_per_sec and recoveries_per_sec as reported by the benchmark\",\n  \"benchmarks\": [\n", benchtime
+		sep = ""
+	}
+	$1 ~ /^Benchmark/ && $4 == "ns/op" {
+		name = $1; sub(/-[0-9]+$/, "", name)
+		jps = 0; rps = 0
+		for (i = 5; i <= NF; i++) {
+			if ($i == "jobs/sec") jps = $(i - 1)
+			if ($i == "recoveries/sec") rps = $(i - 1)
+		}
+		printf "%s    {\"name\": \"%s\", \"iters\": %d, \"ns_per_op\": %.1f, \"jobs_per_sec\": %.1f, \"recoveries_per_sec\": %.1f}", sep, name, $2, $3, jps, rps
+		sep = ",\n"
+	}
+	END { printf "\n  ]\n}\n" }
+	' "$1" > "$2"
+	echo "wrote $2"
+}
+
+: > "$RAW"
+go test -run=NONE -bench 'BenchmarkJobstreamFaults$' \
+	-benchtime "$BENCHTIME" -count=1 ./internal/job | tee -a "$RAW"
+emit_faults_json "$RAW" "BENCH_jobstream_faults.json"

@@ -53,6 +53,16 @@ done
 cmp "$JSDIR/des.out" "$JSDIR/live.out" || { echo "jobstream live bytes differ from des"; exit 1; }
 cmp "$JSDIR/des.out" "$JSDIR/symbolic.out" || { echo "jobstream symbolic bytes differ from des"; exit 1; }
 
+# Faulted-jobstream smoke: same contract under the node-outage schedule —
+# lease healing, rollback recovery, retries and admission control must
+# all land on identical bytes across engines under the race detector.
+echo "==> hetsim -exp jobstream-faults (race smoke, engine byte-identity)"
+for eng in des live symbolic; do
+	go run -race ./cmd/hetsim -exp jobstream-faults -quick -engine "$eng" > "$JSDIR/faults-$eng.out"
+done
+cmp "$JSDIR/faults-des.out" "$JSDIR/faults-live.out" || { echo "jobstream-faults live bytes differ from des"; exit 1; }
+cmp "$JSDIR/faults-des.out" "$JSDIR/faults-symbolic.out" || { echo "jobstream-faults symbolic bytes differ from des"; exit 1; }
+
 # Server smoke: a race-instrumented `hetsim -serve` on a random port
 # must answer a POSTed quick spec with exactly the bytes the CLI prints
 # for the same spec — the RunSpec API's core contract, end to end over
@@ -96,6 +106,7 @@ for pkgfn in \
 	./internal/numeric:FuzzBrentFindsBracketedRoots \
 	./internal/mpi:FuzzSymbolicVsDESPrograms \
 	./internal/workload:FuzzSymbolicVsDESWorkloads \
+	./internal/job:FuzzJobStreamFaults \
 ; do
 	pkg="${pkgfn%%:*}"
 	fn="${pkgfn##*:}"
