@@ -628,7 +628,7 @@ func RunCGRecoveredContext(ctx context.Context, cl *cluster.Cluster, model simne
 		}, nil
 	}
 
-	rec, err := mpi.RunRecoverableContext(ctx, cl, model, mpiOpts, rcfg.RecoveryOptions, factory)
+	rec, err := mpi.RunReconfigurableContext(ctx, cl, model, mpiOpts, rcfg.RecoveryOptions, rcfg.Plan, factory)
 	if err != nil {
 		return CGOutcome{}, rec, err
 	}

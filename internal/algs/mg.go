@@ -400,7 +400,7 @@ func RunMGRecoveredContext(ctx context.Context, cl *cluster.Cluster, model simne
 		}, nil
 	}
 
-	rec, err := mpi.RunRecoverableContext(ctx, cl, model, mpiOpts, rcfg.RecoveryOptions, factory)
+	rec, err := mpi.RunReconfigurableContext(ctx, cl, model, mpiOpts, rcfg.RecoveryOptions, rcfg.Plan, factory)
 	if err != nil {
 		return MGOutcome{}, rec, err
 	}

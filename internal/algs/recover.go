@@ -29,6 +29,13 @@ type RecoveryConfig struct {
 	// checkpointing — recovery then restarts the computation from
 	// scratch on the survivors.
 	IntervalSteps int
+	// Plan schedules planned membership changes: at each event's virtual
+	// instant the run stops at its last committed checkpoint and
+	// continues on the event's target ranks (shrink or grow), with the
+	// shares redistributed exactly like a crash rollback but no
+	// detection latency charged. Nil keeps every membership change
+	// unplanned.
+	Plan []mpi.ReconfigEvent
 }
 
 func (c RecoveryConfig) validate() error {
@@ -167,7 +174,7 @@ func RunGERecoveredContext(ctx context.Context, cl *cluster.Cluster, model simne
 		}, nil
 	}
 
-	rec, err := mpi.RunRecoverableContext(ctx, cl, model, mpiOpts, rcfg.RecoveryOptions, factory)
+	rec, err := mpi.RunReconfigurableContext(ctx, cl, model, mpiOpts, rcfg.RecoveryOptions, rcfg.Plan, factory)
 	if err != nil {
 		return GEOutcome{}, rec, err
 	}
@@ -286,7 +293,7 @@ func RunMMRecoveredContext(ctx context.Context, cl *cluster.Cluster, model simne
 		}, nil
 	}
 
-	rec, err := mpi.RunRecoverableContext(ctx, cl, model, mpiOpts, rcfg.RecoveryOptions, factory)
+	rec, err := mpi.RunReconfigurableContext(ctx, cl, model, mpiOpts, rcfg.RecoveryOptions, rcfg.Plan, factory)
 	if err != nil {
 		return MMOutcome{}, rec, err
 	}
@@ -512,7 +519,7 @@ func RunJacobiRecoveredContext(ctx context.Context, cl *cluster.Cluster, model s
 		}, nil
 	}
 
-	rec, err := mpi.RunRecoverableContext(ctx, cl, model, mpiOpts, rcfg.RecoveryOptions, factory)
+	rec, err := mpi.RunReconfigurableContext(ctx, cl, model, mpiOpts, rcfg.RecoveryOptions, rcfg.Plan, factory)
 	if err != nil {
 		return JacobiOutcome{}, rec, err
 	}

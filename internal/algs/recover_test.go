@@ -1,6 +1,7 @@
 package algs
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"testing"
@@ -232,5 +233,107 @@ func TestSurvivorStrategyPinnedSubset(t *testing.T) {
 	// Non-pinned strategies pass through untouched.
 	if _, ok := survivorStrategy(dist.HetCyclic{}, []int{0, 1}).(dist.HetCyclic); !ok {
 		t.Error("non-pinned strategy was not passed through")
+	}
+}
+
+// TestJacobiReconfiguredShrinkGrowBitwiseEqual drives a planned shrink
+// (rank 2 drained mid-run) followed by a planned grow (it rejoins): the
+// relaxed grid must stay bitwise identical to the undisturbed run — the
+// reconfiguration seam only moves ownership, never values — and the two
+// engines must agree on every recovered number.
+func TestJacobiReconfiguredShrinkGrowBitwiseEqual(t *testing.T) {
+	cl := mmCluster(t)
+	m := testModel(t)
+	const n, iters = 32, 20
+	opts := JacobiOptions{Iters: iters, CheckEvery: 5, Seed: 9}
+	plain, err := RunJacobi(cl, m, mpi.Options{}, n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := RecoveryConfig{
+		IntervalSteps: 2,
+		Plan: []mpi.ReconfigEvent{
+			{AtMS: 0.35 * plain.Res.TimeMS, Ranks: []int{0, 1, 3}},
+			{AtMS: 0.80 * plain.Res.TimeMS, Ranks: []int{0, 1, 2, 3}},
+		},
+	}
+
+	var recs []mpi.RecoveredResult
+	var outs []JacobiOutcome
+	for _, e := range recoverEngines {
+		out, rec, err := RunJacobiRecoveredContext(context.Background(), cl, m, e.opts, n, opts, rcfg)
+		if err != nil {
+			t.Fatalf("%s: reconfigured Jacobi failed: %v", e.name, err)
+		}
+		if rec.Reconfigs != 2 || rec.Recovered {
+			t.Fatalf("%s: want 2 planned reconfigs and no recovery, got %+v", e.name, rec)
+		}
+		outs = append(outs, out)
+		recs = append(recs, rec)
+	}
+	if !reflect.DeepEqual(recs[0], recs[1]) {
+		t.Errorf("reconfigured results differ across engines:\nlive: %+v\ndes:  %+v", recs[0], recs[1])
+	}
+	if !reflect.DeepEqual(outs[0].Grid, plain.Grid) {
+		t.Error("reconfigured grid differs from the undisturbed run")
+	}
+	// Elasticity costs time (rollbacks + reconfig charges), never answers.
+	if recs[0].TimeMS <= plain.Res.TimeMS {
+		t.Errorf("reconfigured makespan %.3f not beyond undisturbed %.3f", recs[0].TimeMS, plain.Res.TimeMS)
+	}
+}
+
+// TestGEReconfiguredGrowBitwiseEqual grows a GE run mid-elimination from
+// a planned 2-rank start to the full cluster: the solved system must be
+// bitwise identical to the undisturbed full-cluster run.
+func TestGEReconfiguredGrowBitwiseEqual(t *testing.T) {
+	cl := geCluster(t)
+	m := testModel(t)
+	const n = 60
+	opts := GEOptions{Seed: 3, Strategy: dist.Pinned{Speeds: cl.Speeds(), Inner: dist.HetBlock{}}}
+	plain, err := RunGE(cl, m, mpi.Options{}, n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First pass: the run planned onto {1,2} from the start, to learn how
+	// long the narrow phase lasts (GE at this n is comm-bound, so the
+	// narrow run is FASTER than the full cluster — the grow instant must
+	// come from its own clock, not the full run's).
+	narrow := RecoveryConfig{
+		IntervalSteps: 10,
+		Plan:          []mpi.ReconfigEvent{{AtMS: 0, Ranks: []int{1, 2}}},
+	}
+	_, nrec, err := RunGERecoveredContext(context.Background(), cl, m, recoverEngines[1].opts, n, opts, narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := RecoveryConfig{
+		IntervalSteps: 10,
+		Plan: []mpi.ReconfigEvent{
+			{AtMS: 0, Ranks: []int{1, 2}},
+			{AtMS: 0.5 * nrec.TimeMS, Ranks: []int{0, 1, 2, 3}},
+		},
+	}
+	var recs []mpi.RecoveredResult
+	var outs []GEOutcome
+	for _, e := range recoverEngines {
+		out, rec, err := RunGERecoveredContext(context.Background(), cl, m, e.opts, n, opts, rcfg)
+		if err != nil {
+			t.Fatalf("%s: reconfigured GE failed: %v", e.name, err)
+		}
+		if rec.Reconfigs != 2 || rec.Recovered {
+			t.Fatalf("%s: want 2 planned reconfigs and no recovery, got %+v", e.name, rec)
+		}
+		outs = append(outs, out)
+		recs = append(recs, rec)
+	}
+	if !reflect.DeepEqual(recs[0], recs[1]) {
+		t.Errorf("reconfigured results differ across engines:\nlive: %+v\ndes:  %+v", recs[0], recs[1])
+	}
+	if !reflect.DeepEqual(outs[0].X, plain.X) {
+		t.Error("reconfigured solution differs from the undisturbed run")
+	}
+	if outs[0].Residual != plain.Residual {
+		t.Errorf("reconfigured residual %g, undisturbed %g", outs[0].Residual, plain.Residual)
 	}
 }

@@ -13,14 +13,16 @@ import (
 // The allocator itself is policy-free — schedulers decide WHICH ranks
 // to lease; it only enforces exclusivity and monotonic time.
 type Allocator struct {
-	cl     *Cluster
-	opts   AllocatorOptions
-	owner  []int  // per node: owning lease ID, or -1 when free
-	down   []bool // per node: true between NodeDown and NodeUp
-	leases map[int]*Lease
-	nextID int
-	lastMS float64
-	busyMS float64 // completed-lease node-milliseconds
+	cl      *Cluster
+	opts    AllocatorOptions
+	owner   []int  // per node: owning lease ID, or -1 when free
+	down    []bool // per node: true between NodeDown and NodeUp
+	drain   []bool // per node: true between NodeDrain and NodeJoin
+	outlook []NodeEvent
+	leases  map[int]*Lease
+	nextID  int
+	lastMS  float64
+	busyMS  float64 // completed-lease node-milliseconds
 }
 
 // AllocatorOptions carries the virtual-time charges of the lease
@@ -63,7 +65,12 @@ func NewAllocator(cl *Cluster, opts AllocatorOptions) (*Allocator, error) {
 	for i := range owner {
 		owner[i] = -1
 	}
-	return &Allocator{cl: cl, opts: opts, owner: owner, down: make([]bool, cl.Size()), leases: map[int]*Lease{}}, nil
+	return &Allocator{
+		cl: cl, opts: opts, owner: owner,
+		down:   make([]bool, cl.Size()),
+		drain:  make([]bool, cl.Size()),
+		leases: map[int]*Lease{},
+	}, nil
 }
 
 // Cluster returns the shared cluster the allocator manages.
@@ -72,24 +79,24 @@ func (a *Allocator) Cluster() *Cluster { return a.cl }
 // Options returns the configured lease charges.
 func (a *Allocator) Options() AllocatorOptions { return a.opts }
 
-// Free returns the number of currently placeable nodes: unleased and
-// not down.
+// Free returns the number of currently placeable nodes: unleased, not
+// down, and not draining.
 func (a *Allocator) Free() int {
 	n := 0
 	for i, o := range a.owner {
-		if o < 0 && !a.down[i] {
+		if o < 0 && !a.down[i] && !a.drain[i] {
 			n++
 		}
 	}
 	return n
 }
 
-// FreeRanks returns the placeable node indices — unleased and not down
-// — in ascending order.
+// FreeRanks returns the placeable node indices — unleased, not down,
+// and not draining — in ascending order.
 func (a *Allocator) FreeRanks() []int {
 	out := make([]int, 0, len(a.owner))
 	for i, o := range a.owner {
-		if o < 0 && !a.down[i] {
+		if o < 0 && !a.down[i] && !a.drain[i] {
 			out = append(out, i)
 		}
 	}
@@ -134,6 +141,9 @@ func (a *Allocator) Acquire(tenant string, ranks []int, atMS float64) (*Lease, e
 		seen[r] = true
 		if a.down[r] {
 			return nil, fmt.Errorf("cluster: node %d is down", r)
+		}
+		if a.drain[r] {
+			return nil, fmt.Errorf("cluster: node %d is draining", r)
 		}
 		if id := a.owner[r]; id >= 0 {
 			return nil, fmt.Errorf("cluster: node %d already leased (lease %d, tenant %q)",
@@ -262,6 +272,85 @@ func (a *Allocator) NodeUp(node int, atMS float64) error {
 	a.lastMS = atMS
 	a.down[node] = false
 	return nil
+}
+
+// NodeDrain gracefully removes a node from the placeable set at virtual
+// time atMS — the planned counterpart of NodeDown. The node stops
+// receiving new leases immediately, but unlike a failure an active lease
+// is left entirely alone: the running job keeps the node until its own
+// Release, after which the node sits drained (not free) until NodeJoin.
+// Draining a down node is allowed — the states are orthogonal and both
+// must clear before the node is placeable again.
+func (a *Allocator) NodeDrain(node int, atMS float64) error {
+	if node < 0 || node >= len(a.owner) {
+		return fmt.Errorf("cluster: node %d out of range [0,%d)", node, len(a.owner))
+	}
+	if a.drain[node] {
+		return fmt.Errorf("cluster: node %d already draining", node)
+	}
+	if atMS < a.lastMS {
+		return fmt.Errorf("cluster: lease time went backwards (%g after %g)", atMS, a.lastMS)
+	}
+	a.lastMS = atMS
+	a.drain[node] = true
+	return nil
+}
+
+// NodeJoin returns a drained node to the placeable set at virtual time
+// atMS. If the node is also down it stays unplaceable until NodeUp.
+func (a *Allocator) NodeJoin(node int, atMS float64) error {
+	if node < 0 || node >= len(a.owner) {
+		return fmt.Errorf("cluster: node %d out of range [0,%d)", node, len(a.owner))
+	}
+	if !a.drain[node] {
+		return fmt.Errorf("cluster: node %d is not draining", node)
+	}
+	if atMS < a.lastMS {
+		return fmt.Errorf("cluster: lease time went backwards (%g after %g)", atMS, a.lastMS)
+	}
+	a.lastMS = atMS
+	a.drain[node] = false
+	return nil
+}
+
+// Draining returns the number of currently draining nodes.
+func (a *Allocator) Draining() int {
+	n := 0
+	for _, d := range a.drain {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// IsDraining reports whether a node is between NodeDrain and NodeJoin.
+func (a *Allocator) IsDraining(node int) bool {
+	return node >= 0 && node < len(a.drain) && a.drain[node]
+}
+
+// SetOutlook hands the allocator the instantiated outage schedule (the
+// output of HealthSpec.Instantiate) so placement policies can steer
+// around nodes with scheduled downtime. It is advisory forecast data
+// only — the allocator never acts on it itself.
+func (a *Allocator) SetOutlook(events []NodeEvent) {
+	a.outlook = append([]NodeEvent(nil), events...)
+}
+
+// DownWithin reports whether the outlook schedules an outage of node
+// intersecting the half-open window [fromMS, untilMS). An open-ended
+// outage (UpMS = 0: never back) intersects every window at or after its
+// start.
+func (a *Allocator) DownWithin(node int, fromMS, untilMS float64) bool {
+	for _, e := range a.outlook {
+		if e.Node != node || e.DownMS >= untilMS {
+			continue
+		}
+		if e.UpMS == 0 || e.UpMS > fromMS {
+			return true
+		}
+	}
+	return false
 }
 
 // BusyNodeMS returns the accumulated node-milliseconds of RELEASED

@@ -269,6 +269,15 @@ func init() {
 			},
 		},
 		{
+			ID:    "elastic",
+			About: "extension: elastic membership — isospeed autoscaler holding E_s vs fixed provisioning",
+			Group: GroupExtension,
+			Quick: true,
+			Run: func(ctx context.Context, s *Suite) ([]Renderable, error) {
+				return s.Elastic(ctx)
+			},
+		},
+		{
 			ID:    "fault-sweep",
 			About: "extension: speed-efficiency degradation under injected faults (ψ vs fault-free)",
 			Group: GroupFaults,

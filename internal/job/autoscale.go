@@ -1,0 +1,215 @@
+package job
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/simnet"
+	"repro/internal/workload"
+)
+
+// AutoscaleSpec configures the isospeed-efficiency autoscaler: a
+// windowed controller that observes the achieved E_s of completed jobs
+// and grows or shrinks the active node count to hold it at a set-point.
+// The direction of each move inverts Definition 4 analytically — the
+// workload's machine ladder gives, per node count p, the problem size
+// required to hold TargetEs (core.PredictChain), so the controller knows
+// the largest p the observed job sizes can sustain and steps one node
+// per window toward it, never past it. Grows and shrinks are planned
+// membership changes (Allocator.NodeJoin / graceful NodeDrain), so a
+// shrink never interrupts a running job. The zero spec disables the
+// controller.
+type AutoscaleSpec struct {
+	// TargetEs is the speed-efficiency set-point, in (0, 1).
+	TargetEs float64 `json:"targetEs,omitempty"`
+	// Band is the half-width of the deadband: windows with mean achieved
+	// E_s within TargetEs ± Band hold the current size.
+	Band float64 `json:"band,omitempty"`
+	// WindowMS is the observation window on the virtual clock.
+	WindowMS float64 `json:"windowMS,omitempty"`
+	// MinP and MaxP bound the active node count; the ladder [MinP, MaxP]
+	// is also the machine chain the controller inverts, so it spans at
+	// least two rungs.
+	MinP int `json:"minP,omitempty"`
+	MaxP int `json:"maxP,omitempty"`
+	// StartP is the initial active node count (nodes StartP and above
+	// start drained); 0 means start at MaxP.
+	StartP int `json:"startP,omitempty"`
+	// Workload names the machine ladder used for the inversion; empty
+	// uses the first job's workload.
+	Workload string `json:"workload,omitempty"`
+}
+
+// IsZero reports whether the spec disables the autoscaler.
+func (a AutoscaleSpec) IsZero() bool { return a == AutoscaleSpec{} }
+
+// Validate reports structural problems for a cluster of the given size.
+func (a AutoscaleSpec) Validate(size int) error {
+	if a.IsZero() {
+		return nil
+	}
+	if !(a.TargetEs > 0) || a.TargetEs >= 1 {
+		return fmt.Errorf("job: autoscale target E_s %g outside (0, 1)", a.TargetEs)
+	}
+	if a.Band < 0 || math.IsNaN(a.Band) || math.IsInf(a.Band, 0) {
+		return fmt.Errorf("job: autoscale band %g invalid", a.Band)
+	}
+	if !(a.WindowMS > 0) || math.IsInf(a.WindowMS, 0) {
+		return fmt.Errorf("job: autoscale window %g ms invalid", a.WindowMS)
+	}
+	if a.MinP < 1 || a.MaxP <= a.MinP {
+		return fmt.Errorf("job: autoscale node bounds [%d, %d] need MaxP > MinP >= 1 (a two-rung ladder)", a.MinP, a.MaxP)
+	}
+	if a.MaxP > size {
+		return fmt.Errorf("job: autoscale MaxP %d exceeds cluster size %d", a.MaxP, size)
+	}
+	if a.StartP != 0 && (a.StartP < a.MinP || a.StartP > a.MaxP) {
+		return fmt.Errorf("job: autoscale StartP %d outside [%d, %d]", a.StartP, a.MinP, a.MaxP)
+	}
+	return nil
+}
+
+// ScaleSample records one evaluated autoscaler window.
+type ScaleSample struct {
+	// AtMS is the window's closing boundary on the virtual clock.
+	AtMS float64
+	// ActiveP is the active node count when the window was evaluated,
+	// before its decision was applied.
+	ActiveP int
+	// WindowEs is the mean achieved E_s of the Jobs jobs that finished
+	// inside the window (0 when none did).
+	WindowEs float64
+	Jobs     int
+	// Decision is "hold", "grow" or "shrink".
+	Decision string
+}
+
+// winAgg accumulates the completions attributed to one window.
+type winAgg struct {
+	es, n float64
+	jobs  int
+}
+
+// autoscaler is the controller state inside one Simulate run.
+type autoscaler struct {
+	spec AutoscaleSpec
+	// reqN[p-MinP] is the problem size machine(p) needs to hold TargetEs
+	// — Definition 4 inverted once at setup via core.PredictChain.
+	reqN []float64
+	// active is the controller's view of the in-service node count.
+	active int
+	// pool is the stack of nodes the controller itself drained, joinable
+	// lowest-first; the controller never touches other drains.
+	pool []int
+	// windows maps the window index (finish instant f belongs to window
+	// ceil(f/WindowMS)) to its accumulated completions.
+	windows map[int]winAgg
+	nextWin int // next window index to evaluate
+	samples []ScaleSample
+}
+
+// newAutoscaler resolves the spec against the stream and precomputes the
+// Definition-4 inversion over the [MinP, MaxP] machine ladder.
+func newAutoscaler(spec AutoscaleSpec, size int, jobs []Job, model simnet.CostModel) (*autoscaler, error) {
+	if err := spec.Validate(size); err != nil {
+		return nil, err
+	}
+	name := spec.Workload
+	if name == "" {
+		if len(jobs) == 0 {
+			return nil, fmt.Errorf("job: autoscale needs a workload name or a non-empty stream")
+		}
+		name = jobs[0].Workload
+	}
+	w, ok := workload.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("job: autoscale workload %q unknown", name)
+	}
+	machines := make([]core.AnalyticMachine, 0, spec.MaxP-spec.MinP+1)
+	for p := spec.MinP; p <= spec.MaxP; p++ {
+		lad, err := w.ClusterLadder(p)
+		if err != nil {
+			return nil, fmt.Errorf("job: autoscale ladder p=%d: %w", p, err)
+		}
+		m, err := w.Machine(lad, model)
+		if err != nil {
+			return nil, fmt.Errorf("job: autoscale machine p=%d: %w", p, err)
+		}
+		machines = append(machines, m)
+	}
+	preds, _, _, err := core.PredictChain(machines, spec.TargetEs, 8, 5e6)
+	if err != nil {
+		return nil, fmt.Errorf("job: autoscale inversion: %w", err)
+	}
+	reqN := make([]float64, len(preds))
+	for i, p := range preds {
+		reqN[i] = p.N
+	}
+	start := spec.StartP
+	if start == 0 {
+		start = spec.MaxP
+	}
+	return &autoscaler{
+		spec:    spec,
+		reqN:    reqN,
+		active:  start,
+		windows: map[int]winAgg{},
+		nextWin: 1,
+	}, nil
+}
+
+// observe attributes one completed job to the window of its finish
+// instant.
+func (a *autoscaler) observe(finishMS, es float64, n int) {
+	idx := int(math.Ceil(finishMS / a.spec.WindowMS))
+	if idx < a.nextWin {
+		idx = a.nextWin // clamp: boundary-exact finishes of evaluated windows
+	}
+	agg := a.windows[idx]
+	agg.es += es
+	agg.n += float64(n)
+	agg.jobs++
+	a.windows[idx] = agg
+}
+
+// desiredP is the Definition-4 inversion at the observed mean job size:
+// the largest p in [MinP, MaxP] whose required problem size the jobs
+// still meet. Jobs smaller than every rung's requirement pin it at MinP.
+func (a *autoscaler) desiredP(meanN float64) int {
+	p := a.spec.MinP
+	for i, n := range a.reqN {
+		if n <= meanN {
+			p = a.spec.MinP + i
+		}
+	}
+	return p
+}
+
+// decide evaluates one closed window and returns the decision. The move
+// itself (which node, via the allocator) is the simulator's job.
+func (a *autoscaler) decide(idx int) (sample ScaleSample, dir int) {
+	agg := a.windows[idx]
+	delete(a.windows, idx)
+	sample = ScaleSample{
+		AtMS:     float64(idx) * a.spec.WindowMS,
+		ActiveP:  a.active,
+		Jobs:     agg.jobs,
+		Decision: "hold",
+	}
+	if agg.jobs == 0 {
+		return sample, 0
+	}
+	es := agg.es / float64(agg.jobs)
+	sample.WindowEs = es
+	desired := a.desiredP(agg.n / float64(agg.jobs))
+	switch {
+	case es > a.spec.TargetEs+a.spec.Band && a.active < desired:
+		sample.Decision = "grow"
+		dir = 1
+	case es < a.spec.TargetEs-a.spec.Band && a.active > desired:
+		sample.Decision = "shrink"
+		dir = -1
+	}
+	return sample, dir
+}

@@ -103,3 +103,57 @@ func BenchmarkJobstreamFaults(b *testing.B) {
 		b.ReportMetric(float64(rollbacks)/sec, "recoveries/sec")
 	}
 }
+
+// BenchmarkElasticSimulate measures the elastic path: one iteration runs
+// the default stream under a planned drain/join cycle plus the isospeed
+// autoscaler (windowed E_s observation, machine-ladder inversion,
+// graceful one-node moves). The benchmark reports jobs/sec (submitted
+// jobs over wall time) and reconfigs/sec (applied membership changes
+// over wall time) alongside ns/op.
+func BenchmarkElasticSimulate(b *testing.B) {
+	model, err := simnet.NewParamModel("sunwulf", simnet.Sunwulf100())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := cluster.MMConfig(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := DefaultStream()
+	jobs, err := stream.Jobs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol, err := GetPolicy("pack")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := Options{
+		MPI:   mpi.Options{Engine: mpi.EngineDES},
+		Alloc: cluster.AllocatorOptions{AcquireMS: 5, ReleaseMS: 2},
+		Seed:  stream.Seed,
+		Membership: cluster.MembershipPlan{Events: []cluster.MemberEvent{
+			{Node: 3, AtMS: 100, Op: cluster.OpDrain},
+			{Node: 3, AtMS: 600, Op: cluster.OpJoin},
+		}},
+		Autoscale: AutoscaleSpec{
+			TargetEs: 0.1, Band: 0.02, WindowMS: 150,
+			MinP: 4, MaxP: 12, StartP: 8,
+		},
+	}
+	ctx := context.Background()
+	var reconfigs int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(ctx, cl, model, jobs, pol, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reconfigs += res.Reconfigs
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(len(jobs)*b.N)/sec, "jobs/sec")
+		b.ReportMetric(float64(reconfigs)/sec, "reconfigs/sec")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/algs"
 	"repro/internal/cluster"
@@ -33,6 +34,15 @@ type Options struct {
 	Retry RetrySpec
 	// Admission is the control in front of the queue.
 	Admission AdmissionSpec
+	// Membership is the planned drain/join schedule on the shared
+	// cluster's virtual clock; the zero plan keeps membership fixed.
+	// Unlike Health's failures, drains are graceful: running leases
+	// finish undisturbed.
+	Membership cluster.MembershipPlan
+	// Autoscale enables the isospeed-efficiency autoscaler; the zero
+	// spec keeps the active set exactly as Membership and Health leave
+	// it.
+	Autoscale AutoscaleSpec
 }
 
 // JobResult is one job's fate under a policy.
@@ -93,6 +103,12 @@ type Result struct {
 	Starved   int
 	Retried   int
 	Recovered int
+	// Reconfigs counts applied membership changes: plan drains and
+	// joins plus autoscaler moves.
+	Reconfigs int
+	// Scale is the autoscaler's window-by-window record; nil when the
+	// autoscaler is disabled.
+	Scale []ScaleSample
 }
 
 // innerRun memoizes one workload execution on one placement under one
@@ -149,7 +165,13 @@ func Simulate(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, 
 	if err != nil {
 		return Result{}, err
 	}
-	faulted := len(health) > 0
+	member, err := opts.Membership.Instantiate(cl.Size())
+	if err != nil {
+		return Result{}, err
+	}
+	// With shrinking capacity — failures, drains or an autoscaler — a
+	// queued job may legitimately never fit again.
+	faulted := len(health) > 0 || len(member) > 0 || !opts.Autoscale.IsZero()
 	ests := make(map[string]workload.Workload, 4)
 	for _, j := range jobs {
 		w, ok := workload.Lookup(j.Workload)
@@ -165,6 +187,23 @@ func Simulate(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, 
 	alloc, err := cluster.NewAllocator(cl, opts.Alloc)
 	if err != nil {
 		return Result{}, err
+	}
+	// Hand placement the outage forecast (pack steers around it).
+	alloc.SetOutlook(health)
+	var as *autoscaler
+	if !opts.Autoscale.IsZero() {
+		as, err = newAutoscaler(opts.Autoscale, cl.Size(), jobs, model)
+		if err != nil {
+			return Result{}, err
+		}
+		// Nodes above the starting size begin drained, joinable
+		// lowest-first as the controller grows.
+		for node := as.active; node < cl.Size(); node++ {
+			if err := alloc.NodeDrain(node, 0); err != nil {
+				return Result{}, err
+			}
+			as.pool = append(as.pool, node)
+		}
 	}
 	est := func(j *Job) float64 { return ests[j.Workload].WorkAt(j.N) }
 
@@ -224,10 +263,60 @@ func Simulate(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, 
 	queuedBy := map[string]int{}
 	var queue []*Job
 	var lastReleaseMS float64
+	var reconfigs int
 	var simErr error
 	fail := func(err error) {
 		if simErr == nil {
 			simErr = err
+		}
+	}
+
+	// tick evaluates every autoscaler window that has closed by now.
+	// It runs at the head of each admission pass, so grows take effect
+	// before placement and shrinks (graceful drains) never preempt: the
+	// controller only moves nodes between the free set and its own
+	// drained pool.
+	tick := func() {
+		if as == nil || simErr != nil {
+			return
+		}
+		for float64(as.nextWin)*as.spec.WindowMS <= k.Now() {
+			sample, dir := as.decide(as.nextWin)
+			as.nextWin++
+			switch {
+			case dir > 0 && len(as.pool) > 0:
+				node := as.pool[0]
+				if err := alloc.NodeJoin(node, k.Now()); err != nil {
+					fail(err)
+					return
+				}
+				as.pool = as.pool[1:]
+				as.active++
+				reconfigs++
+			case dir < 0:
+				node := -1
+				for n := cl.Size() - 1; n >= 0; n-- {
+					if !alloc.IsDraining(n) {
+						node = n
+						break
+					}
+				}
+				if node < 0 {
+					sample.Decision = "hold"
+					break
+				}
+				if err := alloc.NodeDrain(node, k.Now()); err != nil {
+					fail(err)
+					return
+				}
+				as.pool = append(as.pool, node)
+				sort.Ints(as.pool)
+				as.active--
+				reconfigs++
+			case dir > 0:
+				sample.Decision = "hold" // nothing left to join
+			}
+			as.samples = append(as.samples, sample)
 		}
 	}
 
@@ -263,12 +352,13 @@ func Simulate(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, 
 	}
 
 	admit = func() {
+		tick()
 		for simErr == nil && len(queue) > 0 {
 			if err := ctx.Err(); err != nil {
 				fail(err)
 				return
 			}
-			idx, ranks, ok := pol.Pick(queue, alloc, est)
+			idx, ranks, ok := pol.Pick(queue, alloc, est, k.Now())
 			if !ok {
 				return
 			}
@@ -402,6 +492,9 @@ func Simulate(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, 
 				Work: run.work, Es: es, EsDedicated: ded, Retention: es / ded,
 				Status: StatusDone, Retries: st.retries, Recoveries: st.rollbacks,
 			}
+			if as != nil {
+				as.observe(finish, es, j.N)
+			}
 			release(finish + opts.Alloc.ReleaseMS)
 		}
 	}
@@ -433,6 +526,38 @@ func Simulate(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, 
 			})
 		}
 	}
+	// Planned membership changes ride the same clock, after failures at
+	// equal instants: a node failing and draining in the same moment is
+	// a failure first. Drains are graceful — no lease is touched — so
+	// only joins can unblock admission.
+	for _, ev := range member {
+		ev := ev
+		switch ev.Op {
+		case cluster.OpDrain:
+			k.ScheduleAt(ev.AtMS, func() {
+				if simErr != nil {
+					return
+				}
+				if err := alloc.NodeDrain(ev.Node, k.Now()); err != nil {
+					fail(err)
+					return
+				}
+				reconfigs++
+			})
+		case cluster.OpJoin:
+			k.ScheduleAt(ev.AtMS, func() {
+				if simErr != nil {
+					return
+				}
+				if err := alloc.NodeJoin(ev.Node, k.Now()); err != nil {
+					fail(err)
+					return
+				}
+				reconfigs++
+				admit()
+			})
+		}
+	}
 	for i := range jobs {
 		j := jobs[i]
 		k.ScheduleAt(j.ArrivalMS, func() {
@@ -457,6 +582,10 @@ func Simulate(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, 
 		Policy:      pol.Name(),
 		MakespanMS:  lastReleaseMS,
 		Utilization: alloc.Utilization(lastReleaseMS),
+		Reconfigs:   reconfigs,
+	}
+	if as != nil {
+		res.Scale = as.samples
 	}
 	for i := range results {
 		r := &results[i]

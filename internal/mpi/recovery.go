@@ -1,21 +1,33 @@
-// Checkpoint/rollback recovery layered over the rank runtime.
+// Checkpoint/rollback reconfiguration layered over the rank runtime.
 //
 // Programs opt in by taking a *Checkpointer and calling Save at phase
 // boundaries — a coordinated checkpoint: every rank writes its state blob
 // to stable storage (charged in virtual time), and the checkpoint commits
 // iff every rank of the instance contributed before the closing barrier
-// released. When a rank dies mid-run, RunRecoverable rolls back to the
-// last committed checkpoint and replays the program on the survivor set:
-// the factory re-instantiates the per-rank body for the smaller cluster,
-// redistributing the dead rank's share (callers use dist.Pinned subset by
-// surviving marked speeds), and the new instance starts at
+// released. The supervisor (RunReconfigurable) replays the program across
+// a sequence of instances, each on an arbitrary subset of the original
+// cluster: a membership change — planned or not — rolls the run back to
+// the last committed checkpoint and re-instantiates the per-rank body on
+// the new member set, redistributing shares (callers use dist.Pinned
+// subset by member marked speeds).
 //
-//	base = failure time + detection latency + restart cost
+// Membership changes come from two sources sharing that one mechanism:
 //
-// so recomputed work, checkpoint writes and detection all appear in the
-// virtual clock — checkpoint cost is a new To term in Theorem 1. Every
-// decision is a pure function of virtual time, so recovered runs stay
-// bit-identical across transports just like plain runs.
+//   - Unplanned: a rank dies mid-run (fault plan crash or drop storm).
+//     The next instance runs on the survivors and starts at
+//     base = failure time + detection latency + restart cost.
+//     RunRecoverable is this special case with an empty reconfig plan.
+//   - Planned: a ReconfigEvent stops the running instance at a scheduled
+//     virtual instant and the next instance runs on the event's target
+//     ranks — shrink, grow, or reshape. No detection latency is charged
+//     (the change is scheduled, not discovered):
+//     base = stop time + reconfiguration cost.
+//
+// Recomputed work, checkpoint writes, detection and reconfiguration all
+// appear in the virtual clock — checkpoint cost is a new To term in
+// Theorem 1. Every decision is a pure function of virtual time, so
+// reconfigured runs stay bit-identical across transports just like plain
+// runs.
 package mpi
 
 import (
@@ -44,8 +56,15 @@ type RecoveryOptions struct {
 	// RestartMS is the re-instantiation cost: rebuilding global state from
 	// stable storage and respawning the survivor processes (default 5 ms).
 	RestartMS float64
-	// MaxAttempts bounds program instances, the initial one included
+	// ReconfigMS is the planned-reconfiguration cost charged between a
+	// scheduled membership stop and the next instance's start: quiescing,
+	// membership agreement and re-instantiation, with no detection
+	// latency — the change is scheduled, not discovered
+	// (default: RestartMS).
+	ReconfigMS float64
+	// MaxAttempts bounds UNPLANNED failures, the initial run included
 	// (default: cluster size — each recovery loses at least one rank).
+	// Planned reconfigurations do not consume the budget.
 	MaxAttempts int
 }
 
@@ -61,6 +80,9 @@ func (o RecoveryOptions) withDefaults(size int) RecoveryOptions {
 	}
 	if o.RestartMS == 0 {
 		o.RestartMS = 5
+	}
+	if o.ReconfigMS == 0 {
+		o.ReconfigMS = o.RestartMS
 	}
 	if o.MaxAttempts == 0 {
 		o.MaxAttempts = size
@@ -78,8 +100,56 @@ func (o RecoveryOptions) validate() error {
 		return fmt.Errorf("mpi: recovery detection latency %g invalid", o.DetectMS)
 	case o.RestartMS < 0 || math.IsNaN(o.RestartMS):
 		return fmt.Errorf("mpi: recovery restart cost %g invalid", o.RestartMS)
+	case o.ReconfigMS < 0 || math.IsNaN(o.ReconfigMS):
+		return fmt.Errorf("mpi: reconfiguration cost %g invalid", o.ReconfigMS)
 	case o.MaxAttempts < 1:
 		return fmt.Errorf("mpi: recovery needs MaxAttempts >= 1, got %d", o.MaxAttempts)
+	}
+	return nil
+}
+
+// ReconfigEvent is one planned membership change: at virtual instant
+// AtMS the running instance is stopped at its last committed checkpoint
+// and the run continues on Ranks. The stop is cooperative in virtual
+// time only — work since the last checkpoint is replayed, exactly like
+// a rollback, but the node that leaves is healthy and may rejoin later.
+type ReconfigEvent struct {
+	// AtMS is the virtual instant the running instance is stopped.
+	AtMS float64
+	// Ranks lists the original-cluster node ids the run continues on,
+	// strictly ascending. The set may shrink, grow or reshape membership
+	// arbitrarily; target ranks that already crashed are excluded when
+	// the event fires.
+	Ranks []int
+}
+
+// validateReconfigPlan checks a planned-membership schedule against the
+// original cluster size: instants finite, non-negative and strictly
+// ascending, target sets non-empty with strictly ascending in-range
+// ranks.
+func validateReconfigPlan(plan []ReconfigEvent, size int) error {
+	prev := math.Inf(-1)
+	for i, ev := range plan {
+		if math.IsNaN(ev.AtMS) || math.IsInf(ev.AtMS, 0) || ev.AtMS < 0 {
+			return fmt.Errorf("mpi: reconfig event %d at invalid instant %g", i, ev.AtMS)
+		}
+		if ev.AtMS <= prev {
+			return fmt.Errorf("mpi: reconfig event %d at %g ms not after %g ms", i, ev.AtMS, prev)
+		}
+		prev = ev.AtMS
+		if len(ev.Ranks) == 0 {
+			return fmt.Errorf("mpi: reconfig event %d has no target ranks", i)
+		}
+		last := -1
+		for _, r := range ev.Ranks {
+			if r < 0 || r >= size {
+				return fmt.Errorf("mpi: reconfig event %d rank %d out of range [0,%d)", i, r, size)
+			}
+			if r <= last {
+				return fmt.Errorf("mpi: reconfig event %d ranks not strictly ascending: %v", i, ev.Ranks)
+			}
+			last = r
+		}
 	}
 	return nil
 }
@@ -121,10 +191,17 @@ type Instance struct {
 // RecoverableProgram is the per-rank body of a checkpointing computation.
 type RecoverableProgram func(c Comm, ck *Checkpointer) error
 
-// RecoveryEvent records one rollback.
+// RecoveryEvent records one rollback or planned reconfiguration.
 type RecoveryEvent struct {
-	// Attempt is the index of the attempt that failed.
+	// Attempt is the index of the attempt that stopped (for a planned
+	// event applied between attempts: the attempt about to start).
 	Attempt int
+	// Planned reports a scheduled membership change (ReconfigEvent)
+	// rather than a crash rollback: no detection latency is charged, and
+	// any rank that stopped at the scheduled instant is healthy. A
+	// reconfiguration whose stop window also saw a real crash is
+	// recorded as unplanned — the crash charge dominates.
+	Planned bool
 	// Outcome classifies the failed attempt's fault deaths by original
 	// rank id.
 	Outcome FaultOutcome
@@ -146,10 +223,12 @@ type RecoveryEvent struct {
 // BytesMoved total every attempt's traffic.
 type RecoveredResult struct {
 	Result
-	// Attempts is the number of instances run (1 = no failure).
+	// Attempts is the number of instances run (1 = no membership change).
 	Attempts int
-	// Recovered reports whether any rollback happened.
+	// Recovered reports whether any UNPLANNED rollback happened;
+	// Reconfigs counts the planned membership changes applied.
 	Recovered bool
+	Reconfigs int
 	// Checkpoints counts committed snapshots; CheckpointMS is the total
 	// virtual time ranks spent writing them (committed or not).
 	Checkpoints  int
@@ -323,22 +402,66 @@ func (ck *Checkpointer) commit(p *pendingCkpt) {
 }
 
 // subsetInjector exposes the original fault plan to an instance running
-// on a survivor subset: instance rank i sees the faults planned for
-// original rank ranks[i]. Send sequence numbers restart per instance,
-// which is deterministic on both transports.
+// on a member subset, overlaying the next planned reconfiguration stop:
+// instance rank i sees the faults planned for original rank ranks[i],
+// with its crash time capped at stopMS (the armed ReconfigEvent instant,
+// +Inf when none is armed — a planned stop IS a crash to the transport,
+// only the supervisor knows the node is healthy). inner may be nil when
+// only a planned stop is armed. Send sequence numbers restart per
+// instance, which is deterministic on both transports.
 type subsetInjector struct {
-	inner FaultInjector
-	ranks []int
+	inner  FaultInjector
+	ranks  []int
+	stopMS float64
 }
 
 func (s *subsetInjector) CrashTimeMS(rank int) (float64, bool) {
-	return s.inner.CrashTimeMS(s.ranks[rank])
+	if s.inner != nil {
+		if t, ok := s.inner.CrashTimeMS(s.ranks[rank]); ok && t <= s.stopMS {
+			return t, true
+		}
+	}
+	if math.IsInf(s.stopMS, 1) {
+		return 0, false
+	}
+	return s.stopMS, true
 }
+
+// plannedOnly reports whether an instance rank's death at its effective
+// crash time is the armed planned stop (the node is healthy) rather
+// than a plan crash. A real crash at exactly the stop instant wins: the
+// node is gone either way.
+func (s *subsetInjector) plannedOnly(rank int) bool {
+	if math.IsInf(s.stopMS, 1) {
+		return false
+	}
+	if s.inner == nil {
+		return true
+	}
+	t, ok := s.inner.CrashTimeMS(s.ranks[rank])
+	return !ok || t > s.stopMS
+}
+
 func (s *subsetInjector) DropSend(from, to, seq int) bool {
+	if s.inner == nil {
+		return false
+	}
 	return s.inner.DropSend(s.ranks[from], s.ranks[to], seq)
 }
-func (s *subsetInjector) RetryDelayMS(failed int) float64 { return s.inner.RetryDelayMS(failed) }
-func (s *subsetInjector) MaxSendAttempts() int            { return s.inner.MaxSendAttempts() }
+
+func (s *subsetInjector) RetryDelayMS(failed int) float64 {
+	if s.inner == nil {
+		return 0
+	}
+	return s.inner.RetryDelayMS(failed)
+}
+
+func (s *subsetInjector) MaxSendAttempts() int {
+	if s.inner == nil {
+		return 1
+	}
+	return s.inner.MaxSendAttempts()
+}
 
 // attemptFaults classifies one attempt's joined run error by instance
 // rank. Unlike ClassifyFaults it keeps plan crashes, retry-budget deaths
@@ -372,22 +495,47 @@ func attemptFaults(err error) (crashed, stormed, aborted map[int]float64, ok boo
 
 // RunRecoverable executes a checkpointing program with rollback recovery:
 // each fault-failed attempt is rolled back to the last committed
-// checkpoint and replayed on the survivors. See RunRecoverableContext.
+// checkpoint and replayed on the survivors. It is RunReconfigurable with
+// an empty reconfiguration plan — every membership change unplanned.
 func RunRecoverable(cl *cluster.Cluster, model simnet.CostModel, opts Options, ropts RecoveryOptions, factory func(Instance) (RecoverableProgram, error)) (RecoveredResult, error) {
-	return RunRecoverableContext(context.Background(), cl, model, opts, ropts, factory)
+	return RunReconfigurableContext(context.Background(), cl, model, opts, ropts, nil, factory)
 }
 
-// RunRecoverableContext is the recovery supervisor. The factory is called
-// once per attempt with the Instance (survivor cluster, original-rank
-// map, checkpoint to resume from) and returns the per-rank body; the
-// supervisor runs it, and on a fault failure selects survivors (plan
-// crashes and drop-storm deaths leave; peer-aborted ranks rejoin),
-// advances virtual time by the detection + restart cost and tries again,
-// up to MaxAttempts instances. Non-fault errors abort recovery
-// immediately. Traces see each attempt's spans with ranks remapped to
-// original ids plus one KindRecover span per survivor covering its
-// rollback window.
+// RunRecoverableContext is RunRecoverable with cancellation.
 func RunRecoverableContext(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, opts Options, ropts RecoveryOptions, factory func(Instance) (RecoverableProgram, error)) (RecoveredResult, error) {
+	return RunReconfigurableContext(ctx, cl, model, opts, ropts, nil, factory)
+}
+
+// RunReconfigurable executes a checkpointing program across planned
+// membership changes and unplanned failures. See
+// RunReconfigurableContext.
+func RunReconfigurable(cl *cluster.Cluster, model simnet.CostModel, opts Options, ropts RecoveryOptions, plan []ReconfigEvent, factory func(Instance) (RecoverableProgram, error)) (RecoveredResult, error) {
+	return RunReconfigurableContext(context.Background(), cl, model, opts, ropts, plan, factory)
+}
+
+// RunReconfigurableContext is the reconfiguration supervisor. The factory
+// is called once per instance with the Instance (member cluster,
+// original-rank map, checkpoint to resume from) and returns the per-rank
+// body; the supervisor runs it until the run finishes or membership
+// changes:
+//
+//   - An unplanned fault failure selects survivors (plan crashes and
+//     drop-storm deaths leave for good; peer-aborted ranks rejoin),
+//     advances virtual time by the detection + restart cost and replays,
+//     up to MaxAttempts unplanned failures.
+//   - A planned ReconfigEvent stops the instance at its scheduled
+//     instant, advances virtual time by the reconfiguration cost alone,
+//     and replays on the event's target ranks — minus any rank that
+//     already truly crashed, which never rejoins. An event the clock has
+//     already passed (an earlier rollback overshot it) reshapes the next
+//     instance directly, riding the restart charge already being paid.
+//
+// The plan consumed, the run finishes on whatever membership is left; a
+// run that completes before an event's instant never sees it. Non-fault
+// errors abort immediately. Traces see each attempt's spans with ranks
+// remapped to original ids plus one KindRecover span per continuing rank
+// covering its rollback window.
+func RunReconfigurableContext(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, opts Options, ropts RecoveryOptions, plan []ReconfigEvent, factory func(Instance) (RecoverableProgram, error)) (RecoveredResult, error) {
 	if factory == nil {
 		return RecoveredResult{}, errors.New("mpi: nil recoverable program factory")
 	}
@@ -398,8 +546,11 @@ func RunRecoverableContext(ctx context.Context, cl *cluster.Cluster, model simne
 	if err := ropts.validate(); err != nil {
 		return RecoveredResult{}, err
 	}
-
 	p := cl.Size()
+	if err := validateReconfigPlan(plan, p); err != nil {
+		return RecoveredResult{}, err
+	}
+
 	log := &recoveryLog{}
 	ranks := make([]int, p)
 	for i := range ranks {
@@ -407,17 +558,53 @@ func RunRecoverableContext(ctx context.Context, cl *cluster.Cluster, model simne
 	}
 	curCl := cl
 	baseMS := 0.0
+	dead := make([]bool, p) // by original rank id, across all attempts
+	eventIdx := 0
+	failures := 0 // unplanned rollbacks so far
 
 	res := RecoveredResult{Result: Result{
 		RankClocks: make([]float64, p),
 		ComputeMS:  make([]float64, p),
 		CommMS:     make([]float64, p),
 	}}
+	resumeSeq := func() int { return len(log.snapshots()) - 1 }
+	liveTarget := func(target []int) []int {
+		next := make([]int, 0, len(target))
+		for _, r := range target {
+			if !dead[r] {
+				next = append(next, r)
+			}
+		}
+		return next
+	}
 
 	for attempt := 0; ; attempt++ {
-		if attempt >= ropts.MaxAttempts {
+		if failures >= ropts.MaxAttempts {
 			return res, fmt.Errorf("%w: exhausted %d attempts", ErrRecoveryFailed, ropts.MaxAttempts)
 		}
+		// Planned events the clock already passed reshape the coming
+		// instance in place, without another stop/replay cycle.
+		for eventIdx < len(plan) && plan[eventIdx].AtMS <= baseMS {
+			ev := plan[eventIdx]
+			eventIdx++
+			next := liveTarget(ev.Ranks)
+			if len(next) == 0 {
+				return res, fmt.Errorf("%w: reconfiguration at %g ms has no live target rank", ErrRecoveryFailed, ev.AtMS)
+			}
+			res.Reconfigs++
+			res.Events = append(res.Events, RecoveryEvent{
+				Attempt: attempt, Planned: true,
+				FailedAtMS: baseMS, ResumeMS: baseMS,
+				ResumeSeq: resumeSeq(), Survivors: append([]int(nil), next...),
+			})
+			sub, err := cl.Subset(fmt.Sprintf("%s/reconfig%d", cl.Name, res.Reconfigs), next...)
+			if err != nil {
+				return res, fmt.Errorf("mpi: reconfiguration member cluster: %w", err)
+			}
+			curCl = sub
+			ranks = next
+		}
+
 		history := log.snapshots()
 		inst := Instance{
 			Attempt: attempt,
@@ -438,9 +625,15 @@ func RunRecoverableContext(ctx context.Context, cl *cluster.Cluster, model simne
 		}
 		ck := newCheckpointer(ropts, inst.Ranks, log)
 
+		stopMS := math.Inf(1)
+		if eventIdx < len(plan) {
+			stopMS = plan[eventIdx].AtMS
+		}
 		aopts := opts
-		if opts.Faults != nil {
-			aopts.Faults = &subsetInjector{inner: opts.Faults, ranks: ranks}
+		var inj *subsetInjector
+		if opts.Faults != nil || !math.IsInf(stopMS, 1) {
+			inj = &subsetInjector{inner: opts.Faults, ranks: ranks, stopMS: stopMS}
+			aopts.Faults = inj
 		}
 		var sub *trace.Trace
 		if opts.Trace != nil {
@@ -489,7 +682,7 @@ func RunRecoverableContext(ctx context.Context, cl *cluster.Cluster, model simne
 
 		if runErr == nil {
 			res.TimeMS = r.TimeMS
-			res.Recovered = attempt > 0
+			res.Recovered = failures > 0
 			return res, nil
 		}
 
@@ -498,25 +691,39 @@ func RunRecoverableContext(ctx context.Context, cl *cluster.Cluster, model simne
 			return res, runErr
 		}
 
-		// Survivor selection: ranks whose node crashed or whose link
-		// exhausted its retry budget are gone; everyone else rejoins.
-		dead := make([]bool, len(ranks))
+		// Split real plan deaths from the armed planned stop: a rank
+		// whose only reason to die at the stop instant was the scheduled
+		// reconfiguration is healthy.
+		plannedStop := false
 		for i := range crashed {
-			dead[i] = true
+			if inj != nil && inj.plannedOnly(i) {
+				plannedStop = true
+				delete(crashed, i)
+			}
+		}
+		unplanned := len(crashed)+len(stormed) > 0
+
+		// Survivor selection: ranks whose node crashed or whose link
+		// exhausted its retry budget are gone for good; peer-aborted and
+		// planned-stopped ranks are healthy.
+		for i := range crashed {
+			dead[ranks[i]] = true
 		}
 		for i := range stormed {
-			dead[i] = true
+			dead[ranks[i]] = true
 		}
 		var next []int
-		for i, orig := range ranks {
-			if !dead[i] {
-				next = append(next, orig)
-			}
+		if plannedStop {
+			next = liveTarget(plan[eventIdx].Ranks)
+			eventIdx++
+			res.Reconfigs++
+		} else {
+			next = liveTarget(ranks)
 		}
 		if len(next) == 0 {
 			return res, fmt.Errorf("%w: no survivors: %v", ErrRecoveryFailed, runErr)
 		}
-		if len(next) == len(ranks) {
+		if !plannedStop && len(next) == len(ranks) {
 			// Only possible if the fault classification missed the root
 			// cause; bail rather than replay the identical instance.
 			return res, fmt.Errorf("mpi: recovery stalled, no rank excluded: %w", runErr)
@@ -534,22 +741,29 @@ func RunRecoverableContext(ctx context.Context, cl *cluster.Cluster, model simne
 		}
 		outcome.Survivors = len(ranks) - len(crashed) - len(stormed) - len(aborted)
 
-		newBase := r.TimeMS + ropts.DetectMS + ropts.RestartMS
-		resumeSeq := -1
-		if n := len(log.snapshots()); n > 0 {
-			resumeSeq = n - 1
+		charge := ropts.DetectMS + ropts.RestartMS
+		if !unplanned {
+			charge = ropts.ReconfigMS
+		} else {
+			failures++
 		}
+		newBase := r.TimeMS + charge
 		res.Events = append(res.Events, RecoveryEvent{
 			Attempt:    attempt,
+			Planned:    !unplanned,
 			Outcome:    outcome,
 			FailedAtMS: r.TimeMS,
 			ResumeMS:   newBase,
-			ResumeSeq:  resumeSeq,
+			ResumeSeq:  resumeSeq(),
 			Survivors:  append([]int(nil), next...),
 		})
 		if opts.Trace != nil {
+			cont := make(map[int]bool, len(next))
+			for _, orig := range next {
+				cont[orig] = true
+			}
 			for i, orig := range ranks {
-				if dead[i] {
+				if !cont[orig] {
 					continue
 				}
 				opts.Trace.Add(trace.Span{

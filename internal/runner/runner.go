@@ -80,6 +80,10 @@ func NewPool(size int) *Pool {
 // Size returns the slot count.
 func (p *Pool) Size() int { return cap(p.sem) }
 
+// InUse returns the number of occupied slots at this instant — a
+// monitoring snapshot (the value may change before the caller reads it).
+func (p *Pool) InUse() int { return len(p.sem) }
+
 func (p *Pool) acquire(ctx context.Context) error {
 	select {
 	case p.sem <- struct{}{}:

@@ -8,7 +8,7 @@
 //
 //	POST /run     RunSpec JSON in, rendered result out (text/csv/json)
 //	POST /trace   experiments RunSpec in, Chrome trace-event JSON out
-//	GET  /healthz liveness probe
+//	GET  /healthz liveness + worker-pool occupancy and disk-cache size
 //	GET  /list    JSON catalog of experiments and workloads
 //	GET  /cache   JSON cache statistics (memory and disk)
 //
@@ -158,9 +158,41 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	s.finish(w, r, &traceBuf, "application/json", err)
 }
 
+// healthDoc is the /healthz document: liveness plus the two capacity
+// signals an operator watches — worker-pool occupancy and the size of
+// the persistent cache.
+type healthDoc struct {
+	Status string `json:"status"`
+	// Pool describes the shared execution pool (absent when each run
+	// bounds only itself).
+	Pool *poolDoc `json:"pool,omitempty"`
+	// Cache describes the persistent layer (absent when memory-only).
+	Cache *cacheInfoDoc `json:"cache,omitempty"`
+}
+
+type poolDoc struct {
+	Size  int `json:"size"`
+	InUse int `json:"inUse"`
+}
+
+type cacheInfoDoc struct {
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	doc := healthDoc{Status: "ok"}
+	if p := s.ex.Pool(); p != nil {
+		doc.Pool = &poolDoc{Size: p.Size(), InUse: p.InUse()}
+	}
+	if dir := s.ex.CacheDir(); dir != "" {
+		if disk, err := runner.OpenDiskCache(dir); err == nil {
+			if entries, bytes, ierr := disk.Info(); ierr == nil {
+				doc.Cache = &cacheInfoDoc{Entries: entries, Bytes: bytes}
+			}
+		}
+	}
+	writeJSON(w, doc)
 }
 
 // catalog is the /list document.

@@ -137,16 +137,74 @@ func TestTraceReturnsChromeEvents(t *testing.T) {
 	}
 }
 
-func TestHealthz(t *testing.T) {
-	ts, _ := newServer(t, spec.ExecutorOptions{})
+// healthz decodes one /healthz response.
+type healthzDoc struct {
+	Status string `json:"status"`
+	Pool   *struct {
+		Size  int `json:"size"`
+		InUse int `json:"inUse"`
+	} `json:"pool"`
+	Cache *struct {
+		Entries int   `json:"entries"`
+		Bytes   int64 `json:"bytes"`
+	} `json:"cache"`
+}
+
+func getHealthz(t *testing.T, ts *httptest.Server) healthzDoc {
+	t.Helper()
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	body, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
-		t.Errorf("healthz: %s %q", resp.Status, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %s", resp.Status)
+	}
+	var doc healthzDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestHealthz(t *testing.T) {
+	// A bare executor: alive, no shared pool, no persistent cache.
+	ts, _ := newServer(t, spec.ExecutorOptions{})
+	doc := getHealthz(t, ts)
+	if doc.Status != "ok" || doc.Pool != nil || doc.Cache != nil {
+		t.Errorf("bare healthz: %+v", doc)
+	}
+}
+
+func TestHealthzReportsPoolAndCache(t *testing.T) {
+	dir := t.TempDir()
+	ts, _ := newServer(t, spec.ExecutorOptions{Pool: runner.NewPool(3), CacheDir: dir})
+
+	// Idle server: pool visible and empty, persistent layer visible and
+	// empty.
+	doc := getHealthz(t, ts)
+	if doc.Status != "ok" {
+		t.Fatalf("healthz status: %+v", doc)
+	}
+	if doc.Pool == nil || doc.Pool.Size != 3 || doc.Pool.InUse != 0 {
+		t.Errorf("idle pool: %+v", doc.Pool)
+	}
+	if doc.Cache == nil || doc.Cache.Entries != 0 || doc.Cache.Bytes != 0 {
+		t.Errorf("empty cache: %+v", doc.Cache)
+	}
+
+	// After a persisted run the entry count and byte size are non-zero.
+	resp := postSpec(t, ts, "/run", spec.RunSpec{Kind: spec.KindJobstream, Engine: "des"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: %s", resp.Status)
+	}
+	io.Copy(io.Discard, resp.Body)
+	doc = getHealthz(t, ts)
+	if doc.Cache == nil || doc.Cache.Entries < 1 || doc.Cache.Bytes <= 0 {
+		t.Errorf("cache after run: %+v", doc.Cache)
+	}
+	if doc.Pool == nil || doc.Pool.InUse != 0 {
+		t.Errorf("pool after run should be drained: %+v", doc.Pool)
 	}
 }
 

@@ -88,6 +88,10 @@ func NewExecutor(opts ExecutorOptions) (*Executor, error) {
 // CacheDir returns the persistent cache directory ("" when memory-only).
 func (e *Executor) CacheDir() string { return e.opts.CacheDir }
 
+// Pool returns the shared execution pool (nil when each run bounds only
+// itself).
+func (e *Executor) Pool() *runner.Pool { return e.opts.Pool }
+
 // CacheStats sums the hit/miss counters of every cache the executor
 // holds: the scan cache plus each warm suite.
 func (e *Executor) CacheStats() runner.Stats {
@@ -475,9 +479,23 @@ func jobstreamBody(ctx context.Context, rs RunSpec, out io.Writer) error {
 		return err
 	}
 	var rend []experiments.Renderable
-	if rs.NodeFaults == nil && rs.Retry == nil && rs.Admission == nil {
+	switch {
+	case rs.Membership != nil || rs.Autoscale != nil:
+		// The elastic body: planned membership changes and/or the isospeed
+		// autoscaler, reported against the fixed-provisioning baseline.
+		// Validate guarantees the fault sections are absent here.
+		var plan cluster.MembershipPlan
+		if rs.Membership != nil {
+			plan = *rs.Membership
+		}
+		var autoscale job.AutoscaleSpec
+		if rs.Autoscale != nil {
+			autoscale = *rs.Autoscale
+		}
+		rend, err = suite.ElasticWith(ctx, *rs.Stream, rs.SharedP, rs.Policies, plan, autoscale)
+	case rs.NodeFaults == nil && rs.Retry == nil && rs.Admission == nil:
 		rend, err = suite.JobStreamWith(ctx, *rs.Stream, rs.SharedP, rs.Policies)
-	} else {
+	default:
 		// The faulted body: node outages and/or admission control on the
 		// same stream, with retention reported against the undisturbed
 		// run. Normalize guarantees Retry is set whenever NodeFaults is.

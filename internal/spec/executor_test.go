@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/faults"
+	"repro/internal/job"
 )
 
 func quickSpec() RunSpec {
@@ -186,6 +187,35 @@ func TestJobstreamByteIdenticalAcrossEngines(t *testing.T) {
 	// And reruns are pure cache hits of the same bytes.
 	if again := runSpec(t, ex, RunSpec{Kind: KindJobstream, Engine: "des"}); !bytes.Equal(base, again) {
 		t.Error("jobstream rerun differs")
+	}
+}
+
+// TestJobstreamElasticByteIdenticalAcrossEngines extends the jobstream
+// acceptance criterion to the elastic dispatch: a spec with membership
+// and autoscale sections renders the autoscaler-vs-fixed comparison,
+// byte-identical across every engine and on rerun.
+func TestJobstreamElasticByteIdenticalAcrossEngines(t *testing.T) {
+	elastic := func(engine string) RunSpec {
+		return RunSpec{Kind: KindJobstream, Engine: engine,
+			Membership: &cluster.MembershipPlan{Events: []cluster.MemberEvent{
+				{Node: 0, AtMS: 250, Op: cluster.OpDrain},
+				{Node: 0, AtMS: 900, Op: cluster.OpJoin},
+			}},
+			Autoscale: &job.AutoscaleSpec{TargetEs: 0.1, Band: 0.02, WindowMS: 200, MinP: 6, MaxP: 10, StartP: 8},
+		}
+	}
+	ex := newExecutor(t, ExecutorOptions{})
+	base := runSpec(t, ex, elastic("des"))
+	if !strings.Contains(string(base), "Elastic") || !strings.Contains(string(base), "E_s held") {
+		t.Fatalf("elastic output missing comparison tables:\n%s", base)
+	}
+	for _, eng := range []string{"live", "symbolic"} {
+		if got := runSpec(t, ex, elastic(eng)); !bytes.Equal(base, got) {
+			t.Errorf("engine %s elastic output differs from des", eng)
+		}
+	}
+	if again := runSpec(t, ex, elastic("des")); !bytes.Equal(base, again) {
+		t.Error("elastic rerun differs")
 	}
 }
 

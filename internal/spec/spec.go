@@ -149,6 +149,15 @@ type RunSpec struct {
 	// per-tenant queue caps and a shed deadline. Meaningful with or
 	// without NodeFaults.
 	Admission *job.AdmissionSpec `json:"admission,omitempty"`
+	// Membership (kind jobstream) is the planned drain/join schedule on
+	// the shared cluster's virtual clock — elasticity as planned
+	// reconfiguration. Nil (or the zero plan) keeps membership fixed and
+	// reproduces the prior canonical bytes exactly.
+	Membership *cluster.MembershipPlan `json:"membership,omitempty"`
+	// Autoscale (kind jobstream) turns on the isospeed-efficiency
+	// autoscaler: windowed E_s observation driving planned grows and
+	// shrinks. Nil (or the zero spec) disables it.
+	Autoscale *job.AutoscaleSpec `json:"autoscale,omitempty"`
 }
 
 // Normalize fills every defaulted field in place and expands sugar
@@ -245,6 +254,15 @@ func (rs *RunSpec) Normalize() error {
 		if rs.NodeFaults != nil && rs.Retry == nil {
 			r := job.DefaultRetry()
 			rs.Retry = &r
+		}
+		// Same folding for the elastic sections: a zero membership plan or
+		// autoscale spec means the same run as an absent one, so specs
+		// without elasticity keep their exact prior canonical bytes.
+		if rs.Membership != nil && rs.Membership.IsZero() {
+			rs.Membership = nil
+		}
+		if rs.Autoscale != nil && rs.Autoscale.IsZero() {
+			rs.Autoscale = nil
 		}
 	}
 	return nil
@@ -389,6 +407,20 @@ func (rs *RunSpec) Validate() error {
 				return fmt.Errorf("spec: %w", err)
 			}
 		}
+		if rs.Membership != nil {
+			if err := rs.Membership.Validate(rs.SharedP); err != nil {
+				return fmt.Errorf("spec: %w", err)
+			}
+		}
+		if rs.Autoscale != nil {
+			if err := rs.Autoscale.Validate(rs.SharedP); err != nil {
+				return fmt.Errorf("spec: %w", err)
+			}
+		}
+		if (rs.Membership != nil || rs.Autoscale != nil) &&
+			(rs.NodeFaults != nil || rs.Retry != nil || rs.Admission != nil) {
+			return fmt.Errorf("spec: membership/autoscale and nodeFaults/retry/admission are mutually exclusive in one jobstream spec")
+		}
 	default:
 		return fmt.Errorf("spec: unknown kind %q (experiments, scalescan, faultscan or jobstream)", rs.Kind)
 	}
@@ -432,6 +464,8 @@ func (rs *RunSpec) rejectForeign(kind string) error {
 		{"nodeFaults", rs.NodeFaults != nil},
 		{"retry", rs.Retry != nil},
 		{"admission", rs.Admission != nil},
+		{"membership", rs.Membership != nil},
+		{"autoscale", rs.Autoscale != nil},
 	}
 
 	var foreign []field

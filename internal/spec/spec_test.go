@@ -199,6 +199,22 @@ func TestValidateRejections(t *testing.T) {
 			Retry: &job.RetrySpec{MaxRetries: -1}}, "retry budget"},
 		{"jobstream bad admission", RunSpec{Kind: KindJobstream,
 			Admission: &job.AdmissionSpec{MaxQueue: -1}}, "queue cap"},
+		{"faultscan with membership", RunSpec{Kind: KindFaultscan, Faults: plan,
+			Membership: &cluster.MembershipPlan{Events: []cluster.MemberEvent{{Node: 0, AtMS: 1, Op: cluster.OpDrain}}}}, `"membership" does not apply`},
+		{"experiments with autoscale", RunSpec{Kind: KindExperiments, Experiments: "quick",
+			Autoscale: &job.AutoscaleSpec{TargetEs: 0.1, Band: 0.02, WindowMS: 100, MinP: 2, MaxP: 4}}, `"autoscale" does not apply`},
+		{"jobstream membership node out of range", RunSpec{Kind: KindJobstream,
+			Membership: &cluster.MembershipPlan{Events: []cluster.MemberEvent{{Node: 16, AtMS: 1, Op: cluster.OpDrain}}}}, "out of range"},
+		{"jobstream membership double drain", RunSpec{Kind: KindJobstream,
+			Membership: &cluster.MembershipPlan{Events: []cluster.MemberEvent{
+				{Node: 1, AtMS: 1, Op: cluster.OpDrain}, {Node: 1, AtMS: 2, Op: cluster.OpDrain}}}}, "already drained"},
+		{"jobstream autoscale over cluster", RunSpec{Kind: KindJobstream,
+			Autoscale: &job.AutoscaleSpec{TargetEs: 0.1, Band: 0.02, WindowMS: 100, MinP: 2, MaxP: 32}}, "exceeds cluster size"},
+		{"jobstream autoscale one rung", RunSpec{Kind: KindJobstream,
+			Autoscale: &job.AutoscaleSpec{TargetEs: 0.1, Band: 0.02, WindowMS: 100, MinP: 4, MaxP: 4}}, "two-rung ladder"},
+		{"jobstream elastic with faults", RunSpec{Kind: KindJobstream,
+			NodeFaults: &cluster.HealthSpec{Events: []cluster.NodeEvent{{Node: 1, DownMS: 100, UpMS: 200}}},
+			Autoscale:  &job.AutoscaleSpec{TargetEs: 0.1, Band: 0.02, WindowMS: 100, MinP: 2, MaxP: 4}}, "mutually exclusive"},
 	}
 	for _, tc := range cases {
 		t.Run(strings.ReplaceAll(tc.name, " ", "_"), func(t *testing.T) {
@@ -305,5 +321,53 @@ func TestNormalizeFaultSections(t *testing.T) {
 	}
 	if *strict.Retry != (job.RetrySpec{}) {
 		t.Errorf("explicit zero retry defaulted away: %+v", strict.Retry)
+	}
+}
+
+func TestNormalizeElasticSections(t *testing.T) {
+	// A zero membership plan or autoscale spec means the same run as an
+	// absent one and must fold away: specs without elasticity keep their
+	// exact prior canonical bytes (and cache keys).
+	zeroed := RunSpec{Kind: KindJobstream, Membership: &cluster.MembershipPlan{}, Autoscale: &job.AutoscaleSpec{}}
+	if err := zeroed.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if zeroed.Membership != nil || zeroed.Autoscale != nil {
+		t.Errorf("zero elastic sections survived normalization: %+v", zeroed)
+	}
+	zc, err := zeroed.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(zc) != goldenJobstreamCanonical {
+		t.Errorf("zero elastic sections perturbed the canonical bytes:\n got %s\nwant %s", zc, goldenJobstreamCanonical)
+	}
+
+	// Non-zero sections survive, validate against the shared width, and
+	// round-trip through Decode as a fixed point.
+	elastic := RunSpec{Kind: KindJobstream, Engine: "des",
+		Membership: &cluster.MembershipPlan{Events: []cluster.MemberEvent{
+			{Node: 1, AtMS: 100, Op: cluster.OpDrain},
+			{Node: 1, AtMS: 400, Op: cluster.OpJoin},
+		}},
+		Autoscale: &job.AutoscaleSpec{TargetEs: 0.1, Band: 0.02, WindowMS: 200, MinP: 4, MaxP: 8, StartP: 6},
+	}
+	data, err := elastic.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := decoded.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Errorf("elastic spec not a fixed point:\n first %s\nsecond %s", data, again)
+	}
+	if decoded.Membership == nil || decoded.Autoscale == nil {
+		t.Errorf("elastic sections lost in decode: %+v", decoded)
 	}
 }

@@ -76,6 +76,14 @@ func directReference(t *testing.T, name string, cl *cluster.Cluster, model simne
 			t.Fatal(err)
 		}
 		return workload.Outcome{Work: out.Work, VirtualTime: out.SweepTimeMS, Stats: out.Res, Check: workload.Checksum(out.Grid)}
+	case "spmv":
+		out, err := algs.RunSpMVContext(ctx, cl, model, mpi.Options{}, confN, algs.SpMVOptions{
+			Iters: workload.SpMVIters, Seed: confSeed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return workload.Outcome{Work: out.Work, VirtualTime: out.IterTimeMS, Stats: out.Res, Check: workload.Checksum(out.X)}
 	case "cg":
 		out, err := algs.RunCGContext(ctx, cl, model, mpi.Options{}, confN, algs.CGOptions{
 			Iters: workload.CGIters, Seed: confSeed,

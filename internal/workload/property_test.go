@@ -76,7 +76,10 @@ func TestHomogeneousTheorem1Identity(t *testing.T) {
 				t.Fatal(err)
 			}
 			for i := range psiDef {
-				if psiDef[i] <= 0 || psiDef[i] > 1 {
+				// A workload with overhead flat in n (spmv's constant-size
+				// halo) sits exactly at ψ = 1; allow an ulp of rounding
+				// above the mathematical bound.
+				if psiDef[i] <= 0 || psiDef[i] > 1+1e-12 {
 					t.Errorf("link %d: psi = %g outside (0, 1]", i, psiDef[i])
 				}
 				rel := math.Abs(psiDef[i]-psiThm[i]) / psiThm[i]

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"context"
+
+	"repro/internal/algs"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+// SpMVIters is the fixed number of band products per SpMV run.
+const SpMVIters = 60
+
+// spmvWorkload is the fifth combination: an iterated pentadiagonal
+// sparse matrix–vector product over heterogeneous row bands. Its halo
+// is two scalars per neighbour — constant in n — so To(n) is flat and
+// the combination sits at the most scalable extreme of the set, the
+// counterpart to GE's broadcast-heavy worst case. As with mg, this file
+// is the workload's entire integration: every consumer picks it up from
+// the registry with no edits of its own.
+type spmvWorkload struct{}
+
+func init() { Register(spmvWorkload{}) }
+
+func (spmvWorkload) Name() string { return "spmv" }
+func (spmvWorkload) About() string {
+	return "banded sparse matrix-vector iteration, block rows, constant-size halo (registry extension)"
+}
+func (spmvWorkload) DefaultTarget() float64 { return 0.3 }
+
+func (spmvWorkload) ClusterLadder(p int) (*cluster.Cluster, error) { return cluster.MMConfig(p) }
+
+func (spmvWorkload) WorkAt(n int) float64 { return algs.WorkSpMV(n, SpMVIters) }
+
+// MemBytes counts the two working vectors (current and next); the band
+// coefficients are recomputed on the fly and never materialised.
+func (spmvWorkload) MemBytes(n int) float64 {
+	return 8 * 2 * float64(n)
+}
+
+func (spmvWorkload) Overhead(cl *cluster.Cluster, model simnet.CostModel) (func(n float64) float64, error) {
+	return algs.SpMVOverhead(cl, model, SpMVIters)
+}
+
+func (spmvWorkload) Machine(cl *cluster.Cluster, model simnet.CostModel) (core.AnalyticMachine, error) {
+	to, err := algs.SpMVOverhead(cl, model, SpMVIters)
+	if err != nil {
+		return core.AnalyticMachine{}, err
+	}
+	return core.AnalyticMachine{
+		Label:     cl.Name,
+		C:         cl.MarkedSpeed(),
+		P:         cl.Size(),
+		Sustained: algs.DefaultSpMVSustained,
+		Work: func(n float64) float64 {
+			if n < 2 {
+				return 1
+			}
+			return 2 * (5*n - 6) * SpMVIters
+		},
+		Overhead: to,
+	}, nil
+}
+
+func (spmvWorkload) options(spec Spec) algs.SpMVOptions {
+	opts := algs.SpMVOptions{
+		Iters:    SpMVIters,
+		Symbolic: spec.Symbolic,
+		Seed:     spec.Seed,
+	}
+	if spec.PinnedSpeeds != nil {
+		opts.Strategy = dist.Pinned{Speeds: spec.PinnedSpeeds, Inner: dist.HetBlock{}}
+	}
+	return opts
+}
+
+func (s spmvWorkload) Run(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, spec Spec) (Outcome, error) {
+	out, err := algs.RunSpMVContext(ctx, cl, model, mpiOpts, spec.N, s.options(spec))
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{
+		Work:        out.Work,
+		VirtualTime: out.IterTimeMS,
+		Stats:       out.Res,
+		Check:       Checksum(out.X),
+	}, nil
+}
+
+func (s spmvWorkload) RunRecovered(ctx context.Context, cl *cluster.Cluster, model simnet.CostModel, mpiOpts mpi.Options, spec Spec, rcfg algs.RecoveryConfig) (Outcome, mpi.RecoveredResult, error) {
+	out, rec, err := algs.RunSpMVRecoveredContext(ctx, cl, model, mpiOpts, spec.N, s.options(spec), rcfg)
+	if err != nil {
+		// rec is populated even on failure (attempt accounting, death
+		// clocks): schedulers price the abandoned run from it.
+		return Outcome{}, rec, err
+	}
+	return Outcome{
+		Work:        out.Work,
+		VirtualTime: rec.TimeMS,
+		Stats:       rec.Result,
+		Check:       Checksum(out.X),
+	}, rec, nil
+}

@@ -16,6 +16,11 @@
 #   benchmark's own ReportMetric columns (recoveries vary with the
 #   schedule, so they cannot be derived from ns/op alone).
 #
+#   BENCH_elastic.json — the same stream under a planned drain/join
+#   cycle plus the isospeed autoscaler. jobs/sec and reconfigs/sec come
+#   from the benchmark's ReportMetric columns (applied membership moves
+#   depend on the controller's decisions, not on ns/op).
+#
 # Usage:  ./scripts/bench.sh               # 1s per benchmark
 #         BENCHTIME=5s ./scripts/bench.sh  # steadier numbers
 set -eu
@@ -81,3 +86,31 @@ emit_faults_json() {
 go test -run=NONE -bench 'BenchmarkJobstreamFaults$' \
 	-benchtime "$BENCHTIME" -count=1 ./internal/job | tee -a "$RAW"
 emit_faults_json "$RAW" "BENCH_jobstream_faults.json"
+
+# emit_elastic_json <raw-file> <out-file>: same field scan as the faults
+# emitter, for the elastic benchmark's jobs/sec and reconfigs/sec pair.
+emit_elastic_json() {
+	awk -v benchtime="$BENCHTIME" '
+	BEGIN {
+		printf "{\n  \"benchtime\": \"%s\",\n  \"unit\": \"jobs_per_sec and reconfigs_per_sec as reported by the benchmark\",\n  \"benchmarks\": [\n", benchtime
+		sep = ""
+	}
+	$1 ~ /^Benchmark/ && $4 == "ns/op" {
+		name = $1; sub(/-[0-9]+$/, "", name)
+		jps = 0; rps = 0
+		for (i = 5; i <= NF; i++) {
+			if ($i == "jobs/sec") jps = $(i - 1)
+			if ($i == "reconfigs/sec") rps = $(i - 1)
+		}
+		printf "%s    {\"name\": \"%s\", \"iters\": %d, \"ns_per_op\": %.1f, \"jobs_per_sec\": %.1f, \"reconfigs_per_sec\": %.1f}", sep, name, $2, $3, jps, rps
+		sep = ",\n"
+	}
+	END { printf "\n  ]\n}\n" }
+	' "$1" > "$2"
+	echo "wrote $2"
+}
+
+: > "$RAW"
+go test -run=NONE -bench 'BenchmarkElasticSimulate$' \
+	-benchtime "$BENCHTIME" -count=1 ./internal/job | tee -a "$RAW"
+emit_elastic_json "$RAW" "BENCH_elastic.json"

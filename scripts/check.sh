@@ -63,6 +63,16 @@ done
 cmp "$JSDIR/faults-des.out" "$JSDIR/faults-live.out" || { echo "jobstream-faults live bytes differ from des"; exit 1; }
 cmp "$JSDIR/faults-des.out" "$JSDIR/faults-symbolic.out" || { echo "jobstream-faults symbolic bytes differ from des"; exit 1; }
 
+# Elastic-membership smoke: the autoscaler-vs-fixed comparison must land
+# on identical bytes across engines under the race detector — planned
+# drains/joins, graceful shrink and the windowed E_s controller included.
+echo "==> hetsim -exp elastic (race smoke, engine byte-identity)"
+for eng in des live symbolic; do
+	go run -race ./cmd/hetsim -exp elastic -quick -engine "$eng" > "$JSDIR/elastic-$eng.out"
+done
+cmp "$JSDIR/elastic-des.out" "$JSDIR/elastic-live.out" || { echo "elastic live bytes differ from des"; exit 1; }
+cmp "$JSDIR/elastic-des.out" "$JSDIR/elastic-symbolic.out" || { echo "elastic symbolic bytes differ from des"; exit 1; }
+
 # Server smoke: a race-instrumented `hetsim -serve` on a random port
 # must answer a POSTed quick spec with exactly the bytes the CLI prints
 # for the same spec — the RunSpec API's core contract, end to end over
@@ -107,6 +117,7 @@ for pkgfn in \
 	./internal/mpi:FuzzSymbolicVsDESPrograms \
 	./internal/workload:FuzzSymbolicVsDESWorkloads \
 	./internal/job:FuzzJobStreamFaults \
+	./internal/job:FuzzMembershipPlan \
 ; do
 	pkg="${pkgfn%%:*}"
 	fn="${pkgfn##*:}"
